@@ -1,0 +1,48 @@
+//! Ablation: number of blocking dimensions K vs margin-selection latency
+//! (DESIGN.md §5). K = all dims degenerates to vanilla margin; K = 1 gives
+//! the largest pruning and the paper's up-to-10× selection speedup.
+
+use alem_bench::data::prepare;
+use alem_core::learner::{SvmTrainer, Trainer};
+use alem_core::selector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::PaperDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_blocking_k(c: &mut Criterion) {
+    let p = prepare(PaperDataset::AbtBuy, 0.25);
+    let corpus = &p.corpus;
+    let labeled: Vec<(usize, bool)> = (0..corpus.len())
+        .step_by((corpus.len() / 100).max(1))
+        .map(|i| (i, corpus.truth(i)))
+        .collect();
+    let unlabeled: Vec<usize> = (0..corpus.len())
+        .filter(|i| !labeled.iter().any(|(j, _)| j == i))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let svm = SvmTrainer::default().train(
+        &labeled.iter().map(|&(i, _)| corpus.x(i).to_vec()).collect::<Vec<_>>(),
+        &labeled.iter().map(|&(_, y)| y).collect::<Vec<_>>(),
+        &mut rng,
+    );
+
+    let all = corpus.dim();
+    let mut group = c.benchmark_group("blocking_dimensions_k");
+    group.sample_size(10);
+    for k in [1usize, 3, 8, all] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, &k| {
+            bch.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(selector::blocking_dim::select(
+                    &svm, k, corpus, &unlabeled, 10, &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking_k);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: per-learner training time on a fixed labeled pool.
+//!
+//! The training-time ordering (NN ≫ forest > SVM ≈ rules) drives the user
+//! wait times of Fig. 13 — neural committees are what make NN-QBC
+//! prohibitively slow in the paper.
+
+use alem_bench::data::prepare;
+use alem_core::learner::{DnfTrainer, ForestTrainer, NnTrainer, SvmTrainer, Trainer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::PaperDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let p = prepare(PaperDataset::DblpAcm, 0.1);
+    let corpus = &p.corpus;
+    let idx: Vec<usize> = (0..corpus.len()).step_by(corpus.len() / 300).collect();
+    let xs: Vec<Vec<f64>> = idx.iter().map(|&i| corpus.x(i).to_vec()).collect();
+    let ys: Vec<bool> = idx.iter().map(|&i| corpus.truth(i)).collect();
+    let bxs: Vec<Vec<f64>> = idx
+        .iter()
+        .map(|&i| corpus.bool_features().unwrap()[i].clone())
+        .collect();
+
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+
+    group.bench_function("linear_svm", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(SvmTrainer::default().train(&xs, &ys, &mut rng))
+        })
+    });
+    for n in [2usize, 10, 20] {
+        group.bench_function(format!("forest_{n}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(ForestTrainer::with_trees(n).train(&xs, &ys, &mut rng))
+            })
+        });
+    }
+    group.bench_function("neural_net", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(NnTrainer::default().train(&xs, &ys, &mut rng))
+        })
+    });
+    group.bench_function("dnf_rules", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(DnfTrainer::default().train(&bxs, &ys, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

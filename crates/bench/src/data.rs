@@ -1,0 +1,103 @@
+//! Corpus construction for the benchmark harness: generate a synthetic
+//! dataset, block it, and featurize the candidate pairs in parallel.
+
+use alem_core::blocking::{stats, BlockingConfig, BlockingStats};
+use alem_core::corpus::Corpus;
+use alem_core::features::FeatureExtractor;
+use alem_core::schema::EmDataset;
+use datagen::PaperDataset;
+
+/// Fixed generation seed so every experiment sees the same corpora.
+pub const DATA_SEED: u64 = 20200614; // SIGMOD'20 opening day
+
+/// A fully prepared benchmark corpus.
+pub struct PreparedData {
+    /// The featurized post-blocking pair universe.
+    pub corpus: Corpus,
+    /// The extractor (for feature descriptions in interpretability output).
+    pub extractor: FeatureExtractor,
+    /// Blocking statistics (Table 1 row).
+    pub stats: BlockingStats,
+}
+
+/// Featurize `pairs` across `threads` worker threads.
+fn extract_parallel(
+    fx: &FeatureExtractor,
+    pairs: &[alem_core::schema::Pair],
+) -> Vec<Vec<f64>> {
+    let threads = std::thread::available_parallelism().map_or(4, usize::from);
+    if pairs.len() < 1024 || threads <= 1 {
+        return fx.extract_all(pairs);
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    let mut out: Vec<Vec<Vec<f64>>> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| s.spawn(move |_| fx.extract_all(slice)))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("extraction worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.into_iter().flatten().collect()
+}
+
+/// Build a corpus for a generated dataset with its configured blocking
+/// threshold.
+pub fn prepare_dataset(ds: &EmDataset, blocking_threshold: f64) -> PreparedData {
+    let blocking = BlockingConfig {
+        jaccard_threshold: blocking_threshold,
+    };
+    let pairs = blocking.block(ds);
+    let fx = FeatureExtractor::new(ds);
+    let features = extract_parallel(&fx, &pairs);
+    let bools = fx.booleanize_all(&features);
+    let truth: Vec<bool> = pairs.iter().map(|&p| ds.is_match(p)).collect();
+    let blocking_stats = stats(ds, &pairs);
+    let corpus = Corpus::from_features(features, truth).with_bool_features(bools);
+    // Preserve the dataset name lost by `from_features`.
+    let corpus = corpus.with_name(&ds.name);
+    PreparedData {
+        corpus,
+        extractor: fx,
+        stats: blocking_stats,
+    }
+}
+
+/// Generate + prepare one paper dataset at `scale`.
+pub fn prepare(dataset: PaperDataset, scale: f64) -> PreparedData {
+    let cfg = dataset.config(scale);
+    let ds = datagen::generate(&cfg, DATA_SEED);
+    prepare_dataset(&ds, cfg.blocking_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_small_dataset() {
+        let p = prepare(PaperDataset::Beer, 1.0);
+        assert!(p.corpus.len() > 50);
+        assert_eq!(p.corpus.dim(), 4 * 21);
+        assert!(p.corpus.bool_features().is_some());
+        assert_eq!(p.stats.post_blocking_pairs, p.corpus.len());
+        assert_eq!(p.corpus.name(), "BeerAdvocate-RateBeer");
+    }
+
+    #[test]
+    fn parallel_extraction_matches_serial() {
+        let cfg = PaperDataset::DblpAcm.config(0.05);
+        let ds = datagen::generate(&cfg, 1);
+        let blocking = BlockingConfig {
+            jaccard_threshold: cfg.blocking_threshold,
+        };
+        let pairs = blocking.block(&ds);
+        let fx = FeatureExtractor::new(&ds);
+        let serial = fx.extract_all(&pairs);
+        let parallel = extract_parallel(&fx, &pairs);
+        assert_eq!(serial, parallel);
+    }
+}

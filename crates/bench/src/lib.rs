@@ -1,0 +1,20 @@
+//! `alem-bench` — the benchmark harness that regenerates every table and
+//! figure of the paper's evaluation (§6).
+//!
+//! The `figures` binary is the entry point:
+//!
+//! ```text
+//! cargo run --release -p alem-bench --bin figures -- table1
+//! cargo run --release -p alem-bench --bin figures -- fig8 --scale 0.25
+//! cargo run --release -p alem-bench --bin figures -- all --json results.json
+//! ```
+//!
+//! `--scale` shrinks the synthetic corpora (1.0 ≈ paper sizes; the default
+//! 0.25 reproduces every shape in minutes). Criterion micro-benchmarks for
+//! selection latency and the ablation studies live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod experiments;
+pub mod runner;

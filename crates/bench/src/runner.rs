@@ -1,0 +1,106 @@
+//! Parallel execution of independent active-learning runs.
+//!
+//! Every figure involves several independent runs (strategies × datasets ×
+//! noise levels × seeds). Runs share only immutable corpora, so they
+//! parallelize trivially across threads.
+
+use alem_core::corpus::Corpus;
+use alem_core::evaluator::RunResult;
+use alem_core::loop_::{ActiveLearner, LoopParams};
+use alem_core::oracle::Oracle;
+use alem_core::strategy::Strategy;
+
+/// Base RNG seed for active-learning runs (distinct from the data seed).
+pub const RUN_SEED: u64 = 1729;
+
+/// Execute a batch of independent jobs on worker threads, preserving input
+/// order in the output.
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let threads = std::thread::available_parallelism().map_or(4, usize::from);
+    if jobs.len() <= 1 || threads <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let mut results: Vec<Option<T>> = Vec::with_capacity(jobs.len());
+    results.resize_with(jobs.len(), || None);
+    let queue: std::sync::Mutex<Vec<(usize, F)>> =
+        std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results_mx = std::sync::Mutex::new(&mut results);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                let Some((idx, f)) = job else { break };
+                let out = f();
+                results_mx.lock().expect("results poisoned")[idx] = Some(out);
+            });
+        }
+    })
+    .expect("crossbeam scope failed");
+    results
+        .into_iter()
+        .map(|r| r.expect("job completed"))
+        .collect()
+}
+
+/// Run one strategy on a corpus with a perfect Oracle.
+pub fn run_perfect<S: Strategy>(
+    corpus: &Corpus,
+    strategy: S,
+    params: LoopParams,
+    seed: u64,
+) -> RunResult {
+    let oracle = Oracle::perfect(corpus.truths().to_vec());
+    ActiveLearner::new(strategy, params).run(corpus, &oracle, seed)
+}
+
+/// Run one strategy on a corpus with a noisy Oracle.
+pub fn run_noisy<S: Strategy>(
+    corpus: &Corpus,
+    strategy: S,
+    params: LoopParams,
+    noise: f64,
+    seed: u64,
+) -> RunResult {
+    let oracle = Oracle::noisy(corpus.truths().to_vec(), noise, seed ^ 0x9e37_79b9);
+    ActiveLearner::new(strategy, params).run(corpus, &oracle, seed)
+}
+
+/// Loop parameters for a corpus: paper settings (seed 30, batch 10) with a
+/// label budget capped by pool size.
+pub fn paper_params(corpus: &Corpus, max_labels: usize) -> LoopParams {
+    LoopParams {
+        seed_size: 30.min(corpus.len().saturating_sub(1)).max(1),
+        batch_size: 10,
+        max_labels: max_labels.min(corpus.len()),
+        ..LoopParams::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alem_core::learner::SvmTrainer;
+    use alem_core::strategy::MarginSvmStrategy;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..40usize).map(|i| Box::new(move || i * i) as _).collect();
+        let out = run_parallel(jobs);
+        assert_eq!(out, (0..40).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn perfect_run_works() {
+        let feats: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let truth: Vec<bool> = (0..100).map(|i| i >= 60).collect();
+        let corpus = Corpus::from_features(feats, truth);
+        let params = paper_params(&corpus, 80);
+        let r = run_perfect(&corpus, MarginSvmStrategy::new(SvmTrainer::default()), params, 1);
+        assert!(r.best_f1() > 0.8);
+    }
+}

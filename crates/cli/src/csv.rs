@@ -1,0 +1,238 @@
+//! Minimal RFC-4180 CSV reading and writing.
+//!
+//! Handles quoted fields, escaped quotes (`""`), embedded commas and
+//! newlines inside quotes, and both LF and CRLF row endings. Deliberately
+//! small — just what the CLI needs to round-trip tables — and fully
+//! tested, including a property test that `parse(render(rows)) == rows`.
+
+use std::fmt;
+
+/// A CSV parse failure with row context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based row where the problem was found.
+    pub row: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSV error at row {}: {}", self.row, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse CSV text into rows of fields.
+///
+/// Every row must have the same number of fields as the first row. A
+/// trailing newline is allowed; empty input yields no rows.
+pub fn parse(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut field = String::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut row_no = 1usize;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CsvError {
+                        row: row_no,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Only meaningful before \n; stray \r is kept literal.
+                if chars.peek() == Some(&'\n') {
+                    continue;
+                }
+                field.push('\r');
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                row_no += 1;
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            row: row_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+
+    if let Some(first) = rows.first() {
+        let arity = first.len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != arity {
+                return Err(CsvError {
+                    row: i + 1,
+                    message: format!("expected {arity} fields, found {}", r.len()),
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// True when a field needs quoting.
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+/// Render rows as CSV text (LF line endings, minimal quoting).
+pub fn render(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, field) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if needs_quoting(field) {
+                out.push('"');
+                out.push_str(&field.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(field);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed CSV table: header plus data rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    /// Column names from the first row.
+    pub header: Vec<String>,
+    /// Data rows (header excluded).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Parse text whose first row is the header.
+    pub fn parse(input: &str) -> Result<Self, CsvError> {
+        let mut all = parse(input)?;
+        if all.is_empty() {
+            return Err(CsvError {
+                row: 1,
+                message: "missing header row".into(),
+            });
+        }
+        let header = all.remove(0);
+        Ok(CsvTable { header, rows: all })
+    }
+
+    /// Index of a column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_simple_rows() {
+        let rows = parse("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn parses_quotes_commas_newlines() {
+        let input = "name,desc\n\"ipod, nano\",\"he said \"\"hi\"\"\"\n\"multi\nline\",x\n";
+        let rows = parse(input).unwrap();
+        assert_eq!(rows[1][0], "ipod, nano");
+        assert_eq!(rows[1][1], "he said \"hi\"");
+        assert_eq!(rows[2][0], "multi\nline");
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let rows = parse("a,b\r\n1,2").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = parse("a,b\n1\n").unwrap_err();
+        assert_eq!(err.row, 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        assert!(parse("a,\"b\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn table_header_lookup() {
+        let t = CsvTable::parse("id,name,price\n1,ipod,99\n").unwrap();
+        assert_eq!(t.column("price"), Some(2));
+        assert_eq!(t.column("missing"), None);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn render_quotes_when_needed() {
+        let rows = vec![vec!["a,b".to_owned(), "plain".to_owned(), "q\"q".to_owned()]];
+        assert_eq!(render(&rows), "\"a,b\",plain,\"q\"\"q\"\n");
+    }
+
+    proptest! {
+        /// parse ∘ render is the identity on arbitrary field contents.
+        #[test]
+        fn roundtrip(rows in prop::collection::vec(
+            prop::collection::vec(".{0,20}", 1..6), 1..20)
+        ) {
+            // Normalize arity: truncate every row to the first row's len.
+            let arity = rows[0].len();
+            let rows: Vec<Vec<String>> = rows
+                .into_iter()
+                .map(|mut r| {
+                    r.resize(arity, String::new());
+                    r
+                })
+                .collect();
+            let text = render(&rows);
+            let parsed = parse(&text).unwrap();
+            prop_assert_eq!(parsed, rows);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! [`Corpus`]: the post-blocking pair universe an active-learning run
+//! operates on — feature vectors, optional Boolean predicate vectors, and
+//! the hidden ground truth consulted by the Oracle and the evaluator.
+
+use crate::blocking::BlockingConfig;
+use crate::features::FeatureExtractor;
+use crate::schema::{EmDataset, Pair};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A fully featurized set of candidate pairs with hidden ground truth.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    name: String,
+    pairs: Vec<Pair>,
+    features: Vec<Vec<f64>>,
+    bool_features: Option<Vec<Vec<f64>>>,
+    truth: Vec<bool>,
+}
+
+impl Corpus {
+    /// Build a corpus from an [`EmDataset`]: block, featurize, and attach
+    /// ground truth. Returns the corpus and the extractor (whose feature
+    /// descriptions the interpretability reports need).
+    pub fn from_dataset(ds: &EmDataset, blocking: &BlockingConfig) -> (Self, FeatureExtractor) {
+        let pairs = blocking.block(ds);
+        let fx = FeatureExtractor::new(ds);
+        let features = fx.extract_all(&pairs);
+        let bool_features = fx.booleanize_all(&features);
+        let truth = pairs.iter().map(|&p| ds.is_match(p)).collect();
+        (
+            Corpus {
+                name: ds.name.clone(),
+                pairs,
+                features,
+                bool_features: Some(bool_features),
+                truth,
+            },
+            fx,
+        )
+    }
+
+    /// Build a corpus directly from feature vectors and labels (tests,
+    /// docs, and workloads that skip the table layer).
+    pub fn from_features(features: Vec<Vec<f64>>, truth: Vec<bool>) -> Self {
+        assert_eq!(features.len(), truth.len(), "feature/label mismatch");
+        let pairs = (0..features.len() as u32).map(|i| (i, 0)).collect();
+        Corpus {
+            name: "anonymous".into(),
+            pairs,
+            features,
+            bool_features: None,
+            truth,
+        }
+    }
+
+    /// Attach Boolean predicate vectors (needed by the rule learner).
+    pub fn with_bool_features(mut self, bool_features: Vec<Vec<f64>>) -> Self {
+        assert_eq!(bool_features.len(), self.len(), "bool feature mismatch");
+        self.bool_features = Some(bool_features);
+        self
+    }
+
+    /// Set the dataset name (reports group results by it).
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of post-blocking pairs.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the corpus has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Continuous feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// The record pair behind example `i`.
+    pub fn pair(&self, i: usize) -> Pair {
+        self.pairs[i]
+    }
+
+    /// Continuous feature row of example `i`.
+    pub fn x(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// All continuous feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Boolean predicate rows, if attached.
+    pub fn bool_features(&self) -> Option<&[Vec<f64>]> {
+        self.bool_features.as_deref()
+    }
+
+    /// Ground-truth label of example `i` (hidden from learners; only the
+    /// Oracle and evaluator read it).
+    pub fn truth(&self, i: usize) -> bool {
+        self.truth[i]
+    }
+
+    /// All ground-truth labels.
+    pub fn truths(&self) -> &[bool] {
+        &self.truth
+    }
+
+    /// Class skew: fraction of true matches among pairs.
+    pub fn skew(&self) -> f64 {
+        if self.truth.is_empty() {
+            return 0.0;
+        }
+        self.truth.iter().filter(|&&t| t).count() as f64 / self.truth.len() as f64
+    }
+
+    /// Stratified hold-out split preserving class skew (the conventional
+    /// 80/20 supervised split of §6.2). Returns `(train_pool, test)`
+    /// example indices, shuffled.
+    pub fn split_holdout<R: Rng>(&self, test_frac: f64, rng: &mut R) -> (Vec<usize>, Vec<usize>) {
+        assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0,1)");
+        let mut pos: Vec<usize> = (0..self.len()).filter(|&i| self.truth[i]).collect();
+        let mut neg: Vec<usize> = (0..self.len()).filter(|&i| !self.truth[i]).collect();
+        pos.shuffle(rng);
+        neg.shuffle(rng);
+        let pos_test = (pos.len() as f64 * test_frac).round() as usize;
+        let neg_test = (neg.len() as f64 * test_frac).round() as usize;
+        let mut test: Vec<usize> = pos[..pos_test].to_vec();
+        test.extend(&neg[..neg_test]);
+        let mut train: Vec<usize> = pos[pos_test..].to_vec();
+        train.extend(&neg[neg_test..]);
+        train.shuffle(rng);
+        test.shuffle(rng);
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Corpus {
+        let features = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let truth = (0..n).map(|i| i % 5 == 0).collect();
+        Corpus::from_features(features, truth)
+    }
+
+    #[test]
+    fn accessors() {
+        let c = toy(50);
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.dim(), 1);
+        assert!(c.truth(0));
+        assert!(!c.truth(1));
+        assert!((c.skew() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holdout_preserves_skew() {
+        let c = toy(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, test) = c.split_holdout(0.2, &mut rng);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 20);
+        let skew = |idx: &[usize]| {
+            idx.iter().filter(|&&i| c.truth(i)).count() as f64 / idx.len() as f64
+        };
+        assert!((skew(&test) - 0.2).abs() < 0.05);
+        assert!((skew(&train) - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn holdout_disjoint_and_complete() {
+        let c = toy(60);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (train, test) = c.split_holdout(0.25, &mut rng);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/label mismatch")]
+    fn rejects_mismatch() {
+        Corpus::from_features(vec![vec![0.0]], vec![true, false]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Per-iteration evaluation and run-level result aggregation.
+//!
+//! The evaluator (paper §3) scores the refined model after every active
+//! learning iteration on quality (precision/recall/F1 over the evaluation
+//! pair set), latency (training time plus the committee-creation /
+//! example-scoring split), #labels, and — where the strategy supports it —
+//! interpretability (#DNF atoms, ensemble depth).
+
+use mlcore::metrics::Confusion;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Everything measured in one active-learning iteration.
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationStats {
+    /// Iteration number (0 = after training on the seed labels).
+    pub iteration: usize,
+    /// Cumulative labels consumed when the model was trained (#labels).
+    pub labels_used: usize,
+    /// F1-score on the evaluation set — progressive F1 when evaluating on
+    /// all post-blocking pairs.
+    pub f1: f64,
+    /// Precision on the evaluation set.
+    pub precision: f64,
+    /// Recall on the evaluation set.
+    pub recall: f64,
+    /// Model training time in seconds.
+    pub train_secs: f64,
+    /// Committee-creation part of example selection (QBC only).
+    pub committee_secs: f64,
+    /// Example-scoring part of example selection.
+    pub scoring_secs: f64,
+    /// #DNF atoms for interpretable models (rules, trees).
+    pub atoms: Option<usize>,
+    /// Maximum tree depth for tree ensembles.
+    pub depth: Option<usize>,
+    /// Accepted component models in an active ensemble.
+    pub accepted_models: Option<usize>,
+    /// Examples pruned by blocking dimensions this iteration.
+    pub pruned: Option<usize>,
+}
+
+impl IterationStats {
+    /// User wait time: training plus total selection latency (paper §3).
+    pub fn user_wait_secs(&self) -> f64 {
+        self.train_secs + self.committee_secs + self.scoring_secs
+    }
+
+    /// Total example-selection latency.
+    pub fn selection_secs(&self) -> f64 {
+        self.committee_secs + self.scoring_secs
+    }
+}
+
+/// Result of one full active-learning run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Strategy description, e.g. `"Trees(20)"` or `"Linear-Margin(1Dim)"`.
+    pub strategy: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Per-iteration measurements, in order.
+    pub iterations: Vec<IterationStats>,
+}
+
+impl RunResult {
+    /// Best F1 achieved across iterations (0 for an empty run).
+    pub fn best_f1(&self) -> f64 {
+        self.iterations.iter().map(|s| s.f1).fold(0.0, f64::max)
+    }
+
+    /// F1 of the final iteration.
+    pub fn final_f1(&self) -> f64 {
+        self.iterations.last().map_or(0.0, |s| s.f1)
+    }
+
+    /// The paper's #labels metric: the minimum cumulative label count at
+    /// which the run first reaches within `epsilon` of its best F1 (the
+    /// convergent quality).
+    pub fn labels_to_convergence(&self, epsilon: f64) -> usize {
+        let best = self.best_f1();
+        self.iterations
+            .iter()
+            .find(|s| s.f1 >= best - epsilon)
+            .map_or(0, |s| s.labels_used)
+    }
+
+    /// Total user wait time across all iterations.
+    pub fn total_user_wait_secs(&self) -> f64 {
+        self.iterations.iter().map(IterationStats::user_wait_secs).sum()
+    }
+
+    /// Total labels consumed by the end of the run.
+    pub fn total_labels(&self) -> usize {
+        self.iterations.last().map_or(0, |s| s.labels_used)
+    }
+}
+
+/// Compute a [`Confusion`] for predictions over `eval_idx` against the
+/// ground truth.
+pub fn confusion_over(
+    predict: impl Fn(usize) -> bool,
+    truth: impl Fn(usize) -> bool,
+    eval_idx: &[usize],
+) -> Confusion {
+    let mut c = Confusion::default();
+    for &i in eval_idx {
+        c.record(predict(i), truth(i));
+    }
+    c
+}
+
+/// Convenience for building an [`IterationStats`] from a confusion and
+/// timings; optional fields start as `None`.
+pub fn iteration_stats(
+    iteration: usize,
+    labels_used: usize,
+    confusion: &Confusion,
+    train: Duration,
+    committee: Duration,
+    scoring: Duration,
+) -> IterationStats {
+    IterationStats {
+        iteration,
+        labels_used,
+        f1: confusion.f1(),
+        precision: confusion.precision(),
+        recall: confusion.recall(),
+        train_secs: train.as_secs_f64(),
+        committee_secs: committee.as_secs_f64(),
+        scoring_secs: scoring.as_secs_f64(),
+        atoms: None,
+        depth: None,
+        accepted_models: None,
+        pruned: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with_f1s(f1s: &[f64]) -> RunResult {
+        RunResult {
+            strategy: "test".into(),
+            dataset: "toy".into(),
+            iterations: f1s
+                .iter()
+                .enumerate()
+                .map(|(i, &f1)| IterationStats {
+                    iteration: i,
+                    labels_used: 30 + i * 10,
+                    f1,
+                    precision: f1,
+                    recall: f1,
+                    train_secs: 0.1,
+                    committee_secs: 0.2,
+                    scoring_secs: 0.3,
+                    atoms: None,
+                    depth: None,
+                    accepted_models: None,
+                    pruned: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn best_and_final() {
+        let r = run_with_f1s(&[0.2, 0.8, 0.6]);
+        assert_eq!(r.best_f1(), 0.8);
+        assert_eq!(r.final_f1(), 0.6);
+    }
+
+    #[test]
+    fn convergence_labels() {
+        let r = run_with_f1s(&[0.2, 0.5, 0.79, 0.8, 0.8]);
+        // Within 0.005 of best (0.8) first at iteration 3 → 60 labels.
+        assert_eq!(r.labels_to_convergence(0.005), 60);
+        // With a loose epsilon, iteration 2 already qualifies.
+        assert_eq!(r.labels_to_convergence(0.02), 50);
+    }
+
+    #[test]
+    fn wait_time_sums() {
+        let r = run_with_f1s(&[0.5, 0.5]);
+        assert!((r.total_user_wait_secs() - 1.2).abs() < 1e-12);
+        assert_eq!(r.total_labels(), 40);
+        assert!((r.iterations[0].user_wait_secs() - 0.6).abs() < 1e-12);
+        assert!((r.iterations[0].selection_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_over_counts() {
+        let preds = [true, false, true, true];
+        let truths = [true, false, false, true];
+        let c = confusion_over(|i| preds[i], |i| truths[i], &[0, 1, 2, 3]);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.fn_, 0);
+    }
+
+    #[test]
+    fn empty_run_defaults() {
+        let r = run_with_f1s(&[]);
+        assert_eq!(r.best_f1(), 0.0);
+        assert_eq!(r.labels_to_convergence(0.01), 0);
+        assert_eq!(r.total_labels(), 0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = run_with_f1s(&[0.4]);
+        let js = serde_json::to_string(&r).unwrap();
+        assert!(js.contains("\"f1\":0.4"));
+    }
+}

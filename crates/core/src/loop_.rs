@@ -1,0 +1,384 @@
+//! The active-learning driver (paper Fig. 1a).
+//!
+//! Starting from a small random seed of labeled pairs (30 in the paper),
+//! each iteration (re)trains the strategy's model on the cumulative labeled
+//! data, evaluates it, asks the strategy to select a batch of ambiguous
+//! pairs (10 in the paper), queries the Oracle for their labels, and folds
+//! them into the training pool. Termination mirrors §6: a near-perfect F1
+//! (perfect Oracles), label exhaustion (noisy Oracles), a label budget, or
+//! strategy-initiated termination (LFP/LFN exhaustion for rules).
+
+use crate::corpus::Corpus;
+use crate::evaluator::{confusion_over, iteration_stats, RunResult};
+use crate::oracle::Oracle;
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// What the per-iteration evaluation runs against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvalMode {
+    /// Evaluate on *all* post-blocking pairs, labeled and unlabeled — the
+    /// paper's progressive F1 (§6, train-test splits).
+    Progressive,
+    /// Conventional supervised split: selection draws from a (1 −
+    /// `test_frac`) train pool, evaluation uses the held-out rest
+    /// (Figs. 16–17 use `test_frac = 0.2`).
+    Holdout {
+        /// Fraction of pairs held out for testing.
+        test_frac: f64,
+    },
+}
+
+/// Loop hyper-parameters. Defaults are the paper's settings.
+#[derive(Debug, Clone)]
+pub struct LoopParams {
+    /// Initial random labeled seed (paper: 30).
+    pub seed_size: usize,
+    /// Labels queried per iteration (paper: 10).
+    pub batch_size: usize,
+    /// Total label budget including the seed (e.g. 2360 for Figs. 8–9).
+    pub max_labels: usize,
+    /// Evaluation mode.
+    pub eval: EvalMode,
+    /// Stop once progressive F1 reaches this value (perfect-Oracle
+    /// termination; `None` = run to exhaustion as with noisy Oracles).
+    pub stop_at_f1: Option<f64>,
+}
+
+impl Default for LoopParams {
+    fn default() -> Self {
+        LoopParams {
+            seed_size: 30,
+            batch_size: 10,
+            max_labels: 2360,
+            eval: EvalMode::Progressive,
+            stop_at_f1: Some(0.99),
+        }
+    }
+}
+
+/// An active-learning session binding a strategy to loop parameters.
+pub struct ActiveLearner<S: Strategy> {
+    strategy: S,
+    params: LoopParams,
+}
+
+impl<S: Strategy> ActiveLearner<S> {
+    /// Bind `strategy` to `params`.
+    pub fn new(strategy: S, params: LoopParams) -> Self {
+        ActiveLearner { strategy, params }
+    }
+
+    /// Consume the learner, returning the strategy (to inspect the final
+    /// model after [`ActiveLearner::run`]).
+    pub fn into_strategy(self) -> S {
+        self.strategy
+    }
+
+    /// Borrow the strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Run the loop on `corpus` with labels from `oracle`, seeded by
+    /// `seed` for full reproducibility. Returns per-iteration statistics.
+    pub fn run(&mut self, corpus: &Corpus, oracle: &Oracle, seed: u64) -> RunResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = &self.params;
+        assert!(params.seed_size >= 1, "need at least one seed label");
+        assert!(params.batch_size >= 1, "need a positive batch size");
+
+        // Build the selection pool and the evaluation set.
+        let (mut pool, eval_idx): (Vec<usize>, Vec<usize>) = match params.eval {
+            EvalMode::Progressive => ((0..corpus.len()).collect(), (0..corpus.len()).collect()),
+            EvalMode::Holdout { test_frac } => {
+                let (train, test) = corpus.split_holdout(test_frac, &mut rng);
+                (train, test)
+            }
+        };
+
+        // Random initial seed from the pool.
+        pool.shuffle(&mut rng);
+        let seed_n = params.seed_size.min(pool.len());
+        let mut labeled: Vec<(usize, bool)> = pool
+            .drain(..seed_n)
+            .map(|i| (i, oracle.label(i)))
+            .collect();
+        let mut unlabeled = pool;
+
+        let mut iterations = Vec::new();
+        let mut iter_no = 0usize;
+        loop {
+            // Train on the cumulative labeled data.
+            let t0 = Instant::now();
+            self.strategy.fit(corpus, &labeled, &mut rng);
+            let train_time = t0.elapsed();
+
+            // Evaluate against ground truth.
+            let confusion = confusion_over(
+                |i| self.strategy.predict(corpus, i),
+                |i| corpus.truth(i),
+                &eval_idx,
+            );
+            let mut stats = iteration_stats(
+                iter_no,
+                labeled.len(),
+                &confusion,
+                train_time,
+                std::time::Duration::ZERO,
+                std::time::Duration::ZERO,
+            );
+            let extra = self.strategy.stats();
+            stats.atoms = extra.atoms;
+            stats.depth = extra.depth;
+            stats.accepted_models = extra.accepted_models;
+            stats.pruned = extra.pruned;
+
+            // Termination checks before selecting more labels.
+            let reached_target = params.stop_at_f1.is_some_and(|t| stats.f1 >= t);
+            let out_of_budget = labeled.len() + params.batch_size > params.max_labels;
+            if reached_target
+                || out_of_budget
+                || unlabeled.is_empty()
+                || self.strategy.terminated()
+            {
+                iterations.push(stats);
+                break;
+            }
+
+            // Select and label the next batch.
+            let selection = self.strategy.select(
+                corpus,
+                &labeled,
+                &unlabeled,
+                params.batch_size,
+                &mut rng,
+            );
+            stats.committee_secs = selection.committee_creation.as_secs_f64();
+            stats.scoring_secs = selection.scoring.as_secs_f64();
+            iterations.push(stats);
+
+            if selection.chosen.is_empty() {
+                break; // strategy found nothing worth labeling
+            }
+            let new: Vec<(usize, bool)> = selection
+                .chosen
+                .iter()
+                .map(|&i| (i, oracle.label(i)))
+                .collect();
+            unlabeled.retain(|i| !selection.chosen.contains(i));
+            labeled.extend(new.iter().copied());
+            self.strategy
+                .post_label(corpus, &new, &mut labeled, &mut unlabeled, &mut rng);
+
+            iter_no += 1;
+        }
+
+        RunResult {
+            strategy: self.strategy.name(),
+            dataset: corpus.name().to_owned(),
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::{ForestTrainer, SvmTrainer};
+    use crate::strategy::{MarginSvmStrategy, QbcStrategy, RandomStrategy, TreeQbcStrategy};
+
+    fn corpus(n: usize) -> Corpus {
+        let feats: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, (i % 13) as f64 / 13.0])
+            .collect();
+        let truth: Vec<bool> = (0..n).map(|i| i >= 3 * n / 4).collect();
+        Corpus::from_features(feats, truth)
+    }
+
+    fn quick_params() -> LoopParams {
+        LoopParams {
+            seed_size: 20,
+            batch_size: 10,
+            max_labels: 150,
+            eval: EvalMode::Progressive,
+            stop_at_f1: Some(0.99),
+        }
+    }
+
+    #[test]
+    fn margin_svm_converges_on_separable_data() {
+        let c = corpus(300);
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(
+            MarginSvmStrategy::new(SvmTrainer::default()),
+            quick_params(),
+        );
+        let run = al.run(&c, &oracle, 7);
+        assert!(run.best_f1() > 0.9, "best F1 {}", run.best_f1());
+        assert!(!run.iterations.is_empty());
+        // Label counts grow by the batch size.
+        assert_eq!(run.iterations[0].labels_used, 20);
+        if run.iterations.len() > 1 {
+            assert_eq!(run.iterations[1].labels_used, 30);
+        }
+    }
+
+    #[test]
+    fn trees_reach_high_f1_fast() {
+        let c = corpus(300);
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(TreeQbcStrategy::new(10), quick_params());
+        let run = al.run(&c, &oracle, 7);
+        assert!(run.best_f1() > 0.95, "best F1 {}", run.best_f1());
+        // Tree strategy reports interpretability stats.
+        assert!(run.iterations[0].atoms.is_some());
+    }
+
+    #[test]
+    fn stops_at_label_budget() {
+        let c = corpus(300);
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let params = LoopParams {
+            stop_at_f1: None,
+            max_labels: 60,
+            seed_size: 20,
+            batch_size: 10,
+            eval: EvalMode::Progressive,
+        };
+        let mut al = ActiveLearner::new(
+            RandomStrategy::new(ForestTrainer::with_trees(3), "SupervisedTrees(Random-3)"),
+            params,
+        );
+        let run = al.run(&c, &oracle, 7);
+        assert!(run.total_labels() <= 60);
+        assert_eq!(oracle.queries(), run.total_labels() as u64);
+    }
+
+    #[test]
+    fn holdout_mode_evaluates_on_test_only() {
+        let c = corpus(200);
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let params = LoopParams {
+            eval: EvalMode::Holdout { test_frac: 0.2 },
+            seed_size: 20,
+            batch_size: 10,
+            max_labels: 100,
+            stop_at_f1: Some(0.99),
+        };
+        let mut al = ActiveLearner::new(
+            QbcStrategy::new(SvmTrainer::default(), 3),
+            params,
+        );
+        let run = al.run(&c, &oracle, 11);
+        // The train pool is 160 examples; labels can't exceed it.
+        assert!(run.total_labels() <= 100);
+        assert!(run.best_f1() > 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = corpus(200);
+        let f1s = |seed: u64| -> Vec<f64> {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let mut al = ActiveLearner::new(
+                MarginSvmStrategy::new(SvmTrainer::default()),
+                quick_params(),
+            );
+            al.run(&c, &oracle, seed).iterations.iter().map(|s| s.f1).collect()
+        };
+        assert_eq!(f1s(3), f1s(3));
+    }
+
+    #[test]
+    fn seed_larger_than_pool_is_clamped() {
+        let c = corpus(25);
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let params = LoopParams {
+            seed_size: 100,
+            batch_size: 10,
+            max_labels: 200,
+            eval: EvalMode::Progressive,
+            stop_at_f1: None,
+        };
+        let mut al = ActiveLearner::new(
+            MarginSvmStrategy::new(SvmTrainer::default()),
+            params,
+        );
+        let run = al.run(&c, &oracle, 1);
+        // Whole pool became the seed; exactly one iteration recorded.
+        assert_eq!(run.total_labels(), 25);
+        assert_eq!(run.iterations.len(), 1);
+    }
+
+    #[test]
+    fn single_class_corpus_does_not_panic() {
+        let feats: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let truth = vec![false; 60];
+        let c = Corpus::from_features(feats, truth);
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(
+            TreeQbcStrategy::new(3),
+            LoopParams {
+                seed_size: 10,
+                batch_size: 10,
+                max_labels: 40,
+                eval: EvalMode::Progressive,
+                stop_at_f1: None,
+            },
+        );
+        let run = al.run(&c, &oracle, 2);
+        // No positives anywhere: F1 is 0 but the loop completes.
+        assert_eq!(run.best_f1(), 0.0);
+        assert!(run.total_labels() <= 40);
+    }
+
+    #[test]
+    fn noisy_labels_flow_into_training_but_eval_uses_truth() {
+        let c = corpus(200);
+        // 100% noise: every training label is wrong, so progressive F1
+        // against the (clean) ground truth should collapse.
+        let oracle = Oracle::noisy(c.truths().to_vec(), 1.0, 9);
+        let mut al = ActiveLearner::new(
+            TreeQbcStrategy::new(5),
+            LoopParams {
+                max_labels: 100,
+                stop_at_f1: None,
+                seed_size: 20,
+                batch_size: 10,
+                eval: EvalMode::Progressive,
+            },
+        );
+        let run = al.run(&c, &oracle, 3);
+        assert!(run.best_f1() < 0.5, "inverted labels gave F1 {}", run.best_f1());
+    }
+
+    #[test]
+    fn qbc_records_committee_time() {
+        let c = corpus(200);
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(
+            QbcStrategy::new(SvmTrainer::default(), 5),
+            LoopParams {
+                max_labels: 40,
+                seed_size: 20,
+                batch_size: 10,
+                eval: EvalMode::Progressive,
+                stop_at_f1: None,
+            },
+        );
+        let run = al.run(&c, &oracle, 3);
+        // Every iteration that selected must have spent committee time.
+        let selecting_iters = run.iterations.len() - 1;
+        let with_committee = run
+            .iterations
+            .iter()
+            .take(selecting_iters)
+            .filter(|s| s.committee_secs > 0.0)
+            .count();
+        assert_eq!(with_committee, selecting_iters);
+    }
+}

@@ -1,0 +1,137 @@
+//! Saving and loading trained matchers.
+//!
+//! The paper argues (§2) that active learning's advantage over pure
+//! crowdsourcing is the *reusable EM model* — once learned, it matches new
+//! data without paying for labels again. [`SavedModel`] is that reusable
+//! artifact: a serializable snapshot of any learned matcher, restorable
+//! without the training pipeline.
+
+use mlcore::forest::RandomForest;
+use mlcore::nn::NeuralNet;
+use mlcore::rules::Dnf;
+use mlcore::svm::LinearSvm;
+use mlcore::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// A serializable trained matcher of any supported family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", content = "model")]
+pub enum SavedModel {
+    /// A single linear SVM.
+    Svm(LinearSvm),
+    /// An active ensemble of linear SVMs (union of positive predictions).
+    SvmEnsemble(Vec<LinearSvm>),
+    /// A random forest.
+    Forest(RandomForest),
+    /// A feed-forward neural network.
+    NeuralNet(Box<NeuralNet>),
+    /// A monotone DNF rule set. **Operates on Boolean predicate features**,
+    /// not the continuous 21-sim features of the other families.
+    Rules(Dnf),
+}
+
+impl SavedModel {
+    /// Predict on a feature row of the family's native featurization
+    /// (continuous for SVM/forest/NN, Boolean for rules).
+    pub fn predict(&self, x: &[f64]) -> bool {
+        match self {
+            SavedModel::Svm(m) => m.predict(x),
+            SavedModel::SvmEnsemble(ms) => ms.iter().any(|m| m.predict(x)),
+            SavedModel::Forest(m) => m.predict(x),
+            SavedModel::NeuralNet(m) => m.predict(x),
+            SavedModel::Rules(m) => m.predict(x),
+        }
+    }
+
+    /// Does this model consume Boolean rule-predicate features?
+    pub fn wants_bool_features(&self) -> bool {
+        matches!(self, SavedModel::Rules(_))
+    }
+
+    /// Family name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SavedModel::Svm(_) => "svm",
+            SavedModel::SvmEnsemble(_) => "svm-ensemble",
+            SavedModel::Forest(_) => "forest",
+            SavedModel::NeuralNet(_) => "neural-net",
+            SavedModel::Rules(_) => "rules",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcore::data::TrainSet;
+    use mlcore::forest::ForestConfig;
+    use mlcore::rules::{Conjunction, DnfConfig};
+    use mlcore::svm::SvmConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let ys: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        (xs, ys)
+    }
+
+    fn roundtrip(m: &SavedModel) -> SavedModel {
+        let js = serde_json::to_string(m).expect("serialize");
+        serde_json::from_str(&js).expect("deserialize")
+    }
+
+    #[test]
+    fn svm_roundtrips_with_identical_predictions() {
+        let (xs, ys) = data();
+        let set = TrainSet::new(&xs, &ys);
+        let svm = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(1));
+        let saved = SavedModel::Svm(svm.clone());
+        let loaded = roundtrip(&saved);
+        assert_eq!(loaded.kind(), "svm");
+        for x in &xs {
+            assert_eq!(loaded.predict(x), svm.predict(x));
+        }
+    }
+
+    #[test]
+    fn forest_roundtrips() {
+        let (xs, ys) = data();
+        let set = TrainSet::new(&xs, &ys);
+        let f = ForestConfig::with_trees(5).train(&set, &mut StdRng::seed_from_u64(1));
+        let loaded = roundtrip(&SavedModel::Forest(f.clone()));
+        for x in &xs {
+            assert_eq!(loaded.predict(x), f.predict(x));
+        }
+    }
+
+    #[test]
+    fn rules_roundtrip_and_want_bool_features() {
+        let dnf = DnfConfig::default();
+        let bx: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![f64::from(u8::from(i >= 10))])
+            .collect();
+        let by: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let model = dnf.train(&TrainSet::new(&bx, &by));
+        let loaded = roundtrip(&SavedModel::Rules(model.clone()));
+        assert!(loaded.wants_bool_features());
+        assert_eq!(loaded.predict(&[1.0]), model.predict(&[1.0]));
+    }
+
+    #[test]
+    fn ensemble_union_semantics_survive() {
+        let a = LinearSvm::from_parts(vec![4.0, 0.0], -2.0);
+        let b = LinearSvm::from_parts(vec![0.0, 4.0], -2.0);
+        let loaded = roundtrip(&SavedModel::SvmEnsemble(vec![a, b]));
+        assert!(loaded.predict(&[1.0, 0.0]));
+        assert!(loaded.predict(&[0.0, 1.0]));
+        assert!(!loaded.predict(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn tagged_json_format_is_stable() {
+        let m = SavedModel::Rules(mlcore::rules::Dnf::new(vec![Conjunction::new(vec![3])]));
+        let js = serde_json::to_string(&m).unwrap();
+        assert!(js.contains("\"kind\":\"Rules\""), "{js}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Oracles: the labeling authority queried by the example selector.
+//!
+//! A perfect Oracle returns the ground-truth label. The noisy Oracle of
+//! §6.2 models crowd-sourcing: whenever queried it flips the true label
+//! with a fixed probability ("we always perturb the original label whenever
+//! the imperfect Oracle generates a random probability that falls within
+//! the noise percentage threshold" — i.e. a fresh Bernoulli per query, with
+//! no majority-vote correction).
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where an Oracle's authoritative answers come from.
+enum Source {
+    /// Stored ground truth (benchmarks).
+    Truth(Vec<bool>),
+    /// A callback answering per example (interactive/human labeling).
+    Callback {
+        /// Number of labelable examples.
+        n: usize,
+        /// The labeler.
+        f: Box<dyn Fn(usize) -> bool + Send + Sync>,
+    },
+}
+
+impl Source {
+    fn answer(&self, i: usize) -> bool {
+        match self {
+            Source::Truth(t) => t[i],
+            Source::Callback { f, .. } => f(i),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Source::Truth(t) => t.len(),
+            Source::Callback { n, .. } => *n,
+        }
+    }
+}
+
+/// A labeling Oracle over a corpus's example indices.
+pub struct Oracle {
+    source: Source,
+    noise: f64,
+    /// Independent noisy votes per query; the majority wins. 1 = the
+    /// paper's harsh no-correction setting.
+    votes: usize,
+    rng: Mutex<StdRng>,
+    queries: Mutex<u64>,
+}
+
+impl Oracle {
+    /// A perfect Oracle that always answers the ground truth.
+    pub fn perfect(truth: Vec<bool>) -> Self {
+        Oracle {
+            source: Source::Truth(truth),
+            noise: 0.0,
+            votes: 1,
+            rng: Mutex::new(StdRng::seed_from_u64(0)),
+            queries: Mutex::new(0),
+        }
+    }
+
+    /// A noisy Oracle flipping each answer independently with probability
+    /// `noise` (0.10–0.40 in the paper's sweeps), seeded for
+    /// reproducibility.
+    pub fn noisy(truth: Vec<bool>, noise: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
+        Oracle {
+            source: Source::Truth(truth),
+            noise,
+            votes: 1,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            queries: Mutex::new(0),
+        }
+    }
+
+    /// Crowd-style error correction the paper deliberately leaves out
+    /// (§6.2: real deployments "regulate the noisy labels using techniques
+    /// such as majority voting"): each query draws `votes` independent
+    /// noisy answers and returns the majority. Each vote counts as one
+    /// Oracle query (crowd answers are paid per vote). `votes` must be
+    /// odd so the majority is decisive.
+    pub fn noisy_with_voting(truth: Vec<bool>, noise: f64, votes: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
+        assert!(votes >= 1 && votes % 2 == 1, "votes must be odd and positive");
+        Oracle {
+            source: Source::Truth(truth),
+            noise,
+            votes,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            queries: Mutex::new(0),
+        }
+    }
+
+    /// The configured noise probability.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Votes drawn per query (1 unless majority voting is enabled).
+    pub fn votes(&self) -> usize {
+        self.votes
+    }
+
+    /// An Oracle backed by a labeling callback over `n` examples — e.g.
+    /// a human answering y/n in a terminal. Noise-free; each call counts
+    /// as one query.
+    pub fn from_fn<F: Fn(usize) -> bool + Send + Sync + 'static>(n: usize, f: F) -> Self {
+        Oracle {
+            source: Source::Callback { n, f: Box::new(f) },
+            noise: 0.0,
+            votes: 1,
+            rng: Mutex::new(StdRng::seed_from_u64(0)),
+            queries: Mutex::new(0),
+        }
+    }
+
+    /// Ask for the label of example `i`.
+    pub fn label(&self, i: usize) -> bool {
+        *self.queries.lock() += self.votes as u64;
+        let truth = self.source.answer(i);
+        if self.noise == 0.0 {
+            return truth;
+        }
+        let mut rng = self.rng.lock();
+        let positive_votes = (0..self.votes)
+            .filter(|_| {
+                let flipped = rng.gen::<f64>() < self.noise;
+                truth != flipped
+            })
+            .count();
+        2 * positive_votes > self.votes
+    }
+
+    /// Number of labels asked so far — the paper's #labels metric counts
+    /// every Oracle query including the initial seed.
+    pub fn queries(&self) -> u64 {
+        *self.queries.lock()
+    }
+
+    /// Number of examples the Oracle can label.
+    pub fn universe(&self) -> usize {
+        self.source.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_oracle_is_truth() {
+        let o = Oracle::perfect(vec![true, false, true]);
+        assert!(o.label(0));
+        assert!(!o.label(1));
+        assert!(o.label(2));
+        assert_eq!(o.queries(), 3);
+    }
+
+    #[test]
+    fn noisy_oracle_flips_at_rate() {
+        let n = 20_000;
+        let o = Oracle::noisy(vec![true; n], 0.3, 99);
+        let flips = (0..n).filter(|&i| !o.label(i)).count();
+        let rate = flips as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed flip rate {rate}");
+    }
+
+    #[test]
+    fn zero_noise_never_flips() {
+        let o = Oracle::noisy(vec![false; 100], 0.0, 1);
+        assert!((0..100).all(|i| !o.label(i)));
+    }
+
+    #[test]
+    fn full_noise_always_flips() {
+        let o = Oracle::noisy(vec![false; 100], 1.0, 1);
+        assert!((0..100).all(|i| o.label(i)));
+    }
+
+    #[test]
+    fn repeat_queries_redraw_noise() {
+        // Asking about the same example twice can give different answers —
+        // the paper's harsh crowdsourcing criterion.
+        let o = Oracle::noisy(vec![true; 1], 0.5, 7);
+        let answers: Vec<bool> = (0..100).map(|_| o.label(0)).collect();
+        assert!(answers.iter().any(|&a| a));
+        assert!(answers.iter().any(|&a| !a));
+    }
+
+    #[test]
+    fn majority_voting_suppresses_noise() {
+        let n = 5000;
+        // 30% noise, 5 votes: error rate = P(≥3 of 5 flips) ≈ 0.163.
+        let o = Oracle::noisy_with_voting(vec![true; n], 0.3, 5, 42);
+        let wrong = (0..n).filter(|&i| !o.label(i)).count();
+        let rate = wrong as f64 / n as f64;
+        assert!((rate - 0.163).abs() < 0.03, "voting error rate {rate}");
+        // Every query costs 5 crowd votes.
+        assert_eq!(o.queries(), 5 * n as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn voting_rejects_even_committees() {
+        Oracle::noisy_with_voting(vec![true], 0.2, 4, 1);
+    }
+
+    #[test]
+    fn callback_oracle_counts_queries() {
+        let o = Oracle::from_fn(10, |i| i % 2 == 0);
+        assert!(o.label(0));
+        assert!(!o.label(1));
+        assert_eq!(o.queries(), 2);
+        assert_eq!(o.universe(), 10);
+    }
+
+    #[test]
+    fn seeded_oracles_reproduce() {
+        let a = Oracle::noisy(vec![true; 50], 0.4, 123);
+        let b = Oracle::noisy(vec![true; 50], 0.4, 123);
+        let va: Vec<bool> = (0..50).map(|i| a.label(i)).collect();
+        let vb: Vec<bool> = (0..50).map(|i| b.label(i)).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,302 @@
+//! Report emission: the figure/table series printed by the bench harness.
+//!
+//! Each of the paper's plots is a set of named series over `#labels`; each
+//! table is a list of rows. These types are what the `figures` binary in
+//! `alem-bench` prints and serializes for `EXPERIMENTS.md`.
+
+use crate::evaluator::RunResult;
+use serde::Serialize;
+
+/// A named x/y series (x = #labels unless stated otherwise).
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label, e.g. `"Trees(20)"`.
+    pub label: String,
+    /// X values.
+    pub x: Vec<f64>,
+    /// Y values.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// F1-vs-#labels series from a run (the progressive-F1 plots).
+    pub fn f1_curve(run: &RunResult) -> Series {
+        Series {
+            label: run.strategy.clone(),
+            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            y: run.iterations.iter().map(|s| s.f1).collect(),
+        }
+    }
+
+    /// Selection-latency-vs-#labels series (scoring + committee).
+    pub fn selection_time_curve(run: &RunResult) -> Series {
+        Series {
+            label: run.strategy.clone(),
+            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            y: run.iterations.iter().map(|s| s.selection_secs()).collect(),
+        }
+    }
+
+    /// Committee-creation-time series (the dashed lines of Fig. 10).
+    pub fn committee_time_curve(run: &RunResult) -> Series {
+        Series {
+            label: format!("create{}", run.strategy),
+            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            y: run.iterations.iter().map(|s| s.committee_secs).collect(),
+        }
+    }
+
+    /// Example-scoring-time series (the solid lines of Fig. 10).
+    pub fn scoring_time_curve(run: &RunResult) -> Series {
+        Series {
+            label: format!("score{}", run.strategy),
+            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            y: run.iterations.iter().map(|s| s.scoring_secs).collect(),
+        }
+    }
+
+    /// User-wait-time series (train + selection, Fig. 13).
+    pub fn user_wait_curve(run: &RunResult) -> Series {
+        Series {
+            label: run.strategy.clone(),
+            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            y: run.iterations.iter().map(|s| s.user_wait_secs()).collect(),
+        }
+    }
+
+    /// #DNF-atoms series (Fig. 18a).
+    pub fn atoms_curve(run: &RunResult) -> Series {
+        Series {
+            label: run.strategy.clone(),
+            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            y: run
+                .iterations
+                .iter()
+                .map(|s| s.atoms.unwrap_or(0) as f64)
+                .collect(),
+        }
+    }
+
+    /// Tree-ensemble-depth series (Fig. 18b).
+    pub fn depth_curve(run: &RunResult) -> Series {
+        Series {
+            label: run.strategy.clone(),
+            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            y: run
+                .iterations
+                .iter()
+                .map(|s| s.depth.unwrap_or(0) as f64)
+                .collect(),
+        }
+    }
+
+    /// Average several same-shape series point-wise (noisy-Oracle runs are
+    /// averaged over 5 seeds in the paper). Series are truncated to the
+    /// shortest length.
+    pub fn average(label: &str, series: &[Series]) -> Series {
+        assert!(!series.is_empty(), "cannot average zero series");
+        let n = series.iter().map(|s| s.x.len()).min().unwrap_or(0);
+        let mut x = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        for s in series {
+            for i in 0..n {
+                x[i] += s.x[i];
+                y[i] += s.y[i];
+            }
+        }
+        let k = series.len() as f64;
+        for v in &mut x {
+            *v /= k;
+        }
+        for v in &mut y {
+            *v /= k;
+        }
+        Series {
+            label: label.to_owned(),
+            x,
+            y,
+        }
+    }
+
+    /// Downsample to at most `k` evenly spaced points (keeps first and
+    /// last) for console-friendly output.
+    pub fn downsample(&self, k: usize) -> Series {
+        if self.x.len() <= k || k < 2 {
+            return self.clone();
+        }
+        let n = self.x.len();
+        let idx: Vec<usize> = (0..k).map(|i| i * (n - 1) / (k - 1)).collect();
+        Series {
+            label: self.label.clone(),
+            x: idx.iter().map(|&i| self.x[i]).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// A figure: several series under a title (one paper subplot).
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Figure identifier, e.g. `"fig8a"`.
+    pub id: String,
+    /// Human title, e.g. `"QBC vs Margin (Progressive F1, Abt-Buy)"`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as an aligned text block (what the `figures` binary prints).
+    pub fn to_text(&self, max_points: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "   ({} vs {})", self.y_label, self.x_label);
+        for s in &self.series {
+            let d = s.downsample(max_points);
+            let _ = writeln!(out, "  {}", d.label);
+            let xs: Vec<String> = d.x.iter().map(|v| format!("{v:>8.0}")).collect();
+            let ys: Vec<String> = d.y.iter().map(|v| format!("{v:>8.3}")).collect();
+            let _ = writeln!(out, "    x: {}", xs.join(" "));
+            let _ = writeln!(out, "    y: {}", ys.join(" "));
+        }
+        out
+    }
+}
+
+/// A table: header plus rows of cells (one paper table).
+#[derive(Debug, Clone, Serialize)]
+pub struct TableReport {
+    /// Table identifier, e.g. `"table2"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Row cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableReport {
+    /// Render with aligned columns.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "{}", fmt_row(&self.header));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::IterationStats;
+
+    fn run() -> RunResult {
+        RunResult {
+            strategy: "Trees(20)".into(),
+            dataset: "toy".into(),
+            iterations: (0..5)
+                .map(|i| IterationStats {
+                    iteration: i,
+                    labels_used: 30 + i * 10,
+                    f1: 0.1 * i as f64,
+                    precision: 0.0,
+                    recall: 0.0,
+                    train_secs: 0.01,
+                    committee_secs: 0.02,
+                    scoring_secs: 0.03,
+                    atoms: Some(i * 7),
+                    depth: Some(i),
+                    accepted_models: None,
+                    pruned: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn f1_curve_extracts() {
+        let s = Series::f1_curve(&run());
+        assert_eq!(s.x[0], 30.0);
+        assert_eq!(s.y[4], 0.4);
+        assert_eq!(s.label, "Trees(20)");
+    }
+
+    #[test]
+    fn average_of_identical_is_identity() {
+        let s = Series::f1_curve(&run());
+        let avg = Series::average("avg", &[s.clone(), s.clone()]);
+        assert_eq!(avg.y, s.y);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let s = Series::f1_curve(&run());
+        let d = s.downsample(2);
+        assert_eq!(d.x, vec![30.0, 70.0]);
+        assert_eq!(d.y.len(), 2);
+    }
+
+    #[test]
+    fn figure_and_table_render() {
+        let fig = Figure {
+            id: "fig8a".into(),
+            title: "test".into(),
+            x_label: "#labels".into(),
+            y_label: "F1".into(),
+            series: vec![Series::f1_curve(&run())],
+        };
+        let txt = fig.to_text(3);
+        assert!(txt.contains("fig8a"));
+        assert!(txt.contains("Trees(20)"));
+
+        let table = TableReport {
+            id: "table1".into(),
+            title: "datasets".into(),
+            header: vec!["Dataset".into(), "Skew".into()],
+            rows: vec![vec!["Abt-Buy".into(), "0.12".into()]],
+        };
+        let txt = table.to_text();
+        assert!(txt.contains("Abt-Buy"));
+        assert!(txt.contains("Skew"));
+    }
+
+    #[test]
+    fn latency_curves() {
+        let r = run();
+        assert!((Series::selection_time_curve(&r).y[0] - 0.05).abs() < 1e-12);
+        assert!((Series::user_wait_curve(&r).y[0] - 0.06).abs() < 1e-12);
+        assert_eq!(Series::atoms_curve(&r).y[2], 14.0);
+        assert_eq!(Series::depth_curve(&r).y[3], 3.0);
+        assert!(Series::committee_time_curve(&r).label.starts_with("create"));
+        assert!(Series::scoring_time_curve(&r).label.starts_with("score"));
+    }
+}

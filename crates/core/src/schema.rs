@@ -1,0 +1,248 @@
+//! Tables, records and attribute alignment.
+//!
+//! An EM task matches records across two tables with pre-aligned schemas
+//! (paper §3: similarity functions are applied "on all the matching schema
+//! attributes across the two tables"). Attribute values are optional
+//! strings; missing values score 0 under every similarity measure.
+
+use std::collections::HashSet;
+
+/// The kind of an attribute, used by generators and pretty-printers.
+/// Feature extraction treats every attribute as text (numbers are
+/// stringified), matching the paper's dimension counts of ≈ 21 × #attrs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrKind {
+    /// Free text (names, titles, descriptions).
+    Text,
+    /// Numeric rendered as text (prices, years, ABV).
+    Numeric,
+}
+
+/// One attribute of an aligned schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name (shared by both tables after alignment).
+    pub name: String,
+    /// Value kind.
+    pub kind: AttrKind,
+}
+
+/// An aligned relational schema: the matched columns of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attributes: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, kind)` pairs.
+    pub fn new(attrs: Vec<(&str, AttrKind)>) -> Self {
+        Schema {
+            attributes: attrs
+                .into_iter()
+                .map(|(name, kind)| AttrDef {
+                    name: name.to_owned(),
+                    kind,
+                })
+                .collect(),
+        }
+    }
+
+    /// The attribute definitions in order.
+    pub fn attributes(&self) -> &[AttrDef] {
+        &self.attributes
+    }
+
+    /// Number of aligned attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+}
+
+/// One record (entity mention): optional values aligned to a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Record {
+    values: Vec<Option<String>>,
+}
+
+impl Record {
+    /// Build from per-attribute optional values.
+    pub fn new(values: Vec<Option<String>>) -> Self {
+        Record { values }
+    }
+
+    /// Value of attribute `i` (`None` = missing/null).
+    pub fn value(&self, i: usize) -> Option<&str> {
+        self.values.get(i).and_then(|v| v.as_deref())
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Option<String>] {
+        &self.values
+    }
+
+    /// Number of attribute slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the record has no attribute slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A named table of records under an aligned schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Table {
+    /// Create a table; every record must have one value slot per schema
+    /// attribute.
+    ///
+    /// # Panics
+    /// Panics if any record's arity differs from the schema's.
+    pub fn new(name: &str, schema: Schema, records: Vec<Record>) -> Self {
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(
+                r.len(),
+                schema.len(),
+                "record {i} arity {} != schema arity {}",
+                r.len(),
+                schema.len()
+            );
+        }
+        Table {
+            name: name.to_owned(),
+            schema,
+            records,
+        }
+    }
+
+    /// Table name (e.g. "Abt").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The aligned schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record by index.
+    pub fn record(&self, i: usize) -> &Record {
+        &self.records[i]
+    }
+}
+
+/// A candidate record pair: `(left index, right index)`.
+pub type Pair = (u32, u32);
+
+/// A full EM task: two aligned tables plus the hidden ground truth used by
+/// the Oracle and the evaluator.
+#[derive(Debug, Clone)]
+pub struct EmDataset {
+    /// Left table (e.g. Abt).
+    pub left: Table,
+    /// Right table (e.g. Buy).
+    pub right: Table,
+    /// Ground-truth matching pairs.
+    pub matches: HashSet<Pair>,
+    /// Human-readable dataset name.
+    pub name: String,
+}
+
+impl EmDataset {
+    /// Size of the Cartesian product of record pairs ("#Total Pairs" in
+    /// Table 1).
+    pub fn total_pairs(&self) -> u64 {
+        self.left.len() as u64 * self.right.len() as u64
+    }
+
+    /// Is `(l, r)` a true match?
+    pub fn is_match(&self, pair: Pair) -> bool {
+        self.matches.contains(&pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("name", AttrKind::Text), ("price", AttrKind::Numeric)])
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = schema();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("price"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn record_values() {
+        let r = Record::new(vec![Some("ipod".into()), None]);
+        assert_eq!(r.value(0), Some("ipod"));
+        assert_eq!(r.value(1), None);
+        assert_eq!(r.value(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_records() {
+        Table::new("t", schema(), vec![Record::new(vec![None])]);
+    }
+
+    #[test]
+    fn dataset_totals() {
+        let t1 = Table::new(
+            "l",
+            schema(),
+            vec![Record::new(vec![Some("a".into()), None]); 3],
+        );
+        let t2 = Table::new(
+            "r",
+            schema(),
+            vec![Record::new(vec![Some("a".into()), None]); 4],
+        );
+        let ds = EmDataset {
+            left: t1,
+            right: t2,
+            matches: [(0, 0), (1, 2)].into_iter().collect(),
+            name: "toy".into(),
+        };
+        assert_eq!(ds.total_pairs(), 12);
+        assert!(ds.is_match((1, 2)));
+        assert!(!ds.is_match((2, 2)));
+    }
+}

@@ -1,0 +1,176 @@
+//! Locality-sensitive hashing for margin-based selection — the baseline
+//! of Jain et al. (NIPS 2010) that §5.1 contrasts with blocking
+//! dimensions.
+//!
+//! Random-hyperplane LSH: each example gets an `H`-bit signature
+//! (`bit_i = sign(r_i · x)` for Gaussian directions `r_i`), computed
+//! *once* for the whole corpus. A point close to the separating
+//! hyperplane `w` is nearly orthogonal to it, so its signature agrees
+//! with `sign(r_i · w)` on about half the bits. Selection ranks the
+//! unlabeled pool by `|hamming(sig(x), sig(w)) − H/2|` (cheap, `O(1)` per
+//! example once signatures exist), exactly evaluates margins only for a
+//! small oversampled candidate set, and returns the least-margin batch.
+//!
+//! Compared to blocking dimensions this needs no sparsity assumption, but
+//! pays an upfront `O(n·H·d)` signature build and is approximate.
+
+use super::{bottom_k_asc, Selection};
+use crate::corpus::Corpus;
+use mlcore::svm::LinearSvm;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Maximum signature width (bits of one `u64`).
+pub const MAX_BITS: usize = 64;
+
+/// A random-hyperplane LSH index over a corpus's feature vectors.
+pub struct HyperplaneLsh {
+    planes: Vec<Vec<f64>>,
+    signatures: Vec<u64>,
+    bits: usize,
+}
+
+/// One standard-normal sample via Box-Muller (keeps `rand_distr` out of
+/// the dependency set).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn signature(planes: &[Vec<f64>], x: &[f64]) -> u64 {
+    let mut sig = 0u64;
+    for (b, r) in planes.iter().enumerate() {
+        if linalg::dot(r, x) > 0.0 {
+            sig |= 1 << b;
+        }
+    }
+    sig
+}
+
+impl HyperplaneLsh {
+    /// Build an index with `bits`-bit signatures (≤ 64) over every corpus
+    /// example. This is the one-off preprocessing cost.
+    pub fn build(corpus: &Corpus, bits: usize, rng: &mut StdRng) -> Self {
+        assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..=64");
+        let dim = corpus.dim();
+        let planes: Vec<Vec<f64>> = (0..bits)
+            .map(|_| (0..dim).map(|_| gaussian(rng)).collect())
+            .collect();
+        let signatures = (0..corpus.len())
+            .map(|i| signature(&planes, corpus.x(i)))
+            .collect();
+        HyperplaneLsh {
+            planes,
+            signatures,
+            bits,
+        }
+    }
+
+    /// Signature width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// One approximate margin-selection round: hamming-rank the pool,
+    /// exactly score the best `oversample × batch` candidates, return the
+    /// least-margin `batch`.
+    pub fn select(
+        &self,
+        svm: &LinearSvm,
+        corpus: &Corpus,
+        unlabeled: &[usize],
+        batch: usize,
+        oversample: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        let t0 = Instant::now();
+        let w_sig = signature(&self.planes, svm.weights());
+        let half = self.bits as f64 / 2.0;
+        let ranked: Vec<(usize, f64)> = unlabeled
+            .iter()
+            .map(|&i| {
+                let hamming = (self.signatures[i] ^ w_sig).count_ones() as f64;
+                (i, (hamming - half).abs())
+            })
+            .collect();
+        let shortlist = bottom_k_asc(ranked, (oversample.max(1)) * batch, rng);
+        let exact: Vec<(usize, f64)> = shortlist
+            .into_iter()
+            .map(|i| (i, svm.margin(corpus.x(i))))
+            .collect();
+        let chosen = bottom_k_asc(exact, batch, rng);
+        Selection {
+            chosen,
+            committee_creation: Duration::ZERO,
+            scoring: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// 2-D corpus around the unit circle; hyperplane w = (1, 0) → points
+    /// near ±(0, 1) have the least margin.
+    fn ring_corpus(n: usize) -> Corpus {
+        let feats: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                vec![a.cos(), a.sin()]
+            })
+            .collect();
+        let truth: Vec<bool> = feats.iter().map(|x| x[0] > 0.0).collect();
+        Corpus::from_features(feats, truth)
+    }
+
+    #[test]
+    fn build_produces_signatures_for_all() {
+        let c = ring_corpus(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let lsh = HyperplaneLsh::build(&c, 32, &mut rng);
+        assert_eq!(lsh.signatures.len(), 100);
+        assert_eq!(lsh.bits(), 32);
+    }
+
+    #[test]
+    fn selects_near_hyperplane_points() {
+        let c = ring_corpus(360);
+        let mut rng = StdRng::seed_from_u64(1);
+        let lsh = HyperplaneLsh::build(&c, 48, &mut rng);
+        let svm = LinearSvm::from_parts(vec![1.0, 0.0], 0.0);
+        let unlabeled: Vec<usize> = (0..360).collect();
+        let sel = lsh.select(&svm, &c, &unlabeled, 10, 4, &mut rng);
+        assert_eq!(sel.chosen.len(), 10);
+        // Chosen points should have small |x[0]| (close to the w·x = 0
+        // plane); allow LSH slack.
+        let worst = sel
+            .chosen
+            .iter()
+            .map(|&i| c.x(i)[0].abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 0.45, "LSH picked a far point with |x0| = {worst}");
+    }
+
+    #[test]
+    fn oversample_one_still_fills_batch() {
+        let c = ring_corpus(50);
+        let mut rng = StdRng::seed_from_u64(2);
+        let lsh = HyperplaneLsh::build(&c, 16, &mut rng);
+        let svm = LinearSvm::from_parts(vec![0.3, 0.7], 0.1);
+        let unlabeled: Vec<usize> = (0..50).collect();
+        let sel = lsh.select(&svm, &c, &unlabeled, 7, 1, &mut rng);
+        assert_eq!(sel.chosen.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=64")]
+    fn rejects_oversized_signatures() {
+        let c = ring_corpus(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = HyperplaneLsh::build(&c, 65, &mut rng);
+    }
+}

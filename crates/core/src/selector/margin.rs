@@ -1,0 +1,72 @@
+//! Margin-based example selection (§4.2).
+//!
+//! Scores each unlabeled example by the trained model's distance from its
+//! decision boundary — `|w·x + b|` for a linear SVM, `|affine output|` for
+//! the neural net — and picks the examples closest to it. Learner-aware:
+//! there is no committee to build, so the whole latency is scoring time.
+
+use super::{bottom_k_asc, Selection};
+use crate::corpus::Corpus;
+use rand::rngs::StdRng;
+use std::time::{Duration, Instant};
+
+/// One margin-selection round. `margin_of` must return the *absolute*
+/// distance from the decision boundary for a corpus example index.
+pub fn select<F: Fn(&[f64]) -> f64>(
+    margin_of: F,
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    batch: usize,
+    rng: &mut StdRng,
+) -> Selection {
+    let t0 = Instant::now();
+    let scored: Vec<(usize, f64)> = unlabeled
+        .iter()
+        .map(|&i| (i, margin_of(corpus.x(i))))
+        .collect();
+    let chosen = bottom_k_asc(scored, batch, rng);
+    Selection {
+        chosen,
+        committee_creation: Duration::ZERO,
+        scoring: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcore::svm::LinearSvm;
+    use rand::SeedableRng;
+
+    fn corpus() -> Corpus {
+        let feats: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let truth: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        Corpus::from_features(feats, truth)
+    }
+
+    #[test]
+    fn picks_examples_closest_to_hyperplane() {
+        let c = corpus();
+        // Boundary at x = 0.5: f(x) = 2x - 1.
+        let svm = LinearSvm::from_parts(vec![2.0], -1.0);
+        let unlabeled: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let sel = select(|x| svm.margin(x), &c, &unlabeled, 10, &mut rng);
+        assert_eq!(sel.committee_creation, Duration::ZERO);
+        for &i in &sel.chosen {
+            let v = c.x(i)[0];
+            assert!((0.40..=0.60).contains(&v), "chose far example {v}");
+        }
+    }
+
+    #[test]
+    fn respects_batch_and_pool() {
+        let c = corpus();
+        let svm = LinearSvm::from_parts(vec![2.0], -1.0);
+        let unlabeled: Vec<usize> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let sel = select(|x| svm.margin(x), &c, &unlabeled, 7, &mut rng);
+        assert_eq!(sel.chosen.len(), 7);
+        assert!(sel.chosen.iter().all(|&i| i < 50));
+    }
+}

@@ -1,0 +1,66 @@
+//! Learner-aware QBC for tree ensembles (§4.1.1).
+//!
+//! A random forest already contains a committee — its trees — built during
+//! training, so the bootstrap committee-creation step of learner-agnostic
+//! QBC is unnecessary. Selection only scores the unlabeled pool by the
+//! forest's vote variance, which is why Fig. 10c shows near-flat selection
+//! times across forest sizes and Fig. 13 shows trees with the lowest user
+//! wait times.
+
+use super::{top_k_desc, Selection};
+use crate::corpus::Corpus;
+use mlcore::forest::RandomForest;
+use rand::rngs::StdRng;
+use std::time::{Duration, Instant};
+
+/// One learner-aware QBC round over an already-trained forest.
+pub fn select(
+    forest: &RandomForest,
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    batch: usize,
+    rng: &mut StdRng,
+) -> Selection {
+    let t0 = Instant::now();
+    let scored: Vec<(usize, f64)> = unlabeled
+        .iter()
+        .map(|&i| (i, forest.vote_variance(corpus.x(i))))
+        .collect();
+    let chosen = top_k_desc(scored, batch, rng);
+    Selection {
+        chosen,
+        committee_creation: Duration::ZERO,
+        scoring: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcore::data::TrainSet;
+    use mlcore::forest::ForestConfig;
+    use rand::SeedableRng;
+
+    fn corpus() -> Corpus {
+        let feats: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let truth: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        Corpus::from_features(feats, truth)
+    }
+
+    #[test]
+    fn no_committee_creation_time() {
+        let c = corpus();
+        let labeled: Vec<usize> = vec![0, 10, 20, 30, 60, 70, 80, 90];
+        let xs: Vec<Vec<f64>> = labeled.iter().map(|&i| c.x(i).to_vec()).collect();
+        let ys: Vec<bool> = labeled.iter().map(|&i| c.truth(i)).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let forest = ForestConfig::with_trees(10).train(&TrainSet::new(&xs, &ys), &mut rng);
+        let unlabeled: Vec<usize> = (0..100).filter(|i| !labeled.contains(i)).collect();
+        let sel = select(&forest, &c, &unlabeled, 10, &mut rng);
+        assert_eq!(sel.committee_creation, Duration::ZERO);
+        assert_eq!(sel.chosen.len(), 10);
+        for i in &sel.chosen {
+            assert!(unlabeled.contains(i));
+        }
+    }
+}

@@ -1,0 +1,922 @@
+//! Strategies: a learner paired with a compatible example selector.
+//!
+//! The paper's framework records which selectors are compatible with which
+//! learners through a class hierarchy (Fig. 2); here each valid combination
+//! is a concrete [`Strategy`] implementation the [`crate::loop_`] driver
+//! can run:
+//!
+//! | Strategy | Learner | Selector |
+//! |---|---|---|
+//! | [`QbcStrategy`] | any [`Trainer`] | learner-agnostic bootstrap QBC |
+//! | [`TreeQbcStrategy`] | random forest | learner-aware QBC over its trees |
+//! | [`MarginSvmStrategy`] | linear SVM | margin, optionally blocking-dims |
+//! | [`MarginNnStrategy`] | neural net | margin (pre-sigmoid affine output) |
+//! | [`LfpLfnStrategy`] | DNF rules | LFP/LFN heuristic |
+//! | [`RandomStrategy`] | any [`Trainer`] | uniform random (supervised baseline) |
+//!
+//! The active-ensemble optimization lives in [`crate::ensemble`].
+
+use crate::corpus::Corpus;
+use crate::learner::{DnfTrainer, ForestTrainer, NnTrainer, SvmTrainer, Trainer};
+use crate::selector::{self, Selection};
+use crate::interpret;
+use mlcore::forest::RandomForest;
+use mlcore::nn::NeuralNet;
+use mlcore::rules::{Conjunction, Dnf};
+use mlcore::svm::LinearSvm;
+use mlcore::Classifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Optional per-iteration extras a strategy can report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrategyStats {
+    /// #DNF atoms of the current interpretable model.
+    pub atoms: Option<usize>,
+    /// Maximum tree depth of the current ensemble.
+    pub depth: Option<usize>,
+    /// Accepted models in an active ensemble.
+    pub accepted_models: Option<usize>,
+    /// Unlabeled examples pruned by blocking dimensions last selection.
+    pub pruned: Option<usize>,
+}
+
+/// A learner + selector combination runnable by the active-learning loop.
+pub trait Strategy {
+    /// Report label, e.g. `"Trees(20)"`.
+    fn name(&self) -> String;
+
+    /// (Re)train on the cumulative labeled data.
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng);
+
+    /// Choose up to `batch` examples from the unlabeled pool.
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection;
+
+    /// Predict the label of corpus example `i` with the current model.
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool;
+
+    /// Per-iteration extras (interpretability, ensemble size, pruning).
+    fn stats(&self) -> StrategyStats {
+        StrategyStats::default()
+    }
+
+    /// Strategy-initiated termination (e.g. LFP/LFN exhaustion).
+    fn terminated(&self) -> bool {
+        false
+    }
+
+    /// Hook after new labels arrive; ensemble strategies prune pools here.
+    fn post_label(
+        &mut self,
+        _corpus: &Corpus,
+        _new: &[(usize, bool)],
+        _labeled: &mut Vec<(usize, bool)>,
+        _unlabeled: &mut Vec<usize>,
+        _rng: &mut StdRng,
+    ) {
+    }
+
+    /// Snapshot the trained model for persistence, if this strategy's
+    /// family supports it (see [`crate::model_io::SavedModel`]).
+    fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
+        None
+    }
+}
+
+impl Strategy for Box<dyn Strategy + Send> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+        (**self).fit(corpus, labeled, rng);
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        (**self).select(corpus, labeled, unlabeled, batch, rng)
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        (**self).predict(corpus, i)
+    }
+
+    fn stats(&self) -> StrategyStats {
+        (**self).stats()
+    }
+
+    fn terminated(&self) -> bool {
+        (**self).terminated()
+    }
+
+    fn post_label(
+        &mut self,
+        corpus: &Corpus,
+        new: &[(usize, bool)],
+        labeled: &mut Vec<(usize, bool)>,
+        unlabeled: &mut Vec<usize>,
+        rng: &mut StdRng,
+    ) {
+        (**self).post_label(corpus, new, labeled, unlabeled, rng);
+    }
+
+    fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
+        (**self).saved_model()
+    }
+}
+
+/// Gather labeled feature rows for training.
+pub(crate) fn labeled_rows(
+    corpus: &Corpus,
+    labeled: &[(usize, bool)],
+    use_bool: bool,
+) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let xs = labeled
+        .iter()
+        .map(|&(i, _)| {
+            if use_bool {
+                corpus.bool_features().expect("bool features required")[i].clone()
+            } else {
+                corpus.x(i).to_vec()
+            }
+        })
+        .collect();
+    let ys = labeled.iter().map(|&(_, y)| y).collect();
+    (xs, ys)
+}
+
+// ---------------------------------------------------------------------------
+// Learner-agnostic QBC
+// ---------------------------------------------------------------------------
+
+/// Learner-agnostic bootstrap QBC over any trainer (§4.1).
+pub struct QbcStrategy<T: Trainer> {
+    trainer: T,
+    committee_size: usize,
+    use_bool: bool,
+    model: Option<T::Model>,
+}
+
+impl<T: Trainer> QbcStrategy<T> {
+    /// QBC with a committee of `committee_size` models over continuous
+    /// features.
+    pub fn new(trainer: T, committee_size: usize) -> Self {
+        QbcStrategy {
+            trainer,
+            committee_size,
+            use_bool: false,
+            model: None,
+        }
+    }
+
+    /// QBC over Boolean predicate features (rule learners, Fig. 19).
+    pub fn new_bool(trainer: T, committee_size: usize) -> Self {
+        QbcStrategy {
+            trainer,
+            committee_size,
+            use_bool: true,
+            model: None,
+        }
+    }
+
+    /// The current trained model, if any.
+    pub fn model(&self) -> Option<&T::Model> {
+        self.model.as_ref()
+    }
+}
+
+impl<T: Trainer> Strategy for QbcStrategy<T> {
+    fn name(&self) -> String {
+        format!("{}-QBC({})", self.trainer.name(), self.committee_size)
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+        let (xs, ys) = labeled_rows(corpus, labeled, self.use_bool);
+        self.model = Some(self.trainer.train(&xs, &ys, rng));
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        selector::qbc::select(
+            &self.trainer,
+            self.committee_size,
+            corpus,
+            labeled,
+            unlabeled,
+            batch,
+            rng,
+            self.use_bool,
+        )
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        let model = self.model.as_ref().expect("fit before predict");
+        if self.use_bool {
+            model.predict(&corpus.bool_features().expect("bool features")[i])
+        } else {
+            model.predict(corpus.x(i))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Learner-aware QBC for tree ensembles
+// ---------------------------------------------------------------------------
+
+/// Random forest with learner-aware QBC over its own trees (§4.1.1) — the
+/// paper's best-performing combination, labeled `Trees(n)` in the figures.
+pub struct TreeQbcStrategy {
+    trainer: ForestTrainer,
+    model: Option<RandomForest>,
+}
+
+impl TreeQbcStrategy {
+    /// Forest of `n_trees` with Corleone settings.
+    pub fn new(n_trees: usize) -> Self {
+        TreeQbcStrategy {
+            trainer: ForestTrainer::with_trees(n_trees),
+            model: None,
+        }
+    }
+
+    /// Use a custom forest trainer (ablation benches).
+    pub fn with_trainer(trainer: ForestTrainer) -> Self {
+        TreeQbcStrategy {
+            trainer,
+            model: None,
+        }
+    }
+
+    /// The current forest, if trained.
+    pub fn model(&self) -> Option<&RandomForest> {
+        self.model.as_ref()
+    }
+}
+
+impl Strategy for TreeQbcStrategy {
+    fn name(&self) -> String {
+        format!("Trees({})", self.trainer.0.n_trees)
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+        let (xs, ys) = labeled_rows(corpus, labeled, false);
+        self.model = Some(self.trainer.train(&xs, &ys, rng));
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        _labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        let forest = self.model.as_ref().expect("fit before select");
+        selector::tree_qbc::select(forest, corpus, unlabeled, batch, rng)
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        self.model
+            .as_ref()
+            .expect("fit before predict")
+            .predict(corpus.x(i))
+    }
+
+    fn stats(&self) -> StrategyStats {
+        let forest = self.model.as_ref();
+        StrategyStats {
+            atoms: forest.map(interpret::forest_atom_count),
+            depth: forest.map(RandomForest::depth),
+            ..StrategyStats::default()
+        }
+    }
+
+    fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
+        self.model.clone().map(crate::model_io::SavedModel::Forest)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Margin for linear SVMs (with optional blocking dimensions)
+// ---------------------------------------------------------------------------
+
+/// Linear SVM with margin-based selection (§4.2.1); `blocking_k` enables
+/// the §5.1 blocking-dimension pruning.
+pub struct MarginSvmStrategy {
+    trainer: SvmTrainer,
+    blocking_k: Option<usize>,
+    model: Option<LinearSvm>,
+    last_pruned: Option<usize>,
+}
+
+impl MarginSvmStrategy {
+    /// Vanilla margin over all dimensions.
+    pub fn new(trainer: SvmTrainer) -> Self {
+        MarginSvmStrategy {
+            trainer,
+            blocking_k: None,
+            model: None,
+            last_pruned: None,
+        }
+    }
+
+    /// Margin with top-`k` blocking dimensions.
+    pub fn with_blocking(trainer: SvmTrainer, k: usize) -> Self {
+        MarginSvmStrategy {
+            trainer,
+            blocking_k: Some(k),
+            model: None,
+            last_pruned: None,
+        }
+    }
+
+    /// The current SVM, if trained.
+    pub fn model(&self) -> Option<&LinearSvm> {
+        self.model.as_ref()
+    }
+}
+
+impl Strategy for MarginSvmStrategy {
+    fn name(&self) -> String {
+        match self.blocking_k {
+            Some(k) => format!("Linear-Margin({k}Dim)"),
+            None => "Linear-Margin".to_owned(),
+        }
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+        let (xs, ys) = labeled_rows(corpus, labeled, false);
+        self.model = Some(self.trainer.train(&xs, &ys, rng));
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        _labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        let svm = self.model.as_ref().expect("fit before select");
+        match self.blocking_k {
+            Some(k) => {
+                let out = selector::blocking_dim::select(svm, k, corpus, unlabeled, batch, rng);
+                self.last_pruned = Some(out.pruned);
+                out.selection
+            }
+            None => selector::margin::select(|x| svm.margin(x), corpus, unlabeled, batch, rng),
+        }
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        self.model
+            .as_ref()
+            .expect("fit before predict")
+            .predict(corpus.x(i))
+    }
+
+    fn stats(&self) -> StrategyStats {
+        StrategyStats {
+            pruned: self.last_pruned,
+            ..StrategyStats::default()
+        }
+    }
+
+    fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
+        self.model.clone().map(crate::model_io::SavedModel::Svm)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Margin via LSH (the Jain et al. baseline of §5.1)
+// ---------------------------------------------------------------------------
+
+/// Linear SVM with approximate margin selection through random-hyperplane
+/// LSH — the alternative speed-up §5.1 compares its blocking dimensions
+/// against. The signature index is built lazily on the first selection
+/// (its cost shows up in that round's scoring time, mirroring how an
+/// offline index build would be amortized).
+pub struct LshMarginStrategy {
+    trainer: SvmTrainer,
+    bits: usize,
+    oversample: usize,
+    model: Option<LinearSvm>,
+    index: Option<selector::lsh::HyperplaneLsh>,
+}
+
+impl LshMarginStrategy {
+    /// LSH margin with `bits`-bit signatures and an `oversample × batch`
+    /// exact-scoring shortlist.
+    pub fn new(trainer: SvmTrainer, bits: usize, oversample: usize) -> Self {
+        LshMarginStrategy {
+            trainer,
+            bits,
+            oversample,
+            model: None,
+            index: None,
+        }
+    }
+}
+
+impl Strategy for LshMarginStrategy {
+    fn name(&self) -> String {
+        format!("Linear-Margin(LSH{})", self.bits)
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+        let (xs, ys) = labeled_rows(corpus, labeled, false);
+        self.model = Some(self.trainer.train(&xs, &ys, rng));
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        _labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        if self.index.is_none() {
+            self.index = Some(selector::lsh::HyperplaneLsh::build(corpus, self.bits, rng));
+        }
+        let svm = self.model.as_ref().expect("fit before select");
+        let index = self.index.as_ref().expect("index built above");
+        index.select(svm, corpus, unlabeled, batch, self.oversample, rng)
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        self.model
+            .as_ref()
+            .expect("fit before predict")
+            .predict(corpus.x(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Margin for neural networks
+// ---------------------------------------------------------------------------
+
+/// Neural network with margin-based selection on the pre-sigmoid affine
+/// output (§4.2.2).
+pub struct MarginNnStrategy {
+    trainer: NnTrainer,
+    model: Option<NeuralNet>,
+}
+
+impl MarginNnStrategy {
+    /// Margin selection over a neural-net trainer.
+    pub fn new(trainer: NnTrainer) -> Self {
+        MarginNnStrategy {
+            trainer,
+            model: None,
+        }
+    }
+
+    /// The current network, if trained.
+    pub fn model(&self) -> Option<&NeuralNet> {
+        self.model.as_ref()
+    }
+}
+
+impl Strategy for MarginNnStrategy {
+    fn name(&self) -> String {
+        "NN-Margin".to_owned()
+    }
+
+    fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
+        self.model
+            .clone()
+            .map(|m| crate::model_io::SavedModel::NeuralNet(Box::new(m)))
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+        let (xs, ys) = labeled_rows(corpus, labeled, false);
+        self.model = Some(self.trainer.train(&xs, &ys, rng));
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        _labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        let net = self.model.as_ref().expect("fit before select");
+        selector::margin::select(|x| net.margin(x).abs(), corpus, unlabeled, batch, rng)
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        self.model
+            .as_ref()
+            .expect("fit before predict")
+            .predict(corpus.x(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IWAL (importance-weighted active learning) over a linear SVM
+// ---------------------------------------------------------------------------
+
+/// IWAL baseline: rejection-sampled queries with inverse-propensity
+/// weights fed into weighted hinge-loss training (see
+/// [`selector::iwal`]). Included to reproduce the paper's related-work
+/// claim that IWAL is label-inefficient for EM (§2).
+pub struct IwalSvmStrategy {
+    svm_config: mlcore::svm::SvmConfig,
+    iwal: selector::iwal::IwalConfig,
+    model: Option<LinearSvm>,
+    /// Importance weight per labeled example (seed labels weigh 1.0).
+    weights: std::collections::HashMap<usize, f64>,
+}
+
+impl IwalSvmStrategy {
+    /// IWAL over a linear SVM with the given rejection parameters.
+    pub fn new(svm_config: mlcore::svm::SvmConfig, iwal: selector::iwal::IwalConfig) -> Self {
+        IwalSvmStrategy {
+            svm_config,
+            iwal,
+            model: None,
+            weights: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl Strategy for IwalSvmStrategy {
+    fn name(&self) -> String {
+        "Linear-IWAL".to_owned()
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+        let (xs, ys) = labeled_rows(corpus, labeled, false);
+        let ws: Vec<f64> = labeled
+            .iter()
+            .map(|&(i, _)| self.weights.get(&i).copied().unwrap_or(1.0))
+            .collect();
+        let set = mlcore::data::TrainSet::new(&xs, &ys);
+        self.model = Some(self.svm_config.train_weighted(&set, Some(&ws), rng));
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        _labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        let svm = self.model.as_ref().expect("fit before select");
+        let out = self.iwal.select(svm, corpus, unlabeled, batch, rng);
+        for (&i, &w) in out.selection.chosen.iter().zip(&out.weights) {
+            self.weights.insert(i, w);
+        }
+        out.selection
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        self.model
+            .as_ref()
+            .expect("fit before predict")
+            .predict(corpus.x(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rules with LFP/LFN
+// ---------------------------------------------------------------------------
+
+/// DNF rule learner driven by the LFP/LFN heuristic (§4.3). Maintains an
+/// ensemble of accepted high-precision rules plus one candidate rule under
+/// refinement.
+pub struct LfpLfnStrategy {
+    trainer: DnfTrainer,
+    /// Precision threshold a candidate must reach on newly labeled
+    /// examples to join the accepted ensemble.
+    accept_precision: f64,
+    accepted: Dnf,
+    candidate: Option<Conjunction>,
+    terminated: bool,
+}
+
+impl LfpLfnStrategy {
+    /// Rule learning with the paper's acceptance threshold τ.
+    pub fn new(trainer: DnfTrainer, accept_precision: f64) -> Self {
+        LfpLfnStrategy {
+            trainer,
+            accept_precision,
+            accepted: Dnf::empty(),
+            candidate: None,
+            terminated: false,
+        }
+    }
+
+    /// The accepted rule ensemble.
+    pub fn accepted(&self) -> &Dnf {
+        &self.accepted
+    }
+
+    /// Accepted ensemble plus the current candidate — the model used for
+    /// prediction.
+    pub fn effective_dnf(&self) -> Dnf {
+        let mut d = self.accepted.clone();
+        if let Some(c) = &self.candidate {
+            d.push(c.clone());
+        }
+        d
+    }
+}
+
+impl Strategy for LfpLfnStrategy {
+    fn name(&self) -> String {
+        "Rules(LFP/LFN)".to_owned()
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], _rng: &mut StdRng) {
+        let (xs, ys) = labeled_rows(corpus, labeled, true);
+        // Positives not yet covered by the accepted ensemble drive the
+        // next candidate clause.
+        let active: Vec<bool> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, &y)| y && !self.accepted.matches(x))
+            .collect();
+        let set = mlcore::data::TrainSet::new(&xs, &ys);
+        self.candidate = self.trainer.0.learn_conjunction(&set, &active);
+        if self.candidate.is_none() && self.accepted.clauses().is_empty() {
+            // Nothing learnable at all yet; keep going (more labels may
+            // unlock a clause) unless selection also finds nothing.
+        }
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        _labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        let Some(candidate) = &self.candidate else {
+            self.terminated = true;
+            return Selection::default();
+        };
+        let out =
+            selector::lfp_lfn::select(candidate, &self.accepted, corpus, unlabeled, batch, rng);
+        if out.exhausted() {
+            self.terminated = true;
+        }
+        out.selection
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        let x = &corpus.bool_features().expect("bool features")[i];
+        self.accepted.matches(x)
+            || self.candidate.as_ref().is_some_and(|c| c.matches(x))
+    }
+
+    fn stats(&self) -> StrategyStats {
+        StrategyStats {
+            atoms: Some(self.effective_dnf().atom_count()),
+            ..StrategyStats::default()
+        }
+    }
+
+    fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
+        Some(crate::model_io::SavedModel::Rules(self.effective_dnf()))
+    }
+
+    fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn post_label(
+        &mut self,
+        corpus: &Corpus,
+        new: &[(usize, bool)],
+        _labeled: &mut Vec<(usize, bool)>,
+        _unlabeled: &mut Vec<usize>,
+        _rng: &mut StdRng,
+    ) {
+        // Accept the candidate if its precision on the newly labeled
+        // examples it claims as matches reaches τ.
+        let Some(candidate) = &self.candidate else { return };
+        let bools = corpus.bool_features().expect("bool features");
+        let mut claimed = 0usize;
+        let mut correct = 0usize;
+        for &(i, y) in new {
+            if candidate.matches(&bools[i]) {
+                claimed += 1;
+                if y {
+                    correct += 1;
+                }
+            }
+        }
+        if claimed > 0 && correct as f64 / claimed as f64 >= self.accept_precision {
+            self.accepted.push(candidate.clone());
+            self.candidate = None;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random selection (supervised baseline)
+// ---------------------------------------------------------------------------
+
+/// Uniform-random example selection — the supervised-learning baseline of
+/// Figs. 16–17 ("SupervisedTrees(Random-n)", and the DeepMatcher proxy
+/// when paired with a wide NN trainer and `train_frac = 0.75`).
+pub struct RandomStrategy<T: Trainer> {
+    trainer: T,
+    label: String,
+    /// Fraction of the labeled pool actually used for training (DeepMatcher
+    /// holds out 1/4 of the labels as a validation set it never trains on).
+    train_frac: f64,
+    model: Option<T::Model>,
+}
+
+impl<T: Trainer> RandomStrategy<T> {
+    /// Random selection training on all labels.
+    pub fn new(trainer: T, label: &str) -> Self {
+        RandomStrategy {
+            trainer,
+            label: label.to_owned(),
+            train_frac: 1.0,
+            model: None,
+        }
+    }
+
+    /// Random selection training on a fraction of labels (3:1
+    /// train:validation, like the paper's DeepMatcher runs).
+    pub fn with_train_frac(trainer: T, label: &str, train_frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&train_frac));
+        RandomStrategy {
+            trainer,
+            label: label.to_owned(),
+            train_frac,
+            model: None,
+        }
+    }
+}
+
+impl<T: Trainer> Strategy for RandomStrategy<T> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+        let n_train = ((labeled.len() as f64) * self.train_frac).round().max(1.0) as usize;
+        let mut pool: Vec<&(usize, bool)> = labeled.iter().collect();
+        pool.shuffle(rng);
+        let subset: Vec<(usize, bool)> =
+            pool.into_iter().take(n_train.min(labeled.len())).copied().collect();
+        let (xs, ys) = labeled_rows(corpus, &subset, false);
+        self.model = Some(self.trainer.train(&xs, &ys, rng));
+    }
+
+    fn select(
+        &mut self,
+        _corpus: &Corpus,
+        _labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Selection {
+        let t0 = std::time::Instant::now();
+        let mut pool = unlabeled.to_vec();
+        pool.shuffle(rng);
+        pool.truncate(batch);
+        Selection {
+            chosen: pool,
+            committee_creation: std::time::Duration::ZERO,
+            scoring: t0.elapsed(),
+        }
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        self.model
+            .as_ref()
+            .expect("fit before predict")
+            .predict(corpus.x(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn corpus() -> Corpus {
+        let feats: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 80.0]).collect();
+        let truth: Vec<bool> = (0..80).map(|i| i >= 40).collect();
+        let bools: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![f64::from(u8::from(i >= 40))])
+            .collect();
+        Corpus::from_features(feats, truth).with_bool_features(bools)
+    }
+
+    fn seed_labeled(c: &Corpus) -> Vec<(usize, bool)> {
+        [5, 15, 25, 35, 45, 55, 65, 75]
+            .iter()
+            .map(|&i| (i, c.truth(i)))
+            .collect()
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(QbcStrategy::new(SvmTrainer::default(), 20).name(), "Linear-QBC(20)");
+        assert_eq!(TreeQbcStrategy::new(20).name(), "Trees(20)");
+        assert_eq!(MarginSvmStrategy::new(SvmTrainer::default()).name(), "Linear-Margin");
+        assert_eq!(
+            MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1).name(),
+            "Linear-Margin(1Dim)"
+        );
+        assert_eq!(MarginNnStrategy::new(NnTrainer::default()).name(), "NN-Margin");
+        assert_eq!(
+            LfpLfnStrategy::new(DnfTrainer::default(), 0.85).name(),
+            "Rules(LFP/LFN)"
+        );
+    }
+
+    #[test]
+    fn margin_svm_fit_select_predict() {
+        let c = corpus();
+        let labeled = seed_labeled(&c);
+        let unlabeled: Vec<usize> =
+            (0..80).filter(|i| !labeled.iter().any(|(j, _)| j == i)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = MarginSvmStrategy::new(SvmTrainer::default());
+        s.fit(&c, &labeled, &mut rng);
+        assert!(s.predict(&c, 79));
+        assert!(!s.predict(&c, 0));
+        let sel = s.select(&c, &labeled, &unlabeled, 5, &mut rng);
+        assert_eq!(sel.chosen.len(), 5);
+    }
+
+    #[test]
+    fn tree_qbc_reports_interpretability() {
+        let c = corpus();
+        let labeled = seed_labeled(&c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = TreeQbcStrategy::new(5);
+        s.fit(&c, &labeled, &mut rng);
+        let st = s.stats();
+        assert!(st.atoms.is_some());
+        assert!(st.depth.is_some());
+    }
+
+    #[test]
+    fn lfp_lfn_learns_and_accepts() {
+        let c = corpus();
+        let labeled = seed_labeled(&c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = LfpLfnStrategy::new(DnfTrainer::default(), 0.85);
+        s.fit(&c, &labeled, &mut rng);
+        assert!(s.candidate.is_some());
+        // Feed it a perfectly-labeled batch the candidate claims.
+        let new: Vec<(usize, bool)> = vec![(50, true), (60, true)];
+        let mut l = labeled.clone();
+        let mut u = vec![];
+        s.post_label(&c, &new, &mut l, &mut u, &mut rng);
+        assert_eq!(s.accepted().clauses().len(), 1);
+        assert!(s.predict(&c, 70));
+        assert!(!s.predict(&c, 10));
+    }
+
+    #[test]
+    fn random_strategy_selects_uniformly() {
+        let c = corpus();
+        let labeled = seed_labeled(&c);
+        let unlabeled: Vec<usize> = (0..40).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = RandomStrategy::new(
+            ForestTrainer::with_trees(3),
+            "SupervisedTrees(Random-3)",
+        );
+        s.fit(&c, &labeled, &mut rng);
+        let sel = s.select(&c, &labeled, &unlabeled, 10, &mut rng);
+        assert_eq!(sel.chosen.len(), 10);
+        let mut sorted = sel.chosen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+}

@@ -1,0 +1,507 @@
+//! Canonical entity generation per dataset domain.
+//!
+//! Entities are generated in *families*: groups of near-duplicate entities
+//! sharing a brand / venue / product line and most of their name tokens.
+//! Within-family record pairs survive Jaccard blocking as hard non-matches,
+//! which is how the generated corpora hit the paper's class skew — a family
+//! of size `f` contributes ≈ `f²` post-blocking pairs of which `f` are
+//! matches, so skew ≈ `1/f`.
+
+use crate::vocab;
+use alem_core::schema::{AttrKind, Schema};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A canonical (pre-perturbation) attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanonValue {
+    /// Free text, shared by both tables' mentions.
+    Text(String),
+    /// Table-specific text: the left and right mention start from
+    /// *different* canonical values. Models store-specific marketing
+    /// descriptions — for the same product, Abt and Buy write different
+    /// copy — which is what makes product datasets hard: a matched pair's
+    /// descriptions are no more similar than a sibling pair's.
+    SideText(String, String),
+    /// Numeric value (perturbed with jitter).
+    Num(f64),
+}
+
+/// Family context shared by sibling entities.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Brand / brewery / lead-author-lab identity.
+    pub brand: String,
+    /// Tokens every sibling's name/title shares.
+    pub shared_tokens: Vec<String>,
+    /// Small description vocabulary all siblings draw from, so sibling
+    /// records keep enough token overlap to survive Jaccard blocking.
+    pub theme: Vec<String>,
+    /// Author pool (publication domains).
+    pub authors: Vec<String>,
+    /// Venue (publication domains).
+    pub venue: String,
+    /// Base price / ABV / year anchor.
+    pub base_num: f64,
+    /// Category / group name.
+    pub category: String,
+}
+
+/// The nine paper domains (Table 1 schemas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// Abt-Buy: {name, description, price}.
+    AbtBuy,
+    /// Amazon-GoogleProducts: {name, description, manufacturer, price}.
+    AmazonGoogle,
+    /// DBLP-ACM: {title, authors, venue, year}.
+    DblpAcm,
+    /// DBLP-Scholar: {title, authors, venue, year}.
+    DblpScholar,
+    /// Cora: 9 citation attributes.
+    Cora,
+    /// Walmart-Amazon: 10 product attributes.
+    WalmartAmazon,
+    /// Amazon-BestBuy: {brand, title, price, features}.
+    AmazonBestBuy,
+    /// BeerAdvocate-RateBeer: {beer_name, brew_factory_name, style, ABV}.
+    Beer,
+    /// BuyBuyBaby-BabiesRUs: 14 baby-product attributes.
+    BabyProducts,
+}
+
+fn pick<'a, R: Rng>(v: &[&'a str], rng: &mut R) -> &'a str {
+    v.choose(rng).expect("non-empty vocabulary")
+}
+
+fn pick_n<R: Rng>(v: &[&str], n: usize, rng: &mut R) -> Vec<String> {
+    let mut pool: Vec<&str> = v.to_vec();
+    pool.shuffle(rng);
+    pool.into_iter().take(n).map(str::to_owned).collect()
+}
+
+/// A short alphanumeric model code like `dsc-w55`.
+fn model_code<R: Rng>(rng: &mut R) -> String {
+    let letters: String = (0..rng.gen_range(2..4usize))
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect();
+    let digits: String = (0..rng.gen_range(2..4usize))
+        .map(|_| (b'0' + rng.gen_range(0..10u8)) as char)
+        .collect();
+    format!("{letters}{digits}")
+}
+
+fn person<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {}",
+        pick(vocab::FIRST_NAMES, rng),
+        pick(vocab::LAST_NAMES, rng)
+    )
+}
+
+/// A description sentence drawn mostly (3 in 4 words) from the family's
+/// theme vocabulary, keeping sibling records similar enough to block
+/// together.
+fn sentence<R: Rng>(theme: &[String], len: usize, rng: &mut R) -> String {
+    let mut words: Vec<String> = Vec::with_capacity(len);
+    for i in 0..len {
+        if i % 4 != 3 && !theme.is_empty() {
+            words.push(theme[rng.gen_range(0..theme.len())].clone());
+        } else {
+            words.push(pick(vocab::FILLER, rng).to_owned());
+        }
+    }
+    words.join(" ")
+}
+
+impl DomainKind {
+    /// The aligned schema (the "Matched Columns" of Table 1).
+    pub fn schema(self) -> Schema {
+        use AttrKind::{Numeric, Text};
+        match self {
+            DomainKind::AbtBuy => Schema::new(vec![
+                ("name", Text),
+                ("description", Text),
+                ("price", Numeric),
+            ]),
+            DomainKind::AmazonGoogle => Schema::new(vec![
+                ("name", Text),
+                ("description", Text),
+                ("manufacturer", Text),
+                ("price", Numeric),
+            ]),
+            DomainKind::DblpAcm | DomainKind::DblpScholar => Schema::new(vec![
+                ("title", Text),
+                ("authors", Text),
+                ("venue", Text),
+                ("year", Numeric),
+            ]),
+            DomainKind::Cora => Schema::new(vec![
+                ("author", Text),
+                ("title", Text),
+                ("venue", Text),
+                ("address", Text),
+                ("publisher", Text),
+                ("editor", Text),
+                ("date", Numeric),
+                ("vol", Numeric),
+                ("pgs", Text),
+            ]),
+            DomainKind::WalmartAmazon => Schema::new(vec![
+                ("brand", Text),
+                ("modelno", Text),
+                ("title", Text),
+                ("price", Numeric),
+                ("dimensions", Text),
+                ("shipweight", Text),
+                ("orig_longdescr", Text),
+                ("shortdescr", Text),
+                ("longdescr", Text),
+                ("groupname", Text),
+            ]),
+            DomainKind::AmazonBestBuy => Schema::new(vec![
+                ("brand", Text),
+                ("title", Text),
+                ("price", Numeric),
+                ("features", Text),
+            ]),
+            DomainKind::Beer => Schema::new(vec![
+                ("beer_name", Text),
+                ("brew_factory_name", Text),
+                ("style", Text),
+                ("ABV", Numeric),
+            ]),
+            DomainKind::BabyProducts => Schema::new(vec![
+                ("title", Text),
+                ("price", Numeric),
+                ("is_discounted", Text),
+                ("category", Text),
+                ("company_struct", Text),
+                ("company_free", Text),
+                ("brand", Text),
+                ("weight", Text),
+                ("length", Text),
+                ("width", Text),
+                ("height", Text),
+                ("fabrics", Text),
+                ("colors", Text),
+                ("materials", Text),
+            ]),
+        }
+    }
+
+    /// Draw a new family context.
+    pub fn family<R: Rng>(self, rng: &mut R) -> Family {
+        match self {
+            DomainKind::AbtBuy
+            | DomainKind::AmazonGoogle
+            | DomainKind::WalmartAmazon
+            | DomainKind::AmazonBestBuy => {
+                let shared_tokens = {
+                    let mut t = pick_n(vocab::PRODUCT_NOUNS, 1, rng);
+                    t.extend(pick_n(vocab::MODIFIERS, 2, rng));
+                    t
+                };
+                let mut theme = shared_tokens.clone();
+                theme.extend(pick_n(vocab::MODIFIERS, 6, rng));
+                Family {
+                    brand: pick(vocab::BRANDS, rng).to_owned(),
+                    shared_tokens,
+                    theme,
+                    authors: Vec::new(),
+                    venue: String::new(),
+                    base_num: rng.gen_range(20.0..800.0),
+                    category: pick(vocab::CATEGORIES, rng).to_owned(),
+                }
+            }
+            DomainKind::DblpAcm | DomainKind::DblpScholar | DomainKind::Cora => {
+                let shared_tokens = pick_n(vocab::TITLE_WORDS, 4, rng);
+                let mut theme = shared_tokens.clone();
+                theme.extend(pick_n(vocab::TITLE_WORDS, 4, rng));
+                Family {
+                    brand: String::new(),
+                    shared_tokens,
+                    theme,
+                    authors: (0..4).map(|_| person(rng)).collect(),
+                    venue: pick(vocab::VENUES, rng).to_owned(),
+                    base_num: f64::from(rng.gen_range(1995..2020)),
+                    category: pick(vocab::CITIES, rng).to_owned(),
+                }
+            }
+            DomainKind::Beer => {
+                let shared_tokens = pick_n(vocab::BEER_WORDS, 2, rng);
+                Family {
+                    brand: format!(
+                        "{} {} {}",
+                        pick(vocab::BEER_WORDS, rng),
+                        pick(vocab::BEER_WORDS, rng),
+                        pick(vocab::BREWERY_WORDS, rng)
+                    ),
+                    theme: shared_tokens.clone(),
+                    shared_tokens,
+                    authors: Vec::new(),
+                    venue: pick(vocab::BEER_STYLES, rng).to_owned(),
+                    base_num: rng.gen_range(4.0..12.0),
+                    category: String::new(),
+                }
+            }
+            DomainKind::BabyProducts => {
+                let shared_tokens = {
+                    let mut t = pick_n(vocab::BABY_WORDS, 1, rng);
+                    t.extend(pick_n(vocab::COLORS, 1, rng));
+                    t
+                };
+                let mut theme = shared_tokens.clone();
+                theme.extend(pick_n(vocab::BABY_WORDS, 4, rng));
+                Family {
+                    brand: pick(vocab::BABY_BRANDS, rng).to_owned(),
+                    shared_tokens,
+                    theme,
+                    authors: Vec::new(),
+                    venue: String::new(),
+                    base_num: rng.gen_range(10.0..300.0),
+                    category: pick(vocab::CATEGORIES, rng).to_owned(),
+                }
+            }
+        }
+    }
+
+    /// Canonical attribute values for one sibling entity of a family.
+    pub fn canonical<R: Rng>(self, fam: &Family, rng: &mut R) -> Vec<CanonValue> {
+        use CanonValue::{Num, SideText, Text};
+        match self {
+            DomainKind::AbtBuy => {
+                let name = product_name(fam, rng);
+                vec![
+                    Text(name),
+                    SideText(sentence(&fam.theme, 10, rng), sentence(&fam.theme, 10, rng)),
+                    Num(member_price(fam, rng)),
+                ]
+            }
+            DomainKind::AmazonGoogle => {
+                let name = product_name(fam, rng);
+                vec![
+                    Text(name),
+                    SideText(sentence(&fam.theme, 10, rng), sentence(&fam.theme, 10, rng)),
+                    Text(fam.brand.clone()),
+                    Num(member_price(fam, rng)),
+                ]
+            }
+            DomainKind::DblpAcm | DomainKind::DblpScholar => {
+                let (title, authors) = publication(fam, rng);
+                vec![
+                    Text(title),
+                    Text(authors),
+                    Text(fam.venue.clone()),
+                    Num(fam.base_num + f64::from(rng.gen_range(0..3))),
+                ]
+            }
+            DomainKind::Cora => {
+                let (title, authors) = publication(fam, rng);
+                vec![
+                    Text(authors),
+                    Text(title),
+                    Text(fam.venue.clone()),
+                    Text(fam.category.clone()),
+                    Text(pick(vocab::PUBLISHERS, rng).to_owned()),
+                    Text(person(rng)),
+                    Num(fam.base_num + f64::from(rng.gen_range(0..3))),
+                    Num(f64::from(rng.gen_range(1..40))),
+                    Text(format!(
+                        "{}--{}",
+                        rng.gen_range(1..400),
+                        rng.gen_range(400..800)
+                    )),
+                ]
+            }
+            DomainKind::WalmartAmazon => {
+                let code = model_code(rng);
+                let name = format!("{} {} {}", product_name(fam, rng), code, fam.category);
+                vec![
+                    Text(fam.brand.clone()),
+                    Text(code),
+                    Text(name),
+                    Num(member_price(fam, rng)),
+                    Text(format!(
+                        "{} x {} x {} inches",
+                        rng.gen_range(1..30),
+                        rng.gen_range(1..30),
+                        rng.gen_range(1..30)
+                    )),
+                    Text(format!("{} pounds", rng.gen_range(1..50))),
+                    SideText(sentence(&fam.theme, 14, rng), sentence(&fam.theme, 14, rng)),
+                    SideText(sentence(&fam.theme, 6, rng), sentence(&fam.theme, 6, rng)),
+                    SideText(sentence(&fam.theme, 14, rng), sentence(&fam.theme, 14, rng)),
+                    Text(fam.category.clone()),
+                ]
+            }
+            DomainKind::AmazonBestBuy => {
+                vec![
+                    Text(fam.brand.clone()),
+                    Text(product_name(fam, rng)),
+                    Num(member_price(fam, rng)),
+                    SideText(sentence(&fam.theme, 8, rng), sentence(&fam.theme, 8, rng)),
+                ]
+            }
+            DomainKind::Beer => {
+                let name = format!(
+                    "{} {} {}",
+                    fam.shared_tokens.join(" "),
+                    pick(vocab::BEER_WORDS, rng),
+                    fam.venue
+                        .split_whitespace()
+                        .last()
+                        .unwrap_or("ale")
+                );
+                vec![
+                    Text(name),
+                    Text(fam.brand.clone()),
+                    Text(fam.venue.clone()),
+                    Num(fam.base_num + rng.gen_range(-0.5..0.5)),
+                ]
+            }
+            DomainKind::BabyProducts => {
+                let title = format!(
+                    "{} {} {} {}",
+                    fam.brand,
+                    fam.shared_tokens.join(" "),
+                    pick(vocab::BABY_WORDS, rng),
+                    model_code(rng)
+                );
+                vec![
+                    Text(title),
+                    Num(member_price(fam, rng)),
+                    Text(if rng.gen_bool(0.3) { "yes" } else { "no" }.to_owned()),
+                    Text(fam.category.clone()),
+                    Text(format!("{} inc", fam.brand)),
+                    Text(fam.brand.clone()),
+                    Text(fam.brand.clone()),
+                    Text(format!("{:.1} pounds", rng.gen_range(0.5..20.0))),
+                    Text(format!("{} in", rng.gen_range(5..40))),
+                    Text(format!("{} in", rng.gen_range(5..40))),
+                    Text(format!("{} in", rng.gen_range(5..40))),
+                    Text(pick(vocab::FABRICS, rng).to_owned()),
+                    Text(pick(vocab::COLORS, rng).to_owned()),
+                    Text(pick(vocab::FABRICS, rng).to_owned()),
+                ]
+            }
+        }
+    }
+}
+
+/// Product name: brand + shared line tokens + a member-distinct model code
+/// and modifier. Siblings share brand + line → they survive blocking as
+/// hard negatives; the code keeps them distinguishable.
+fn product_name<R: Rng>(fam: &Family, rng: &mut R) -> String {
+    format!(
+        "{} {} {} {}",
+        fam.brand,
+        fam.shared_tokens.join(" "),
+        model_code(rng),
+        pick(vocab::MODIFIERS, rng),
+    )
+}
+
+/// Sibling publications share theme words and an author pool; each member
+/// adds distinct title words, like revisions/extensions of the same work.
+fn publication<R: Rng>(fam: &Family, rng: &mut R) -> (String, String) {
+    let mut title_words = fam.shared_tokens.clone();
+    title_words.extend(pick_n(vocab::TITLE_WORDS, 3, rng));
+    let n_auth = rng.gen_range(1..=fam.authors.len().max(1));
+    let mut authors = fam.authors.clone();
+    authors.shuffle(rng);
+    authors.truncate(n_auth);
+    (title_words.join(" "), authors.join(" "))
+}
+
+/// Sibling prices cluster around the family base with member-level spread.
+fn member_price<R: Rng>(fam: &Family, rng: &mut R) -> f64 {
+    (fam.base_num * rng.gen_range(0.8..1.2)).max(1.0)
+}
+
+/// All nine domains, for exhaustive tests.
+pub const ALL_DOMAINS: [DomainKind; 9] = [
+    DomainKind::AbtBuy,
+    DomainKind::AmazonGoogle,
+    DomainKind::DblpAcm,
+    DomainKind::DblpScholar,
+    DomainKind::Cora,
+    DomainKind::WalmartAmazon,
+    DomainKind::AmazonBestBuy,
+    DomainKind::Beer,
+    DomainKind::BabyProducts,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schemas_match_table1_arity() {
+        assert_eq!(DomainKind::AbtBuy.schema().len(), 3);
+        assert_eq!(DomainKind::AmazonGoogle.schema().len(), 4);
+        assert_eq!(DomainKind::DblpAcm.schema().len(), 4);
+        assert_eq!(DomainKind::DblpScholar.schema().len(), 4);
+        assert_eq!(DomainKind::Cora.schema().len(), 9);
+        assert_eq!(DomainKind::WalmartAmazon.schema().len(), 10);
+        assert_eq!(DomainKind::AmazonBestBuy.schema().len(), 4);
+        assert_eq!(DomainKind::Beer.schema().len(), 4);
+        assert_eq!(DomainKind::BabyProducts.schema().len(), 14);
+    }
+
+    #[test]
+    fn canonical_matches_schema_arity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in ALL_DOMAINS {
+            let fam = d.family(&mut rng);
+            let vals = d.canonical(&fam, &mut rng);
+            assert_eq!(vals.len(), d.schema().len(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn siblings_share_tokens() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = DomainKind::AbtBuy;
+        let fam = d.family(&mut rng);
+        let a = d.canonical(&fam, &mut rng);
+        let b = d.canonical(&fam, &mut rng);
+        let name = |v: &[CanonValue]| -> String {
+            match &v[0] {
+                CanonValue::Text(s) => s.clone(),
+                CanonValue::SideText(..) | CanonValue::Num(_) => unreachable!(),
+            }
+        };
+        let na = name(&a);
+        let nb = name(&b);
+        let sa: std::collections::HashSet<&str> = na.split_whitespace().collect();
+        let sb: std::collections::HashSet<&str> = nb.split_whitespace().collect();
+        let inter = sa.intersection(&sb).count();
+        assert!(inter >= 3, "siblings share only {inter} name tokens");
+    }
+
+    #[test]
+    fn families_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = DomainKind::DblpAcm;
+        let f1 = d.family(&mut rng);
+        let f2 = d.family(&mut rng);
+        assert!(
+            f1.shared_tokens != f2.shared_tokens || f1.venue != f2.venue,
+            "two families drew identical context"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = DomainKind::Beer;
+            let fam = d.family(&mut rng);
+            d.canonical(&fam, &mut rng)
+        };
+        assert_eq!(gen(7), gen(7));
+    }
+}

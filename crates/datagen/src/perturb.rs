@@ -1,0 +1,240 @@
+//! Mention perturbation: turning a canonical entity value into a noisy
+//! table-specific mention.
+//!
+//! The knobs model the corruption found in the real datasets: character
+//! typos (Abt vs Buy product names), dropped/reordered tokens (truncated
+//! titles), abbreviations (author first initials in DBLP/Scholar/Cora),
+//! missing values (null prices) and numeric jitter (prices differing by a
+//! few percent between stores).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Perturbation strengths; all rates are per-opportunity probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct Perturber {
+    /// Per-token probability of one character edit (swap/delete/replace).
+    pub typo_rate: f64,
+    /// Per-token probability of being dropped (kept ≥ 1 token).
+    pub token_drop_rate: f64,
+    /// Probability of shuffling two adjacent tokens.
+    pub token_swap_rate: f64,
+    /// Per-token probability of being abbreviated to its initial.
+    pub abbrev_rate: f64,
+    /// Probability the whole value goes missing (`None`).
+    pub missing_rate: f64,
+    /// Relative jitter for numeric values (e.g. 0.05 = ±5%).
+    pub numeric_jitter: f64,
+}
+
+impl Perturber {
+    /// No perturbation at all (clean mentions).
+    pub const CLEAN: Perturber = Perturber {
+        typo_rate: 0.0,
+        token_drop_rate: 0.0,
+        token_swap_rate: 0.0,
+        abbrev_rate: 0.0,
+        missing_rate: 0.0,
+        numeric_jitter: 0.0,
+    };
+
+    /// Light perturbation — publication-domain difficulty.
+    pub const LIGHT: Perturber = Perturber {
+        typo_rate: 0.02,
+        token_drop_rate: 0.05,
+        token_swap_rate: 0.05,
+        abbrev_rate: 0.15,
+        missing_rate: 0.02,
+        numeric_jitter: 0.0,
+    };
+
+    /// Heavy perturbation — product-domain difficulty.
+    pub const HEAVY: Perturber = Perturber {
+        typo_rate: 0.10,
+        token_drop_rate: 0.28,
+        token_swap_rate: 0.20,
+        abbrev_rate: 0.05,
+        missing_rate: 0.15,
+        numeric_jitter: 0.10,
+    };
+
+    /// Perturb a text value; `None` when the value goes missing.
+    pub fn text<R: Rng>(&self, value: &str, rng: &mut R) -> Option<String> {
+        if self.missing_rate > 0.0 && rng.gen::<f64>() < self.missing_rate {
+            return None;
+        }
+        let mut tokens: Vec<String> = value.split_whitespace().map(str::to_owned).collect();
+        if tokens.is_empty() {
+            return Some(String::new());
+        }
+        // Drop tokens (never below one).
+        if self.token_drop_rate > 0.0 {
+            let mut kept: Vec<String> = tokens
+                .iter()
+                .filter(|_| rng.gen::<f64>() >= self.token_drop_rate)
+                .cloned()
+                .collect();
+            if kept.is_empty() {
+                kept.push(tokens[rng.gen_range(0..tokens.len())].clone());
+            }
+            tokens = kept;
+        }
+        // Swap one adjacent pair.
+        if tokens.len() >= 2 && rng.gen::<f64>() < self.token_swap_rate {
+            let i = rng.gen_range(0..tokens.len() - 1);
+            tokens.swap(i, i + 1);
+        }
+        // Abbreviate and typo per token.
+        for t in &mut tokens {
+            if t.len() > 1 && rng.gen::<f64>() < self.abbrev_rate {
+                let initial: String = t.chars().take(1).collect();
+                *t = initial;
+                continue;
+            }
+            if rng.gen::<f64>() < self.typo_rate {
+                *t = typo(t, rng);
+            }
+        }
+        Some(tokens.join(" "))
+    }
+
+    /// Perturb a numeric value rendered as text.
+    pub fn numeric<R: Rng>(&self, value: f64, rng: &mut R) -> Option<String> {
+        if self.missing_rate > 0.0 && rng.gen::<f64>() < self.missing_rate {
+            return None;
+        }
+        let jittered = if self.numeric_jitter > 0.0 {
+            let f = 1.0 + rng.gen_range(-self.numeric_jitter..=self.numeric_jitter);
+            value * f
+        } else {
+            value
+        };
+        // Integers render without a fraction — "2005.00" would tokenize to
+        // {2005, 00} and the spurious "00" token would inflate Jaccard
+        // between unrelated records.
+        if (jittered - jittered.round()).abs() < 0.005 {
+            Some(format!("{}", jittered.round() as i64))
+        } else {
+            Some(format!("{jittered:.2}"))
+        }
+    }
+}
+
+/// Apply one random character edit to a token.
+fn typo<R: Rng>(token: &str, rng: &mut R) -> String {
+    let mut chars: Vec<char> = token.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    match rng.gen_range(0..3) {
+        0 if chars.len() >= 2 => {
+            // Swap two adjacent characters.
+            let i = rng.gen_range(0..chars.len() - 1);
+            chars.swap(i, i + 1);
+        }
+        1 if chars.len() >= 2 => {
+            // Delete one character.
+            let i = rng.gen_range(0..chars.len());
+            chars.remove(i);
+        }
+        _ => {
+            // Replace one character with a random lowercase letter.
+            let i = rng.gen_range(0..chars.len());
+            chars[i] = *b"abcdefghijklmnopqrstuvwxyz"
+                .choose(rng)
+                .map(|&b| b as char)
+                .iter()
+                .next()
+                .unwrap();
+        }
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = Perturber::CLEAN.text("sony dvd player", &mut rng);
+        assert_eq!(v.as_deref(), Some("sony dvd player"));
+        let n = Perturber::CLEAN.numeric(19.5, &mut rng);
+        assert_eq!(n.as_deref(), Some("19.50"));
+    }
+
+    #[test]
+    fn heavy_changes_most_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut changed = 0;
+        for _ in 0..200 {
+            let v = Perturber::HEAVY.text("panasonic widescreen plasma television remote", &mut rng);
+            if v.as_deref() != Some("panasonic widescreen plasma television remote") {
+                changed += 1;
+            }
+        }
+        assert!(changed > 150, "only {changed}/200 perturbed");
+    }
+
+    #[test]
+    fn missing_rate_produces_nones() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Perturber {
+            missing_rate: 0.5,
+            ..Perturber::CLEAN
+        };
+        let nones = (0..1000).filter(|_| p.text("abc", &mut rng).is_none()).count();
+        assert!((400..600).contains(&nones), "{nones} missing of 1000");
+    }
+
+    #[test]
+    fn never_empties_token_list() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Perturber {
+            token_drop_rate: 0.95,
+            ..Perturber::CLEAN
+        };
+        for _ in 0..100 {
+            let v = p.text("alpha beta", &mut rng).unwrap();
+            assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn numeric_jitter_stays_in_band() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Perturber {
+            numeric_jitter: 0.1,
+            ..Perturber::CLEAN
+        };
+        for _ in 0..100 {
+            let v: f64 = p.numeric(100.0, &mut rng).unwrap().parse().unwrap();
+            assert!((90.0..=110.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn abbreviation_shortens_tokens() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = Perturber {
+            abbrev_rate: 1.0,
+            ..Perturber::CLEAN
+        };
+        let v = p.text("jennifer widom", &mut rng).unwrap();
+        assert_eq!(v, "j w");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20)
+                .map(|_| Perturber::HEAVY.text("canon digital camera kit", &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

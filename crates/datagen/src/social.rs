@@ -1,0 +1,235 @@
+//! The social-media EM corpus of §6.3.1 (Fig. 19).
+//!
+//! The paper matches 467,761 enterprise employee records against 50M social
+//! media profiles with *no ground truth*, evaluating rule learning by
+//! having a human expert validate each learned rule. This generator builds
+//! a scaled-down equivalent: a large profile table, an employee table
+//! covering a subset of the same people, and hidden ground truth used only
+//! to emulate the validating expert (a rule is "valid" when its hidden
+//! precision clears a bar). Name collisions are natural hard negatives —
+//! first/last names are drawn from small vocabularies, so unrelated people
+//! share names just like in the real corpus.
+
+use crate::perturb::Perturber;
+use crate::vocab;
+use alem_core::schema::{AttrKind, EmDataset, Record, Schema, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for the social-media corpus.
+#[derive(Debug, Clone)]
+pub struct SocialConfig {
+    /// Employee records (left table).
+    pub n_employees: usize,
+    /// Social profiles (right table); must be ≥ `n_employees`.
+    pub n_profiles: usize,
+    /// Fraction of employees that actually have a profile.
+    pub coverage: f64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        SocialConfig {
+            n_employees: 400,
+            n_profiles: 4000,
+            coverage: 0.8,
+        }
+    }
+}
+
+/// The aligned schema: the attributes listed in §6.3.1.
+pub fn social_schema() -> Schema {
+    use AttrKind::Text;
+    Schema::new(vec![
+        ("name", Text),
+        ("location", Text),
+        ("email", Text),
+        ("occupation", Text),
+        ("gender", Text),
+        ("homepage", Text),
+    ])
+}
+
+struct Person {
+    first: String,
+    last: String,
+    city: String,
+    occupation: String,
+    gender: String,
+}
+
+fn person<R: Rng>(rng: &mut R) -> Person {
+    Person {
+        first: vocab::FIRST_NAMES.choose(rng).unwrap().to_string(),
+        last: vocab::LAST_NAMES.choose(rng).unwrap().to_string(),
+        city: vocab::CITIES.choose(rng).unwrap().to_string(),
+        occupation: vocab::OCCUPATIONS.choose(rng).unwrap().to_string(),
+        gender: if rng.gen_bool(0.5) { "m" } else { "f" }.to_owned(),
+    }
+}
+
+fn employee_record<R: Rng>(p: &Person, rng: &mut R) -> Record {
+    let email = format!("{}.{}@enterprise.example", p.first, p.last);
+    let homepage = if rng.gen_bool(0.3) {
+        Some(format!("enterprise.example/~{}{}", &p.first[..1], p.last))
+    } else {
+        None
+    };
+    Record::new(vec![
+        Some(format!("{} {}", p.first, p.last)),
+        Some(p.city.clone()),
+        Some(email),
+        Some(p.occupation.clone()),
+        Some(p.gender.clone()),
+        homepage,
+    ])
+}
+
+fn profile_record<R: Rng>(p: &Person, rng: &mut R) -> Record {
+    let noise = Perturber {
+        typo_rate: 0.04,
+        token_drop_rate: 0.0,
+        token_swap_rate: 0.0,
+        abbrev_rate: 0.1,
+        missing_rate: 0.0,
+        numeric_jitter: 0.0,
+    };
+    let name = noise
+        .text(&format!("{} {}", p.first, p.last), rng)
+        .unwrap_or_default();
+    // Personal email rarely matches the corporate one.
+    let email = if rng.gen_bool(0.2) {
+        Some(format!("{}.{}@mail.example", p.first, p.last))
+    } else {
+        Some(format!("{}{}@mail.example", p.first, rng.gen_range(1..99)))
+    };
+    let homepage = if rng.gen_bool(0.4) {
+        Some(format!("social.example/{}{}", p.first, p.last))
+    } else {
+        None
+    };
+    let location = if rng.gen_bool(0.85) {
+        Some(p.city.clone())
+    } else {
+        Some(vocab::CITIES.choose(rng).unwrap().to_string())
+    };
+    let occupation = if rng.gen_bool(0.7) {
+        Some(p.occupation.clone())
+    } else {
+        None
+    };
+    Record::new(vec![
+        Some(name),
+        location,
+        email,
+        occupation,
+        Some(p.gender.clone()),
+        homepage,
+    ])
+}
+
+/// Generate the corpus deterministically from `seed`.
+pub fn generate_social(cfg: &SocialConfig, seed: u64) -> EmDataset {
+    assert!(cfg.n_profiles >= cfg.n_employees, "profiles must cover employees");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = social_schema();
+
+    let mut left = Vec::with_capacity(cfg.n_employees);
+    let mut right = Vec::with_capacity(cfg.n_profiles);
+    let mut matches: HashSet<(u32, u32)> = HashSet::new();
+
+    // Employees, a fraction of whom also get a profile.
+    for e in 0..cfg.n_employees {
+        let p = person(&mut rng);
+        left.push(employee_record(&p, &mut rng));
+        if rng.gen::<f64>() < cfg.coverage {
+            let r_idx = right.len() as u32;
+            right.push(profile_record(&p, &mut rng));
+            matches.insert((e as u32, r_idx));
+        }
+    }
+    // The rest of the profile population: unrelated people.
+    while right.len() < cfg.n_profiles {
+        let p = person(&mut rng);
+        right.push(profile_record(&p, &mut rng));
+    }
+    // Shuffle profiles so matches aren't clustered at the front. Track the
+    // permutation to remap ground truth.
+    let mut perm: Vec<usize> = (0..right.len()).collect();
+    perm.shuffle(&mut rng);
+    let mut inv = vec![0usize; perm.len()];
+    for (new_pos, &old_pos) in perm.iter().enumerate() {
+        inv[old_pos] = new_pos;
+    }
+    let shuffled: Vec<Record> = perm.iter().map(|&i| right[i].clone()).collect();
+    let matches = matches
+        .into_iter()
+        .map(|(l, r)| (l, inv[r as usize] as u32))
+        .collect();
+
+    EmDataset {
+        left: Table::new("employees", schema.clone(), left),
+        right: Table::new("profiles", schema, shuffled),
+        matches,
+        name: "SocialMedia".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_coverage() {
+        let cfg = SocialConfig {
+            n_employees: 100,
+            n_profiles: 500,
+            coverage: 0.8,
+        };
+        let ds = generate_social(&cfg, 3);
+        assert_eq!(ds.left.len(), 100);
+        assert_eq!(ds.right.len(), 500);
+        let m = ds.matches.len() as f64;
+        assert!((60.0..100.0).contains(&m), "matches {m}");
+    }
+
+    #[test]
+    fn ground_truth_is_consistent_after_shuffle() {
+        let ds = generate_social(&SocialConfig::default(), 5);
+        for &(l, r) in &ds.matches {
+            let left_name = ds.left.record(l as usize).value(0).unwrap();
+            let right_name = ds.right.record(r as usize).value(0).unwrap();
+            // Matched records share a gender and usually most name chars.
+            assert_eq!(
+                ds.left.record(l as usize).value(4),
+                ds.right.record(r as usize).value(4),
+                "gender mismatch for match {l},{r}: {left_name} vs {right_name}"
+            );
+        }
+    }
+
+    #[test]
+    fn name_collisions_exist() {
+        // Small name vocabularies must produce unrelated people sharing
+        // full names — the hard negatives of the real corpus.
+        let ds = generate_social(&SocialConfig::default(), 5);
+        let mut names: Vec<&str> = (0..ds.left.len())
+            .filter_map(|i| ds.left.record(i).value(0))
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert!(names.len() < total, "no name collisions in {total} employees");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_social(&SocialConfig::default(), 11);
+        let b = generate_social(&SocialConfig::default(), 11);
+        assert_eq!(a.left.records(), b.left.records());
+        assert_eq!(a.right.records(), b.right.records());
+        assert_eq!(a.matches, b.matches);
+    }
+}

@@ -1,0 +1,182 @@
+//! Vocabularies for the synthetic domains: product catalogs, publications,
+//! beers, baby products and social-media profiles.
+
+/// Consumer-electronics & appliance brands (product domains).
+pub const BRANDS: &[&str] = &[
+    "sony", "panasonic", "samsung", "toshiba", "philips", "canon", "nikon", "garmin", "apple",
+    "logitech", "netgear", "linksys", "pioneer", "yamaha", "denon", "kenwood", "sanyo", "sharp",
+    "jvc", "olympus", "casio", "epson", "brother", "lexmark", "belkin", "dlink", "motorola",
+    "nokia", "siemens", "bosch", "whirlpool", "frigidaire", "haier", "lg", "vizio", "polk",
+    "klipsch", "bose", "onkyo", "marantz",
+];
+
+/// Product line nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "camera", "camcorder", "television", "receiver", "speaker", "subwoofer", "headphones",
+    "keyboard", "mouse", "router", "printer", "scanner", "monitor", "projector", "microwave",
+    "refrigerator", "dishwasher", "blender", "toaster", "vacuum", "player", "recorder", "radio",
+    "phone", "tablet", "laptop", "charger", "adapter", "cable", "dock", "remote", "antenna",
+    "turntable", "amplifier", "soundbar", "dehumidifier", "heater", "fan", "drive", "enclosure",
+];
+
+/// Descriptive modifiers for product names and descriptions.
+pub const MODIFIERS: &[&str] = &[
+    "digital", "wireless", "portable", "compact", "professional", "premium", "deluxe",
+    "high", "definition", "widescreen", "stereo", "bluetooth", "rechargeable", "waterproof",
+    "stainless", "steel", "black", "white", "silver", "titanium", "ultra", "slim", "mini",
+    "series", "edition", "gb", "inch", "watt", "channel", "zoom", "optical", "megapixel",
+    "dual", "layer", "dolby", "surround", "hdmi", "usb", "lcd", "led", "plasma",
+    "ergonomic", "adjustable", "foldable", "lightweight", "heavy", "duty", "industrial",
+    "commercial", "residential", "automatic", "manual", "programmable", "smart", "classic",
+    "vintage", "modern", "sleek", "rugged", "shockproof", "anti", "glare", "matte", "glossy",
+    "curved", "flat", "panel", "tower", "desktop", "gaming", "studio", "reference",
+];
+
+/// Generic filler words for descriptions.
+pub const FILLER: &[&str] = &[
+    "with", "for", "and", "the", "features", "includes", "supports", "designed", "easy",
+    "quality", "performance", "technology", "system", "control", "power", "energy", "compatible",
+    "warranty", "color", "display", "remote", "battery", "memory", "storage", "speed",
+];
+
+/// Research-paper title words (publication domains).
+pub const TITLE_WORDS: &[&str] = &[
+    "efficient", "scalable", "adaptive", "distributed", "parallel", "incremental", "optimal",
+    "approximate", "probabilistic", "declarative", "query", "processing", "optimization",
+    "indexing", "mining", "learning", "matching", "integration", "cleaning", "deduplication",
+    "entity", "resolution", "schema", "mapping", "stream", "graph", "relational", "database",
+    "transaction", "recovery", "concurrency", "storage", "memory", "cache", "join", "aggregation",
+    "sampling", "sketching", "clustering", "classification", "ranking", "retrieval", "semantic",
+    "knowledge", "ontology", "crowdsourcing", "provenance", "privacy", "secure", "federated",
+    "robust", "dynamic", "static", "hybrid", "unified", "generic", "modular", "lightweight",
+    "online", "offline", "interactive", "automated", "supervised", "unsupervised", "active",
+    "transfer", "deep", "neural", "bayesian", "spectral", "temporal", "spatial", "textual",
+    "multimodal", "heterogeneous", "homomorphic", "differential", "adversarial", "generative",
+    "workload", "benchmark", "partitioning", "replication", "sharding", "compression",
+    "encoding", "vectorized", "columnar", "adaptive_radix", "lsm", "btree", "hashing",
+    "bloom", "cardinality", "estimation", "selectivity", "histogram", "wavelet", "synopsis",
+    "materialized", "views", "rewriting", "federation", "mediation", "wrappers", "extraction",
+    "wrapper", "annotation", "curation", "lineage", "versioning", "snapshot", "checkpoint",
+    "logging", "durability", "consistency", "isolation", "serializability", "availability",
+];
+
+/// Author first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
+    "sarah", "wei", "li", "yan", "jun", "anil", "priya", "raj", "anna", "peter", "hans",
+    "maria", "carlos", "sofia", "kenji", "yuki", "ahmed", "fatima", "ivan", "olga", "pierre",
+    "claire", "marco",
+];
+
+/// Author last names.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "chen", "wang", "zhang", "liu", "kumar", "patel", "singh", "gupta", "mueller",
+    "schmidt", "rossi", "ferrari", "tanaka", "suzuki", "kim", "park", "nguyen", "tran",
+    "hernandez", "lopez", "gonzalez", "wilson", "anderson", "taylor", "moore", "jackson",
+    "martin", "lee", "thompson", "white",
+];
+
+/// Publication venues.
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "kdd", "cikm", "edbt", "icdt", "pods", "wsdm", "www", "icml",
+    "nips", "aaai", "ijcai", "acl", "emnlp", "sigir", "recsys", "sosp", "osdi",
+];
+
+/// Cities (publication addresses, social profiles).
+pub const CITIES: &[&str] = &[
+    "portland", "seattle", "chicago", "boston", "austin", "denver", "atlanta", "phoenix",
+    "dallas", "toronto", "vancouver", "london", "paris", "berlin", "munich", "zurich",
+    "amsterdam", "tokyo", "beijing", "sydney", "melbourne", "singapore", "mumbai", "bangalore",
+];
+
+/// Publishers (Cora).
+pub const PUBLISHERS: &[&str] = &[
+    "springer", "elsevier", "acm press", "ieee press", "morgan kaufmann", "mit press",
+    "cambridge university press", "oxford university press", "wiley", "addison wesley",
+];
+
+/// Beer style names.
+pub const BEER_STYLES: &[&str] = &[
+    "american ipa", "imperial stout", "pale ale", "pilsner", "hefeweizen", "porter", "saison",
+    "amber lager", "brown ale", "belgian tripel", "wheat ale", "barleywine", "kolsch",
+    "dunkel", "gose", "double ipa", "cream ale", "scotch ale", "rye ale", "fruit lambic",
+];
+
+/// Beer name words.
+pub const BEER_WORDS: &[&str] = &[
+    "hop", "golden", "dark", "old", "wild", "crooked", "lazy", "raging", "midnight", "summer",
+    "winter", "harvest", "mountain", "river", "valley", "stone", "iron", "copper", "rustic",
+    "howling", "dancing", "flying", "sleepy", "thirsty", "grumpy", "lucky", "noble", "royal",
+];
+
+/// Brewery words.
+pub const BREWERY_WORDS: &[&str] = &[
+    "brewing", "brewery", "brewhouse", "craft", "ales", "beerworks", "fermentation", "cellars",
+    "taproom", "works",
+];
+
+/// Baby-product words.
+pub const BABY_WORDS: &[&str] = &[
+    "stroller", "crib", "bassinet", "carrier", "monitor", "bottle", "pacifier", "blanket",
+    "swaddle", "onesie", "bib", "highchair", "playard", "rocker", "bouncer", "walker", "gate",
+    "mattress", "sheet", "diaper", "wipes", "teether", "rattle", "mobile", "nightlight",
+];
+
+/// Baby-product brands.
+pub const BABY_BRANDS: &[&str] = &[
+    "graco", "chicco", "britax", "evenflo", "fisher price", "medela", "avent", "munchkin",
+    "skip hop", "ergobaby", "halo", "aden anais", "summer infant", "safety first", "babyletto",
+];
+
+/// Fabric/color/material words (baby products).
+pub const FABRICS: &[&str] = &[
+    "cotton", "polyester", "muslin", "fleece", "bamboo", "jersey", "flannel", "minky", "terry",
+    "organic cotton",
+];
+
+/// Colors.
+pub const COLORS: &[&str] = &[
+    "pink", "blue", "grey", "white", "ivory", "mint", "lavender", "yellow", "teal", "coral",
+    "navy", "sage",
+];
+
+/// Occupations (social-media profiles).
+pub const OCCUPATIONS: &[&str] = &[
+    "software engineer", "data scientist", "product manager", "designer", "consultant",
+    "analyst", "researcher", "architect", "developer", "manager", "director", "accountant",
+    "teacher", "nurse", "technician", "marketer", "recruiter", "writer", "editor", "sales",
+];
+
+/// Product categories / group names.
+pub const CATEGORIES: &[&str] = &[
+    "electronics", "home audio", "cameras", "computers", "appliances", "networking",
+    "accessories", "office", "kitchen", "outdoors", "nursery", "travel", "feeding", "bath",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_are_nonempty_and_unique() {
+        for (name, v) in [
+            ("BRANDS", BRANDS),
+            ("PRODUCT_NOUNS", PRODUCT_NOUNS),
+            ("MODIFIERS", MODIFIERS),
+            ("TITLE_WORDS", TITLE_WORDS),
+            ("FIRST_NAMES", FIRST_NAMES),
+            ("LAST_NAMES", LAST_NAMES),
+            ("VENUES", VENUES),
+            ("BEER_STYLES", BEER_STYLES),
+            ("BABY_WORDS", BABY_WORDS),
+        ] {
+            assert!(v.len() >= 20, "{name} too small");
+            let mut sorted = v.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), v.len(), "{name} has duplicates");
+        }
+    }
+}

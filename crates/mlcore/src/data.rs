@@ -1,0 +1,147 @@
+//! Training-set views and resampling helpers shared by the trainers.
+
+use rand::Rng;
+
+/// A borrowed view of a labeled training set: one dense feature row per
+/// example plus a Boolean label (`true` = match).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainSet<'a> {
+    xs: &'a [Vec<f64>],
+    ys: &'a [bool],
+}
+
+impl<'a> TrainSet<'a> {
+    /// Wrap features and labels.
+    ///
+    /// # Panics
+    /// Panics when lengths differ or feature rows are ragged.
+    pub fn new(xs: &'a [Vec<f64>], ys: &'a [bool]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "features/labels length mismatch");
+        if let Some(first) = xs.first() {
+            let d = first.len();
+            assert!(
+                xs.iter().all(|row| row.len() == d),
+                "ragged feature matrix"
+            );
+        }
+        TrainSet { xs, ys }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty set).
+    pub fn dim(&self) -> usize {
+        self.xs.first().map_or(0, Vec::len)
+    }
+
+    /// Feature row of example `i`.
+    pub fn x(&self, i: usize) -> &'a [f64] {
+        &self.xs[i]
+    }
+
+    /// Label of example `i`.
+    pub fn y(&self, i: usize) -> bool {
+        self.ys[i]
+    }
+
+    /// Label as ±1.0, the form hinge-loss training wants.
+    pub fn y_signed(&self, i: usize) -> f64 {
+        if self.ys[i] {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// All feature rows.
+    pub fn features(&self) -> &'a [Vec<f64>] {
+        self.xs
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &'a [bool] {
+        self.ys
+    }
+
+    /// Count of positive examples.
+    pub fn positives(&self) -> usize {
+        self.ys.iter().filter(|&&y| y).count()
+    }
+}
+
+/// Draw `n` indices with replacement from `0..n` — one bootstrap resample,
+/// as used by bagging and the learner-agnostic QBC committee (§4.1).
+pub fn bootstrap_indices<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Materialize a resampled training set from indices.
+pub fn resample(set: &TrainSet<'_>, idx: &[usize]) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let xs = idx.iter().map(|&i| set.x(i).to_vec()).collect();
+    let ys = idx.iter().map(|&i| set.y(i)).collect();
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trainset_accessors() {
+        let xs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let ys = vec![true, false];
+        let t = TrainSet::new(&xs, &ys);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dim(), 2);
+        assert_eq!(t.x(1), &[3.0, 4.0]);
+        assert!(t.y(0));
+        assert_eq!(t.y_signed(1), -1.0);
+        assert_eq!(t.positives(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let xs = vec![vec![1.0]];
+        let ys = vec![true, false];
+        TrainSet::new(&xs, &ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let xs = vec![vec![1.0], vec![1.0, 2.0]];
+        let ys = vec![true, false];
+        TrainSet::new(&xs, &ys);
+    }
+
+    #[test]
+    fn bootstrap_is_seeded_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let idx = bootstrap_indices(50, &mut rng);
+        assert_eq!(idx.len(), 50);
+        assert!(idx.iter().all(|&i| i < 50));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        assert_eq!(idx, bootstrap_indices(50, &mut rng2));
+    }
+
+    #[test]
+    fn resample_materializes() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![true, false, true];
+        let t = TrainSet::new(&xs, &ys);
+        let (rx, ry) = resample(&t, &[2, 0, 2]);
+        assert_eq!(rx, vec![vec![3.0], vec![1.0], vec![3.0]]);
+        assert_eq!(ry, vec![true, true, true]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Bagged random forests — the paper's best-performing learner family.
+//!
+//! Each forest bootstraps the training set per tree and trains CART trees
+//! of unlimited depth with `log2(D + 1)` random features per split, the
+//! Corleone configuration (§4.1.1). The trees double as the QBC committee
+//! for learner-aware example selection, so per-tree votes are exposed.
+
+use crate::data::{bootstrap_indices, resample, TrainSet};
+use crate::tree::{DecisionTree, FeatureSubset, TreeConfig};
+use crate::Classifier;
+use rand::Rng;
+
+/// Hyper-parameters for [`RandomForest`] training.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees (the paper sweeps 2, 10, 20).
+    pub n_trees: usize,
+    /// Per-tree configuration; defaults to unlimited depth with `Log2`
+    /// feature subsets.
+    pub tree: TreeConfig,
+    /// Whether to bootstrap-resample the training set per tree.
+    pub bootstrap: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 10,
+            tree: TreeConfig {
+                max_depth: None,
+                min_samples_split: 2,
+                feature_subset: FeatureSubset::Log2,
+            },
+            bootstrap: true,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// Convenience constructor for an `n`-tree forest with paper defaults.
+    pub fn with_trees(n_trees: usize) -> Self {
+        ForestConfig {
+            n_trees,
+            ..ForestConfig::default()
+        }
+    }
+
+    /// Train a forest. Deterministic for a given RNG state.
+    pub fn train<R: Rng>(&self, set: &TrainSet<'_>, rng: &mut R) -> RandomForest {
+        assert!(self.n_trees >= 1, "forest needs at least one tree");
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for _ in 0..self.n_trees {
+            if self.bootstrap && !set.is_empty() {
+                let idx = bootstrap_indices(set.len(), rng);
+                let (xs, ys) = resample(set, &idx);
+                let sub = TrainSet::new(&xs, &ys);
+                trees.push(self.tree.train(&sub, rng));
+            } else {
+                trees.push(self.tree.train(set, rng));
+            }
+        }
+        RandomForest { trees }
+    }
+}
+
+/// A trained random forest voting by simple majority.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// The member trees — the learner-aware QBC committee.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Number of trees voting positive on `x`.
+    pub fn positive_votes(&self, x: &[f64]) -> usize {
+        self.trees.iter().filter(|t| t.predict(x)).count()
+    }
+
+    /// QBC disagreement variance of Mozafari et al. (§4.1):
+    /// `(P/C)(1 - P/C)` where `P` = positive votes, `C` = committee size.
+    /// Maximal (0.25) when the committee splits evenly.
+    pub fn vote_variance(&self, x: &[f64]) -> f64 {
+        let c = self.trees.len() as f64;
+        let p = self.positive_votes(x) as f64 / c;
+        p * (1.0 - p)
+    }
+
+    /// Maximum depth over the member trees (the ensemble-depth metric of
+    /// Fig. 18b).
+    pub fn depth(&self) -> usize {
+        self.trees.iter().map(DecisionTree::depth).max().unwrap_or(0)
+    }
+}
+
+impl Classifier for RandomForest {
+    fn decision_value(&self, x: &[f64]) -> f64 {
+        let c = self.trees.len() as f64;
+        2.0 * (self.positive_votes(x) as f64 / c) - 1.0
+    }
+
+    fn positive_probability(&self, x: &[f64]) -> f64 {
+        self.positive_votes(x) as f64 / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn banded() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Positive in a band of feature 0; forests handle this easily.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..120 {
+            let v = i as f64 / 120.0;
+            xs.push(vec![v, (i % 11) as f64 / 11.0, (i % 5) as f64 / 5.0]);
+            ys.push((0.3..0.7).contains(&v));
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_band() {
+        let (xs, ys) = banded();
+        let set = TrainSet::new(&xs, &ys);
+        let forest = ForestConfig::with_trees(10).train(&set, &mut StdRng::seed_from_u64(2));
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| forest.predict(x) == y)
+            .count();
+        assert!(correct >= 114, "only {correct}/120");
+    }
+
+    #[test]
+    fn vote_variance_bounds() {
+        let (xs, ys) = banded();
+        let set = TrainSet::new(&xs, &ys);
+        let forest = ForestConfig::with_trees(20).train(&set, &mut StdRng::seed_from_u64(2));
+        for x in &xs {
+            let v = forest.vote_variance(x);
+            assert!((0.0..=0.25 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn committee_size_matches_config() {
+        let (xs, ys) = banded();
+        let set = TrainSet::new(&xs, &ys);
+        for n in [2, 10, 20] {
+            let f = ForestConfig::with_trees(n).train(&set, &mut StdRng::seed_from_u64(2));
+            assert_eq!(f.trees().len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = banded();
+        let set = TrainSet::new(&xs, &ys);
+        let a = ForestConfig::with_trees(5).train(&set, &mut StdRng::seed_from_u64(42));
+        let b = ForestConfig::with_trees(5).train(&set, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decision_value_sign_matches_majority() {
+        let (xs, ys) = banded();
+        let set = TrainSet::new(&xs, &ys);
+        let f = ForestConfig::with_trees(9).train(&set, &mut StdRng::seed_from_u64(2));
+        for x in xs.iter().take(20) {
+            let dv = f.decision_value(x);
+            let majority = f.positive_votes(x) * 2 > f.trees().len();
+            assert_eq!(dv > 0.0, majority);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! `mlcore` — the classifier suite behind the alem benchmark framework.
+//!
+//! Implements the four learner families the SIGMOD 2020 paper plugs into its
+//! active-learning pipeline (§1, §4):
+//!
+//! * [`svm`] — linear SVM trained with SGD on the regularized hinge loss
+//!   (Pegasos-style), exposing its weight vector for margin-based selection
+//!   and blocking dimensions.
+//! * [`nn`] — a one-hidden-layer feed-forward network with ReLU, batch
+//!   normalization, dropout and a sigmoid output, trained with SGD +
+//!   momentum on the L2 loss, using exactly the paper's hyper-parameters.
+//! * [`tree`] / [`forest`] — CART decision trees with random feature
+//!   subsets and bagged random forests in the Corleone configuration
+//!   (unlimited depth, `log2(D+1)` features per split).
+//! * [`rules`] — monotone-DNF rule learner over Boolean
+//!   similarity-threshold predicates, in the style of Qian et al.
+//!
+//! All model families implement [`Classifier`], the minimal surface the
+//! active-learning loop needs. Training is deterministic given a seeded
+//! RNG, which is what makes the paper's experiments reproducible here.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod forest;
+pub mod metrics;
+pub mod nn;
+pub mod rules;
+pub mod svm;
+pub mod tree;
+
+/// A trained binary classifier over dense feature vectors.
+///
+/// `decision_value` returns a signed score: positive values predict the
+/// positive (match) class and the magnitude expresses confidence. For a
+/// linear SVM this is `w·x + b`; for the neural net it is the pre-sigmoid
+/// affine output the paper calls the *margin* (§4.2.2); for ensembles it is
+/// the vote balance in `[-1, 1]`.
+pub trait Classifier {
+    /// Signed decision score; `> 0` means the positive class.
+    fn decision_value(&self, x: &[f64]) -> f64;
+
+    /// Hard label: `true` = match.
+    fn predict(&self, x: &[f64]) -> bool {
+        self.decision_value(x) > 0.0
+    }
+
+    /// Probability-like confidence of the positive class in `[0, 1]`.
+    /// Default squashes the decision value through a sigmoid.
+    fn positive_probability(&self, x: &[f64]) -> f64 {
+        1.0 / (1.0 + (-self.decision_value(x)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stub(f64);
+    impl Classifier for Stub {
+        fn decision_value(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_predict_thresholds_at_zero() {
+        assert!(Stub(0.1).predict(&[]));
+        assert!(!Stub(-0.1).predict(&[]));
+        assert!(!Stub(0.0).predict(&[]));
+    }
+
+    #[test]
+    fn default_probability_is_sigmoid() {
+        assert!((Stub(0.0).positive_probability(&[]) - 0.5).abs() < 1e-12);
+        assert!(Stub(5.0).positive_probability(&[]) > 0.99);
+        assert!(Stub(-5.0).positive_probability(&[]) < 0.01);
+    }
+}

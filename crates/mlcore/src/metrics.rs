@@ -1,0 +1,139 @@
+//! Classification quality metrics: confusion counts, precision, recall, F1.
+//!
+//! The paper's quality metric is the F1-score over the positive (match)
+//! class computed on all post-blocking pairs (§3, "Quality").
+
+/// Confusion-matrix counts for a binary classification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted match, is match.
+    pub tp: usize,
+    /// Predicted match, is non-match.
+    pub fp: usize,
+    /// Predicted non-match, is match.
+    pub fn_: usize,
+    /// Predicted non-match, is non-match.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against ground truth.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction/label mismatch");
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            c.record(p, a);
+        }
+        c
+    }
+
+    /// Record one (prediction, truth) observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Precision of the positive class; 0 when nothing was predicted
+    /// positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the positive class; 0 when there are no actual positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1-score: harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Label prediction accuracy (the metric the paper argues is a poor
+    /// objective for skewed EM data — kept for completeness).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Total observations tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = Confusion::from_predictions(&[true, false, true], &[true, false, true]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // tp=1 fp=1 fn=1 tn=1
+        let c = Confusion::from_predictions(
+            &[true, true, false, false],
+            &[true, false, true, false],
+        );
+        assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let all_neg = Confusion::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(all_neg.precision(), 0.0);
+        assert_eq!(all_neg.recall(), 0.0);
+        assert_eq!(all_neg.f1(), 0.0);
+        assert_eq!(all_neg.accuracy(), 1.0);
+        assert_eq!(Confusion::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn skew_shows_accuracy_f1_gap() {
+        // 90 true negatives + 10 missed positives: accuracy 0.9, F1 0 —
+        // the paper's argument for F1 on skewed EM data.
+        let mut c = Confusion::default();
+        for _ in 0..90 {
+            c.record(false, false);
+        }
+        for _ in 0..10 {
+            c.record(false, true);
+        }
+        assert!(c.accuracy() >= 0.9);
+        assert_eq!(c.f1(), 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Monotone-DNF rule learner over Boolean predicate features, in the style
+//! of Qian et al. (CIKM 2017), the paper's rule-based classifier (§4.3).
+//!
+//! An EM rule is a disjunction of conjunctions of *atoms*. Each atom is a
+//! Boolean feature (`similarity(attr_l, attr_r) >= τ` after the rule
+//! featurizer thresholds it), identified here by its feature index; the
+//! framework layer owns the human-readable predicate names. Feature vectors
+//! are dense `f64` rows where an atom holds iff the value is `> 0.5`,
+//! keeping the [`Classifier`] interface uniform across learners.
+//!
+//! Learning a conjunction is a greedy precision-first search: start from
+//! the best single atom and keep appending the atom that most improves
+//! training precision (ties broken by positive coverage) until the clause
+//! is pure or no atom helps. A DNF is grown clause-by-clause set-cover
+//! style over the still-uncovered positives, which is exactly how the
+//! LFP/LFN loop accumulates an ensemble of high-precision rules.
+
+use crate::data::TrainSet;
+use crate::Classifier;
+
+/// A conjunction of atoms (Boolean feature indices), e.g.
+/// `f3 ∧ f17 ∧ f20`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Conjunction {
+    atoms: Vec<usize>,
+}
+
+impl Conjunction {
+    /// Build from atom indices (deduplicated, sorted).
+    pub fn new(mut atoms: Vec<usize>) -> Self {
+        atoms.sort_unstable();
+        atoms.dedup();
+        Conjunction { atoms }
+    }
+
+    /// The atom feature indices, sorted.
+    pub fn atoms(&self) -> &[usize] {
+        &self.atoms
+    }
+
+    /// Number of atoms — the interpretability unit of Singh et al. (§3).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when the conjunction has no atoms (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Does the conjunction hold on `x`?
+    pub fn matches(&self, x: &[f64]) -> bool {
+        self.atoms.iter().all(|&a| x[a] > 0.5)
+    }
+
+    /// The Rule-Minus relaxations (§4.3, Fig. 5): every conjunction
+    /// obtained by dropping exactly one atom. Used to find Likely False
+    /// Negatives. A single-atom rule has no non-trivial relaxations.
+    pub fn minus_variants(&self) -> Vec<Conjunction> {
+        if self.atoms.len() <= 1 {
+            return Vec::new();
+        }
+        (0..self.atoms.len())
+            .map(|drop| {
+                Conjunction::new(
+                    self.atoms
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != drop)
+                        .map(|(_, &a)| a)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Training precision and positive coverage of the conjunction.
+    #[allow(clippy::needless_range_loop)] // indexes set rows by position
+    pub fn precision_coverage(&self, set: &TrainSet<'_>) -> (f64, usize) {
+        let mut covered = 0usize;
+        let mut correct = 0usize;
+        for i in 0..set.len() {
+            if self.matches(set.x(i)) {
+                covered += 1;
+                if set.y(i) {
+                    correct += 1;
+                }
+            }
+        }
+        let prec = if covered == 0 {
+            0.0
+        } else {
+            correct as f64 / covered as f64
+        };
+        (prec, correct)
+    }
+}
+
+/// A monotone DNF: disjunction of conjunctions. Predicts match when any
+/// clause holds.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Dnf {
+    clauses: Vec<Conjunction>,
+}
+
+impl Dnf {
+    /// Empty DNF (predicts non-match everywhere).
+    pub fn empty() -> Self {
+        Dnf::default()
+    }
+
+    /// Build from clauses.
+    pub fn new(clauses: Vec<Conjunction>) -> Self {
+        Dnf { clauses }
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Conjunction] {
+        &self.clauses
+    }
+
+    /// Append a clause (the LFP/LFN loop accepts rules incrementally).
+    pub fn push(&mut self, clause: Conjunction) {
+        self.clauses.push(clause);
+    }
+
+    /// Total number of atoms counted with repetition across clauses — the
+    /// paper's interpretability metric (§6.3).
+    pub fn atom_count(&self) -> usize {
+        self.clauses.iter().map(Conjunction::len).sum()
+    }
+
+    /// Does any clause hold on `x`?
+    pub fn matches(&self, x: &[f64]) -> bool {
+        self.clauses.iter().any(|c| c.matches(x))
+    }
+}
+
+impl Classifier for Dnf {
+    fn decision_value(&self, x: &[f64]) -> f64 {
+        if self.matches(x) {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        self.matches(x)
+    }
+
+    fn positive_probability(&self, x: &[f64]) -> f64 {
+        f64::from(u8::from(self.matches(x)))
+    }
+}
+
+/// Hyper-parameters for greedy DNF learning.
+#[derive(Debug, Clone)]
+pub struct DnfConfig {
+    /// Maximum atoms per conjunction (keeps rules concise).
+    pub max_atoms: usize,
+    /// Maximum clauses in a learned DNF.
+    pub max_clauses: usize,
+    /// Candidate clause must reach this training precision to be kept.
+    pub min_precision: f64,
+    /// Candidate clause must cover at least this many (still-uncovered)
+    /// positives.
+    pub min_coverage: usize,
+}
+
+impl Default for DnfConfig {
+    fn default() -> Self {
+        DnfConfig {
+            max_atoms: 4,
+            max_clauses: 16,
+            min_precision: 0.85,
+            min_coverage: 1,
+        }
+    }
+}
+
+impl DnfConfig {
+    /// Greedily learn one high-precision conjunction on `set`, counting
+    /// coverage only over positives where `active` is true (the
+    /// still-uncovered positives during set-cover). Returns `None` when no
+    /// clause reaches the precision/coverage bar.
+    #[allow(clippy::needless_range_loop)] // parallel set/active indexing
+    pub fn learn_conjunction(
+        &self,
+        set: &TrainSet<'_>,
+        active: &[bool],
+    ) -> Option<Conjunction> {
+        let dim = set.dim();
+        if dim == 0 || set.is_empty() {
+            return None;
+        }
+        let score = |clause: &Conjunction| -> (f64, usize) {
+            // Precision over all examples; coverage over active positives.
+            let mut covered = 0usize;
+            let mut correct = 0usize;
+            let mut active_cov = 0usize;
+            for i in 0..set.len() {
+                if clause.matches(set.x(i)) {
+                    covered += 1;
+                    if set.y(i) {
+                        correct += 1;
+                        if active[i] {
+                            active_cov += 1;
+                        }
+                    }
+                }
+            }
+            let prec = if covered == 0 {
+                0.0
+            } else {
+                correct as f64 / covered as f64
+            };
+            (prec, active_cov)
+        };
+
+        // Greedy search, coverage-aware: precision above `min_precision` is
+        // "good enough", so candidates are ranked lexicographically by
+        // (capped precision, coverage). This prefers general rules like
+        // `JaccardSim(title) >= 0.5` over needlessly narrow ones like
+        // `title equality`, which matters for recall (narrow rules also
+        // starve the LFP/LFN selector of candidates).
+        let cap = self.min_precision;
+        let key = |prec: f64, cov: usize| -> (f64, usize) { (prec.min(cap), cov) };
+        let better = |a: (f64, usize), b: (f64, usize)| -> bool {
+            a.0 > b.0 + 1e-12 || ((a.0 - b.0).abs() <= 1e-12 && a.1 > b.1)
+        };
+
+        let mut current: Option<(Conjunction, f64, usize)> = None;
+        loop {
+            let base_atoms: Vec<usize> = current
+                .as_ref()
+                .map(|(c, _, _)| c.atoms().to_vec())
+                .unwrap_or_default();
+            if base_atoms.len() >= self.max_atoms {
+                break;
+            }
+            let mut best_step: Option<(Conjunction, f64, usize)> = None;
+            for a in 0..dim {
+                if base_atoms.contains(&a) {
+                    continue;
+                }
+                let mut atoms = base_atoms.clone();
+                atoms.push(a);
+                let cand = Conjunction::new(atoms);
+                let (prec, cov) = score(&cand);
+                if cov < self.min_coverage {
+                    continue;
+                }
+                let is_better = match &best_step {
+                    None => true,
+                    Some((_, bp, bc)) => better(key(prec, cov), key(*bp, *bc)),
+                };
+                if is_better {
+                    best_step = Some((cand, prec, cov));
+                }
+            }
+            let Some((cand, prec, cov)) = best_step else { break };
+            let improves = match &current {
+                None => true,
+                Some((_, cp, cc)) => better(key(prec, cov), key(*cp, *cc)),
+            };
+            if !improves {
+                break;
+            }
+            let done = prec >= cap;
+            current = Some((cand, prec, cov));
+            if done {
+                break;
+            }
+        }
+        match current {
+            Some((clause, prec, cov))
+                if prec >= self.min_precision && cov >= self.min_coverage =>
+            {
+                Some(clause)
+            }
+            _ => None,
+        }
+    }
+
+    /// Learn a full DNF by set-cover over positives: learn a clause, mark
+    /// its positives covered, repeat.
+    pub fn train(&self, set: &TrainSet<'_>) -> Dnf {
+        let mut dnf = Dnf::empty();
+        let mut active: Vec<bool> = set.labels().to_vec(); // positives start active
+        for _ in 0..self.max_clauses {
+            let Some(clause) = self.learn_conjunction(set, &active) else {
+                break;
+            };
+            for (i, a) in active.iter_mut().enumerate() {
+                if *a && clause.matches(set.x(i)) {
+                    *a = false;
+                }
+            }
+            dnf.push(clause);
+            if active.iter().all(|&a| !a) {
+                break;
+            }
+        }
+        dnf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Boolean rows as f64.
+    fn b(bits: &[u8]) -> Vec<f64> {
+        bits.iter().map(|&x| f64::from(x)).collect()
+    }
+
+    #[test]
+    fn conjunction_matches_all_atoms() {
+        let c = Conjunction::new(vec![0, 2]);
+        assert!(c.matches(&b(&[1, 0, 1])));
+        assert!(!c.matches(&b(&[1, 1, 0])));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn minus_variants_drop_one_atom() {
+        let c = Conjunction::new(vec![0, 1, 2]);
+        let vs = c.minus_variants();
+        assert_eq!(vs.len(), 3);
+        assert!(vs.contains(&Conjunction::new(vec![1, 2])));
+        assert!(Conjunction::new(vec![5]).minus_variants().is_empty());
+    }
+
+    #[test]
+    fn dnf_is_disjunction() {
+        let dnf = Dnf::new(vec![Conjunction::new(vec![0]), Conjunction::new(vec![1, 2])]);
+        assert!(dnf.matches(&b(&[1, 0, 0])));
+        assert!(dnf.matches(&b(&[0, 1, 1])));
+        assert!(!dnf.matches(&b(&[0, 1, 0])));
+        assert_eq!(dnf.atom_count(), 3);
+    }
+
+    #[test]
+    fn learns_single_clause_rule() {
+        // y = f0 ∧ f1; f2 is noise.
+        let xs = vec![
+            b(&[1, 1, 0]),
+            b(&[1, 1, 1]),
+            b(&[1, 0, 1]),
+            b(&[0, 1, 1]),
+            b(&[0, 0, 0]),
+            b(&[1, 1, 0]),
+        ];
+        let ys = vec![true, true, false, false, false, true];
+        let set = TrainSet::new(&xs, &ys);
+        let dnf = DnfConfig::default().train(&set);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(dnf.matches(x), y);
+        }
+        assert!(dnf.atom_count() <= 3, "rule not concise: {dnf:?}");
+    }
+
+    #[test]
+    fn learns_two_clause_rule() {
+        // y = f0 ∨ (f1 ∧ f2).
+        let xs = vec![
+            b(&[1, 0, 0]),
+            b(&[1, 1, 0]),
+            b(&[0, 1, 1]),
+            b(&[0, 1, 0]),
+            b(&[0, 0, 1]),
+            b(&[0, 0, 0]),
+        ];
+        let ys = vec![true, true, true, false, false, false];
+        let set = TrainSet::new(&xs, &ys);
+        let dnf = DnfConfig::default().train(&set);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(dnf.matches(x), y, "x={x:?}");
+        }
+        assert!(dnf.clauses().len() >= 2);
+    }
+
+    #[test]
+    fn respects_min_precision() {
+        // No conjunction reaches precision 1.0: f0 fires on a negative too.
+        let xs = vec![b(&[1]), b(&[1]), b(&[1]), b(&[0])];
+        let ys = vec![true, true, false, false];
+        let set = TrainSet::new(&xs, &ys);
+        let strict = DnfConfig {
+            min_precision: 0.9,
+            ..DnfConfig::default()
+        };
+        assert!(strict.train(&set).clauses().is_empty());
+        let lax = DnfConfig {
+            min_precision: 0.6,
+            ..DnfConfig::default()
+        };
+        assert_eq!(lax.train(&set).clauses().len(), 1);
+    }
+
+    #[test]
+    fn empty_dnf_predicts_negative() {
+        let dnf = Dnf::empty();
+        assert!(!dnf.predict(&b(&[1, 1])));
+        assert_eq!(dnf.decision_value(&b(&[1, 1])), -1.0);
+    }
+
+    #[test]
+    fn precision_coverage_reports() {
+        let xs = vec![b(&[1]), b(&[1]), b(&[0])];
+        let ys = vec![true, false, true];
+        let set = TrainSet::new(&xs, &ys);
+        let c = Conjunction::new(vec![0]);
+        let (p, cov) = c.precision_coverage(&set);
+        assert_eq!(p, 0.5);
+        assert_eq!(cov, 1);
+    }
+}

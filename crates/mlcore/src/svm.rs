@@ -1,0 +1,280 @@
+//! Linear support vector machine trained by stochastic gradient descent on
+//! the L2-regularized hinge loss (Pegasos).
+//!
+//! The trained model exposes its weight vector and bias — margin-based
+//! example selection needs `|w·x + b|` (paper §4.2.1) and the selection-time
+//! blocking optimization needs the top-K `|w|` dimensions (paper §5.1).
+
+use crate::data::TrainSet;
+use crate::Classifier;
+use linalg::vector::{dot, scale};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters for [`LinearSvm`] training.
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// L2 regularization strength λ in the Pegasos objective.
+    pub lambda: f64,
+    /// Number of passes over the (shuffled) training data.
+    pub epochs: usize,
+    /// Multiplier on the hinge gradient of positive examples; values > 1
+    /// compensate class skew. 1.0 = unweighted.
+    pub positive_weight: f64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            lambda: 1e-4,
+            epochs: 40,
+            positive_weight: 1.0,
+        }
+    }
+}
+
+impl SvmConfig {
+    /// Train a linear SVM on `set`. Deterministic for a given RNG state.
+    ///
+    /// Returns a zero model for an empty training set (it predicts
+    /// non-match everywhere, matching the paper's cold-start behaviour
+    /// before the seed labels arrive).
+    pub fn train<R: Rng>(&self, set: &TrainSet<'_>, rng: &mut R) -> LinearSvm {
+        self.train_weighted(set, None, rng)
+    }
+
+    /// Train with optional per-example importance weights (IWAL-style
+    /// inverse-propensity weights). `None` = uniform weights; otherwise
+    /// `weights.len()` must equal `set.len()`.
+    pub fn train_weighted<R: Rng>(
+        &self,
+        set: &TrainSet<'_>,
+        weights: Option<&[f64]>,
+        rng: &mut R,
+    ) -> LinearSvm {
+        if let Some(ws) = weights {
+            assert_eq!(ws.len(), set.len(), "weight/example mismatch");
+        }
+        let dim = set.dim();
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        if set.is_empty() || dim == 0 {
+            return LinearSvm { weights: w, bias: b };
+        }
+        let n = set.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 0usize;
+        for _ in 0..self.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (self.lambda * t as f64);
+                let x = set.x(i);
+                let y = set.y_signed(i);
+                let margin = y * (dot(&w, x) + b);
+                // Regularization shrink (bias is conventionally unshrunk).
+                scale(1.0 - eta * self.lambda, &mut w);
+                if margin < 1.0 {
+                    let cw = if set.y(i) { self.positive_weight } else { 1.0 };
+                    let iw = weights.map_or(1.0, |ws| ws[i]);
+                    let step = eta * cw * iw * y;
+                    for (wj, xj) in w.iter_mut().zip(x) {
+                        *wj += step * xj;
+                    }
+                    b += step;
+                }
+            }
+        }
+        LinearSvm { weights: w, bias: b }
+    }
+}
+
+/// A trained linear SVM: `f(x) = w·x + b`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Construct directly from weights and bias (used by tests and by the
+    /// active-ensemble union model).
+    pub fn from_parts(weights: Vec<f64>, bias: f64) -> Self {
+        LinearSvm { weights, bias }
+    }
+
+    /// The separating hyperplane's weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Margin of an example: `|w·x + b|`, the learner-aware ambiguity
+    /// measure for margin-based selection (sign ignored per §4.2.1).
+    pub fn margin(&self, x: &[f64]) -> f64 {
+        self.decision_value(x).abs()
+    }
+
+    /// Indices of the `k` dimensions with the largest `|w|`, descending —
+    /// the blocking dimensions of §5.1.
+    pub fn top_weight_dims(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.weights.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.weights[b]
+                .abs()
+                .partial_cmp(&self.weights[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn decision_value(&self, x: &[f64]) -> f64 {
+        dot(&self.weights, x) + self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Positive iff x0 > 0.5; x1 is noise.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let v = i as f64 / 60.0;
+            xs.push(vec![v, (i % 7) as f64 / 7.0]);
+            ys.push(v > 0.5);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (xs, ys) = separable();
+        let set = TrainSet::new(&xs, &ys);
+        let mut rng = StdRng::seed_from_u64(1);
+        let svm = SvmConfig::default().train(&set, &mut rng);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| svm.predict(x) == y)
+            .count();
+        assert!(correct >= 57, "only {correct}/60 correct");
+    }
+
+    #[test]
+    fn empty_set_gives_zero_model() {
+        let xs: Vec<Vec<f64>> = vec![];
+        let ys: Vec<bool> = vec![];
+        let set = TrainSet::new(&xs, &ys);
+        let mut rng = StdRng::seed_from_u64(1);
+        let svm = SvmConfig::default().train(&set, &mut rng);
+        assert!(!svm.predict(&[]));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = separable();
+        let set = TrainSet::new(&xs, &ys);
+        let a = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(9));
+        let b = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn margin_is_absolute_decision() {
+        let svm = LinearSvm::from_parts(vec![1.0, -2.0], 0.5);
+        assert_eq!(svm.decision_value(&[1.0, 1.0]), -0.5);
+        assert_eq!(svm.margin(&[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn top_weight_dims_orders_by_magnitude() {
+        let svm = LinearSvm::from_parts(vec![0.1, -3.0, 2.0, 0.0], 0.0);
+        assert_eq!(svm.top_weight_dims(2), vec![1, 2]);
+        assert_eq!(svm.top_weight_dims(10).len(), 4);
+    }
+
+    #[test]
+    fn weighted_training_matches_uniform_when_weights_are_one() {
+        let (xs, ys) = separable();
+        let set = TrainSet::new(&xs, &ys);
+        let ones = vec![1.0; xs.len()];
+        let a = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(4));
+        let b = SvmConfig::default().train_weighted(
+            &set,
+            Some(&ones),
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn importance_weights_tilt_the_model() {
+        // Upweighting one mislabeled-looking point should move the model.
+        let (xs, ys) = separable();
+        let set = TrainSet::new(&xs, &ys);
+        // Upweight a boundary example — those violate the hinge during
+        // training, so their weight actually shows up in the updates.
+        let mut ws = vec![1.0; xs.len()];
+        ws[30] = 50.0;
+        let uniform = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(4));
+        let weighted = SvmConfig::default().train_weighted(
+            &set,
+            Some(&ws),
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert_ne!(uniform, weighted);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight/example mismatch")]
+    fn weighted_training_rejects_bad_lengths() {
+        let (xs, ys) = separable();
+        let set = TrainSet::new(&xs, &ys);
+        let _ = SvmConfig::default().train_weighted(
+            &set,
+            Some(&[1.0]),
+            &mut StdRng::seed_from_u64(4),
+        );
+    }
+
+    #[test]
+    fn positive_weight_shifts_boundary_toward_recall() {
+        // Skewed data: few positives. A large positive weight should not
+        // reduce recall.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            let v = i as f64 / 100.0;
+            xs.push(vec![v]);
+            ys.push(v > 0.9);
+        }
+        let set = TrainSet::new(&xs, &ys);
+        let unweighted = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(3));
+        let weighted = SvmConfig {
+            positive_weight: 5.0,
+            ..SvmConfig::default()
+        }
+        .train(&set, &mut StdRng::seed_from_u64(3));
+        let recall = |m: &LinearSvm| {
+            let tp = xs
+                .iter()
+                .zip(&ys)
+                .filter(|(x, &y)| y && m.predict(x))
+                .count();
+            tp as f64 / ys.iter().filter(|&&y| y).count() as f64
+        };
+        assert!(recall(&weighted) >= recall(&unweighted));
+    }
+}

@@ -1,0 +1,378 @@
+//! CART decision trees with Gini impurity, threshold splits and optional
+//! random feature subsets per node.
+//!
+//! Configured as in the Corleone system the paper adopts (§4.1.1): random
+//! trees of unlimited depth that consider `log2(D + 1)` randomly chosen
+//! features at each split. The node structure is public so the
+//! interpretability evaluation can convert match-paths to DNF formulas
+//! (paper §6.3).
+
+use crate::data::TrainSet;
+use crate::Classifier;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How many features a node considers when searching for the best split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureSubset {
+    /// All features (classic CART).
+    All,
+    /// `floor(log2(D + 1))` random features — the Corleone/Weka
+    /// RandomTree setting used by the paper.
+    Log2,
+    /// `floor(sqrt(D))` random features — the common random-forest default,
+    /// included for the ablation benchmark.
+    Sqrt,
+    /// A fixed count (clamped to `D`).
+    Fixed(usize),
+}
+
+impl FeatureSubset {
+    /// Resolve to a concrete count for dimensionality `dim`.
+    pub fn count(self, dim: usize) -> usize {
+        let c = match self {
+            FeatureSubset::All => dim,
+            FeatureSubset::Log2 => ((dim as f64 + 1.0).log2().floor() as usize).max(1),
+            FeatureSubset::Sqrt => ((dim as f64).sqrt().floor() as usize).max(1),
+            FeatureSubset::Fixed(k) => k.max(1),
+        };
+        c.min(dim).max(1)
+    }
+}
+
+/// Hyper-parameters for [`DecisionTree`] training.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth; `None` = unlimited (the paper's setting).
+    pub max_depth: Option<usize>,
+    /// Nodes with fewer examples become leaves.
+    pub min_samples_split: usize,
+    /// Feature subsampling policy per node.
+    pub feature_subset: FeatureSubset,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: None,
+            min_samples_split: 2,
+            feature_subset: FeatureSubset::All,
+        }
+    }
+}
+
+/// A node of a trained tree. `Split` sends `x[feature] <= threshold` left.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Node {
+    /// Terminal node predicting `label` with the training-set positive
+    /// fraction retained for soft scores.
+    Leaf {
+        /// Majority label at this leaf.
+        label: bool,
+        /// Fraction of training positives that reached this leaf.
+        positive_fraction: f64,
+    },
+    /// Internal binary split on one feature.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Examples with `x[feature] <= threshold` go left.
+        threshold: f64,
+        /// Left subtree (`<=`).
+        left: Box<Node>,
+        /// Right subtree (`>`).
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    dim: usize,
+}
+
+impl DecisionTree {
+    /// Root node (public for DNF conversion in the interpretability
+    /// evaluator).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Feature dimensionality the tree was trained on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.root.leaves()
+    }
+
+    /// Positive-class probability from the reached leaf's training
+    /// composition.
+    pub fn positive_fraction(&self, x: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf {
+                    positive_fraction, ..
+                } => return *positive_fraction,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn decision_value(&self, x: &[f64]) -> f64 {
+        2.0 * self.positive_fraction(x) - 1.0
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn positive_probability(&self, x: &[f64]) -> f64 {
+        self.positive_fraction(x)
+    }
+}
+
+impl TreeConfig {
+    /// Train a decision tree. Deterministic for a given RNG state.
+    pub fn train<R: Rng>(&self, set: &TrainSet<'_>, rng: &mut R) -> DecisionTree {
+        let dim = set.dim();
+        let idx: Vec<usize> = (0..set.len()).collect();
+        let root = if idx.is_empty() || dim == 0 {
+            Node::Leaf {
+                label: false,
+                positive_fraction: 0.0,
+            }
+        } else {
+            self.build(set, idx, 0, rng)
+        };
+        DecisionTree { root, dim }
+    }
+
+    fn build<R: Rng>(
+        &self,
+        set: &TrainSet<'_>,
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut R,
+    ) -> Node {
+        let pos = idx.iter().filter(|&&i| set.y(i)).count();
+        let n = idx.len();
+        let frac = pos as f64 / n as f64;
+        let make_leaf = || Node::Leaf {
+            label: 2 * pos > n,
+            positive_fraction: frac,
+        };
+        let pure = pos == 0 || pos == n;
+        let too_deep = self.max_depth.is_some_and(|d| depth >= d);
+        if pure || too_deep || n < self.min_samples_split {
+            return make_leaf();
+        }
+        let dim = set.dim();
+        let k = self.feature_subset.count(dim);
+        let mut feats: Vec<usize> = (0..dim).collect();
+        feats.shuffle(rng);
+        feats.truncate(k);
+
+        let Some((feature, threshold)) = best_split(set, &idx, &feats) else {
+            return make_leaf();
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| set.x(i)[feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return make_leaf();
+        }
+        let left = self.build(set, left_idx, depth + 1, rng);
+        let right = self.build(set, right_idx, depth + 1, rng);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+}
+
+/// Find the `(feature, threshold)` with the lowest weighted Gini impurity
+/// among the candidate features, or `None` when no split separates anything.
+fn best_split(set: &TrainSet<'_>, idx: &[usize], feats: &[usize]) -> Option<(usize, f64)> {
+    let n = idx.len() as f64;
+    let mut best: Option<(f64, usize, f64)> = None;
+    let mut vals: Vec<(f64, bool)> = Vec::with_capacity(idx.len());
+    for &f in feats {
+        vals.clear();
+        vals.extend(idx.iter().map(|&i| (set.x(i)[f], set.y(i))));
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let total_pos = vals.iter().filter(|(_, y)| *y).count() as f64;
+        let mut left_n = 0.0;
+        let mut left_pos = 0.0;
+        for w in 0..vals.len() - 1 {
+            left_n += 1.0;
+            if vals[w].1 {
+                left_pos += 1.0;
+            }
+            // Candidate threshold only between distinct values.
+            if vals[w].0 == vals[w + 1].0 {
+                continue;
+            }
+            let right_n = n - left_n;
+            let right_pos = total_pos - left_pos;
+            let gini = |cnt: f64, pos: f64| -> f64 {
+                if cnt == 0.0 {
+                    return 0.0;
+                }
+                let p = pos / cnt;
+                2.0 * p * (1.0 - p)
+            };
+            let weighted =
+                left_n / n * gini(left_n, left_pos) + right_n / n * gini(right_n, right_pos);
+            let thr = 0.5 * (vals[w].0 + vals[w + 1].0);
+            if best.is_none_or(|(g, _, _)| weighted < g) {
+                best = Some((weighted, f, thr));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // XOR-ish: positive iff exactly one coordinate is high. Linear
+        // models fail; a depth-2 tree nails it.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..5 {
+                    xs.push(vec![a as f64, b as f64]);
+                    ys.push((a ^ b) == 1);
+                }
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_xor_perfectly() {
+        let (xs, ys) = xor_data();
+        let set = TrainSet::new(&xs, &ys);
+        let tree = TreeConfig::default().train(&set, &mut StdRng::seed_from_u64(5));
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(tree.predict(x), y);
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![true, true];
+        let set = TrainSet::new(&xs, &ys);
+        let tree = TreeConfig::default().train(&set, &mut StdRng::seed_from_u64(5));
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.predict(&[0.5]));
+        assert_eq!(tree.positive_fraction(&[0.5]), 1.0);
+    }
+
+    #[test]
+    fn max_depth_caps_depth() {
+        let (xs, ys) = xor_data();
+        let set = TrainSet::new(&xs, &ys);
+        let cfg = TreeConfig {
+            max_depth: Some(1),
+            ..TreeConfig::default()
+        };
+        let tree = cfg.train(&set, &mut StdRng::seed_from_u64(5));
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn empty_set_predicts_negative() {
+        let xs: Vec<Vec<f64>> = vec![];
+        let ys: Vec<bool> = vec![];
+        let set = TrainSet::new(&xs, &ys);
+        let tree = TreeConfig::default().train(&set, &mut StdRng::seed_from_u64(5));
+        assert!(!tree.predict(&[]));
+    }
+
+    #[test]
+    fn feature_subset_counts() {
+        assert_eq!(FeatureSubset::All.count(63), 63);
+        assert_eq!(FeatureSubset::Log2.count(63), 6);
+        assert_eq!(FeatureSubset::Sqrt.count(64), 8);
+        assert_eq!(FeatureSubset::Fixed(100).count(10), 10);
+        assert_eq!(FeatureSubset::Log2.count(1), 1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = xor_data();
+        let set = TrainSet::new(&xs, &ys);
+        let cfg = TreeConfig {
+            feature_subset: FeatureSubset::Log2,
+            ..TreeConfig::default()
+        };
+        let a = cfg.train(&set, &mut StdRng::seed_from_u64(11));
+        let b = cfg.train(&set, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn leaves_count() {
+        let (xs, ys) = xor_data();
+        let set = TrainSet::new(&xs, &ys);
+        let tree = TreeConfig::default().train(&set, &mut StdRng::seed_from_u64(5));
+        assert!(tree.leaves() >= 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests on classifier invariants.
+
+use mlcore::data::TrainSet;
+use mlcore::forest::ForestConfig;
+use mlcore::metrics::Confusion;
+use mlcore::rules::{Conjunction, Dnf};
+use mlcore::svm::LinearSvm;
+use mlcore::tree::TreeConfig;
+use mlcore::Classifier;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forest decision-value sign always agrees with the majority vote,
+    /// and probabilities stay in [0, 1].
+    #[test]
+    fn forest_sign_matches_majority(
+        labels in prop::collection::vec(any::<bool>(), 10..60),
+        n_trees in 1usize..12,
+        seed in 0u64..50,
+    ) {
+        let n = labels.len();
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, (i % 5) as f64])
+            .collect();
+        let set = TrainSet::new(&xs, &labels);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let forest = ForestConfig::with_trees(n_trees).train(&set, &mut rng);
+        for x in &xs {
+            let votes = forest.positive_votes(x);
+            prop_assert!(votes <= n_trees);
+            let majority = 2 * votes > n_trees;
+            prop_assert_eq!(forest.decision_value(x) > 0.0, majority);
+            let p = forest.positive_probability(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// An unlimited-depth tree fits consistent training data perfectly
+    /// when all feature rows are distinct.
+    #[test]
+    fn tree_fits_distinct_rows_perfectly(
+        labels in prop::collection::vec(any::<bool>(), 4..50),
+        seed in 0u64..50,
+    ) {
+        let n = labels.len();
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let set = TrainSet::new(&xs, &labels);
+        let tree = TreeConfig::default().train(&set, &mut StdRng::seed_from_u64(seed));
+        for (x, &y) in xs.iter().zip(&labels) {
+            prop_assert_eq!(tree.predict(x), y);
+        }
+    }
+
+    /// SVM margin is the absolute decision value, and blocking dims are
+    /// sorted by |weight| descending.
+    #[test]
+    fn svm_margin_and_blocking_dims(
+        weights in prop::collection::vec(-5.0f64..5.0, 1..30),
+        bias in -2.0f64..2.0,
+        x in prop::collection::vec(0.0f64..1.0, 1..30),
+    ) {
+        let d = weights.len().min(x.len());
+        let svm = LinearSvm::from_parts(weights[..d].to_vec(), bias);
+        let xv = &x[..d];
+        prop_assert!((svm.margin(xv) - svm.decision_value(xv).abs()).abs() < 1e-12);
+        let dims = svm.top_weight_dims(d);
+        for w in dims.windows(2) {
+            prop_assert!(
+                svm.weights()[w[0]].abs() >= svm.weights()[w[1]].abs() - 1e-12
+            );
+        }
+    }
+
+    /// Conjunction monotonicity: adding an atom can only shrink the match
+    /// set; adding a clause to a DNF can only grow it.
+    #[test]
+    fn dnf_monotonicity(
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 6), 1..40),
+        atoms in prop::collection::vec(0usize..6, 1..4),
+        extra_atom in 0usize..6,
+    ) {
+        let frows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&b| f64::from(u8::from(b))).collect())
+            .collect();
+        let small = Conjunction::new(atoms.clone());
+        let mut bigger_atoms = atoms.clone();
+        bigger_atoms.push(extra_atom);
+        let bigger = Conjunction::new(bigger_atoms);
+        for x in &frows {
+            // bigger has more constraints → matches ⊆ small's matches.
+            prop_assert!(!bigger.matches(x) || small.matches(x));
+        }
+        let d1 = Dnf::new(vec![small.clone()]);
+        let d2 = Dnf::new(vec![small, bigger]);
+        for x in &frows {
+            prop_assert!(!d1.matches(x) || d2.matches(x));
+        }
+    }
+
+    /// Rule-Minus variants are strict relaxations: anything the full rule
+    /// matches, every minus-variant matches too.
+    #[test]
+    fn rule_minus_relaxes(
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 8), 1..30),
+        atoms in prop::collection::vec(0usize..8, 2..5),
+    ) {
+        let rule = Conjunction::new(atoms);
+        let frows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&b| f64::from(u8::from(b))).collect())
+            .collect();
+        for minus in rule.minus_variants() {
+            for x in &frows {
+                prop_assert!(!rule.matches(x) || minus.matches(x));
+            }
+        }
+    }
+
+    /// Confusion counts partition the observations; metrics are bounded.
+    #[test]
+    fn confusion_partition(
+        preds in prop::collection::vec(any::<bool>(), 0..200),
+        seed in 0u64..100,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actual: Vec<bool> = preds.iter().map(|_| rng.gen()).collect();
+        let c = Confusion::from_predictions(&preds, &actual);
+        prop_assert_eq!(c.total(), preds.len());
+        for m in [c.precision(), c.recall(), c.f1(), c.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+    }
+
+    /// Bootstrap resampling preserves dimensionality and length.
+    #[test]
+    fn bootstrap_shape(n in 1usize..200, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = mlcore::data::bootstrap_indices(n, &mut rng);
+        prop_assert_eq!(idx.len(), n);
+        prop_assert!(idx.iter().all(|&i| i < n));
+    }
+}

@@ -1,0 +1,108 @@
+//! Phonetic similarity: Soundex encoding compared with Jaro-Winkler.
+//!
+//! Simmetrics' Soundex metric encodes both inputs with the classic American
+//! Soundex algorithm and compares the codes with Jaro-Winkler. We encode the
+//! first token of each value (Soundex is a single-word code) and fall back to
+//! plain Jaro-Winkler on the raw strings when neither side starts with an
+//! alphabetic token.
+
+use crate::seq;
+
+/// Classic 4-character American Soundex code (`None` when the input has no
+/// leading alphabetic character).
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+    let digit = |c: char| -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => b'1',
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => b'2',
+            'D' | 'T' => b'3',
+            'L' => b'4',
+            'M' | 'N' => b'5',
+            'R' => b'6',
+            _ => b'0', // vowels + H, W, Y
+        }
+    };
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last = digit(first);
+    for &c in &letters[1..] {
+        let d = digit(c);
+        // H and W are transparent: they do not reset the previous code.
+        if c == 'H' || c == 'W' {
+            continue;
+        }
+        if d != b'0' && d != last {
+            code.push(d as char);
+            if code.len() == 4 {
+                break;
+            }
+        }
+        last = d;
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Similarity of the Soundex codes of the first tokens, compared with
+/// Jaro-Winkler. Falls back to Jaro-Winkler on the first tokens themselves
+/// when a code cannot be derived.
+pub fn soundex_sim(a_tokens: &[String], b_tokens: &[String]) -> f64 {
+    let a = a_tokens.first().map(String::as_str).unwrap_or("");
+    let b = b_tokens.first().map(String::as_str).unwrap_or("");
+    match (soundex(a), soundex(b)) {
+        (Some(ca), Some(cb)) => {
+            let x: Vec<char> = ca.chars().collect();
+            let y: Vec<char> = cb.chars().collect();
+            seq::jaro_winkler(&x, &y)
+        }
+        _ => {
+            let x: Vec<char> = a.chars().collect();
+            let y: Vec<char> = b.chars().collect();
+            seq::jaro_winkler(&x, &y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soundex_known_codes() {
+        assert_eq!(soundex("Robert").unwrap(), "R163");
+        assert_eq!(soundex("Rupert").unwrap(), "R163");
+        assert_eq!(soundex("Ashcraft").unwrap(), "A261");
+        assert_eq!(soundex("Ashcroft").unwrap(), "A261");
+        assert_eq!(soundex("Tymczak").unwrap(), "T522");
+        assert_eq!(soundex("Pfister").unwrap(), "P236");
+        assert_eq!(soundex("Honeyman").unwrap(), "H555");
+    }
+
+    #[test]
+    fn soundex_no_letters() {
+        assert!(soundex("12345").is_none());
+        assert!(soundex("").is_none());
+    }
+
+    #[test]
+    fn phonetically_equal_names_score_one() {
+        let a = vec!["robert".to_owned()];
+        let b = vec!["rupert".to_owned()];
+        assert_eq!(soundex_sim(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn numeric_tokens_fall_back() {
+        let a = vec!["123".to_owned()];
+        let b = vec!["123".to_owned()];
+        assert_eq!(soundex_sim(&a, &b), 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! [`Prepared`]: a pre-tokenized string value.
+//!
+//! Feature extraction evaluates all 21 similarity measures against the same
+//! pair of attribute values. Tokenizing once and sharing the result across
+//! measures avoids re-deriving tokens, q-grams and counts 21 times.
+
+use crate::tokenize;
+
+/// A string plus every derived view the similarity measures need: normalized
+/// characters, whitespace tokens, sorted token set, token counts, and 2-/3-
+/// gram multisets.
+///
+/// Construct once per attribute value and reuse across measures:
+///
+/// ```
+/// use textsim::{Prepared, SimilarityFunction};
+/// let p = Prepared::new("Apple iPod");
+/// let q = Prepared::new("apple ipod nano");
+/// for f in SimilarityFunction::ALL {
+///     let s = f.compute_prepared(&p, &q);
+///     assert!((0.0..=1.0).contains(&s));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    normalized: String,
+    chars: Vec<char>,
+    tokens: Vec<String>,
+    token_set: Vec<String>,
+    token_counts: Vec<(String, u32)>,
+    bigrams: Vec<(String, u32)>,
+    trigrams: Vec<(String, u32)>,
+}
+
+impl Prepared {
+    /// Normalize and tokenize `raw` into all derived views.
+    pub fn new(raw: &str) -> Self {
+        let normalized = tokenize::normalize(raw);
+        let chars: Vec<char> = normalized.chars().collect();
+        let tokens = tokenize::tokens(&normalized);
+        let mut token_set = tokens.clone();
+        token_set.sort_unstable();
+        token_set.dedup();
+        let token_counts = tokenize::counted(tokens.iter().cloned());
+        let bigrams = tokenize::counted(tokenize::qgrams(&normalized, 2));
+        let trigrams = tokenize::counted(tokenize::qgrams(&normalized, 3));
+        Prepared {
+            normalized,
+            chars,
+            tokens,
+            token_set,
+            token_counts,
+            bigrams,
+            trigrams,
+        }
+    }
+
+    /// True when the value is null/absent for matching purposes (empty after
+    /// normalization). The paper scores such pairs 0 for every measure.
+    pub fn is_missing(&self) -> bool {
+        self.normalized.is_empty()
+    }
+
+    /// The normalized (lowercased, punctuation-stripped) string.
+    pub fn normalized(&self) -> &str {
+        &self.normalized
+    }
+
+    /// Characters of the normalized string.
+    pub fn chars(&self) -> &[char] {
+        &self.chars
+    }
+
+    /// Whitespace tokens, in order of appearance.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Sorted, deduplicated token set.
+    pub fn token_set(&self) -> &[String] {
+        &self.token_set
+    }
+
+    /// Sorted token multiset with counts.
+    pub fn token_counts(&self) -> &[(String, u32)] {
+        &self.token_counts
+    }
+
+    /// Padded character bigram multiset with counts.
+    pub fn bigrams(&self) -> &[(String, u32)] {
+        &self.bigrams
+    }
+
+    /// Padded character trigram multiset with counts.
+    pub fn trigrams(&self) -> &[(String, u32)] {
+        &self.trigrams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_all_views() {
+        let p = Prepared::new("Apple iPod apple");
+        assert_eq!(p.normalized(), "apple ipod apple");
+        assert_eq!(p.tokens().len(), 3);
+        assert_eq!(p.token_set(), &["apple".to_owned(), "ipod".to_owned()]);
+        assert_eq!(
+            p.token_counts(),
+            &[("apple".to_owned(), 2), ("ipod".to_owned(), 1)]
+        );
+        assert!(!p.bigrams().is_empty());
+        assert!(!p.trigrams().is_empty());
+        assert!(!p.is_missing());
+    }
+
+    #[test]
+    fn empty_is_missing() {
+        assert!(Prepared::new("").is_missing());
+        assert!(Prepared::new(" .,! ").is_missing());
+    }
+}

@@ -1,0 +1,361 @@
+//! Character-sequence similarity measures: edit distances, Jaro family,
+//! global/local alignment, and longest-common-subsequence/substring.
+//!
+//! All functions take pre-split `&[char]` slices (see
+//! [`crate::Prepared::chars`]) and return similarities in `[0, 1]`. Callers
+//! guarantee non-empty inputs; the empty-vs-empty case returns 1 where the
+//! strings are trivially equal.
+
+/// Normalized Levenshtein similarity: `1 - dist / max(|a|, |b|)`.
+pub fn levenshtein_sim(a: &[char], b: &[char]) -> f64 {
+    let maxlen = a.len().max(b.len());
+    if maxlen == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / maxlen as f64
+}
+
+/// Plain Levenshtein edit distance with a two-row DP.
+pub fn levenshtein(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Damerau-Levenshtein similarity (optimal string alignment:
+/// edits plus adjacent transpositions).
+pub fn damerau_levenshtein_sim(a: &[char], b: &[char]) -> f64 {
+    let maxlen = a.len().max(b.len());
+    if maxlen == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f64 / maxlen as f64
+}
+
+/// Optimal-string-alignment distance (Damerau-Levenshtein without
+/// substring-reuse).
+pub fn damerau_levenshtein(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let w = b.len() + 1;
+    // Full DP table (the i-2 row access makes rolling rows awkward).
+    let mut d = vec![vec![0usize; w]; a.len() + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in d[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = best;
+        }
+    }
+    d[a.len()][b.len()]
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_match_idx: Vec<usize> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                a_match_idx.push(j);
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Half-transpositions: matched b-characters in a-order vs. b-order.
+    let mut t = 0usize;
+    let b_seq: Vec<char> = a_match_idx.iter().map(|&j| b[j]).collect();
+    let mut sorted_js = a_match_idx.clone();
+    sorted_js.sort_unstable();
+    let b_sorted: Vec<char> = sorted_js.iter().map(|&j| b[j]).collect();
+    for (x, y) in b_seq.iter().zip(b_sorted.iter()) {
+        if x != y {
+            t += 1;
+        }
+    }
+    let t = (t / 2) as f64;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with scaling factor 0.1 and max prefix length 4.
+pub fn jaro_winkler(a: &[char], b: &[char]) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .iter()
+        .zip(b.iter())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+const NW_GAP: f64 = 2.0;
+const NW_SUB: f64 = 1.0;
+
+/// Normalized Needleman-Wunsch similarity.
+///
+/// Global alignment distance with gap cost 2 and substitution cost 1
+/// (the Simmetrics defaults), normalized as
+/// `1 - dist / (max(|a|, |b|) * max(gap, sub))`.
+pub fn needleman_wunsch_sim(a: &[char], b: &[char]) -> f64 {
+    let maxlen = a.len().max(b.len());
+    if maxlen == 0 {
+        return 1.0;
+    }
+    let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64 * NW_GAP).collect();
+    let mut cur = vec![0.0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = (i + 1) as f64 * NW_GAP;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + if ca == cb { 0.0 } else { NW_SUB };
+            cur[j + 1] = sub.min(prev[j + 1] + NW_GAP).min(cur[j] + NW_GAP);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let dist = prev[b.len()];
+    1.0 - dist / (maxlen as f64 * NW_GAP.max(NW_SUB))
+}
+
+const SW_MATCH: f64 = 1.0;
+const SW_MISMATCH: f64 = -2.0;
+const SW_GAP: f64 = -0.5;
+
+/// Normalized Smith-Waterman similarity: best local alignment score with
+/// match +1, mismatch −2, gap −0.5, normalized by `min(|a|, |b|)`.
+pub fn smith_waterman_sim(a: &[char], b: &[char]) -> f64 {
+    let minlen = a.len().min(b.len());
+    if minlen == 0 {
+        return if a.len() == b.len() { 1.0 } else { 0.0 };
+    }
+    let mut prev = vec![0.0f64; b.len() + 1];
+    let mut cur = vec![0.0f64; b.len() + 1];
+    let mut best = 0.0f64;
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { SW_MATCH } else { SW_MISMATCH };
+            let v = diag.max(prev[j + 1] + SW_GAP).max(cur[j] + SW_GAP).max(0.0);
+            cur[j + 1] = v;
+            best = best.max(v);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best / (minlen as f64 * SW_MATCH)
+}
+
+const SWG_OPEN: f64 = -1.0;
+const SWG_EXTEND: f64 = -0.5;
+
+/// Normalized Smith-Waterman-Gotoh similarity: local alignment with affine
+/// gaps (open −1, extend −0.5), match +1, mismatch −2, normalized by
+/// `min(|a|, |b|)`.
+pub fn smith_waterman_gotoh_sim(a: &[char], b: &[char]) -> f64 {
+    let minlen = a.len().min(b.len());
+    if minlen == 0 {
+        return if a.len() == b.len() { 1.0 } else { 0.0 };
+    }
+    let w = b.len() + 1;
+    let neg = f64::NEG_INFINITY;
+    // h: best ending at (i,j); e: gap in b (horizontal); f: gap in a.
+    let mut h_prev = vec![0.0f64; w];
+    let mut f_prev = vec![neg; w];
+    let mut best = 0.0f64;
+    for &ca in a {
+        let mut h_cur = vec![0.0f64; w];
+        let mut f_cur = vec![neg; w];
+        let mut e = neg;
+        for (j, &cb) in b.iter().enumerate() {
+            e = (h_cur[j] + SWG_OPEN).max(e + SWG_EXTEND);
+            f_cur[j + 1] = (h_prev[j + 1] + SWG_OPEN).max(f_prev[j + 1] + SWG_EXTEND);
+            let diag = h_prev[j] + if ca == cb { SW_MATCH } else { SW_MISMATCH };
+            let v = diag.max(e).max(f_cur[j + 1]).max(0.0);
+            h_cur[j + 1] = v;
+            best = best.max(v);
+        }
+        h_prev = h_cur;
+        f_prev = f_cur;
+    }
+    best / (minlen as f64 * SW_MATCH)
+}
+
+/// Longest-common-subsequence similarity: `|lcs| / max(|a|, |b|)`.
+pub fn lcs_seq_sim(a: &[char], b: &[char]) -> f64 {
+    let maxlen = a.len().max(b.len());
+    if maxlen == 0 {
+        return 1.0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()] as f64 / maxlen as f64
+}
+
+/// Longest-common-substring similarity: `|lcsstr| / max(|a|, |b|)`.
+pub fn lcs_str_sim(a: &[char], b: &[char]) -> f64 {
+    let maxlen = a.len().max(b.len());
+    if maxlen == 0 {
+        return 1.0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    let mut best = 0usize;
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best as f64 / maxlen as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein(&cs("kitten"), &cs("sitting")), 3);
+        assert_eq!(levenshtein(&cs("abc"), &cs("abc")), 0);
+        assert_eq!(levenshtein(&cs(""), &cs("abc")), 3);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_once() {
+        assert_eq!(damerau_levenshtein(&cs("ca"), &cs("ac")), 1);
+        assert_eq!(levenshtein(&cs("ca"), &cs("ac")), 2);
+        assert_eq!(damerau_levenshtein(&cs("abcdef"), &cs("abcdfe")), 1);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic textbook examples.
+        let s = jaro(&cs("martha"), &cs("marhta"));
+        assert!((s - 0.944444).abs() < 1e-4, "{s}");
+        let s = jaro(&cs("dixon"), &cs("dicksonx"));
+        assert!((s - 0.766667).abs() < 1e-4, "{s}");
+        assert_eq!(jaro(&cs("abc"), &cs("xyz")), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix() {
+        let jw = jaro_winkler(&cs("martha"), &cs("marhta"));
+        assert!((jw - 0.961111).abs() < 1e-4, "{jw}");
+        let j = jaro(&cs("marxxx"), &cs("maryyy"));
+        let w = jaro_winkler(&cs("marxxx"), &cs("maryyy"));
+        assert!(w > j);
+    }
+
+    #[test]
+    fn needleman_wunsch_bounds() {
+        assert_eq!(needleman_wunsch_sim(&cs("abc"), &cs("abc")), 1.0);
+        let s = needleman_wunsch_sim(&cs("abc"), &cs("xyz"));
+        assert!((0.0..1.0).contains(&s));
+    }
+
+    #[test]
+    fn smith_waterman_finds_local_match() {
+        // "ipod" is a perfect local match inside both strings.
+        let s = smith_waterman_sim(&cs("ipod"), &cs("apple ipod nano"));
+        assert_eq!(s, 1.0);
+        let s = smith_waterman_gotoh_sim(&cs("ipod"), &cs("apple ipod nano"));
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn gotoh_prefers_contiguous_gaps() {
+        // Affine penalties make one 4-char gap cheaper than two 2-char gaps;
+        // linear Smith-Waterman scores both identically.
+        let a = cs("abcdefgh");
+        let one_gap = cs("abcdXXXXefgh");
+        let two_gaps = cs("abXXcdefXXgh");
+        assert!(
+            smith_waterman_gotoh_sim(&a, &one_gap) > smith_waterman_gotoh_sim(&a, &two_gaps)
+        );
+        assert!(
+            (smith_waterman_sim(&a, &one_gap) - smith_waterman_sim(&a, &two_gaps)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn lcs_variants() {
+        assert!((lcs_seq_sim(&cs("abcde"), &cs("axcxe")) - 0.6).abs() < 1e-12);
+        assert!((lcs_str_sim(&cs("abcde"), &cs("xxabcxx")) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_measures_symmetric() {
+        let pairs = [("panasonic dvd", "panasonic dvd player"), ("abc", "cba")];
+        for (x, y) in pairs {
+            let (a, b) = (cs(x), cs(y));
+            for f in [
+                levenshtein_sim,
+                damerau_levenshtein_sim,
+                jaro,
+                jaro_winkler,
+                needleman_wunsch_sim,
+                smith_waterman_sim,
+                smith_waterman_gotoh_sim,
+                lcs_seq_sim,
+                lcs_str_sim,
+            ] {
+                assert!((f(&a, &b) - f(&b, &a)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Token-set and token-multiset similarity measures.
+//!
+//! Set measures take sorted, deduplicated token slices (see
+//! [`crate::Prepared::token_set`]); multiset measures take count-sorted
+//! `(token, count)` slices (see [`crate::Prepared::token_counts`]).
+
+use crate::seq;
+use crate::tokenize::merge_counts;
+
+/// Size of the intersection of two sorted, deduplicated slices.
+fn intersection_size(a: &[String], b: &[String]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard coefficient `|A ∩ B| / |A ∪ B|` on token sets.
+pub fn jaccard(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Sørensen-Dice coefficient `2|A ∩ B| / (|A| + |B|)` on token sets.
+pub fn dice(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    2.0 * intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` on token sets.
+pub fn overlap(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::from(u8::from(a.len() == b.len()));
+    }
+    intersection_size(a, b) as f64 / a.len().min(b.len()) as f64
+}
+
+/// Cosine similarity `|A ∩ B| / sqrt(|A| · |B|)` on token sets.
+pub fn cosine(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    intersection_size(a, b) as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+/// Block (L1 / Manhattan) distance on token multisets, converted to a
+/// similarity: `1 - L1 / (|a| + |b|)` where `|·|` is total token count.
+pub fn block_distance_sim(a: &[(String, u32)], b: &[(String, u32)], ) -> f64 {
+    let total: u32 = a.iter().map(|(_, n)| n).sum::<u32>() + b.iter().map(|(_, n)| n).sum::<u32>();
+    if total == 0 {
+        return 1.0;
+    }
+    let l1 = merge_counts(a, b, |x, y| (f64::from(x) - f64::from(y)).abs());
+    1.0 - l1 / f64::from(total)
+}
+
+/// Euclidean (L2) distance on token multisets, converted to a similarity:
+/// `1 - L2 / sqrt(|a|² + |b|²)` — the Simmetrics normalization, where the
+/// denominator is the largest possible L2 for disjoint multisets of the
+/// same total counts.
+pub fn euclidean_sim(a: &[(String, u32)], b: &[(String, u32)]) -> f64 {
+    let sq = |v: &[(String, u32)]| -> f64 {
+        v.iter().map(|(_, n)| f64::from(*n) * f64::from(*n)).sum()
+    };
+    let denom = (sq(a) + sq(b)).sqrt();
+    if denom == 0.0 {
+        return 1.0;
+    }
+    let l2 = merge_counts(a, b, |x, y| {
+        let d = f64::from(x) - f64::from(y);
+        d * d
+    })
+    .sqrt();
+    1.0 - l2 / denom
+}
+
+/// Monge-Elkan similarity with a Smith-Waterman inner measure:
+/// symmetrized `avg_a max_b innersim(a, b)`.
+pub fn monge_elkan(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let one_way = |xs: &[String], ys: &[String]| -> f64 {
+        let mut total = 0.0;
+        for x in xs {
+            let xc: Vec<char> = x.chars().collect();
+            let mut best: f64 = 0.0;
+            for y in ys {
+                let yc: Vec<char> = y.chars().collect();
+                best = best.max(seq::smith_waterman_sim(&xc, &yc));
+            }
+            total += best;
+        }
+        total / xs.len() as f64
+    };
+    0.5 * (one_way(a, b) + one_way(b, a))
+}
+
+/// Generalized Jaccard: soft token overlap where tokens `x, y` with
+/// `Jaro(x, y) >= 0.8` count as a (weighted) intersection element.
+pub fn generalized_jaccard(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Greedy best-first soft matching.
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    let acs: Vec<Vec<char>> = a.iter().map(|t| t.chars().collect()).collect();
+    let bcs: Vec<Vec<char>> = b.iter().map(|t| t.chars().collect()).collect();
+    for (i, x) in acs.iter().enumerate() {
+        for (j, y) in bcs.iter().enumerate() {
+            let s = seq::jaro(x, y);
+            if s >= 0.8 {
+                pairs.push((s, i, j));
+            }
+        }
+    }
+    pairs.sort_by(|p, q| q.0.partial_cmp(&p.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_a = vec![false; a.len()];
+    let mut used_b = vec![false; b.len()];
+    let mut soft_inter = 0.0;
+    let mut matched = 0usize;
+    for (s, i, j) in pairs {
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            soft_inter += s;
+            matched += 1;
+        }
+    }
+    let union = (a.len() + b.len() - matched) as f64;
+    soft_inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::counted;
+
+    fn set(s: &str) -> Vec<String> {
+        let mut v: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn jaccard_known() {
+        assert_eq!(jaccard(&set("a b c"), &set("b c d")), 0.5);
+        assert_eq!(jaccard(&set("a"), &set("b")), 0.0);
+        assert_eq!(jaccard(&set("a b"), &set("a b")), 1.0);
+    }
+
+    #[test]
+    fn dice_known() {
+        assert_eq!(dice(&set("a b"), &set("b c")), 0.5);
+    }
+
+    #[test]
+    fn overlap_subsets_score_one() {
+        assert_eq!(overlap(&set("a b"), &set("a b c d")), 1.0);
+    }
+
+    #[test]
+    fn cosine_known() {
+        let s = cosine(&set("a b"), &set("b c"));
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_distance_disjoint_zero() {
+        let a = counted(toks("a b"));
+        let b = counted(toks("c d"));
+        assert_eq!(block_distance_sim(&a, &b), 0.0);
+        assert_eq!(block_distance_sim(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn euclidean_identical_one() {
+        let a = counted(toks("a b b"));
+        assert_eq!(euclidean_sim(&a, &a), 1.0);
+        let b = counted(toks("c d"));
+        assert_eq!(euclidean_sim(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_partial() {
+        let s = monge_elkan(&toks("apple ipod"), &toks("apple ipod nano"));
+        assert!(s > 0.6 && s <= 1.0, "{s}");
+        assert_eq!(monge_elkan(&toks("a"), &toks("a")), 1.0);
+    }
+
+    #[test]
+    fn generalized_jaccard_tolerates_typos() {
+        let exact = jaccard(&set("panasonic dvd"), &set("panasonik dvd"));
+        let soft = generalized_jaccard(&toks("panasonic dvd"), &toks("panasonik dvd"));
+        assert!(soft > exact, "soft {soft} vs exact {exact}");
+    }
+
+    #[test]
+    fn set_measures_symmetric() {
+        let (a, b) = (set("x y z"), set("y z w v"));
+        for f in [jaccard, dice, overlap, cosine] {
+            assert!((f(&a, &b) - f(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

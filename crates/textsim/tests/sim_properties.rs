@@ -1,0 +1,109 @@
+//! Property-based tests of the similarity functions' metric structure.
+
+use proptest::prelude::*;
+use textsim::seq;
+use textsim::tokenize::{counted, normalize, qgrams};
+use textsim::{phonetic, qgram, Prepared, SimilarityFunction};
+
+fn chars(s: &str) -> Vec<char> {
+    s.chars().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Levenshtein is a metric: triangle inequality holds.
+    #[test]
+    fn levenshtein_triangle(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        let (ca, cb, cc) = (chars(&a), chars(&b), chars(&c));
+        let ab = seq::levenshtein(&ca, &cb);
+        let bc = seq::levenshtein(&cb, &cc);
+        let ac = seq::levenshtein(&ca, &cc);
+        prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)={ab} + d(b,c)={bc}");
+    }
+
+    /// Levenshtein lower bound: at least the length difference.
+    #[test]
+    fn levenshtein_length_bound(a in "[a-z]{0,15}", b in "[a-z]{0,15}") {
+        let d = seq::levenshtein(&chars(&a), &chars(&b));
+        let diff = a.chars().count().abs_diff(b.chars().count());
+        prop_assert!(d >= diff);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+    }
+
+    /// Damerau-Levenshtein never exceeds Levenshtein (transpositions are
+    /// an extra edit option).
+    #[test]
+    fn damerau_at_most_levenshtein(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        let (ca, cb) = (chars(&a), chars(&b));
+        prop_assert!(seq::damerau_levenshtein(&ca, &cb) <= seq::levenshtein(&ca, &cb));
+    }
+
+    /// Jaro-Winkler boosts but never reduces Jaro, staying in [0, 1].
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+        let (ca, cb) = (chars(&a), chars(&b));
+        let j = seq::jaro(&ca, &cb);
+        let w = seq::jaro_winkler(&ca, &cb);
+        prop_assert!(w >= j - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&w));
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(s in ".{0,40}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once.clone());
+    }
+
+    /// q-gram similarity is 1 exactly when the gram multisets coincide.
+    #[test]
+    fn qgram_identity(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        let ga = counted(qgrams(&normalize(&a), 3));
+        let gb = counted(qgrams(&normalize(&b), 3));
+        let s = qgram::qgram_sim(&ga, &gb);
+        if ga == gb {
+            prop_assert!((s - 1.0).abs() < 1e-12);
+        } else {
+            prop_assert!(s < 1.0);
+        }
+    }
+
+    /// Soundex codes always have the 1-letter + 3-digit shape.
+    #[test]
+    fn soundex_shape(word in "[a-zA-Z]{1,15}") {
+        let code = phonetic::soundex(&word).expect("alphabetic input");
+        prop_assert_eq!(code.len(), 4);
+        let cs: Vec<char> = code.chars().collect();
+        prop_assert!(cs[0].is_ascii_uppercase());
+        prop_assert!(cs[1..].iter().all(|c| c.is_ascii_digit()));
+    }
+
+    /// Every one of the 21 measures scores an exact copy 1 and stays
+    /// bounded against a perturbed copy.
+    #[test]
+    fn all_measures_selfsim(s in "[a-z0-9]{1,10}( [a-z0-9]{1,10}){0,4}") {
+        let p = Prepared::new(&s);
+        let mangled = format!("{s} extra");
+        let q = Prepared::new(&mangled);
+        for f in SimilarityFunction::ALL {
+            prop_assert!((f.compute_prepared(&p, &p) - 1.0).abs() < 1e-9, "{:?}", f);
+            let v = f.compute_prepared(&p, &q);
+            prop_assert!((0.0..=1.0).contains(&v), "{:?} -> {}", f, v);
+        }
+    }
+
+    /// Monge-Elkan with identical token multisets is 1; with disjoint
+    /// character sets it is 0.
+    #[test]
+    fn monge_elkan_extremes(toks in prop::collection::vec("[a-f]{2,6}", 1..5)) {
+        let s = toks.join(" ");
+        let p = Prepared::new(&s);
+        prop_assert!(
+            (SimilarityFunction::MongeElkan.compute_prepared(&p, &p) - 1.0).abs() < 1e-9
+        );
+        let disjoint = Prepared::new("zzz xyx");
+        let v = SimilarityFunction::MongeElkan.compute_prepared(&p, &disjoint);
+        prop_assert!(v < 0.5, "disjoint ME should be low, got {v}");
+    }
+}

@@ -1,0 +1,7 @@
+#!/bin/bash
+# Wait for the experiments queue, then capture the final test and bench outputs.
+until grep -q QUEUE_DONE /root/repo/results/queue.log 2>/dev/null; do sleep 15; done
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt > /dev/null
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+echo CAPTURE_DONE

@@ -1,0 +1,7 @@
+#!/bin/bash
+# Wait for the main suite (pid passed as $1), then run extensions+ablations.
+while kill -0 "$1" 2>/dev/null; do sleep 10; done
+cd /root/repo
+cargo run --release -p alem-bench --bin figures -- extensions --scale 0.15 --seeds 3 --json results/extensions_scale0.15.json > results/extensions_scale0.15.txt 2>&1
+cargo run --release -p alem-bench --bin figures -- ablations --scale 0.15 --json results/ablations_scale0.15.json > results/ablations_scale0.15.txt 2>&1
+echo QUEUE_DONE
