@@ -23,7 +23,10 @@ fn bench_blocking_k(c: &mut Criterion) {
         .collect();
     let mut rng = StdRng::seed_from_u64(1);
     let svm = SvmTrainer::default().train(
-        &labeled.iter().map(|&(i, _)| corpus.x(i).to_vec()).collect::<Vec<_>>(),
+        &labeled
+            .iter()
+            .map(|&(i, _)| corpus.x(i).to_vec())
+            .collect::<Vec<_>>(),
         &labeled.iter().map(|&(_, y)| y).collect::<Vec<_>>(),
         &mut rng,
     );

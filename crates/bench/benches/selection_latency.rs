@@ -51,7 +51,10 @@ fn bench_selection(c: &mut Criterion) {
     // Train the models once; learner-aware selection reuses them.
     let mut rng = StdRng::seed_from_u64(1);
     let svm = SvmTrainer::default().train(
-        &labeled.iter().map(|&(i, _)| corpus.x(i).to_vec()).collect::<Vec<_>>(),
+        &labeled
+            .iter()
+            .map(|&(i, _)| corpus.x(i).to_vec())
+            .collect::<Vec<_>>(),
         &labeled.iter().map(|&(_, y)| y).collect::<Vec<_>>(),
         &mut rng,
     );

@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//!   fig17 fig18 fig19 rules-abtbuy ablations all
+//!   fig17 fig18 fig19 rules-abtbuy fault-sweep ablations all
 //! ```
 //!
 //! `--scale` sets the synthetic corpus scale (default 0.25; 1.0 ≈ paper
@@ -27,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures <experiment> [--scale S] [--seeds N] [--json PATH] [--points K]\n\
          experiments: table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15\n\
-         \x20           fig16 fig17 fig18 fig19 rules-abtbuy ablations all"
+         \x20           fig16 fig17 fig18 fig19 rules-abtbuy fault-sweep ablations all"
     );
     std::process::exit(2);
 }
@@ -45,12 +45,17 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                cfg.scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--seeds" => {
-                cfg.noise_seeds =
-                    args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.noise_seeds = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--json" => {
@@ -58,7 +63,10 @@ fn main() {
                 i += 2;
             }
             "--points" => {
-                points = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                points = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             _ => usage(),
@@ -74,6 +82,24 @@ fn main() {
         let js = serde_json::to_string_pretty(&dump).expect("serialize dump");
         std::fs::write(&path, js).expect("write json dump");
         eprintln!("[figures] raw series written to {path}");
+    }
+}
+
+/// Write a table as CSV (for downstream plotting of robustness sweeps).
+fn write_csv(path: &str, t: &TableReport) {
+    let mut out = String::new();
+    out.push_str(&t.header.join(","));
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("[figures] csv rows written to {path}"),
+        Err(e) => eprintln!("[figures] failed to write {path}: {e}"),
     }
 }
 
@@ -126,6 +152,11 @@ fn run_experiment(name: &str, cfg: ExpConfig, dump: &mut Dump, points: usize) {
             emit_figures(experiments::ext_iwal(cfg), dump, points);
             emit_figures(vec![experiments::ext_voting(cfg)], dump, points);
         }
+        "fault-sweep" => {
+            let t = experiments::fault_sweep(cfg);
+            write_csv("results/fault_sweep.csv", &t);
+            emit_table(t, dump);
+        }
         "ablation-tau" => emit_table(experiments::ablation_tau(cfg), dump),
         "ablation-batch" => emit_table(experiments::ablation_batch(cfg), dump),
         "ablation-features" => emit_table(experiments::ablation_feature_subset(cfg), dump),
@@ -155,6 +186,7 @@ fn run_experiment(name: &str, cfg: ExpConfig, dump: &mut Dump, points: usize) {
                 "fig18",
                 "rules-abtbuy",
                 "fig19",
+                "fault-sweep",
             ] {
                 let t = Instant::now();
                 run_experiment(exp, cfg, dump, points);

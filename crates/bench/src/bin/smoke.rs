@@ -15,37 +15,64 @@ use datagen::PaperDataset;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
     for d in [PaperDataset::AmazonGoogle, PaperDataset::Cora] {
         let cfg = d.config(scale);
         let t0 = Instant::now();
         let ds = datagen::generate(&cfg, 42);
         let (corpus, _fx) = Corpus::from_dataset(
             &ds,
-            &BlockingConfig { jaccard_threshold: cfg.blocking_threshold },
+            &BlockingConfig {
+                jaccard_threshold: cfg.blocking_threshold,
+            },
         );
         println!(
             "{}: pairs={} skew={:.3} dim={} prep={:?}",
-            d.name(), corpus.len(), corpus.skew(), corpus.dim(), t0.elapsed()
+            d.name(),
+            corpus.len(),
+            corpus.skew(),
+            corpus.dim(),
+            t0.elapsed()
         );
-        let params = LoopParams { max_labels: 800, ..LoopParams::default() };
+        let params = LoopParams {
+            max_labels: 800,
+            ..LoopParams::default()
+        };
 
         macro_rules! run {
             ($name:expr, $strat:expr) => {{
                 let t = Instant::now();
                 let oracle = Oracle::perfect(corpus.truths().to_vec());
                 let mut al = ActiveLearner::new($strat, params.clone());
-                let r = al.run(&corpus, &oracle, 7);
+                let r = al
+                    .run(&corpus, &oracle, 7)
+                    .unwrap_or_else(|e| panic!("smoke run failed: {e}"));
                 println!(
                     "  {:<28} best_f1={:.3} final={:.3} labels={} wall={:?}",
-                    $name, r.best_f1(), r.final_f1(), r.total_labels(), t.elapsed()
+                    $name,
+                    r.best_f1(),
+                    r.final_f1(),
+                    r.total_labels(),
+                    t.elapsed()
                 );
             }};
         }
         run!("Trees(20)", TreeQbcStrategy::new(20));
-        run!("Linear-Margin", MarginSvmStrategy::new(SvmTrainer::default()));
-        run!("Linear-Margin(Ensemble)", EnsembleSvmStrategy::new(SvmTrainer::default(), 0.85));
+        run!(
+            "Linear-Margin",
+            MarginSvmStrategy::new(SvmTrainer::default())
+        );
+        run!(
+            "Linear-Margin(Ensemble)",
+            EnsembleSvmStrategy::new(SvmTrainer::default(), 0.85)
+        );
         run!("NN-Margin", MarginNnStrategy::new(NnTrainer::default()));
-        run!("Rules(LFP/LFN)", LfpLfnStrategy::new(DnfTrainer::default(), 0.85));
+        run!(
+            "Rules(LFP/LFN)",
+            LfpLfnStrategy::new(DnfTrainer::default(), 0.85)
+        );
     }
 }

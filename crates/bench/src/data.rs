@@ -21,10 +21,7 @@ pub struct PreparedData {
 }
 
 /// Featurize `pairs` across `threads` worker threads.
-fn extract_parallel(
-    fx: &FeatureExtractor,
-    pairs: &[alem_core::schema::Pair],
-) -> Vec<Vec<f64>> {
+fn extract_parallel(fx: &FeatureExtractor, pairs: &[alem_core::schema::Pair]) -> Vec<Vec<f64>> {
     let threads = std::thread::available_parallelism().map_or(4, usize::from);
     if pairs.len() < 1024 || threads <= 1 {
         return fx.extract_all(pairs);

@@ -8,8 +8,9 @@ use alem_core::ensemble::EnsembleSvmStrategy;
 use alem_core::evaluator::RunResult;
 use alem_core::learner::{DnfTrainer, ForestTrainer, NnTrainer, SvmTrainer};
 use alem_core::loop_::{ActiveLearner, EvalMode, LoopParams};
-use alem_core::oracle::Oracle;
+use alem_core::oracle::{Oracle, RetryPolicy, TransientOracle};
 use alem_core::report::{Figure, Series, TableReport};
+use alem_core::session::SessionConfig;
 use alem_core::strategy::{
     IwalSvmStrategy, LfpLfnStrategy, LshMarginStrategy, MarginNnStrategy, MarginSvmStrategy,
     QbcStrategy, RandomStrategy, Strategy, TreeQbcStrategy,
@@ -88,14 +89,13 @@ impl Spec {
             }
             Spec::MarginNn => Box::new(MarginNnStrategy::new(NnTrainer::default())),
             Spec::EnsembleSvm => Box::new(EnsembleSvmStrategy::new(SvmTrainer::default(), TAU)),
-            Spec::EnsembleNn => Box::new(
-                alem_core::ensemble::ActiveEnsembleStrategy::new(NnTrainer::default(), TAU),
-            ),
-            Spec::LshMargin(bits) => Box::new(LshMarginStrategy::new(
-                SvmTrainer::default(),
-                bits,
-                4,
+            Spec::EnsembleNn => Box::new(alem_core::ensemble::ActiveEnsembleStrategy::new(
+                NnTrainer::default(),
+                TAU,
             )),
+            Spec::LshMargin(bits) => {
+                Box::new(LshMarginStrategy::new(SvmTrainer::default(), bits, 4))
+            }
             Spec::Iwal => Box::new(IwalSvmStrategy::new(
                 mlcore::svm::SvmConfig::default(),
                 alem_core::selector::iwal::IwalConfig::default(),
@@ -179,7 +179,11 @@ pub fn table1(cfg: ExpConfig) -> TableReport {
 fn qbc_vs_margin(fig: &str, dataset: PaperDataset, cfg: ExpConfig) -> Vec<Figure> {
     let p = prepare(dataset, cfg.scale);
     let name = dataset.name();
-    let nn = run_specs(&p.corpus, &[Spec::QbcNn(2), Spec::MarginNn], PAPER_MAX_LABELS);
+    let nn = run_specs(
+        &p.corpus,
+        &[Spec::QbcNn(2), Spec::MarginNn],
+        PAPER_MAX_LABELS,
+    );
     let linear = run_specs(
         &p.corpus,
         &[Spec::QbcSvm(2), Spec::QbcSvm(20), Spec::MarginSvm],
@@ -410,14 +414,62 @@ const TABLE2_SPECS: [(Spec, &str); 8] = [
 /// The paper's Table 2 values (best progressive F1 with #labels), for the
 /// comparison rows emitted under each measured row.
 const TABLE2_PAPER: [[&str; 5]; 8] = [
-    ["0.963 (2360)", "0.971 (2360)", "0.99 (260)", "0.99 (1770)", "0.98 (1700)"],
-    ["0.663 (1470)", "0.69 (330)", "0.977 (210)", "0.922 (560)", "0.945 (1220)"],
-    ["0.61 (640)", "0.7 (930)", "0.975 (170)", "0.936 (920)", "0.89 (220)"],
-    ["0.61 (1420)", "0.7 (1550)", "0.976 (170)", "0.935 (1090)", "0.941 (2190)"],
-    ["0.61 (1620)", "0.7 (1260)", "0.976 (180)", "0.936 (1600)", "0.95 (2130)"],
-    ["0.63 (670)", "0.72 (2360)", "0.978 (1100)", "0.938 (970)", "0.709 (410)"],
-    ["0.63 (970)", "0.725 (1350)", "0.97 (90)", "0.949 (740)", "0.95 (1640)"],
-    ["0.17 (230)", "0.51 (50)", "0.962 (350)", "0.586 (490)", "0.18 (170)"],
+    [
+        "0.963 (2360)",
+        "0.971 (2360)",
+        "0.99 (260)",
+        "0.99 (1770)",
+        "0.98 (1700)",
+    ],
+    [
+        "0.663 (1470)",
+        "0.69 (330)",
+        "0.977 (210)",
+        "0.922 (560)",
+        "0.945 (1220)",
+    ],
+    [
+        "0.61 (640)",
+        "0.7 (930)",
+        "0.975 (170)",
+        "0.936 (920)",
+        "0.89 (220)",
+    ],
+    [
+        "0.61 (1420)",
+        "0.7 (1550)",
+        "0.976 (170)",
+        "0.935 (1090)",
+        "0.941 (2190)",
+    ],
+    [
+        "0.61 (1620)",
+        "0.7 (1260)",
+        "0.976 (180)",
+        "0.936 (1600)",
+        "0.95 (2130)",
+    ],
+    [
+        "0.63 (670)",
+        "0.72 (2360)",
+        "0.978 (1100)",
+        "0.938 (970)",
+        "0.709 (410)",
+    ],
+    [
+        "0.63 (970)",
+        "0.725 (1350)",
+        "0.97 (90)",
+        "0.949 (740)",
+        "0.95 (1640)",
+    ],
+    [
+        "0.17 (230)",
+        "0.51 (50)",
+        "0.962 (350)",
+        "0.586 (490)",
+        "0.18 (170)",
+    ],
 ];
 
 /// Table 2: best progressive F1 (with #labels to convergence) per approach
@@ -429,11 +481,7 @@ pub fn table2(cfg: ExpConfig) -> TableReport {
         .map(|&d| {
             move || {
                 let p = prepare(d, cfg.scale);
-                run_specs(
-                    &p.corpus,
-                    &TABLE2_SPECS.map(|(s, _)| s),
-                    PAPER_MAX_LABELS,
-                )
+                run_specs(&p.corpus, &TABLE2_SPECS.map(|(s, _)| s), PAPER_MAX_LABELS)
             }
         })
         .collect();
@@ -476,13 +524,7 @@ pub const NOISE_LEVELS: [f64; 5] = [0.0, 0.1, 0.2, 0.3, 0.4];
 
 /// Average F1 curve of `spec` on `corpus` under `noise`, over several
 /// seeded runs (noisy Oracles are averaged over 5 seeds in the paper).
-fn noisy_curve(
-    corpus: &Corpus,
-    spec: Spec,
-    noise: f64,
-    seeds: usize,
-    label: &str,
-) -> Series {
+fn noisy_curve(corpus: &Corpus, spec: Spec, noise: f64, seeds: usize, label: &str) -> Series {
     let n_runs = if noise == 0.0 { 1 } else { seeds };
     let jobs: Vec<_> = (0..n_runs)
         .map(|k| {
@@ -571,12 +613,7 @@ pub fn fig15(cfg: ExpConfig) -> Vec<Figure> {
 // ---------------------------------------------------------------------------
 
 /// A hold-out run (80/20 split, §6.2).
-fn run_holdout(
-    corpus: &Corpus,
-    spec: Spec,
-    noise: f64,
-    seed: u64,
-) -> RunResult {
+fn run_holdout(corpus: &Corpus, spec: Spec, noise: f64, seed: u64) -> RunResult {
     let params = LoopParams {
         eval: EvalMode::Holdout { test_frac: 0.2 },
         stop_at_f1: None,
@@ -604,12 +641,13 @@ pub fn fig16(cfg: ExpConfig) -> Vec<Figure> {
             let p = prepare(d, cfg.scale);
             let corpus = &p.corpus;
             let active = run_holdout(corpus, Spec::TreeQbc(20), 0.0, RUN_SEED);
-            let supervised =
-                run_holdout(corpus, Spec::SupervisedTrees(20), 0.0, RUN_SEED);
+            let supervised = run_holdout(corpus, Spec::SupervisedTrees(20), 0.0, RUN_SEED);
             // DeepMatcher runs are averaged over seeds — the paper reports
             // its std-dev across 5 runs because it fluctuates.
             let dm_jobs: Vec<_> = (0..cfg.noise_seeds)
-                .map(|k| move || run_holdout(corpus, Spec::DeepMatcherProxy, 0.0, RUN_SEED + k as u64))
+                .map(|k| {
+                    move || run_holdout(corpus, Spec::DeepMatcherProxy, 0.0, RUN_SEED + k as u64)
+                })
                 .collect();
             let dm_runs = run_parallel(dm_jobs);
             let dm_curves: Vec<Series> = dm_runs.iter().map(Series::f1_curve).collect();
@@ -711,11 +749,10 @@ pub fn rules_listing(cfg: ExpConfig) -> String {
     let p = prepare(PaperDataset::AbtBuy, cfg.scale);
     let oracle = Oracle::perfect(p.corpus.truths().to_vec());
     let params = paper_params(&p.corpus, PAPER_MAX_LABELS);
-    let mut al = ActiveLearner::new(
-        LfpLfnStrategy::new(DnfTrainer::default(), TAU),
-        params,
-    );
-    let run = al.run(&p.corpus, &oracle, RUN_SEED);
+    let mut al = ActiveLearner::new(LfpLfnStrategy::new(DnfTrainer::default(), TAU), params);
+    let run = al
+        .run(&p.corpus, &oracle, RUN_SEED)
+        .unwrap_or_else(|e| panic!("rules listing run failed: {e}"));
     let strategy = al.into_strategy();
     let dnf = strategy.effective_dnf();
     let descs = p.extractor.bool_descriptions();
@@ -795,7 +832,9 @@ pub fn fig19(cfg: ExpConfig) -> TableReport {
             ..paper_params(corpus, max_labels)
         };
         let mut al = ActiveLearner::new(LfpLfnStrategy::new(DnfTrainer::default(), TAU), params);
-        let run = al.run(corpus, &oracle, RUN_SEED);
+        let run = al
+            .run(corpus, &oracle, RUN_SEED)
+            .unwrap_or_else(|e| panic!("LFP/LFN run failed: {e}"));
         let dnf = al.into_strategy().effective_dnf();
         let (valid, coverage) = expert_validate(&dnf, corpus);
         outcomes.push(SocialOutcome {
@@ -814,11 +853,10 @@ pub fn fig19(cfg: ExpConfig) -> TableReport {
             stop_at_f1: None,
             ..paper_params(corpus, max_labels)
         };
-        let mut al = ActiveLearner::new(
-            QbcStrategy::new_bool(DnfTrainer::default(), b),
-            params,
-        );
-        let run = al.run(corpus, &oracle, RUN_SEED);
+        let mut al = ActiveLearner::new(QbcStrategy::new_bool(DnfTrainer::default(), b), params);
+        let run = al
+            .run(corpus, &oracle, RUN_SEED)
+            .unwrap_or_else(|e| panic!("QBC({b}) run failed: {e}"));
         let strategy = al.into_strategy();
         let dnf = strategy.model().cloned().unwrap_or_default();
         let (valid, coverage) = expert_validate(&dnf, corpus);
@@ -959,21 +997,16 @@ pub fn ext_voting(cfg: ExpConfig) -> Figure {
         .iter()
         .map(|&v| {
             move || {
-                let oracle = Oracle::noisy_with_voting(
-                    corpus.truths().to_vec(),
-                    0.3,
-                    v,
-                    RUN_SEED ^ 0xbeef,
-                );
+                let oracle =
+                    Oracle::noisy_with_voting(corpus.truths().to_vec(), 0.3, v, RUN_SEED ^ 0xbeef)
+                        .unwrap_or_else(|e| panic!("invalid voting oracle: {e}"));
                 let params = LoopParams {
                     stop_at_f1: None,
                     ..paper_params(corpus, corpus.len())
                 };
-                ActiveLearner::new(Spec::TreeQbc(20).build(), params).run(
-                    corpus,
-                    &oracle,
-                    RUN_SEED,
-                )
+                ActiveLearner::new(Spec::TreeQbc(20).build(), params)
+                    .run(corpus, &oracle, RUN_SEED)
+                    .unwrap_or_else(|e| panic!("voting run failed: {e}"))
             }
         })
         .collect();
@@ -990,6 +1023,97 @@ pub fn ext_voting(cfg: ExpConfig) -> Figure {
                 let mut s = Series::f1_curve(r);
                 s.label = format!("{v} vote(s)");
                 s
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension: fault sweep — robustness under noise + transient failures
+// ---------------------------------------------------------------------------
+
+/// The transient-failure probabilities swept by [`fault_sweep`].
+pub const FAILURE_RATES: [f64; 3] = [0.0, 0.1, 0.2];
+/// The label-noise probabilities swept by [`fault_sweep`].
+pub const FAULT_NOISE_LEVELS: [f64; 3] = [0.0, 0.1, 0.2];
+
+/// Fault sweep: Trees(10) on Abt-Buy under every (label noise, transient
+/// failure rate) combination, driven through the fault-tolerant session
+/// layer with the default retry policy. Each row reports the injected
+/// failure count alongside the best/final progressive F1, quantifying
+/// whether retried faults degrade quality beyond the noise itself.
+pub fn fault_sweep(cfg: ExpConfig) -> TableReport {
+    let p = prepare(PaperDataset::AbtBuy, cfg.scale);
+    let corpus = &p.corpus;
+    let max_labels = corpus.len().min(600);
+    let grid: Vec<(f64, f64)> = FAULT_NOISE_LEVELS
+        .iter()
+        .flat_map(|&noise| FAILURE_RATES.iter().map(move |&rate| (noise, rate)))
+        .collect();
+    let jobs: Vec<_> = grid
+        .iter()
+        .map(|&(noise, rate)| {
+            move || {
+                let base = if noise == 0.0 {
+                    Oracle::perfect(corpus.truths().to_vec())
+                } else {
+                    Oracle::noisy(corpus.truths().to_vec(), noise, RUN_SEED ^ 0x5eed)
+                        .unwrap_or_else(|e| panic!("invalid oracle configuration: {e}"))
+                };
+                let oracle = TransientOracle::new(base, rate, RUN_SEED ^ 0xfa17)
+                    .unwrap_or_else(|e| panic!("invalid failure rate: {e}"));
+                let params = LoopParams {
+                    stop_at_f1: None,
+                    ..paper_params(corpus, max_labels)
+                };
+                let mut al = ActiveLearner::new(Spec::TreeQbc(10).build(), params);
+                // Deep retry budget: at a 20% failure rate a 5-attempt
+                // policy exhausts with probability ~0.03% per query, which
+                // over hundreds of queries aborts most sweeps; 10 attempts
+                // make exhaustion vanishingly rare while the short base
+                // delay keeps the sweep fast.
+                let config = SessionConfig {
+                    retry: RetryPolicy {
+                        max_attempts: 10,
+                        base_delay: std::time::Duration::from_micros(100),
+                        ..RetryPolicy::default()
+                    },
+                    ..SessionConfig::default()
+                };
+                let outcome = al
+                    .run_session(corpus, &oracle, RUN_SEED, &config)
+                    .unwrap_or_else(|e| panic!("fault-sweep run failed: {e}"));
+                let run = outcome
+                    .run_result()
+                    .unwrap_or_else(|| panic!("fault-sweep session halted unexpectedly"));
+                (run, oracle.failures())
+            }
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    TableReport {
+        id: "fault_sweep".into(),
+        title: "Fault sweep: Trees(10) under noise × transient failures (Abt-Buy)".into(),
+        header: vec![
+            "Noise".into(),
+            "Failure Rate".into(),
+            "#Injected Failures".into(),
+            "Best F1".into(),
+            "Final F1".into(),
+            "#Labels".into(),
+        ],
+        rows: grid
+            .iter()
+            .zip(&results)
+            .map(|(&(noise, rate), (run, failures))| {
+                vec![
+                    format!("{noise:.2}"),
+                    format!("{rate:.2}"),
+                    format!("{failures}"),
+                    format!("{:.3}", run.best_f1()),
+                    format!("{:.3}", run.final_f1()),
+                    format!("{}", run.total_labels()),
+                ]
             })
             .collect(),
     }
@@ -1225,6 +1349,20 @@ mod tests {
         let f = ext_voting(tiny());
         assert_eq!(f.series.len(), 3);
         assert_eq!(f.series[0].label, "1 vote(s)");
+    }
+
+    #[test]
+    fn fault_sweep_covers_grid_and_completes_budget() {
+        let t = fault_sweep(tiny());
+        assert_eq!(t.rows.len(), FAULT_NOISE_LEVELS.len() * FAILURE_RATES.len());
+        assert_eq!(t.header.len(), 6);
+        // The 20% failure-rate rows retried their way to the full budget:
+        // every row labels the same number of examples as the fault-free one.
+        let labels: Vec<&str> = t.rows.iter().map(|r| r[5].as_str()).collect();
+        assert!(labels.iter().all(|&l| l == labels[0]), "rows: {labels:?}");
+        // Failures were actually injected at non-zero rates.
+        let failures: usize = t.rows.iter().map(|r| r[2].parse::<usize>().unwrap()).sum();
+        assert!(failures > 0);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub fn run_perfect<S: Strategy>(
     seed: u64,
 ) -> RunResult {
     let oracle = Oracle::perfect(corpus.truths().to_vec());
-    ActiveLearner::new(strategy, params).run(corpus, &oracle, seed)
+    ActiveLearner::new(strategy, params)
+        .run(corpus, &oracle, seed)
+        .unwrap_or_else(|e| panic!("benchmark run failed: {e}"))
 }
 
 /// Run one strategy on a corpus with a noisy Oracle.
@@ -65,8 +67,11 @@ pub fn run_noisy<S: Strategy>(
     noise: f64,
     seed: u64,
 ) -> RunResult {
-    let oracle = Oracle::noisy(corpus.truths().to_vec(), noise, seed ^ 0x9e37_79b9);
-    ActiveLearner::new(strategy, params).run(corpus, &oracle, seed)
+    let oracle = Oracle::noisy(corpus.truths().to_vec(), noise, seed ^ 0x9e37_79b9)
+        .unwrap_or_else(|e| panic!("invalid oracle configuration: {e}"));
+    ActiveLearner::new(strategy, params)
+        .run(corpus, &oracle, seed)
+        .unwrap_or_else(|e| panic!("benchmark run failed: {e}"))
 }
 
 /// Loop parameters for a corpus: paper settings (seed 30, batch 10) with a
@@ -100,7 +105,12 @@ mod tests {
         let truth: Vec<bool> = (0..100).map(|i| i >= 60).collect();
         let corpus = Corpus::from_features(feats, truth);
         let params = paper_params(&corpus, 80);
-        let r = run_perfect(&corpus, MarginSvmStrategy::new(SvmTrainer::default()), params, 1);
+        let r = run_perfect(
+            &corpus,
+            MarginSvmStrategy::new(SvmTrainer::default()),
+            params,
+            1,
+        );
         assert!(r.best_f1() > 0.8);
     }
 }

@@ -164,16 +164,25 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Match-based success accessor: the CLI crate bans panicking
+    /// accessors so that any remaining site is intentional and visible.
+    fn ok<T>(r: Result<T, CsvError>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected CSV error in row {}: {}", e.row, e.message),
+        }
+    }
+
     #[test]
     fn parses_simple_rows() {
-        let rows = parse("a,b,c\n1,2,3\n").unwrap();
+        let rows = ok(parse("a,b,c\n1,2,3\n"));
         assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
     }
 
     #[test]
     fn parses_quotes_commas_newlines() {
         let input = "name,desc\n\"ipod, nano\",\"he said \"\"hi\"\"\"\n\"multi\nline\",x\n";
-        let rows = parse(input).unwrap();
+        let rows = ok(parse(input));
         assert_eq!(rows[1][0], "ipod, nano");
         assert_eq!(rows[1][1], "he said \"hi\"");
         assert_eq!(rows[2][0], "multi\nline");
@@ -181,7 +190,7 @@ mod tests {
 
     #[test]
     fn handles_crlf_and_missing_trailing_newline() {
-        let rows = parse("a,b\r\n1,2").unwrap();
+        let rows = ok(parse("a,b\r\n1,2"));
         assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
     }
 
@@ -198,12 +207,12 @@ mod tests {
 
     #[test]
     fn empty_input_is_empty() {
-        assert!(parse("").unwrap().is_empty());
+        assert!(ok(parse("")).is_empty());
     }
 
     #[test]
     fn table_header_lookup() {
-        let t = CsvTable::parse("id,name,price\n1,ipod,99\n").unwrap();
+        let t = ok(CsvTable::parse("id,name,price\n1,ipod,99\n"));
         assert_eq!(t.column("price"), Some(2));
         assert_eq!(t.column("missing"), None);
         assert_eq!(t.rows.len(), 1);
@@ -211,7 +220,11 @@ mod tests {
 
     #[test]
     fn render_quotes_when_needed() {
-        let rows = vec![vec!["a,b".to_owned(), "plain".to_owned(), "q\"q".to_owned()]];
+        let rows = vec![vec![
+            "a,b".to_owned(),
+            "plain".to_owned(),
+            "q\"q".to_owned(),
+        ]];
         assert_eq!(render(&rows), "\"a,b\",plain,\"q\"\"q\"\n");
     }
 
@@ -231,7 +244,7 @@ mod tests {
                 })
                 .collect();
             let text = render(&rows);
-            let parsed = parse(&text).unwrap();
+            let parsed = ok(parse(&text));
             prop_assert_eq!(parsed, rows);
         }
     }

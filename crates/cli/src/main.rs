@@ -5,6 +5,8 @@
 //!               (--truth truth.csv | --interactive)
 //!               [--strategy trees20] [--budget 500] [--threshold 0.1875]
 //!               [--output matches.csv] [--seed 42]
+//!               [--checkpoint-every N] [--checkpoint ckpt.json]
+//!               [--resume ckpt.json]
 //! alem predict  --model model.json --left a.csv --right b.csv
 //!               [--threshold 0.1875] [--output matches.csv]
 //! alem block    --left a.csv --right b.csv [--threshold 0.1875]
@@ -28,6 +30,7 @@ fn usage() -> ! {
          \x20                [--columns a,b,c] [--strategy trees20|trees10|margin|margin1dim|\n\
          \x20                 qbc10|ensemble|rules|nn] [--budget N] [--threshold J]\n\
          \x20                [--output OUT.csv] [--save-model M.json] [--seed N]\n\
+         \x20                [--checkpoint-every N] [--checkpoint C.json] [--resume C.json]\n\
          \x20 alem predict  --model M.json --left L.csv --right R.csv [--output OUT.csv]\n\
          \x20 alem block    --left L.csv --right R.csv [--threshold J] [--columns a,b,c]\n\
          \x20 alem generate --dataset abt-buy|amazon-google|dblp-acm|dblp-scholar|cora|\n\
@@ -58,7 +61,9 @@ impl Args {
                     switches.push(name.to_owned());
                     i += 1;
                 } else {
-                    let Some(value) = argv.get(i + 1) else { usage() };
+                    let Some(value) = argv.get(i + 1) else {
+                        usage()
+                    };
                     flags.push((name.to_owned(), value.clone()));
                     i += 2;
                 }
@@ -97,7 +102,9 @@ impl Args {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(&argv);
-    let Some(cmd) = args.positional.first() else { usage() };
+    let Some(cmd) = args.positional.first() else {
+        usage()
+    };
     let result = match cmd.as_str() {
         "match" => pipeline::cmd_match(&args),
         "predict" => pipeline::cmd_predict(&args),

@@ -9,6 +9,7 @@ use alem_core::learner::{DnfTrainer, NnTrainer, SvmTrainer};
 use alem_core::loop_::{ActiveLearner, LoopParams};
 use alem_core::oracle::Oracle;
 use alem_core::schema::{AttrKind, EmDataset, Record, Schema, Table};
+use alem_core::session::{Checkpoint, SessionConfig};
 use alem_core::strategy::{
     LfpLfnStrategy, MarginNnStrategy, MarginSvmStrategy, QbcStrategy, Strategy, TreeQbcStrategy,
 };
@@ -16,6 +17,7 @@ use datagen::PaperDataset;
 use std::collections::HashSet;
 use std::error::Error;
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -26,8 +28,7 @@ fn load_table(
     name: &str,
     columns: &[String],
 ) -> Result<(CsvTable, Vec<String>), Box<dyn Error>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let table = CsvTable::parse(&text).map_err(|e| format!("{name}: {e}"))?;
     let cols: Vec<String> = if columns.is_empty() {
         table.header.clone()
@@ -45,7 +46,14 @@ fn load_table(
 /// Project a parsed CSV onto the aligned schema columns.
 fn to_alem_table(csv: &CsvTable, cols: &[String], name: &str) -> Table {
     let schema = Schema::new(cols.iter().map(|c| (c.as_str(), AttrKind::Text)).collect());
-    let idx: Vec<usize> = cols.iter().map(|c| csv.column(c).expect("validated")).collect();
+    // Columns were validated against the header in `load_table`.
+    let idx: Vec<usize> = cols
+        .iter()
+        .map(|c| {
+            csv.column(c)
+                .unwrap_or_else(|| unreachable!("column {c:?} validated in load_table"))
+        })
+        .collect();
     let records = csv
         .rows
         .iter()
@@ -112,8 +120,7 @@ fn build_dataset(args: &Args) -> Result<EmDataset, Box<dyn Error>> {
 /// A truth file is a headerless (or `left,right`-headed) CSV of 0-based
 /// row-index pairs.
 fn load_truth(path: &str) -> Result<HashSet<(u32, u32)>, Box<dyn Error>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let rows = crate::csv::parse(&text)?;
     let mut out = HashSet::new();
     for (i, row) in rows.iter().enumerate() {
@@ -123,8 +130,14 @@ fn load_truth(path: &str) -> Result<HashSet<(u32, u32)>, Box<dyn Error>> {
         if i == 0 && row[0].parse::<u32>().is_err() {
             continue; // header
         }
-        let l: u32 = row[0].trim().parse().map_err(|_| format!("bad left id at row {}", i + 1))?;
-        let r: u32 = row[1].trim().parse().map_err(|_| format!("bad right id at row {}", i + 1))?;
+        let l: u32 = row[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad left id at row {}", i + 1))?;
+        let r: u32 = row[1]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad right id at row {}", i + 1))?;
         out.insert((l, r));
     }
     Ok(out)
@@ -230,8 +243,40 @@ pub fn cmd_match(args: &Args) -> CliResult {
         stop_at_f1: if interactive { None } else { Some(0.99) },
         ..LoopParams::default()
     };
+
+    // Checkpoint/resume plumbing.
+    let checkpoint_every: Option<usize> = args
+        .get("checkpoint-every")
+        .map(|s| s.parse().map_err(|_| "bad --checkpoint-every"))
+        .transpose()?;
+    let resume = args.get("resume");
+    let checkpoint_path: Option<PathBuf> = args
+        .get("checkpoint")
+        .or(resume)
+        .map(PathBuf::from)
+        .or_else(|| checkpoint_every.map(|_| PathBuf::from("alem-checkpoint.json")));
+    let config = SessionConfig {
+        checkpoint_every,
+        checkpoint_path,
+        ..SessionConfig::default()
+    };
+
     let mut al = ActiveLearner::new(strategy, params);
-    let run = al.run(&corpus, &oracle, seed);
+    let outcome = match resume {
+        Some(path) => {
+            let ckpt = Checkpoint::load(Path::new(path))?;
+            eprintln!(
+                "[alem] resuming from {path}: iteration {}, {} labels so far",
+                ckpt.iter_no,
+                ckpt.labeled.len()
+            );
+            al.resume_session(&corpus, &oracle, ckpt, &config)?
+        }
+        None => al.run_session(&corpus, &oracle, seed, &config)?,
+    };
+    let run = outcome
+        .run_result()
+        .ok_or("session halted before completing")?;
     let strategy = al.into_strategy();
 
     if !ds.matches.is_empty() {
@@ -274,7 +319,10 @@ pub fn cmd_match(args: &Args) -> CliResult {
     match args.get("output") {
         Some(path) => {
             std::fs::write(path, text)?;
-            eprintln!("[alem] {} predicted matches written to {path}", out_rows.len() - 1);
+            eprintln!(
+                "[alem] {} predicted matches written to {path}",
+                out_rows.len() - 1
+            );
         }
         None => print!("{text}"),
     }
@@ -305,7 +353,9 @@ pub fn cmd_predict(args: &Args) -> CliResult {
     let mut out_rows = vec![vec!["left_row".to_owned(), "right_row".to_owned()]];
     for i in 0..corpus.len() {
         let x: &[f64] = if model.wants_bool_features() {
-            &corpus.bool_features().expect("bool features attached")[i]
+            &corpus
+                .bool_features()
+                .ok_or("corpus has no Boolean features for a rule model")?[i]
         } else {
             corpus.x(i)
         };
@@ -319,7 +369,9 @@ pub fn cmd_predict(args: &Args) -> CliResult {
         let mut confusion = mlcore::metrics::Confusion::default();
         for i in 0..corpus.len() {
             let x: &[f64] = if model.wants_bool_features() {
-                &corpus.bool_features().expect("bool features")[i]
+                &corpus
+                    .bool_features()
+                    .ok_or("corpus has no Boolean features for a rule model")?[i]
             } else {
                 corpus.x(i)
             };
@@ -336,7 +388,10 @@ pub fn cmd_predict(args: &Args) -> CliResult {
     match args.get("output") {
         Some(path) => {
             std::fs::write(path, text)?;
-            eprintln!("[alem] {} predicted matches written to {path}", out_rows.len() - 1);
+            eprintln!(
+                "[alem] {} predicted matches written to {path}",
+                out_rows.len() - 1
+            );
         }
         None => print!("{text}"),
     }
@@ -349,13 +404,7 @@ fn describe(table: &Table, row: usize) -> String {
         .attributes()
         .iter()
         .enumerate()
-        .map(|(a, def)| {
-            format!(
-                "{}={}",
-                def.name,
-                table.record(row).value(a).unwrap_or("∅")
-            )
-        })
+        .map(|(a, def)| format!("{}={}", def.name, table.record(row).value(a).unwrap_or("∅")))
         .collect::<Vec<_>>()
         .join(" | ")
 }
@@ -446,9 +495,27 @@ pub fn cmd_generate(args: &Args) -> CliResult {
 mod tests {
     use super::*;
 
+    /// Match-based success accessor: the CLI crate bans panicking
+    /// accessors so that any remaining site is intentional and visible.
+    fn ok<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
     #[test]
     fn strategy_names_resolve() {
-        for n in ["trees20", "trees10", "margin", "margin1dim", "qbc10", "ensemble", "rules", "nn"] {
+        for n in [
+            "trees20",
+            "trees10",
+            "margin",
+            "margin1dim",
+            "qbc10",
+            "ensemble",
+            "rules",
+            "nn",
+        ] {
             assert!(build_strategy(n).is_ok(), "{n}");
         }
         assert!(build_strategy("bogus").is_err());
@@ -457,13 +524,13 @@ mod tests {
     #[test]
     fn truth_parser_accepts_header_and_bare() {
         let dir = std::env::temp_dir().join("alem_cli_test_truth");
-        std::fs::create_dir_all(&dir).unwrap();
+        ok(std::fs::create_dir_all(&dir));
         let p = dir.join("t.csv");
-        std::fs::write(&p, "left,right\n0,1\n2,3\n").unwrap();
-        let t = load_truth(p.to_str().unwrap()).unwrap();
+        ok(std::fs::write(&p, "left,right\n0,1\n2,3\n"));
+        let t = ok(load_truth(&p.to_string_lossy()));
         assert!(t.contains(&(0, 1)) && t.contains(&(2, 3)));
-        std::fs::write(&p, "5,6\n").unwrap();
-        let t = load_truth(p.to_str().unwrap()).unwrap();
+        ok(std::fs::write(&p, "5,6\n"));
+        let t = ok(load_truth(&p.to_string_lossy()));
         assert!(t.contains(&(5, 6)));
     }
 

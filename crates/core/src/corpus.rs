@@ -16,6 +16,24 @@ pub struct Corpus {
     features: Vec<Vec<f64>>,
     bool_features: Option<Vec<Vec<f64>>>,
     truth: Vec<bool>,
+    /// Non-finite feature values replaced with 0 at construction.
+    sanitized: usize,
+}
+
+/// Replace NaN/±∞ with 0.0 in place, returning how many values changed.
+/// Broken similarity functions (divide-by-zero on empty strings, overflow
+/// on pathological inputs) must not poison a whole training run.
+fn sanitize(features: &mut [Vec<f64>]) -> usize {
+    let mut fixed = 0;
+    for row in features.iter_mut() {
+        for v in row.iter_mut() {
+            if !v.is_finite() {
+                *v = 0.0;
+                fixed += 1;
+            }
+        }
+    }
+    fixed
 }
 
 impl Corpus {
@@ -25,7 +43,8 @@ impl Corpus {
     pub fn from_dataset(ds: &EmDataset, blocking: &BlockingConfig) -> (Self, FeatureExtractor) {
         let pairs = blocking.block(ds);
         let fx = FeatureExtractor::new(ds);
-        let features = fx.extract_all(&pairs);
+        let mut features = fx.extract_all(&pairs);
+        let sanitized = sanitize(&mut features);
         let bool_features = fx.booleanize_all(&features);
         let truth = pairs.iter().map(|&p| ds.is_match(p)).collect();
         (
@@ -35,6 +54,7 @@ impl Corpus {
                 features,
                 bool_features: Some(bool_features),
                 truth,
+                sanitized,
             },
             fx,
         )
@@ -42,8 +62,9 @@ impl Corpus {
 
     /// Build a corpus directly from feature vectors and labels (tests,
     /// docs, and workloads that skip the table layer).
-    pub fn from_features(features: Vec<Vec<f64>>, truth: Vec<bool>) -> Self {
+    pub fn from_features(mut features: Vec<Vec<f64>>, truth: Vec<bool>) -> Self {
         assert_eq!(features.len(), truth.len(), "feature/label mismatch");
+        let sanitized = sanitize(&mut features);
         let pairs = (0..features.len() as u32).map(|i| (i, 0)).collect();
         Corpus {
             name: "anonymous".into(),
@@ -51,6 +72,7 @@ impl Corpus {
             features,
             bool_features: None,
             truth,
+            sanitized,
         }
     }
 
@@ -118,6 +140,12 @@ impl Corpus {
         &self.truth
     }
 
+    /// Non-finite feature values (NaN/±∞) that were sanitized to 0 when
+    /// the corpus was built. The session layer logs this once per run.
+    pub fn sanitized_features(&self) -> usize {
+        self.sanitized
+    }
+
     /// Class skew: fraction of true matches among pairs.
     pub fn skew(&self) -> f64 {
         if self.truth.is_empty() {
@@ -130,7 +158,10 @@ impl Corpus {
     /// 80/20 supervised split of §6.2). Returns `(train_pool, test)`
     /// example indices, shuffled.
     pub fn split_holdout<R: Rng>(&self, test_frac: f64, rng: &mut R) -> (Vec<usize>, Vec<usize>) {
-        assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&test_frac),
+            "test_frac must be in [0,1)"
+        );
         let mut pos: Vec<usize> = (0..self.len()).filter(|&i| self.truth[i]).collect();
         let mut neg: Vec<usize> = (0..self.len()).filter(|&i| !self.truth[i]).collect();
         pos.shuffle(rng);
@@ -176,9 +207,8 @@ mod tests {
         let (train, test) = c.split_holdout(0.2, &mut rng);
         assert_eq!(train.len() + test.len(), 100);
         assert_eq!(test.len(), 20);
-        let skew = |idx: &[usize]| {
-            idx.iter().filter(|&&i| c.truth(i)).count() as f64 / idx.len() as f64
-        };
+        let skew =
+            |idx: &[usize]| idx.iter().filter(|&&i| c.truth(i)).count() as f64 / idx.len() as f64;
         assert!((skew(&test) - 0.2).abs() < 0.05);
         assert!((skew(&train) - 0.2).abs() < 0.05);
     }
@@ -198,5 +228,21 @@ mod tests {
     #[should_panic(expected = "feature/label mismatch")]
     fn rejects_mismatch() {
         Corpus::from_features(vec![vec![0.0]], vec![true, false]);
+    }
+
+    #[test]
+    fn non_finite_features_are_sanitized() {
+        let c = Corpus::from_features(
+            vec![
+                vec![0.5, f64::NAN],
+                vec![f64::INFINITY, 1.0],
+                vec![0.1, f64::NEG_INFINITY],
+            ],
+            vec![true, false, true],
+        );
+        assert_eq!(c.sanitized_features(), 3);
+        assert!(c.features().iter().flatten().all(|v| v.is_finite()));
+        assert_eq!(c.x(0), &[0.5, 0.0]);
+        assert_eq!(c.x(1), &[0.0, 1.0]);
     }
 }

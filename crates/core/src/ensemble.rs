@@ -100,7 +100,9 @@ impl Strategy for EnsembleSvmStrategy {
         unlabeled: &mut Vec<usize>,
         _rng: &mut StdRng,
     ) {
-        let Some(candidate) = &self.candidate else { return };
+        let Some(candidate) = &self.candidate else {
+            return;
+        };
         // Precision of the candidate on the Oracle-labeled batch (§5.2:
         // "the precision is computed on the selected examples in each
         // active learning iteration whose labels are provided by the
@@ -208,7 +210,9 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
         unlabeled: &mut Vec<usize>,
         _rng: &mut StdRng,
     ) {
-        let Some(candidate) = &self.candidate else { return };
+        let Some(candidate) = &self.candidate else {
+            return;
+        };
         let mut claimed = 0usize;
         let mut correct = 0usize;
         for &(i, y) in new {

@@ -7,11 +7,11 @@
 //! interpretability (#DNF atoms, ensemble depth).
 
 use mlcore::metrics::Confusion;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Everything measured in one active-learning iteration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationStats {
     /// Iteration number (0 = after training on the seed labels).
     pub iteration: usize,
@@ -87,12 +87,42 @@ impl RunResult {
 
     /// Total user wait time across all iterations.
     pub fn total_user_wait_secs(&self) -> f64 {
-        self.iterations.iter().map(IterationStats::user_wait_secs).sum()
+        self.iterations
+            .iter()
+            .map(IterationStats::user_wait_secs)
+            .sum()
     }
 
     /// Total labels consumed by the end of the run.
     pub fn total_labels(&self) -> usize {
         self.iterations.last().map_or(0, |s| s.labels_used)
+    }
+
+    /// Canonical rendering of every deterministic field — everything
+    /// except wall-clock timings, with floats rendered by exact bit
+    /// pattern. Two runs with equal fingerprints made identical labeling
+    /// and modeling decisions; the session layer's checkpoint/resume tests
+    /// assert on this.
+    pub fn deterministic_fingerprint(&self) -> String {
+        let rows: Vec<String> = self
+            .iterations
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}|{}|{:016x}|{:016x}|{:016x}|{:?}|{:?}|{:?}|{:?}",
+                    s.iteration,
+                    s.labels_used,
+                    s.f1.to_bits(),
+                    s.precision.to_bits(),
+                    s.recall.to_bits(),
+                    s.atoms,
+                    s.depth,
+                    s.accepted_models,
+                    s.pruned
+                )
+            })
+            .collect();
+        format!("{}@{}::{}", self.strategy, self.dataset, rows.join(";"))
     }
 }
 
@@ -207,6 +237,25 @@ mod tests {
         assert_eq!(r.best_f1(), 0.0);
         assert_eq!(r.labels_to_convergence(0.01), 0);
         assert_eq!(r.total_labels(), 0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_timings_but_not_quality() {
+        let a = run_with_f1s(&[0.4, 0.6]);
+        let mut b = a.clone();
+        b.iterations[0].train_secs = 99.0;
+        b.iterations[1].committee_secs = 0.0;
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        b.iterations[1].f1 += 1e-15;
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn iteration_stats_roundtrip_json() {
+        let r = run_with_f1s(&[0.25, 0.75]);
+        let js = serde_json::to_string(&r.iterations).unwrap();
+        let back: Vec<IterationStats> = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, r.iterations);
     }
 
     #[test]

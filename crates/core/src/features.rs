@@ -30,7 +30,12 @@ pub struct FeatureDesc {
 
 impl fmt::Display for FeatureDesc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(left.{attr}, right.{attr})", self.sim.name(), attr = self.attr)
+        write!(
+            f,
+            "{}(left.{attr}, right.{attr})",
+            self.sim.name(),
+            attr = self.attr
+        )
     }
 }
 
@@ -257,7 +262,7 @@ mod tests {
     fn missing_attr_scores_zero() {
         let fx = FeatureExtractor::new(&toy());
         let row = fx.extract_pair((1, 0)); // left price is None
-        // Price dims are the second attribute block.
+                                           // Price dims are the second attribute block.
         for v in &row[21..42] {
             assert_eq!(*v, 0.0);
         }

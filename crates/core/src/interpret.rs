@@ -193,6 +193,9 @@ mod tests {
         assert!(s.contains("∧ B"));
         assert!(s.contains("Rule 2: C"));
         assert!(s.contains("∨"));
-        assert_eq!(dnf_to_string(&Dnf::empty(), &descs), "(empty rule: predicts non-match)");
+        assert_eq!(
+            dnf_to_string(&Dnf::empty(), &descs),
+            "(empty rule: predicts non-match)"
+        );
     }
 }

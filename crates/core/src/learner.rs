@@ -125,7 +125,10 @@ mod tests {
         let nn = NnTrainer::default().train(&xs, &ys, &mut rng);
         let _ = nn.decision_value(&[0.95]);
         // Rules need Boolean features.
-        let bx: Vec<Vec<f64>> = xs.iter().map(|r| vec![f64::from(u8::from(r[0] >= 0.5))]).collect();
+        let bx: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|r| vec![f64::from(u8::from(r[0] >= 0.5))])
+            .collect();
         let dnf = DnfTrainer::default().train(&bx, &ys, &mut rng);
         assert!(dnf.predict(&[1.0]));
         assert!(!dnf.predict(&[0.0]));

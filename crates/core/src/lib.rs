@@ -48,15 +48,22 @@
 //! let params = LoopParams { seed_size: 20, batch_size: 10, max_labels: 120, ..LoopParams::default() };
 //! let oracle = Oracle::perfect(truth);
 //! let run = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params)
-//!     .run(&corpus, &oracle, 42);
+//!     .run(&corpus, &oracle, 42)
+//!     .expect("valid configuration and a reliable oracle");
 //! assert!(run.best_f1() > 0.9);
 //! ```
+//!
+//! Long-running sessions can checkpoint and resume ([`session`]), retry
+//! transient Oracle failures, and inject faults for robustness benchmarks
+//! ([`oracle::TransientOracle`] and friends); failures surface as
+//! structured [`error::AlemError`] values instead of panics.
 
 #![warn(missing_docs)]
 
 pub mod blocking;
 pub mod corpus;
 pub mod ensemble;
+pub mod error;
 pub mod evaluator;
 pub mod features;
 pub mod interpret;
@@ -67,4 +74,5 @@ pub mod oracle;
 pub mod report;
 pub mod schema;
 pub mod selector;
+pub mod session;
 pub mod strategy;

@@ -7,18 +7,21 @@
 //! them into the training pool. Termination mirrors §6: a near-perfect F1
 //! (perfect Oracles), label exhaustion (noisy Oracles), a label budget, or
 //! strategy-initiated termination (LFP/LFN exhaustion for rules).
+//!
+//! [`ActiveLearner::run`] is the simple entry point; the fault-tolerant
+//! variant with checkpoint/resume, retries, and graceful degradation lives
+//! in [`crate::session`] (same loop — `run` delegates to it).
 
 use crate::corpus::Corpus;
-use crate::evaluator::{confusion_over, iteration_stats, RunResult};
-use crate::oracle::Oracle;
+use crate::error::AlemError;
+use crate::evaluator::RunResult;
+use crate::oracle::QueryOracle;
+use crate::session::{SessionConfig, SessionOutcome};
 use crate::strategy::Strategy;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::time::Instant;
+use serde::{Deserialize, Serialize};
 
 /// What the per-iteration evaluation runs against.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum EvalMode {
     /// Evaluate on *all* post-blocking pairs, labeled and unlabeled — the
     /// paper's progressive F1 (§6, train-test splits).
@@ -33,7 +36,7 @@ pub enum EvalMode {
 }
 
 /// Loop hyper-parameters. Defaults are the paper's settings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoopParams {
     /// Initial random labeled seed (paper: 30).
     pub seed_size: usize,
@@ -62,8 +65,8 @@ impl Default for LoopParams {
 
 /// An active-learning session binding a strategy to loop parameters.
 pub struct ActiveLearner<S: Strategy> {
-    strategy: S,
-    params: LoopParams,
+    pub(crate) strategy: S,
+    pub(crate) params: LoopParams,
 }
 
 impl<S: Strategy> ActiveLearner<S> {
@@ -83,104 +86,26 @@ impl<S: Strategy> ActiveLearner<S> {
         &self.strategy
     }
 
+    /// Borrow the loop parameters.
+    pub fn params(&self) -> &LoopParams {
+        &self.params
+    }
+
     /// Run the loop on `corpus` with labels from `oracle`, seeded by
-    /// `seed` for full reproducibility. Returns per-iteration statistics.
-    pub fn run(&mut self, corpus: &Corpus, oracle: &Oracle, seed: u64) -> RunResult {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let params = &self.params;
-        assert!(params.seed_size >= 1, "need at least one seed label");
-        assert!(params.batch_size >= 1, "need a positive batch size");
-
-        // Build the selection pool and the evaluation set.
-        let (mut pool, eval_idx): (Vec<usize>, Vec<usize>) = match params.eval {
-            EvalMode::Progressive => ((0..corpus.len()).collect(), (0..corpus.len()).collect()),
-            EvalMode::Holdout { test_frac } => {
-                let (train, test) = corpus.split_holdout(test_frac, &mut rng);
-                (train, test)
+    /// `seed` for full reproducibility. Returns per-iteration statistics,
+    /// or a structured [`AlemError`] on invalid configuration / an Oracle
+    /// that stays unavailable past the default retry policy.
+    pub fn run(
+        &mut self,
+        corpus: &Corpus,
+        oracle: &dyn QueryOracle,
+        seed: u64,
+    ) -> Result<RunResult, AlemError> {
+        match self.run_session(corpus, oracle, seed, &SessionConfig::default())? {
+            SessionOutcome::Complete(run) => Ok(run),
+            SessionOutcome::Halted { .. } => {
+                unreachable!("default session config never halts")
             }
-        };
-
-        // Random initial seed from the pool.
-        pool.shuffle(&mut rng);
-        let seed_n = params.seed_size.min(pool.len());
-        let mut labeled: Vec<(usize, bool)> = pool
-            .drain(..seed_n)
-            .map(|i| (i, oracle.label(i)))
-            .collect();
-        let mut unlabeled = pool;
-
-        let mut iterations = Vec::new();
-        let mut iter_no = 0usize;
-        loop {
-            // Train on the cumulative labeled data.
-            let t0 = Instant::now();
-            self.strategy.fit(corpus, &labeled, &mut rng);
-            let train_time = t0.elapsed();
-
-            // Evaluate against ground truth.
-            let confusion = confusion_over(
-                |i| self.strategy.predict(corpus, i),
-                |i| corpus.truth(i),
-                &eval_idx,
-            );
-            let mut stats = iteration_stats(
-                iter_no,
-                labeled.len(),
-                &confusion,
-                train_time,
-                std::time::Duration::ZERO,
-                std::time::Duration::ZERO,
-            );
-            let extra = self.strategy.stats();
-            stats.atoms = extra.atoms;
-            stats.depth = extra.depth;
-            stats.accepted_models = extra.accepted_models;
-            stats.pruned = extra.pruned;
-
-            // Termination checks before selecting more labels.
-            let reached_target = params.stop_at_f1.is_some_and(|t| stats.f1 >= t);
-            let out_of_budget = labeled.len() + params.batch_size > params.max_labels;
-            if reached_target
-                || out_of_budget
-                || unlabeled.is_empty()
-                || self.strategy.terminated()
-            {
-                iterations.push(stats);
-                break;
-            }
-
-            // Select and label the next batch.
-            let selection = self.strategy.select(
-                corpus,
-                &labeled,
-                &unlabeled,
-                params.batch_size,
-                &mut rng,
-            );
-            stats.committee_secs = selection.committee_creation.as_secs_f64();
-            stats.scoring_secs = selection.scoring.as_secs_f64();
-            iterations.push(stats);
-
-            if selection.chosen.is_empty() {
-                break; // strategy found nothing worth labeling
-            }
-            let new: Vec<(usize, bool)> = selection
-                .chosen
-                .iter()
-                .map(|&i| (i, oracle.label(i)))
-                .collect();
-            unlabeled.retain(|i| !selection.chosen.contains(i));
-            labeled.extend(new.iter().copied());
-            self.strategy
-                .post_label(corpus, &new, &mut labeled, &mut unlabeled, &mut rng);
-
-            iter_no += 1;
-        }
-
-        RunResult {
-            strategy: self.strategy.name(),
-            dataset: corpus.name().to_owned(),
-            iterations,
         }
     }
 }
@@ -189,6 +114,7 @@ impl<S: Strategy> ActiveLearner<S> {
 mod tests {
     use super::*;
     use crate::learner::{ForestTrainer, SvmTrainer};
+    use crate::oracle::Oracle;
     use crate::strategy::{MarginSvmStrategy, QbcStrategy, RandomStrategy, TreeQbcStrategy};
 
     fn corpus(n: usize) -> Corpus {
@@ -217,7 +143,7 @@ mod tests {
             MarginSvmStrategy::new(SvmTrainer::default()),
             quick_params(),
         );
-        let run = al.run(&c, &oracle, 7);
+        let run = al.run(&c, &oracle, 7).unwrap();
         assert!(run.best_f1() > 0.9, "best F1 {}", run.best_f1());
         assert!(!run.iterations.is_empty());
         // Label counts grow by the batch size.
@@ -232,7 +158,7 @@ mod tests {
         let c = corpus(300);
         let oracle = Oracle::perfect(c.truths().to_vec());
         let mut al = ActiveLearner::new(TreeQbcStrategy::new(10), quick_params());
-        let run = al.run(&c, &oracle, 7);
+        let run = al.run(&c, &oracle, 7).unwrap();
         assert!(run.best_f1() > 0.95, "best F1 {}", run.best_f1());
         // Tree strategy reports interpretability stats.
         assert!(run.iterations[0].atoms.is_some());
@@ -253,7 +179,7 @@ mod tests {
             RandomStrategy::new(ForestTrainer::with_trees(3), "SupervisedTrees(Random-3)"),
             params,
         );
-        let run = al.run(&c, &oracle, 7);
+        let run = al.run(&c, &oracle, 7).unwrap();
         assert!(run.total_labels() <= 60);
         assert_eq!(oracle.queries(), run.total_labels() as u64);
     }
@@ -269,11 +195,8 @@ mod tests {
             max_labels: 100,
             stop_at_f1: Some(0.99),
         };
-        let mut al = ActiveLearner::new(
-            QbcStrategy::new(SvmTrainer::default(), 3),
-            params,
-        );
-        let run = al.run(&c, &oracle, 11);
+        let mut al = ActiveLearner::new(QbcStrategy::new(SvmTrainer::default(), 3), params);
+        let run = al.run(&c, &oracle, 11).unwrap();
         // The train pool is 160 examples; labels can't exceed it.
         assert!(run.total_labels() <= 100);
         assert!(run.best_f1() > 0.5);
@@ -288,7 +211,12 @@ mod tests {
                 MarginSvmStrategy::new(SvmTrainer::default()),
                 quick_params(),
             );
-            al.run(&c, &oracle, seed).iterations.iter().map(|s| s.f1).collect()
+            al.run(&c, &oracle, seed)
+                .unwrap()
+                .iterations
+                .iter()
+                .map(|s| s.f1)
+                .collect()
         };
         assert_eq!(f1s(3), f1s(3));
     }
@@ -304,11 +232,8 @@ mod tests {
             eval: EvalMode::Progressive,
             stop_at_f1: None,
         };
-        let mut al = ActiveLearner::new(
-            MarginSvmStrategy::new(SvmTrainer::default()),
-            params,
-        );
-        let run = al.run(&c, &oracle, 1);
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params);
+        let run = al.run(&c, &oracle, 1).unwrap();
         // Whole pool became the seed; exactly one iteration recorded.
         assert_eq!(run.total_labels(), 25);
         assert_eq!(run.iterations.len(), 1);
@@ -330,8 +255,9 @@ mod tests {
                 stop_at_f1: None,
             },
         );
-        let run = al.run(&c, &oracle, 2);
-        // No positives anywhere: F1 is 0 but the loop completes.
+        let run = al.run(&c, &oracle, 2).unwrap();
+        // No positives anywhere: F1 is 0 but the loop completes (after the
+        // session's bounded extra random draws fail to find a second class).
         assert_eq!(run.best_f1(), 0.0);
         assert!(run.total_labels() <= 40);
     }
@@ -341,7 +267,7 @@ mod tests {
         let c = corpus(200);
         // 100% noise: every training label is wrong, so progressive F1
         // against the (clean) ground truth should collapse.
-        let oracle = Oracle::noisy(c.truths().to_vec(), 1.0, 9);
+        let oracle = Oracle::noisy(c.truths().to_vec(), 1.0, 9).unwrap();
         let mut al = ActiveLearner::new(
             TreeQbcStrategy::new(5),
             LoopParams {
@@ -352,8 +278,12 @@ mod tests {
                 eval: EvalMode::Progressive,
             },
         );
-        let run = al.run(&c, &oracle, 3);
-        assert!(run.best_f1() < 0.5, "inverted labels gave F1 {}", run.best_f1());
+        let run = al.run(&c, &oracle, 3).unwrap();
+        assert!(
+            run.best_f1() < 0.5,
+            "inverted labels gave F1 {}",
+            run.best_f1()
+        );
     }
 
     #[test]
@@ -370,7 +300,7 @@ mod tests {
                 stop_at_f1: None,
             },
         );
-        let run = al.run(&c, &oracle, 3);
+        let run = al.run(&c, &oracle, 3).unwrap();
         // Every iteration that selected must have spent committee time.
         let selecting_iters = run.iterations.len() - 1;
         let with_committee = run

@@ -6,10 +6,19 @@
 //! the imperfect Oracle generates a random probability that falls within
 //! the noise percentage threshold" — i.e. a fresh Bernoulli per query, with
 //! no majority-vote correction).
+//!
+//! On top of the base [`Oracle`] this module provides the fault-injection
+//! harness used by the robustness benchmarks: the [`QueryOracle`] trait
+//! (fallible labeling), decorators that inject transient failures
+//! ([`TransientOracle`]), abstentions ([`AbstainingOracle`]), and latency
+//! ([`LatencyOracle`]), and the [`RetryPolicy`] the session layer uses to
+//! ride out transient failures with exponential backoff.
 
+use crate::error::AlemError;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// Where an Oracle's authoritative answers come from.
 enum Source {
@@ -40,6 +49,38 @@ impl Source {
     }
 }
 
+/// One answer from a fallible Oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleAnswer {
+    /// A definitive (possibly noisy) label.
+    Label(bool),
+    /// The Oracle declined to answer; the example stays unlabeled and may
+    /// be selected again later.
+    Abstain,
+}
+
+/// A labeling authority that can fail. The base [`Oracle`] never fails;
+/// the fault-injection decorators wrap any `QueryOracle` to simulate
+/// crowd workers going offline, abstaining, or answering slowly.
+pub trait QueryOracle: Send + Sync {
+    /// Ask for the label of example `i`. `Err(OracleUnavailable)` models a
+    /// transient outage the caller may retry; `Ok(Abstain)` is a definitive
+    /// "no answer" for this query.
+    fn try_label(&self, i: usize) -> Result<OracleAnswer, AlemError>;
+
+    /// Number of labels asked so far (every vote counts, see
+    /// [`Oracle::queries`]).
+    fn queries(&self) -> u64;
+
+    /// Number of examples the Oracle can label.
+    fn universe(&self) -> usize;
+
+    /// Replay the Oracle to the state it had after answering `n` queries —
+    /// used when resuming a checkpointed session so the noise stream
+    /// continues exactly where the interrupted run left off.
+    fn fast_forward(&self, n: u64);
+}
+
 /// A labeling Oracle over a corpus's example indices.
 pub struct Oracle {
     source: Source,
@@ -65,34 +106,52 @@ impl Oracle {
 
     /// A noisy Oracle flipping each answer independently with probability
     /// `noise` (0.10–0.40 in the paper's sweeps), seeded for
-    /// reproducibility.
-    pub fn noisy(truth: Vec<bool>, noise: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
-        Oracle {
+    /// reproducibility. Rejects `noise` outside `[0, 1]`.
+    pub fn noisy(truth: Vec<bool>, noise: f64, seed: u64) -> Result<Self, AlemError> {
+        if !(0.0..=1.0).contains(&noise) {
+            return Err(AlemError::InvalidConfig(format!(
+                "oracle noise must be a probability in [0, 1], got {noise}"
+            )));
+        }
+        Ok(Oracle {
             source: Source::Truth(truth),
             noise,
             votes: 1,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             queries: Mutex::new(0),
-        }
+        })
     }
 
     /// Crowd-style error correction the paper deliberately leaves out
     /// (§6.2: real deployments "regulate the noisy labels using techniques
     /// such as majority voting"): each query draws `votes` independent
     /// noisy answers and returns the majority. Each vote counts as one
-    /// Oracle query (crowd answers are paid per vote). `votes` must be
-    /// odd so the majority is decisive.
-    pub fn noisy_with_voting(truth: Vec<bool>, noise: f64, votes: usize, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
-        assert!(votes >= 1 && votes % 2 == 1, "votes must be odd and positive");
-        Oracle {
+    /// Oracle query (crowd answers are paid per vote). Rejects `noise`
+    /// outside `[0, 1]` and even or zero `votes` (the majority must be
+    /// decisive).
+    pub fn noisy_with_voting(
+        truth: Vec<bool>,
+        noise: f64,
+        votes: usize,
+        seed: u64,
+    ) -> Result<Self, AlemError> {
+        if !(0.0..=1.0).contains(&noise) {
+            return Err(AlemError::InvalidConfig(format!(
+                "oracle noise must be a probability in [0, 1], got {noise}"
+            )));
+        }
+        if votes == 0 || votes.is_multiple_of(2) {
+            return Err(AlemError::InvalidConfig(format!(
+                "votes must be odd and positive, got {votes}"
+            )));
+        }
+        Ok(Oracle {
             source: Source::Truth(truth),
             noise,
             votes,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             queries: Mutex::new(0),
-        }
+        })
     }
 
     /// The configured noise probability.
@@ -147,6 +206,334 @@ impl Oracle {
     }
 }
 
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Oracle")
+            .field(
+                "source",
+                &match &self.source {
+                    Source::Truth(t) => format!("Truth({} examples)", t.len()),
+                    Source::Callback { n, .. } => format!("Callback({n} examples)"),
+                },
+            )
+            .field("noise", &self.noise)
+            .field("votes", &self.votes)
+            .field("queries", &*self.queries.lock())
+            .finish()
+    }
+}
+
+impl QueryOracle for Oracle {
+    fn try_label(&self, i: usize) -> Result<OracleAnswer, AlemError> {
+        Ok(OracleAnswer::Label(self.label(i)))
+    }
+
+    fn queries(&self) -> u64 {
+        Oracle::queries(self)
+    }
+
+    fn universe(&self) -> usize {
+        Oracle::universe(self)
+    }
+
+    fn fast_forward(&self, n: u64) {
+        // Each counted query consumes exactly one noise draw (when noise is
+        // on), so replaying `n` draws reproduces the post-`n`-queries RNG
+        // state exactly.
+        *self.queries.lock() = n;
+        if self.noise > 0.0 {
+            let mut rng = self.rng.lock();
+            for _ in 0..n {
+                let _ = rng.gen::<f64>();
+            }
+        }
+    }
+}
+
+impl<O: QueryOracle + ?Sized> QueryOracle for &O {
+    fn try_label(&self, i: usize) -> Result<OracleAnswer, AlemError> {
+        (**self).try_label(i)
+    }
+
+    fn queries(&self) -> u64 {
+        (**self).queries()
+    }
+
+    fn universe(&self) -> usize {
+        (**self).universe()
+    }
+
+    fn fast_forward(&self, n: u64) {
+        (**self).fast_forward(n)
+    }
+}
+
+/// Decorator injecting transient failures: each query independently fails
+/// with `failure_rate` before reaching the inner Oracle (a crowd platform
+/// timing out, a worker dropping the task). Failed queries cost nothing and
+/// are retryable; the session's [`RetryPolicy`] decides how hard to try.
+pub struct TransientOracle<O: QueryOracle> {
+    inner: O,
+    failure_rate: f64,
+    rng: Mutex<StdRng>,
+    /// Scripted consecutive failures injected before random ones (tests).
+    fail_burst: Mutex<u32>,
+    failures: Mutex<u64>,
+}
+
+impl<O: QueryOracle> TransientOracle<O> {
+    /// Wrap `inner` so each query fails independently with probability
+    /// `failure_rate`, seeded for reproducibility.
+    pub fn new(inner: O, failure_rate: f64, seed: u64) -> Result<Self, AlemError> {
+        if !(0.0..=1.0).contains(&failure_rate) {
+            return Err(AlemError::InvalidConfig(format!(
+                "transient failure rate must be a probability in [0, 1], got {failure_rate}"
+            )));
+        }
+        Ok(TransientOracle {
+            inner,
+            failure_rate,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            fail_burst: Mutex::new(0),
+            failures: Mutex::new(0),
+        })
+    }
+
+    /// Script the next `k` queries to fail unconditionally (before random
+    /// failures resume) — lets tests pin down exact consecutive-failure
+    /// scenarios.
+    pub fn script_failures(&self, k: u32) {
+        *self.fail_burst.lock() = k;
+    }
+
+    /// Total failures injected so far.
+    pub fn failures(&self) -> u64 {
+        *self.failures.lock()
+    }
+}
+
+impl<O: QueryOracle> QueryOracle for TransientOracle<O> {
+    fn try_label(&self, i: usize) -> Result<OracleAnswer, AlemError> {
+        {
+            let mut burst = self.fail_burst.lock();
+            if *burst > 0 {
+                *burst -= 1;
+                *self.failures.lock() += 1;
+                return Err(AlemError::OracleUnavailable {
+                    example: i,
+                    attempts: 1,
+                    reason: "transient failure (scripted)".into(),
+                });
+            }
+        }
+        if self.failure_rate > 0.0 && self.rng.lock().gen_bool(self.failure_rate) {
+            *self.failures.lock() += 1;
+            return Err(AlemError::OracleUnavailable {
+                example: i,
+                attempts: 1,
+                reason: "transient failure".into(),
+            });
+        }
+        self.inner.try_label(i)
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+
+    fn universe(&self) -> usize {
+        self.inner.universe()
+    }
+
+    fn fast_forward(&self, n: u64) {
+        // Only the inner Oracle's draw count is tied to the query count;
+        // the decorator's failure stream depends on how many attempts the
+        // interrupted run made, which is not checkpointed. Resumed runs
+        // continue with a fresh failure stream (documented in DESIGN.md).
+        self.inner.fast_forward(n)
+    }
+}
+
+/// Decorator injecting abstentions: each query independently returns
+/// [`OracleAnswer::Abstain`] with `abstain_rate` (a human labeler answering
+/// "can't tell"). Abstained examples stay unlabeled and re-selectable.
+pub struct AbstainingOracle<O: QueryOracle> {
+    inner: O,
+    abstain_rate: f64,
+    rng: Mutex<StdRng>,
+    abstentions: Mutex<u64>,
+}
+
+impl<O: QueryOracle> AbstainingOracle<O> {
+    /// Wrap `inner` so each query abstains independently with probability
+    /// `abstain_rate`, seeded for reproducibility.
+    pub fn new(inner: O, abstain_rate: f64, seed: u64) -> Result<Self, AlemError> {
+        if !(0.0..=1.0).contains(&abstain_rate) {
+            return Err(AlemError::InvalidConfig(format!(
+                "abstain rate must be a probability in [0, 1], got {abstain_rate}"
+            )));
+        }
+        Ok(AbstainingOracle {
+            inner,
+            abstain_rate,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            abstentions: Mutex::new(0),
+        })
+    }
+
+    /// Total abstentions so far.
+    pub fn abstentions(&self) -> u64 {
+        *self.abstentions.lock()
+    }
+}
+
+impl<O: QueryOracle> QueryOracle for AbstainingOracle<O> {
+    fn try_label(&self, i: usize) -> Result<OracleAnswer, AlemError> {
+        if self.abstain_rate > 0.0 && self.rng.lock().gen_bool(self.abstain_rate) {
+            *self.abstentions.lock() += 1;
+            return Ok(OracleAnswer::Abstain);
+        }
+        self.inner.try_label(i)
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+
+    fn universe(&self) -> usize {
+        self.inner.universe()
+    }
+
+    fn fast_forward(&self, n: u64) {
+        self.inner.fast_forward(n)
+    }
+}
+
+/// Decorator modeling a slow labeling channel with a per-query timeout:
+/// each query takes `latency`; if that exceeds `timeout` the query fails
+/// with [`AlemError::OracleUnavailable`] (without actually sleeping past
+/// the deadline).
+pub struct LatencyOracle<O: QueryOracle> {
+    inner: O,
+    latency: Duration,
+    timeout: Duration,
+}
+
+impl<O: QueryOracle> LatencyOracle<O> {
+    /// Wrap `inner` with a fixed per-query `latency` and a `timeout` above
+    /// which queries fail instead of answering.
+    pub fn new(inner: O, latency: Duration, timeout: Duration) -> Self {
+        LatencyOracle {
+            inner,
+            latency,
+            timeout,
+        }
+    }
+}
+
+impl<O: QueryOracle> QueryOracle for LatencyOracle<O> {
+    fn try_label(&self, i: usize) -> Result<OracleAnswer, AlemError> {
+        if self.latency > self.timeout {
+            return Err(AlemError::OracleUnavailable {
+                example: i,
+                attempts: 1,
+                reason: format!(
+                    "timed out after {:.1?} (latency {:.1?})",
+                    self.timeout, self.latency
+                ),
+            });
+        }
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        self.inner.try_label(i)
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+
+    fn universe(&self) -> usize {
+        self.inner.universe()
+    }
+
+    fn fast_forward(&self, n: u64) {
+        self.inner.fast_forward(n)
+    }
+}
+
+/// Exponential-backoff retry policy for transient Oracle failures. Only
+/// [`AlemError::OracleUnavailable`] is retried; every other error (and
+/// abstentions, which are definitive answers) passes straight through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Multiplier applied to the delay after each failed retry.
+    pub multiplier: f64,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Delays are kept small because benchmark sweeps make thousands of
+        // queries; production deployments should raise base_delay/max_delay
+        // to match their labeling channel.
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (first failure is final).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff delay before retry number `retry` (1-based): `base_delay *
+    /// multiplier^(retry-1)`, capped at `max_delay`.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let factor = self.multiplier.powi(retry.saturating_sub(1) as i32);
+        let delay = self.base_delay.mul_f64(factor.max(0.0));
+        delay.min(self.max_delay)
+    }
+
+    /// Query `oracle` for example `i`, retrying transient failures with
+    /// exponential backoff up to `max_attempts` total attempts. The final
+    /// error reports the true attempt count.
+    pub fn query(&self, oracle: &dyn QueryOracle, i: usize) -> Result<OracleAnswer, AlemError> {
+        let attempts_allowed = self.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match oracle.try_label(i) {
+                Ok(answer) => return Ok(answer),
+                Err(AlemError::OracleUnavailable { reason, .. }) => {
+                    if attempt >= attempts_allowed {
+                        return Err(AlemError::OracleUnavailable {
+                            example: i,
+                            attempts: attempt,
+                            reason,
+                        });
+                    }
+                    std::thread::sleep(self.delay_for(attempt));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,7 +550,7 @@ mod tests {
     #[test]
     fn noisy_oracle_flips_at_rate() {
         let n = 20_000;
-        let o = Oracle::noisy(vec![true; n], 0.3, 99);
+        let o = Oracle::noisy(vec![true; n], 0.3, 99).unwrap();
         let flips = (0..n).filter(|&i| !o.label(i)).count();
         let rate = flips as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.02, "observed flip rate {rate}");
@@ -171,13 +558,13 @@ mod tests {
 
     #[test]
     fn zero_noise_never_flips() {
-        let o = Oracle::noisy(vec![false; 100], 0.0, 1);
+        let o = Oracle::noisy(vec![false; 100], 0.0, 1).unwrap();
         assert!((0..100).all(|i| !o.label(i)));
     }
 
     #[test]
     fn full_noise_always_flips() {
-        let o = Oracle::noisy(vec![false; 100], 1.0, 1);
+        let o = Oracle::noisy(vec![false; 100], 1.0, 1).unwrap();
         assert!((0..100).all(|i| o.label(i)));
     }
 
@@ -185,7 +572,7 @@ mod tests {
     fn repeat_queries_redraw_noise() {
         // Asking about the same example twice can give different answers —
         // the paper's harsh crowdsourcing criterion.
-        let o = Oracle::noisy(vec![true; 1], 0.5, 7);
+        let o = Oracle::noisy(vec![true; 1], 0.5, 7).unwrap();
         let answers: Vec<bool> = (0..100).map(|_| o.label(0)).collect();
         assert!(answers.iter().any(|&a| a));
         assert!(answers.iter().any(|&a| !a));
@@ -195,7 +582,7 @@ mod tests {
     fn majority_voting_suppresses_noise() {
         let n = 5000;
         // 30% noise, 5 votes: error rate = P(≥3 of 5 flips) ≈ 0.163.
-        let o = Oracle::noisy_with_voting(vec![true; n], 0.3, 5, 42);
+        let o = Oracle::noisy_with_voting(vec![true; n], 0.3, 5, 42).unwrap();
         let wrong = (0..n).filter(|&i| !o.label(i)).count();
         let rate = wrong as f64 / n as f64;
         assert!((rate - 0.163).abs() < 0.03, "voting error rate {rate}");
@@ -204,9 +591,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "odd")]
     fn voting_rejects_even_committees() {
-        Oracle::noisy_with_voting(vec![true], 0.2, 4, 1);
+        let err = Oracle::noisy_with_voting(vec![true], 0.2, 4, 1).unwrap_err();
+        assert!(matches!(err, AlemError::InvalidConfig(ref m) if m.contains("odd")));
+        let err = Oracle::noisy_with_voting(vec![true], 0.2, 0, 1).unwrap_err();
+        assert!(matches!(err, AlemError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn noise_out_of_range_is_rejected() {
+        assert!(matches!(
+            Oracle::noisy(vec![true], 1.5, 1),
+            Err(AlemError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Oracle::noisy(vec![true], -0.1, 1),
+            Err(AlemError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Oracle::noisy_with_voting(vec![true], 2.0, 3, 1),
+            Err(AlemError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -220,10 +625,147 @@ mod tests {
 
     #[test]
     fn seeded_oracles_reproduce() {
-        let a = Oracle::noisy(vec![true; 50], 0.4, 123);
-        let b = Oracle::noisy(vec![true; 50], 0.4, 123);
+        let a = Oracle::noisy(vec![true; 50], 0.4, 123).unwrap();
+        let b = Oracle::noisy(vec![true; 50], 0.4, 123).unwrap();
         let va: Vec<bool> = (0..50).map(|i| a.label(i)).collect();
         let vb: Vec<bool> = (0..50).map(|i| b.label(i)).collect();
         assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn fast_forward_reproduces_noise_stream() {
+        let n = 200;
+        let reference = Oracle::noisy(vec![true; n], 0.4, 77).unwrap();
+        let answers: Vec<bool> = (0..n).map(|i| reference.label(i)).collect();
+
+        // A fresh Oracle fast-forwarded past the first half must produce
+        // the reference's second half exactly.
+        let resumed = Oracle::noisy(vec![true; n], 0.4, 77).unwrap();
+        resumed.fast_forward(100);
+        assert_eq!(QueryOracle::queries(&resumed), 100);
+        let tail: Vec<bool> = (100..n).map(|i| resumed.label(i)).collect();
+        assert_eq!(tail, answers[100..]);
+    }
+
+    #[test]
+    fn transient_oracle_fails_at_rate() {
+        let inner = Oracle::perfect(vec![true; 10_000]);
+        let o = TransientOracle::new(inner, 0.2, 5).unwrap();
+        let failures = (0..10_000).filter(|&i| o.try_label(i).is_err()).count();
+        let rate = failures as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "failure rate {rate}");
+        assert_eq!(o.failures(), failures as u64);
+        // Failed queries never reached (or billed) the inner Oracle.
+        assert_eq!(o.queries(), (10_000 - failures) as u64);
+    }
+
+    #[test]
+    fn transient_oracle_rejects_bad_rate() {
+        let inner = Oracle::perfect(vec![true]);
+        assert!(matches!(
+            TransientOracle::new(inner, 1.2, 0),
+            Err(AlemError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn retry_recovers_from_consecutive_failures() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_micros(100),
+        };
+
+        // 4 consecutive failures, 5 attempts allowed: recovery.
+        let o = TransientOracle::new(Oracle::perfect(vec![true]), 0.0, 0).unwrap();
+        o.script_failures(4);
+        assert_eq!(policy.query(&o, 0).unwrap(), OracleAnswer::Label(true));
+        assert_eq!(o.failures(), 4);
+
+        // 5 consecutive failures exhaust the policy with the attempt count.
+        o.script_failures(5);
+        match policy.query(&o, 0) {
+            Err(AlemError::OracleUnavailable {
+                attempts, example, ..
+            }) => {
+                assert_eq!(attempts, 5);
+                assert_eq!(example, 0);
+            }
+            other => panic!("expected OracleUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_policy_backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(p.delay_for(1), Duration::from_millis(10));
+        assert_eq!(p.delay_for(2), Duration::from_millis(20));
+        assert_eq!(p.delay_for(3), Duration::from_millis(35)); // capped (40 → 35)
+        assert_eq!(p.delay_for(4), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn abstaining_oracle_abstains_at_rate() {
+        let inner = Oracle::perfect(vec![true; 10_000]);
+        let o = AbstainingOracle::new(inner, 0.3, 9).unwrap();
+        let abstained = (0..10_000)
+            .filter(|&i| o.try_label(i) == Ok(OracleAnswer::Abstain))
+            .count();
+        let rate = abstained as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "abstain rate {rate}");
+        assert_eq!(o.abstentions(), abstained as u64);
+    }
+
+    #[test]
+    fn latency_oracle_times_out() {
+        let slow = LatencyOracle::new(
+            Oracle::perfect(vec![true]),
+            Duration::from_secs(3),
+            Duration::from_millis(1),
+        );
+        match slow.try_label(0) {
+            Err(AlemError::OracleUnavailable { reason, .. }) => {
+                assert!(reason.contains("timed out"), "reason: {reason}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+
+        let fast = LatencyOracle::new(
+            Oracle::perfect(vec![true]),
+            Duration::from_micros(50),
+            Duration::from_secs(1),
+        );
+        assert_eq!(fast.try_label(0).unwrap(), OracleAnswer::Label(true));
+    }
+
+    #[test]
+    fn decorators_stack() {
+        // Transient failures over abstentions over a noisy base.
+        let base = Oracle::noisy(vec![true; 1000], 0.1, 3).unwrap();
+        let abstaining = AbstainingOracle::new(base, 0.1, 4).unwrap();
+        let o = TransientOracle::new(abstaining, 0.1, 5).unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_micros(1),
+            multiplier: 1.0,
+            max_delay: Duration::from_micros(1),
+        };
+        let mut labels = 0;
+        let mut abstains = 0;
+        for i in 0..1000 {
+            match policy.query(&o, i).unwrap() {
+                OracleAnswer::Label(_) => labels += 1,
+                OracleAnswer::Abstain => abstains += 1,
+            }
+        }
+        assert_eq!(labels + abstains, 1000);
+        assert!(abstains > 50, "abstains {abstains}");
+        assert!(o.failures() > 50, "failures {}", o.failures());
     }
 }

@@ -23,7 +23,11 @@ impl Series {
     pub fn f1_curve(run: &RunResult) -> Series {
         Series {
             label: run.strategy.clone(),
-            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            x: run
+                .iterations
+                .iter()
+                .map(|s| s.labels_used as f64)
+                .collect(),
             y: run.iterations.iter().map(|s| s.f1).collect(),
         }
     }
@@ -32,7 +36,11 @@ impl Series {
     pub fn selection_time_curve(run: &RunResult) -> Series {
         Series {
             label: run.strategy.clone(),
-            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            x: run
+                .iterations
+                .iter()
+                .map(|s| s.labels_used as f64)
+                .collect(),
             y: run.iterations.iter().map(|s| s.selection_secs()).collect(),
         }
     }
@@ -41,7 +49,11 @@ impl Series {
     pub fn committee_time_curve(run: &RunResult) -> Series {
         Series {
             label: format!("create{}", run.strategy),
-            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            x: run
+                .iterations
+                .iter()
+                .map(|s| s.labels_used as f64)
+                .collect(),
             y: run.iterations.iter().map(|s| s.committee_secs).collect(),
         }
     }
@@ -50,7 +62,11 @@ impl Series {
     pub fn scoring_time_curve(run: &RunResult) -> Series {
         Series {
             label: format!("score{}", run.strategy),
-            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            x: run
+                .iterations
+                .iter()
+                .map(|s| s.labels_used as f64)
+                .collect(),
             y: run.iterations.iter().map(|s| s.scoring_secs).collect(),
         }
     }
@@ -59,7 +75,11 @@ impl Series {
     pub fn user_wait_curve(run: &RunResult) -> Series {
         Series {
             label: run.strategy.clone(),
-            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            x: run
+                .iterations
+                .iter()
+                .map(|s| s.labels_used as f64)
+                .collect(),
             y: run.iterations.iter().map(|s| s.user_wait_secs()).collect(),
         }
     }
@@ -68,7 +88,11 @@ impl Series {
     pub fn atoms_curve(run: &RunResult) -> Series {
         Series {
             label: run.strategy.clone(),
-            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            x: run
+                .iterations
+                .iter()
+                .map(|s| s.labels_used as f64)
+                .collect(),
             y: run
                 .iterations
                 .iter()
@@ -81,7 +105,11 @@ impl Series {
     pub fn depth_curve(run: &RunResult) -> Series {
         Series {
             label: run.strategy.clone(),
-            x: run.iterations.iter().map(|s| s.labels_used as f64).collect(),
+            x: run
+                .iterations
+                .iter()
+                .map(|s| s.labels_used as f64)
+                .collect(),
             y: run
                 .iterations
                 .iter()
@@ -206,7 +234,11 @@ impl TableReport {
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         let _ = writeln!(out, "{}", fmt_row(&self.header));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row));
         }

@@ -56,8 +56,10 @@ pub fn select(
     // Degenerate fallback: if pruning removed everything, fall back to the
     // skipped pool so active learning can still progress.
     if chosen.is_empty() && !unlabeled.is_empty() {
-        let scored: Vec<(usize, f64)> =
-            unlabeled.iter().map(|&i| (i, svm.margin(corpus.x(i)))).collect();
+        let scored: Vec<(usize, f64)> = unlabeled
+            .iter()
+            .map(|&i| (i, svm.margin(corpus.x(i))))
+            .collect();
         chosen = bottom_k_asc(scored, batch, rng);
     }
     BlockingSelection {

@@ -129,7 +129,10 @@ mod tests {
         let out = IwalConfig::default().select(&svm, &c, &unlabeled, 10, &mut rng);
         assert_eq!(out.selection.chosen.len(), 10);
         assert_eq!(out.weights.len(), 10);
-        assert!(out.weights.iter().all(|&w| (1.0..=10.0 + 1e-9).contains(&w)));
+        assert!(out
+            .weights
+            .iter()
+            .all(|&w| (1.0..=10.0 + 1e-9).contains(&w)));
         assert!(out.inspected >= 10);
     }
 

@@ -62,7 +62,14 @@ pub fn select<T: Trainer>(
     use_bool_features: bool,
 ) -> Selection {
     let t0 = Instant::now();
-    let committee = train_committee(trainer, corpus, labeled, committee_size, rng, use_bool_features);
+    let committee = train_committee(
+        trainer,
+        corpus,
+        labeled,
+        committee_size,
+        rng,
+        use_bool_features,
+    );
     let committee_creation = t0.elapsed();
 
     let t1 = Instant::now();
@@ -111,8 +118,7 @@ mod tests {
         let c = corpus();
         let labeled = labeled_seed(&c);
         let mut rng = StdRng::seed_from_u64(3);
-        let committee =
-            train_committee(&SvmTrainer::default(), &c, &labeled, 5, &mut rng, false);
+        let committee = train_committee(&SvmTrainer::default(), &c, &labeled, 5, &mut rng, false);
         assert_eq!(committee.len(), 5);
     }
 
@@ -178,8 +184,7 @@ mod tests {
         let c = corpus();
         let labeled = labeled_seed(&c);
         let mut rng = StdRng::seed_from_u64(3);
-        let committee =
-            train_committee(&SvmTrainer::default(), &c, &labeled, 6, &mut rng, false);
+        let committee = train_committee(&SvmTrainer::default(), &c, &labeled, 6, &mut rng, false);
         for i in 0..c.len() {
             let v = committee_variance(&committee, c.x(i));
             assert!((0.0..=0.25 + 1e-12).contains(&v));

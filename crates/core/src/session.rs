@@ -1,0 +1,795 @@
+//! Fault-tolerant, checkpointable active-learning sessions.
+//!
+//! A session is [`crate::loop_::ActiveLearner::run`] with survival gear: it
+//! validates its configuration up front ([`AlemError::InvalidConfig`]
+//! instead of panics), rides out transient Oracle failures with a
+//! [`RetryPolicy`], degrades gracefully around degenerate inputs
+//! (single-class seeds, empty selector batches, non-finite features), and
+//! can write a [`Checkpoint`] every N iterations so a killed run resumes
+//! exactly where it stopped.
+//!
+//! # Determinism and resume
+//!
+//! Every iteration `k` draws from its own RNG, derived from the master
+//! seed: `seed ⊕ φ·(k+1)` (setup draws from slot 0). The checkpointed "RNG
+//! state" is therefore just `(master_seed, iter_no)` — resuming
+//! reconstructs iteration `k`'s generator bit-for-bit. For strategies that
+//! refit from scratch each iteration (all of the paper's core strategies),
+//! a resumed run's [`RunResult`] is identical to the uninterrupted run's
+//! on every deterministic field (see
+//! [`RunResult::deterministic_fingerprint`]); wall-clock timings naturally
+//! differ. Strategies carrying mutable cross-iteration state (the active
+//! ensemble, LFP/LFN caches) resume correctly but not bit-identically —
+//! DESIGN.md documents the fault model in full.
+
+use crate::corpus::Corpus;
+use crate::error::AlemError;
+use crate::evaluator::{confusion_over, iteration_stats, IterationStats, RunResult};
+use crate::loop_::{ActiveLearner, EvalMode, LoopParams};
+use crate::oracle::{OracleAnswer, QueryOracle, RetryPolicy};
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Format version written into checkpoints; loading any other version
+/// fails with [`AlemError::CheckpointCorrupt`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Derive the RNG for a session slot (0 = setup, k+1 = iteration k).
+fn derive_rng(master_seed: u64, slot: u64) -> StdRng {
+    StdRng::seed_from_u64(master_seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(slot + 1))
+}
+
+/// Session-level knobs layered on top of [`LoopParams`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Write a checkpoint every N iterations (`None` = never).
+    pub checkpoint_every: Option<usize>,
+    /// Where checkpoints go (required when `checkpoint_every` or
+    /// `halt_after` is set).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Retry policy for transient Oracle failures.
+    pub retry: RetryPolicy,
+    /// Simulate a kill: checkpoint and stop at the start of iteration N
+    /// (testing hook for the resume invariant; `None` = run to completion).
+    pub halt_after: Option<usize>,
+    /// Consecutive zero-progress iterations (every selected example
+    /// abstained) tolerated before the session fails with
+    /// [`AlemError::Stalled`].
+    pub max_stalled_iters: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            checkpoint_every: None,
+            checkpoint_path: None,
+            retry: RetryPolicy::default(),
+            halt_after: None,
+            max_stalled_iters: 5,
+        }
+    }
+}
+
+/// Serializable snapshot of a session at an iteration boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Checkpoint format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The master seed the session was started with.
+    pub master_seed: u64,
+    /// Iteration about to run when the snapshot was taken.
+    pub iter_no: usize,
+    /// Consecutive zero-progress iterations at snapshot time.
+    pub stalled: usize,
+    /// Cumulative labeled examples (index, oracle label).
+    pub labeled: Vec<(usize, bool)>,
+    /// Remaining unlabeled pool indices.
+    pub unlabeled: Vec<usize>,
+    /// Evaluation set indices.
+    pub eval_idx: Vec<usize>,
+    /// Per-iteration statistics recorded so far.
+    pub iterations: Vec<IterationStats>,
+    /// Oracle queries consumed so far (replayed on resume via
+    /// [`QueryOracle::fast_forward`]).
+    pub oracle_queries: u64,
+    /// Loop parameters in force (resume uses these, not the learner's).
+    pub params: LoopParams,
+    /// Strategy name — resuming under a different strategy is rejected.
+    pub strategy: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Corpus size — resuming on a different corpus is rejected.
+    pub corpus_len: usize,
+}
+
+impl Checkpoint {
+    /// Atomically write the checkpoint to `path` (temp file + rename, so a
+    /// kill mid-write never leaves a truncated checkpoint behind).
+    pub fn save(&self, path: &Path) -> Result<(), AlemError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| AlemError::Io(format!("serializing checkpoint: {e}")))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load and validate a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, AlemError> {
+        let text = std::fs::read_to_string(path)?;
+        let ckpt: Checkpoint = serde_json::from_str(&text)
+            .map_err(|e| AlemError::CheckpointCorrupt(format!("{}: {e}", path.display())))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(AlemError::CheckpointCorrupt(format!(
+                "version {} (this build reads {CHECKPOINT_VERSION})",
+                ckpt.version
+            )));
+        }
+        Ok(ckpt)
+    }
+}
+
+/// How a session ended.
+#[derive(Debug)]
+pub enum SessionOutcome {
+    /// The loop ran to a normal termination.
+    Complete(RunResult),
+    /// The session stopped at a simulated kill point after checkpointing.
+    Halted {
+        /// Where the checkpoint was written.
+        checkpoint: PathBuf,
+        /// Labels consumed when halted.
+        labels_used: usize,
+        /// Iterations fully recorded before halting.
+        iterations_done: usize,
+    },
+}
+
+impl SessionOutcome {
+    /// The run result, if the session completed.
+    pub fn run_result(self) -> Option<RunResult> {
+        match self {
+            SessionOutcome::Complete(r) => Some(r),
+            SessionOutcome::Halted { .. } => None,
+        }
+    }
+}
+
+/// Mutable state threaded through the session loop (and captured by
+/// checkpoints).
+struct LiveState {
+    master_seed: u64,
+    iter_no: usize,
+    stalled: usize,
+    labeled: Vec<(usize, bool)>,
+    unlabeled: Vec<usize>,
+    eval_idx: Vec<usize>,
+    iterations: Vec<IterationStats>,
+}
+
+fn validate_params(params: &LoopParams) -> Result<(), AlemError> {
+    if params.seed_size == 0 {
+        return Err(AlemError::InvalidConfig(
+            "seed_size must be at least 1".into(),
+        ));
+    }
+    if params.batch_size == 0 {
+        return Err(AlemError::InvalidConfig(
+            "batch_size must be at least 1".into(),
+        ));
+    }
+    if params.max_labels == 0 {
+        return Err(AlemError::InvalidConfig(
+            "max_labels must be at least 1".into(),
+        ));
+    }
+    if let EvalMode::Holdout { test_frac } = params.eval {
+        if !(0.0..1.0).contains(&test_frac) {
+            return Err(AlemError::InvalidConfig(format!(
+                "holdout test_frac must be in [0, 1), got {test_frac}"
+            )));
+        }
+    }
+    if let Some(t) = params.stop_at_f1 {
+        if !(0.0..=1.0).contains(&t) {
+            return Err(AlemError::InvalidConfig(format!(
+                "stop_at_f1 must be in [0, 1], got {t}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn one_class(labeled: &[(usize, bool)]) -> bool {
+    labeled.iter().all(|&(_, b)| b) || labeled.iter().all(|&(_, b)| !b)
+}
+
+impl<S: Strategy> ActiveLearner<S> {
+    /// Run a fault-tolerant session from scratch. Like
+    /// [`ActiveLearner::run`] but with checkpointing, retries, and the
+    /// simulated-kill hook of `config`.
+    pub fn run_session(
+        &mut self,
+        corpus: &Corpus,
+        oracle: &dyn QueryOracle,
+        seed: u64,
+        config: &SessionConfig,
+    ) -> Result<SessionOutcome, AlemError> {
+        let params = self.params.clone();
+        validate_params(&params)?;
+        if corpus.is_empty() {
+            return Err(AlemError::DegenerateLabels("corpus has no pairs".into()));
+        }
+        if oracle.universe() < corpus.len() {
+            return Err(AlemError::InvalidConfig(format!(
+                "oracle covers {} examples but the corpus has {}",
+                oracle.universe(),
+                corpus.len()
+            )));
+        }
+        if params.seed_size > params.max_labels {
+            return Err(AlemError::BudgetExhausted {
+                used: params.seed_size,
+                budget: params.max_labels,
+            });
+        }
+
+        let mut rng = derive_rng(seed, 0);
+
+        // Build the selection pool and the evaluation set.
+        let (mut pool, eval_idx): (Vec<usize>, Vec<usize>) = match params.eval {
+            EvalMode::Progressive => ((0..corpus.len()).collect(), (0..corpus.len()).collect()),
+            EvalMode::Holdout { test_frac } => corpus.split_holdout(test_frac, &mut rng),
+        };
+
+        // Random initial seed from the pool; abstained examples go back to
+        // the unlabeled pool and the cursor moves on.
+        pool.shuffle(&mut rng);
+        let seed_n = params.seed_size.min(pool.len());
+        let mut labeled: Vec<(usize, bool)> = Vec::with_capacity(seed_n);
+        let mut skipped: Vec<usize> = Vec::new();
+        let mut cursor = 0;
+        while labeled.len() < seed_n && cursor < pool.len() {
+            let i = pool[cursor];
+            cursor += 1;
+            match config.retry.query(oracle, i)? {
+                OracleAnswer::Label(b) => labeled.push((i, b)),
+                OracleAnswer::Abstain => skipped.push(i),
+            }
+        }
+        let mut unlabeled: Vec<usize> = skipped;
+        unlabeled.extend(pool.drain(cursor..));
+        if labeled.is_empty() {
+            return Err(AlemError::DegenerateLabels(
+                "no seed labels: the oracle abstained on every seed example".into(),
+            ));
+        }
+
+        // Graceful degradation: a single-class seed trains a degenerate
+        // model, so draw extra random labels (bounded by one extra seed's
+        // worth — a genuinely one-class corpus must not burn the budget).
+        let mut extra = 0usize;
+        while one_class(&labeled)
+            && extra < seed_n
+            && !unlabeled.is_empty()
+            && labeled.len() < params.max_labels
+        {
+            let j = rng.gen_range(0..unlabeled.len());
+            let i = unlabeled.swap_remove(j);
+            extra += 1;
+            match config.retry.query(oracle, i)? {
+                OracleAnswer::Label(b) => labeled.push((i, b)),
+                OracleAnswer::Abstain => unlabeled.push(i),
+            }
+        }
+        if extra > 0 {
+            eprintln!(
+                "alem: single-class seed; drew {extra} extra random label(s) ({})",
+                if one_class(&labeled) {
+                    "still one class — proceeding"
+                } else {
+                    "now two classes"
+                }
+            );
+        }
+
+        if corpus.sanitized_features() > 0 {
+            eprintln!(
+                "alem: corpus '{}' had {} non-finite feature value(s) sanitized to 0",
+                corpus.name(),
+                corpus.sanitized_features()
+            );
+        }
+
+        let state = LiveState {
+            master_seed: seed,
+            iter_no: 0,
+            stalled: 0,
+            labeled,
+            unlabeled,
+            eval_idx,
+            iterations: Vec::new(),
+        };
+        self.drive(corpus, oracle, &params, config, state)
+    }
+
+    /// Resume a checkpointed session. The Oracle is fast-forwarded past
+    /// the queries the interrupted run consumed, and the loop continues
+    /// from the checkpointed iteration under the checkpointed parameters.
+    pub fn resume_session(
+        &mut self,
+        corpus: &Corpus,
+        oracle: &dyn QueryOracle,
+        checkpoint: Checkpoint,
+        config: &SessionConfig,
+    ) -> Result<SessionOutcome, AlemError> {
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(AlemError::CheckpointCorrupt(format!(
+                "version {} (this build reads {CHECKPOINT_VERSION})",
+                checkpoint.version
+            )));
+        }
+        if checkpoint.corpus_len != corpus.len() {
+            return Err(AlemError::CheckpointCorrupt(format!(
+                "checkpoint was taken on a corpus of {} pairs, this one has {}",
+                checkpoint.corpus_len,
+                corpus.len()
+            )));
+        }
+        let strategy_name = self.strategy.name();
+        if checkpoint.strategy != strategy_name {
+            return Err(AlemError::InvalidConfig(format!(
+                "checkpoint was taken with strategy '{}', learner runs '{}'",
+                checkpoint.strategy, strategy_name
+            )));
+        }
+        validate_params(&checkpoint.params)?;
+        oracle.fast_forward(checkpoint.oracle_queries);
+
+        let params = checkpoint.params.clone();
+        let state = LiveState {
+            master_seed: checkpoint.master_seed,
+            iter_no: checkpoint.iter_no,
+            stalled: checkpoint.stalled,
+            labeled: checkpoint.labeled,
+            unlabeled: checkpoint.unlabeled,
+            eval_idx: checkpoint.eval_idx,
+            iterations: checkpoint.iterations,
+        };
+        self.drive(corpus, oracle, &params, config, state)
+    }
+
+    /// The shared session loop (fresh runs and resumes both land here).
+    fn drive(
+        &mut self,
+        corpus: &Corpus,
+        oracle: &dyn QueryOracle,
+        params: &LoopParams,
+        config: &SessionConfig,
+        mut st: LiveState,
+    ) -> Result<SessionOutcome, AlemError> {
+        let strategy_name = self.strategy.name();
+        let snapshot = |st: &LiveState, queries: u64| Checkpoint {
+            version: CHECKPOINT_VERSION,
+            master_seed: st.master_seed,
+            iter_no: st.iter_no,
+            stalled: st.stalled,
+            labeled: st.labeled.clone(),
+            unlabeled: st.unlabeled.clone(),
+            eval_idx: st.eval_idx.clone(),
+            iterations: st.iterations.clone(),
+            oracle_queries: queries,
+            params: params.clone(),
+            strategy: strategy_name.clone(),
+            dataset: corpus.name().to_owned(),
+            corpus_len: corpus.len(),
+        };
+
+        let mut warned_empty_selection = false;
+        loop {
+            let k = st.iter_no;
+
+            // Checkpoint at iteration boundaries (idempotent on resume).
+            let due = config
+                .checkpoint_every
+                .is_some_and(|every| every > 0 && k > 0 && k.is_multiple_of(every));
+            let halting = config.halt_after == Some(k) && k > 0;
+            if due || halting {
+                let path = config.checkpoint_path.as_ref().ok_or_else(|| {
+                    AlemError::InvalidConfig(
+                        "checkpointing requested but no checkpoint_path set".into(),
+                    )
+                })?;
+                snapshot(&st, oracle.queries()).save(path)?;
+                if halting {
+                    return Ok(SessionOutcome::Halted {
+                        checkpoint: path.clone(),
+                        labels_used: st.labeled.len(),
+                        iterations_done: st.iterations.len(),
+                    });
+                }
+            }
+
+            let mut rng = derive_rng(st.master_seed, k as u64 + 1);
+
+            // Train on the cumulative labeled data.
+            let t0 = Instant::now();
+            self.strategy.fit(corpus, &st.labeled, &mut rng);
+            let train_time = t0.elapsed();
+
+            // Evaluate against ground truth.
+            let confusion = confusion_over(
+                |i| self.strategy.predict(corpus, i),
+                |i| corpus.truth(i),
+                &st.eval_idx,
+            );
+            let mut stats = iteration_stats(
+                k,
+                st.labeled.len(),
+                &confusion,
+                train_time,
+                std::time::Duration::ZERO,
+                std::time::Duration::ZERO,
+            );
+            let extra = self.strategy.stats();
+            stats.atoms = extra.atoms;
+            stats.depth = extra.depth;
+            stats.accepted_models = extra.accepted_models;
+            stats.pruned = extra.pruned;
+
+            // Termination checks before selecting more labels.
+            let reached_target = params.stop_at_f1.is_some_and(|t| stats.f1 >= t);
+            let out_of_budget = st.labeled.len() + params.batch_size > params.max_labels;
+            if reached_target
+                || out_of_budget
+                || st.unlabeled.is_empty()
+                || self.strategy.terminated()
+            {
+                st.iterations.push(stats);
+                break;
+            }
+
+            // Select and label the next batch.
+            let selection = self.strategy.select(
+                corpus,
+                &st.labeled,
+                &st.unlabeled,
+                params.batch_size,
+                &mut rng,
+            );
+            stats.committee_secs = selection.committee_creation.as_secs_f64();
+            stats.scoring_secs = selection.scoring.as_secs_f64();
+            st.iterations.push(stats);
+
+            let mut chosen = selection.chosen;
+            if chosen.is_empty() {
+                if self.strategy.terminated() {
+                    break; // deliberate exhaustion (e.g. LFP/LFN ran dry)
+                }
+                // Graceful degradation: a selector that returns an empty
+                // batch without terminating gets a random batch instead.
+                if !warned_empty_selection {
+                    eprintln!(
+                        "alem: selector returned an empty batch at iteration {k}; \
+                         falling back to random sampling"
+                    );
+                    warned_empty_selection = true;
+                }
+                let mut candidates = st.unlabeled.clone();
+                candidates.shuffle(&mut rng);
+                candidates.truncate(params.batch_size);
+                chosen = candidates;
+                if chosen.is_empty() {
+                    break;
+                }
+            }
+
+            let mut new: Vec<(usize, bool)> = Vec::with_capacity(chosen.len());
+            for &i in &chosen {
+                match config.retry.query(oracle, i)? {
+                    OracleAnswer::Label(b) => new.push((i, b)),
+                    OracleAnswer::Abstain => {} // stays unlabeled, re-selectable
+                }
+            }
+            st.unlabeled.retain(|i| !new.iter().any(|&(j, _)| j == *i));
+            if new.is_empty() {
+                st.stalled += 1;
+                if st.stalled > config.max_stalled_iters {
+                    return Err(AlemError::Stalled {
+                        iterations: st.stalled,
+                    });
+                }
+            } else {
+                st.stalled = 0;
+                st.labeled.extend(new.iter().copied());
+                self.strategy.post_label(
+                    corpus,
+                    &new,
+                    &mut st.labeled,
+                    &mut st.unlabeled,
+                    &mut rng,
+                );
+            }
+
+            st.iter_no += 1;
+        }
+
+        Ok(SessionOutcome::Complete(RunResult {
+            strategy: self.strategy.name(),
+            dataset: corpus.name().to_owned(),
+            iterations: st.iterations,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::SvmTrainer;
+    use crate::oracle::{AbstainingOracle, Oracle, TransientOracle};
+    use crate::strategy::{MarginSvmStrategy, TreeQbcStrategy};
+    use std::time::Duration;
+
+    fn corpus(n: usize) -> Corpus {
+        let feats: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, (i % 13) as f64 / 13.0])
+            .collect();
+        let truth: Vec<bool> = (0..n).map(|i| i >= 3 * n / 4).collect();
+        Corpus::from_features(feats, truth)
+    }
+
+    fn params() -> LoopParams {
+        LoopParams {
+            seed_size: 20,
+            batch_size: 10,
+            max_labels: 120,
+            eval: EvalMode::Progressive,
+            stop_at_f1: None,
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("alem-session-{}-{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_json() {
+        let ckpt = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            master_seed: 42,
+            iter_no: 3,
+            stalled: 1,
+            labeled: vec![(0, true), (5, false)],
+            unlabeled: vec![1, 2, 3],
+            eval_idx: vec![0, 1, 2, 3, 4, 5],
+            iterations: vec![],
+            oracle_queries: 2,
+            params: LoopParams::default(),
+            strategy: "Linear-Margin".into(),
+            dataset: "toy".into(),
+            corpus_len: 6,
+        };
+        let path = tmp_path("roundtrip");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(AlemError::CheckpointCorrupt(_))
+        ));
+        std::fs::write(&path, "{\"version\": 999}").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(AlemError::CheckpointCorrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn halt_and_resume_matches_uninterrupted_run() {
+        let c = corpus(300);
+
+        let full = {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let mut al =
+                ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+            al.run(&c, &oracle, 17).unwrap()
+        };
+        assert!(
+            full.iterations.len() > 4,
+            "need a few iterations to halt mid-run"
+        );
+
+        let path = tmp_path("halt-resume");
+        let halted_cfg = SessionConfig {
+            checkpoint_path: Some(path.clone()),
+            halt_after: Some(3),
+            ..SessionConfig::default()
+        };
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        match al.run_session(&c, &oracle, 17, &halted_cfg).unwrap() {
+            SessionOutcome::Halted {
+                iterations_done, ..
+            } => assert_eq!(iterations_done, 3),
+            SessionOutcome::Complete(_) => panic!("session should have halted"),
+        }
+
+        // A fresh learner + fresh oracle resumes from the checkpoint.
+        let ckpt = Checkpoint::load(&path).unwrap();
+        let oracle2 = Oracle::perfect(c.truths().to_vec());
+        let mut al2 = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        let resumed = al2
+            .resume_session(&c, &oracle2, ckpt, &SessionConfig::default())
+            .unwrap()
+            .run_result()
+            .unwrap();
+
+        assert_eq!(
+            resumed.deterministic_fingerprint(),
+            full.deterministic_fingerprint()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_corpus_and_strategy() {
+        let c = corpus(100);
+        let ckpt = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            master_seed: 1,
+            iter_no: 1,
+            stalled: 0,
+            labeled: vec![(0, false)],
+            unlabeled: vec![1, 2],
+            eval_idx: vec![0, 1, 2],
+            iterations: vec![],
+            oracle_queries: 1,
+            params: params(),
+            strategy: "Linear-Margin(AllDim)".into(),
+            dataset: "toy".into(),
+            corpus_len: 999, // wrong
+        };
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        assert!(matches!(
+            al.resume_session(&c, &oracle, ckpt.clone(), &SessionConfig::default()),
+            Err(AlemError::CheckpointCorrupt(_))
+        ));
+
+        let mut wrong_strategy = ckpt;
+        wrong_strategy.corpus_len = 100;
+        wrong_strategy.strategy = "SomethingElse".into();
+        assert!(matches!(
+            al.resume_session(&c, &oracle, wrong_strategy, &SessionConfig::default()),
+            Err(AlemError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_params_error_instead_of_panicking() {
+        let c = corpus(50);
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let bad = LoopParams {
+            batch_size: 0,
+            ..params()
+        };
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), bad);
+        assert!(matches!(
+            al.run(&c, &oracle, 1),
+            Err(AlemError::InvalidConfig(_))
+        ));
+
+        let over_budget = LoopParams {
+            seed_size: 80,
+            max_labels: 40,
+            ..params()
+        };
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), over_budget);
+        assert!(matches!(
+            al.run(&c, &oracle, 1),
+            Err(AlemError::BudgetExhausted {
+                used: 80,
+                budget: 40
+            })
+        ));
+    }
+
+    #[test]
+    fn small_oracle_is_rejected() {
+        let c = corpus(50);
+        let oracle = Oracle::perfect(vec![true; 10]); // covers too little
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        assert!(matches!(
+            al.run(&c, &oracle, 1),
+            Err(AlemError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn transient_failures_with_retry_complete_the_budget() {
+        let c = corpus(300);
+        // 20% failure rate, 5 attempts: P(5 consecutive failures) = 0.032%
+        // per query — the full budget completes with near certainty.
+        let oracle = TransientOracle::new(Oracle::perfect(c.truths().to_vec()), 0.2, 71).unwrap();
+        let cfg = SessionConfig {
+            retry: RetryPolicy {
+                max_attempts: 5,
+                base_delay: Duration::from_micros(10),
+                multiplier: 2.0,
+                max_delay: Duration::from_micros(100),
+            },
+            ..SessionConfig::default()
+        };
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        let run = al
+            .run_session(&c, &oracle, 13, &cfg)
+            .unwrap()
+            .run_result()
+            .unwrap();
+        assert_eq!(run.total_labels(), 120, "full budget despite 20% failures");
+        assert!(oracle.failures() > 0, "fault injection actually fired");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_oracle_unavailable() {
+        let c = corpus(100);
+        let oracle = TransientOracle::new(Oracle::perfect(c.truths().to_vec()), 0.0, 1).unwrap();
+        oracle.script_failures(3);
+        let cfg = SessionConfig {
+            retry: RetryPolicy::none(),
+            ..SessionConfig::default()
+        };
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        match al.run_session(&c, &oracle, 5, &cfg) {
+            Err(AlemError::OracleUnavailable { attempts: 1, .. }) => {}
+            other => panic!("expected OracleUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abstentions_leave_examples_reselectable() {
+        let c = corpus(300);
+        let oracle = AbstainingOracle::new(Oracle::perfect(c.truths().to_vec()), 0.3, 21).unwrap();
+        let mut al = ActiveLearner::new(TreeQbcStrategy::new(5), params());
+        let run = al
+            .run_session(&c, &oracle, 29, &SessionConfig::default())
+            .unwrap()
+            .run_result()
+            .unwrap();
+        assert!(oracle.abstentions() > 0, "abstentions actually fired");
+        // Labels still accumulate despite abstentions.
+        assert!(run.total_labels() > 20, "labels: {}", run.total_labels());
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_written() {
+        let c = corpus(300);
+        let path = tmp_path("periodic");
+        let cfg = SessionConfig {
+            checkpoint_every: Some(2),
+            checkpoint_path: Some(path.clone()),
+            ..SessionConfig::default()
+        };
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        al.run_session(&c, &oracle, 23, &cfg).unwrap();
+        let ckpt = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt.version, CHECKPOINT_VERSION);
+        assert!(ckpt.iter_no >= 2);
+        assert_eq!(ckpt.corpus_len, 300);
+        std::fs::remove_file(&path).ok();
+    }
+}

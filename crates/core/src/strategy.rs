@@ -17,9 +17,9 @@
 //! The active-ensemble optimization lives in [`crate::ensemble`].
 
 use crate::corpus::Corpus;
+use crate::interpret;
 use crate::learner::{DnfTrainer, ForestTrainer, NnTrainer, SvmTrainer, Trainer};
 use crate::selector::{self, Selection};
-use crate::interpret;
 use mlcore::forest::RandomForest;
 use mlcore::nn::NeuralNet;
 use mlcore::rules::{Conjunction, Dnf};
@@ -689,8 +689,7 @@ impl Strategy for LfpLfnStrategy {
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
         let x = &corpus.bool_features().expect("bool features")[i];
-        self.accepted.matches(x)
-            || self.candidate.as_ref().is_some_and(|c| c.matches(x))
+        self.accepted.matches(x) || self.candidate.as_ref().is_some_and(|c| c.matches(x))
     }
 
     fn stats(&self) -> StrategyStats {
@@ -718,7 +717,9 @@ impl Strategy for LfpLfnStrategy {
     ) {
         // Accept the candidate if its precision on the newly labeled
         // examples it claims as matches reaches τ.
-        let Some(candidate) = &self.candidate else { return };
+        let Some(candidate) = &self.candidate else {
+            return;
+        };
         let bools = corpus.bool_features().expect("bool features");
         let mut claimed = 0usize;
         let mut correct = 0usize;
@@ -786,8 +787,11 @@ impl<T: Trainer> Strategy for RandomStrategy<T> {
         let n_train = ((labeled.len() as f64) * self.train_frac).round().max(1.0) as usize;
         let mut pool: Vec<&(usize, bool)> = labeled.iter().collect();
         pool.shuffle(rng);
-        let subset: Vec<(usize, bool)> =
-            pool.into_iter().take(n_train.min(labeled.len())).copied().collect();
+        let subset: Vec<(usize, bool)> = pool
+            .into_iter()
+            .take(n_train.min(labeled.len()))
+            .copied()
+            .collect();
         let (xs, ys) = labeled_rows(corpus, &subset, false);
         self.model = Some(self.trainer.train(&xs, &ys, rng));
     }
@@ -842,14 +846,23 @@ mod tests {
 
     #[test]
     fn names_match_paper_labels() {
-        assert_eq!(QbcStrategy::new(SvmTrainer::default(), 20).name(), "Linear-QBC(20)");
+        assert_eq!(
+            QbcStrategy::new(SvmTrainer::default(), 20).name(),
+            "Linear-QBC(20)"
+        );
         assert_eq!(TreeQbcStrategy::new(20).name(), "Trees(20)");
-        assert_eq!(MarginSvmStrategy::new(SvmTrainer::default()).name(), "Linear-Margin");
+        assert_eq!(
+            MarginSvmStrategy::new(SvmTrainer::default()).name(),
+            "Linear-Margin"
+        );
         assert_eq!(
             MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1).name(),
             "Linear-Margin(1Dim)"
         );
-        assert_eq!(MarginNnStrategy::new(NnTrainer::default()).name(), "NN-Margin");
+        assert_eq!(
+            MarginNnStrategy::new(NnTrainer::default()).name(),
+            "NN-Margin"
+        );
         assert_eq!(
             LfpLfnStrategy::new(DnfTrainer::default(), 0.85).name(),
             "Rules(LFP/LFN)"
@@ -860,8 +873,9 @@ mod tests {
     fn margin_svm_fit_select_predict() {
         let c = corpus();
         let labeled = seed_labeled(&c);
-        let unlabeled: Vec<usize> =
-            (0..80).filter(|i| !labeled.iter().any(|(j, _)| j == i)).collect();
+        let unlabeled: Vec<usize> = (0..80)
+            .filter(|i| !labeled.iter().any(|(j, _)| j == i))
+            .collect();
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = MarginSvmStrategy::new(SvmTrainer::default());
         s.fit(&c, &labeled, &mut rng);
@@ -907,10 +921,7 @@ mod tests {
         let labeled = seed_labeled(&c);
         let unlabeled: Vec<usize> = (0..40).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut s = RandomStrategy::new(
-            ForestTrainer::with_trees(3),
-            "SupervisedTrees(Random-3)",
-        );
+        let mut s = RandomStrategy::new(ForestTrainer::with_trees(3), "SupervisedTrees(Random-3)");
         s.fit(&c, &labeled, &mut rng);
         let sel = s.select(&c, &labeled, &unlabeled, 10, &mut rng);
         assert_eq!(sel.chosen.len(), 10);

@@ -348,10 +348,7 @@ impl DomainKind {
                     "{} {} {}",
                     fam.shared_tokens.join(" "),
                     pick(vocab::BEER_WORDS, rng),
-                    fam.venue
-                        .split_whitespace()
-                        .last()
-                        .unwrap_or("ale")
+                    fam.venue.split_whitespace().last().unwrap_or("ale")
                 );
                 vec![
                     Text(name),

@@ -171,7 +171,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut changed = 0;
         for _ in 0..200 {
-            let v = Perturber::HEAVY.text("panasonic widescreen plasma television remote", &mut rng);
+            let v =
+                Perturber::HEAVY.text("panasonic widescreen plasma television remote", &mut rng);
             if v.as_deref() != Some("panasonic widescreen plasma television remote") {
                 changed += 1;
             }
@@ -186,7 +187,9 @@ mod tests {
             missing_rate: 0.5,
             ..Perturber::CLEAN
         };
-        let nones = (0..1000).filter(|_| p.text("abc", &mut rng).is_none()).count();
+        let nones = (0..1000)
+            .filter(|_| p.text("abc", &mut rng).is_none())
+            .count();
         assert!((400..600).contains(&nones), "{nones} missing of 1000");
     }
 

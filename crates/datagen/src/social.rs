@@ -132,7 +132,10 @@ fn profile_record<R: Rng>(p: &Person, rng: &mut R) -> Record {
 
 /// Generate the corpus deterministically from `seed`.
 pub fn generate_social(cfg: &SocialConfig, seed: u64) -> EmDataset {
-    assert!(cfg.n_profiles >= cfg.n_employees, "profiles must cover employees");
+    assert!(
+        cfg.n_profiles >= cfg.n_employees,
+        "profiles must cover employees"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = social_schema();
 
@@ -221,7 +224,10 @@ mod tests {
         let total = names.len();
         names.sort_unstable();
         names.dedup();
-        assert!(names.len() < total, "no name collisions in {total} employees");
+        assert!(
+            names.len() < total,
+            "no name collisions in {total} employees"
+        );
     }
 
     #[test]

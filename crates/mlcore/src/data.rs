@@ -19,10 +19,7 @@ impl<'a> TrainSet<'a> {
         assert_eq!(xs.len(), ys.len(), "features/labels length mismatch");
         if let Some(first) = xs.first() {
             let d = first.len();
-            assert!(
-                xs.iter().all(|row| row.len() == d),
-                "ragged feature matrix"
-            );
+            assert!(xs.iter().all(|row| row.len() == d), "ragged feature matrix");
         }
         TrainSet { xs, ys }
     }

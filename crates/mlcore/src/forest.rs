@@ -92,7 +92,11 @@ impl RandomForest {
     /// Maximum depth over the member trees (the ensemble-depth metric of
     /// Fig. 18b).
     pub fn depth(&self) -> usize {
-        self.trees.iter().map(DecisionTree::depth).max().unwrap_or(0)
+        self.trees
+            .iter()
+            .map(DecisionTree::depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 

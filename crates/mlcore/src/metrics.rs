@@ -101,11 +101,17 @@ mod tests {
     #[test]
     fn known_values() {
         // tp=1 fp=1 fn=1 tn=1
-        let c = Confusion::from_predictions(
-            &[true, true, false, false],
-            &[true, false, true, false],
+        let c =
+            Confusion::from_predictions(&[true, true, false, false], &[true, false, true, false]);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
         );
-        assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
         assert_eq!(c.precision(), 0.5);
         assert_eq!(c.recall(), 0.5);
         assert_eq!(c.f1(), 0.5);

@@ -129,8 +129,17 @@ impl NnConfig {
             order.shuffle(rng);
             for batch in order.chunks(self.batch_size) {
                 self.train_batch(
-                    &mut net, set, batch, lr, rng, &mut v_w1, &mut v_b1, &mut v_gamma,
-                    &mut v_beta, &mut v_w2, &mut v_b2,
+                    &mut net,
+                    set,
+                    batch,
+                    lr,
+                    rng,
+                    &mut v_w1,
+                    &mut v_b1,
+                    &mut v_gamma,
+                    &mut v_beta,
+                    &mut v_w2,
+                    &mut v_b2,
                 );
             }
             lr *= self.decay;

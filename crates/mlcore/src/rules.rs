@@ -185,11 +185,7 @@ impl DnfConfig {
     /// still-uncovered positives during set-cover). Returns `None` when no
     /// clause reaches the precision/coverage bar.
     #[allow(clippy::needless_range_loop)] // parallel set/active indexing
-    pub fn learn_conjunction(
-        &self,
-        set: &TrainSet<'_>,
-        active: &[bool],
-    ) -> Option<Conjunction> {
+    pub fn learn_conjunction(&self, set: &TrainSet<'_>, active: &[bool]) -> Option<Conjunction> {
         let dim = set.dim();
         if dim == 0 || set.is_empty() {
             return None;
@@ -259,7 +255,9 @@ impl DnfConfig {
                     best_step = Some((cand, prec, cov));
                 }
             }
-            let Some((cand, prec, cov)) = best_step else { break };
+            let Some((cand, prec, cov)) = best_step else {
+                break;
+            };
             let improves = match &current {
                 None => true,
                 Some((_, cp, cc)) => better(key(prec, cov), key(*cp, *cc)),
@@ -274,9 +272,7 @@ impl DnfConfig {
             }
         }
         match current {
-            Some((clause, prec, cov))
-                if prec >= self.min_precision && cov >= self.min_coverage =>
-            {
+            Some((clause, prec, cov)) if prec >= self.min_precision && cov >= self.min_coverage => {
                 Some(clause)
             }
             _ => None,
@@ -334,7 +330,10 @@ mod tests {
 
     #[test]
     fn dnf_is_disjunction() {
-        let dnf = Dnf::new(vec![Conjunction::new(vec![0]), Conjunction::new(vec![1, 2])]);
+        let dnf = Dnf::new(vec![
+            Conjunction::new(vec![0]),
+            Conjunction::new(vec![1, 2]),
+        ]);
         assert!(dnf.matches(&b(&[1, 0, 0])));
         assert!(dnf.matches(&b(&[0, 1, 1])));
         assert!(!dnf.matches(&b(&[0, 1, 0])));

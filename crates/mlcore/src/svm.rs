@@ -59,7 +59,10 @@ impl SvmConfig {
         let mut w = vec![0.0; dim];
         let mut b = 0.0;
         if set.is_empty() || dim == 0 {
-            return LinearSvm { weights: w, bias: b };
+            return LinearSvm {
+                weights: w,
+                bias: b,
+            };
         }
         let n = set.len();
         let mut order: Vec<usize> = (0..n).collect();
@@ -85,7 +88,10 @@ impl SvmConfig {
                 }
             }
         }
-        LinearSvm { weights: w, bias: b }
+        LinearSvm {
+            weights: w,
+            bias: b,
+        }
     }
 }
 
@@ -211,11 +217,8 @@ mod tests {
         let set = TrainSet::new(&xs, &ys);
         let ones = vec![1.0; xs.len()];
         let a = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(4));
-        let b = SvmConfig::default().train_weighted(
-            &set,
-            Some(&ones),
-            &mut StdRng::seed_from_u64(4),
-        );
+        let b =
+            SvmConfig::default().train_weighted(&set, Some(&ones), &mut StdRng::seed_from_u64(4));
         assert_eq!(a, b);
     }
 
@@ -229,11 +232,8 @@ mod tests {
         let mut ws = vec![1.0; xs.len()];
         ws[30] = 50.0;
         let uniform = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(4));
-        let weighted = SvmConfig::default().train_weighted(
-            &set,
-            Some(&ws),
-            &mut StdRng::seed_from_u64(4),
-        );
+        let weighted =
+            SvmConfig::default().train_weighted(&set, Some(&ws), &mut StdRng::seed_from_u64(4));
         assert_ne!(uniform, weighted);
     }
 
@@ -242,11 +242,8 @@ mod tests {
     fn weighted_training_rejects_bad_lengths() {
         let (xs, ys) = separable();
         let set = TrainSet::new(&xs, &ys);
-        let _ = SvmConfig::default().train_weighted(
-            &set,
-            Some(&[1.0]),
-            &mut StdRng::seed_from_u64(4),
-        );
+        let _ =
+            SvmConfig::default().train_weighted(&set, Some(&[1.0]), &mut StdRng::seed_from_u64(4));
     }
 
     #[test]

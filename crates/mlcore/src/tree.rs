@@ -145,7 +145,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -168,7 +172,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -223,8 +231,9 @@ impl TreeConfig {
         let Some((feature, threshold)) = best_split(set, &idx, &feats) else {
             return make_leaf();
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| set.x(i)[feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| set.x(i)[feature] <= threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             return make_leaf();
         }

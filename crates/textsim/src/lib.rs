@@ -180,19 +180,13 @@ impl SimilarityFunction {
             }
             SimilarityFunction::Jaro => seq::jaro(a.chars(), b.chars()),
             SimilarityFunction::JaroWinkler => seq::jaro_winkler(a.chars(), b.chars()),
-            SimilarityFunction::NeedlemanWunsch => {
-                seq::needleman_wunsch_sim(a.chars(), b.chars())
-            }
+            SimilarityFunction::NeedlemanWunsch => seq::needleman_wunsch_sim(a.chars(), b.chars()),
             SimilarityFunction::SmithWaterman => seq::smith_waterman_sim(a.chars(), b.chars()),
             SimilarityFunction::SmithWatermanGotoh => {
                 seq::smith_waterman_gotoh_sim(a.chars(), b.chars())
             }
-            SimilarityFunction::LongestCommonSubsequence => {
-                seq::lcs_seq_sim(a.chars(), b.chars())
-            }
-            SimilarityFunction::LongestCommonSubstring => {
-                seq::lcs_str_sim(a.chars(), b.chars())
-            }
+            SimilarityFunction::LongestCommonSubsequence => seq::lcs_seq_sim(a.chars(), b.chars()),
+            SimilarityFunction::LongestCommonSubstring => seq::lcs_str_sim(a.chars(), b.chars()),
             SimilarityFunction::Identity => {
                 if a.normalized() == b.normalized() {
                     1.0
@@ -205,9 +199,7 @@ impl SimilarityFunction {
                 setsim::generalized_jaccard(a.tokens(), b.tokens())
             }
             SimilarityFunction::Dice => setsim::dice(a.token_set(), b.token_set()),
-            SimilarityFunction::OverlapCoefficient => {
-                setsim::overlap(a.token_set(), b.token_set())
-            }
+            SimilarityFunction::OverlapCoefficient => setsim::overlap(a.token_set(), b.token_set()),
             SimilarityFunction::Cosine => setsim::cosine(a.token_set(), b.token_set()),
             SimilarityFunction::SimonWhite => qgram::simon_white(a.bigrams(), b.bigrams()),
             SimilarityFunction::QGram => qgram::qgram_sim(a.trigrams(), b.trigrams()),

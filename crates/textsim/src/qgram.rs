@@ -7,8 +7,7 @@ use crate::tokenize::merge_counts;
 /// `1 - sum |count_a - count_b| / (total_a + total_b)` over the q-gram
 /// multisets (this crate uses padded trigrams).
 pub fn qgram_sim(a: &[(String, u32)], b: &[(String, u32)]) -> f64 {
-    let total: u32 =
-        a.iter().map(|(_, n)| n).sum::<u32>() + b.iter().map(|(_, n)| n).sum::<u32>();
+    let total: u32 = a.iter().map(|(_, n)| n).sum::<u32>() + b.iter().map(|(_, n)| n).sum::<u32>();
     if total == 0 {
         return 1.0;
     }
@@ -20,8 +19,7 @@ pub fn qgram_sim(a: &[(String, u32)], b: &[(String, u32)]) -> f64 {
 /// `2 * |overlap| / (|a| + |b|)` where overlap takes `min(count_a, count_b)`
 /// per gram.
 pub fn simon_white(a: &[(String, u32)], b: &[(String, u32)]) -> f64 {
-    let total: u32 =
-        a.iter().map(|(_, n)| n).sum::<u32>() + b.iter().map(|(_, n)| n).sum::<u32>();
+    let total: u32 = a.iter().map(|(_, n)| n).sum::<u32>() + b.iter().map(|(_, n)| n).sum::<u32>();
     if total == 0 {
         return 1.0;
     }

@@ -67,7 +67,9 @@ pub fn damerau_levenshtein(a: &[char], b: &[char]) -> usize {
     for i in 1..=a.len() {
         for j in 1..=b.len() {
             let cost = usize::from(a[i - 1] != b[j - 1]);
-            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            let mut best = (d[i - 1][j] + 1)
+                .min(d[i][j - 1] + 1)
+                .min(d[i - 1][j - 1] + cost);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 best = best.min(d[i - 2][j - 2] + 1);
             }
@@ -324,9 +326,7 @@ mod tests {
         let a = cs("abcdefgh");
         let one_gap = cs("abcdXXXXefgh");
         let two_gaps = cs("abXXcdefXXgh");
-        assert!(
-            smith_waterman_gotoh_sim(&a, &one_gap) > smith_waterman_gotoh_sim(&a, &two_gaps)
-        );
+        assert!(smith_waterman_gotoh_sim(&a, &one_gap) > smith_waterman_gotoh_sim(&a, &two_gaps));
         assert!(
             (smith_waterman_sim(&a, &one_gap) - smith_waterman_sim(&a, &two_gaps)).abs() < 1e-12
         );

@@ -63,7 +63,7 @@ pub fn cosine(a: &[String], b: &[String]) -> f64 {
 
 /// Block (L1 / Manhattan) distance on token multisets, converted to a
 /// similarity: `1 - L1 / (|a| + |b|)` where `|·|` is total token count.
-pub fn block_distance_sim(a: &[(String, u32)], b: &[(String, u32)], ) -> f64 {
+pub fn block_distance_sim(a: &[(String, u32)], b: &[(String, u32)]) -> f64 {
     let total: u32 = a.iter().map(|(_, n)| n).sum::<u32>() + b.iter().map(|(_, n)| n).sum::<u32>();
     if total == 0 {
         return 1.0;
@@ -77,9 +77,8 @@ pub fn block_distance_sim(a: &[(String, u32)], b: &[(String, u32)], ) -> f64 {
 /// denominator is the largest possible L2 for disjoint multisets of the
 /// same total counts.
 pub fn euclidean_sim(a: &[(String, u32)], b: &[(String, u32)]) -> f64 {
-    let sq = |v: &[(String, u32)]| -> f64 {
-        v.iter().map(|(_, n)| f64::from(*n) * f64::from(*n)).sum()
-    };
+    let sq =
+        |v: &[(String, u32)]| -> f64 { v.iter().map(|(_, n)| f64::from(*n) * f64::from(*n)).sum() };
     let denom = (sq(a) + sq(b)).sqrt();
     if denom == 0.0 {
         return 1.0;

@@ -11,8 +11,8 @@
 //! cargo run --release -p alem-bench --example interpretable_rules
 //! ```
 
-use alem_core::corpus::Corpus;
 use alem_core::blocking::BlockingConfig;
+use alem_core::corpus::Corpus;
 use alem_core::interpret::dnf_to_string;
 use alem_core::learner::DnfTrainer;
 use alem_core::loop_::{ActiveLearner, LoopParams};
@@ -52,7 +52,9 @@ fn main() {
         ..LoopParams::default()
     };
     let mut al = ActiveLearner::new(LfpLfnStrategy::new(DnfTrainer::default(), 0.85), params);
-    let run = al.run(&corpus, &oracle, 5);
+    let run = al
+        .run(&corpus, &oracle, 5)
+        .unwrap_or_else(|e| panic!("rules run failed: {e}"));
 
     let strategy = al.into_strategy();
     let dnf = strategy.effective_dnf();
@@ -62,7 +64,10 @@ fn main() {
         run.total_labels(),
         run.best_f1()
     );
-    println!("#DNF atoms: {} (each atom is one auditable predicate)\n", dnf.atom_count());
+    println!(
+        "#DNF atoms: {} (each atom is one auditable predicate)\n",
+        dnf.atom_count()
+    );
     println!(
         "learned matching rules:\n{}",
         dnf_to_string(&dnf, &extractor.bool_descriptions())

@@ -10,8 +10,8 @@
 //! cargo run --release -p alem-bench --example product_matching
 //! ```
 
-use alem_core::corpus::Corpus;
 use alem_core::blocking::BlockingConfig;
+use alem_core::corpus::Corpus;
 use alem_core::ensemble::EnsembleSvmStrategy;
 use alem_core::learner::SvmTrainer;
 use alem_core::loop_::{ActiveLearner, LoopParams};
@@ -21,14 +21,17 @@ use alem_core::strategy::{MarginSvmStrategy, QbcStrategy, Strategy, TreeQbcStrat
 use datagen::PaperDataset;
 
 fn run_one<S: Strategy>(corpus: &Corpus, strategy: S, noise: f64) -> Vec<String> {
-    let oracle = Oracle::noisy(corpus.truths().to_vec(), noise, 99);
+    let oracle = Oracle::noisy(corpus.truths().to_vec(), noise, 99)
+        .unwrap_or_else(|e| panic!("invalid oracle configuration: {e}"));
     let params = LoopParams {
         max_labels: 800,
         stop_at_f1: None, // noisy oracles run to the label budget (§6.2)
         ..LoopParams::default()
     };
     let mut al = ActiveLearner::new(strategy, params);
-    let run = al.run(corpus, &oracle, 11);
+    let run = al
+        .run(corpus, &oracle, 11)
+        .unwrap_or_else(|e| panic!("matching run failed: {e}"));
     vec![
         run.strategy.clone(),
         format!("{:.3}", run.best_f1()),
@@ -55,8 +58,16 @@ fn main() {
     let rows = vec![
         run_one(&corpus, TreeQbcStrategy::new(20), noise),
         run_one(&corpus, QbcStrategy::new(SvmTrainer::default(), 10), noise),
-        run_one(&corpus, MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1), noise),
-        run_one(&corpus, EnsembleSvmStrategy::new(SvmTrainer::default(), 0.85), noise),
+        run_one(
+            &corpus,
+            MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1),
+            noise,
+        ),
+        run_one(
+            &corpus,
+            EnsembleSvmStrategy::new(SvmTrainer::default(), 0.85),
+            noise,
+        ),
     ];
 
     let table = TableReport {

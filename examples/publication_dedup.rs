@@ -11,8 +11,8 @@
 //! cargo run --release -p alem-bench --example publication_dedup
 //! ```
 
-use alem_core::corpus::Corpus;
 use alem_core::blocking::BlockingConfig;
+use alem_core::corpus::Corpus;
 use alem_core::learner::SvmTrainer;
 use alem_core::loop_::{ActiveLearner, LoopParams};
 use alem_core::oracle::Oracle;
@@ -40,7 +40,9 @@ fn main() {
     // Learner-agnostic QBC: 20 bootstrap SVMs retrained per iteration.
     let oracle = Oracle::perfect(corpus.truths().to_vec());
     let mut qbc = ActiveLearner::new(QbcStrategy::new(SvmTrainer::default(), 20), params.clone());
-    let qbc_run = qbc.run(&corpus, &oracle, 3);
+    let qbc_run = qbc
+        .run(&corpus, &oracle, 3)
+        .unwrap_or_else(|e| panic!("QBC run failed: {e}"));
 
     // Learner-aware margin with a single blocking dimension.
     let oracle = Oracle::perfect(corpus.truths().to_vec());
@@ -48,9 +50,14 @@ fn main() {
         MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1),
         params,
     );
-    let margin_run = margin.run(&corpus, &oracle, 3);
+    let margin_run = margin
+        .run(&corpus, &oracle, 3)
+        .unwrap_or_else(|e| panic!("margin run failed: {e}"));
 
-    println!("{:<26} {:>8} {:>14} {:>12} {:>10}", "strategy", "best F1", "committee (s)", "scoring (s)", "total (s)");
+    println!(
+        "{:<26} {:>8} {:>14} {:>12} {:>10}",
+        "strategy", "best F1", "committee (s)", "scoring (s)", "total (s)"
+    );
     for run in [&qbc_run, &margin_run] {
         let committee: f64 = run.iterations.iter().map(|s| s.committee_secs).sum();
         let scoring: f64 = run.iterations.iter().map(|s| s.scoring_secs).sum();

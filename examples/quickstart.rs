@@ -9,8 +9,8 @@
 //! cargo run --release -p alem-bench --example quickstart
 //! ```
 
-use alem_core::corpus::Corpus;
 use alem_core::blocking::BlockingConfig;
+use alem_core::corpus::Corpus;
 use alem_core::loop_::{ActiveLearner, LoopParams};
 use alem_core::oracle::Oracle;
 use alem_core::strategy::TreeQbcStrategy;
@@ -43,7 +43,9 @@ fn main() {
     let oracle = Oracle::perfect(corpus.truths().to_vec());
     let params = LoopParams::default();
     let mut learner = ActiveLearner::new(TreeQbcStrategy::new(20), params);
-    let run = learner.run(&corpus, &oracle, 7);
+    let run = learner
+        .run(&corpus, &oracle, 7)
+        .unwrap_or_else(|e| panic!("quickstart run failed: {e}"));
 
     // 4. Results.
     for it in run.iterations.iter().step_by(4) {

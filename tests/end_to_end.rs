@@ -1,8 +1,8 @@
 //! End-to-end integration tests: dataset generation → blocking →
 //! featurization → active learning → evaluation, for every learner family.
 
-use alem_core::corpus::Corpus;
 use alem_core::blocking::BlockingConfig;
+use alem_core::corpus::Corpus;
 use alem_core::ensemble::EnsembleSvmStrategy;
 use alem_core::learner::{DnfTrainer, NnTrainer, SvmTrainer};
 use alem_core::loop_::{ActiveLearner, EvalMode, LoopParams};
@@ -33,6 +33,7 @@ fn run<S: Strategy>(corpus: &Corpus, strategy: S, max_labels: usize) -> f64 {
     };
     ActiveLearner::new(strategy, params)
         .run(corpus, &oracle, 3)
+        .expect("perfect-oracle run")
         .best_f1()
 }
 
@@ -109,7 +110,9 @@ fn holdout_evaluation_end_to_end() {
         stop_at_f1: None,
         ..LoopParams::default()
     };
-    let r = ActiveLearner::new(TreeQbcStrategy::new(10), params).run(&corpus, &oracle, 3);
+    let r = ActiveLearner::new(TreeQbcStrategy::new(10), params)
+        .run(&corpus, &oracle, 3)
+        .expect("holdout run");
     assert!(r.best_f1() > 0.85, "holdout Trees best F1 {}", r.best_f1());
     // Hold-out label budget never exceeds the 80% train pool.
     assert!(r.total_labels() <= (corpus.len() * 4) / 5 + 1);
@@ -119,7 +122,7 @@ fn holdout_evaluation_end_to_end() {
 fn noisy_oracle_degrades_gracefully() {
     let corpus = easy_corpus();
     let run_with_noise = |noise: f64| {
-        let oracle = Oracle::noisy(corpus.truths().to_vec(), noise, 5);
+        let oracle = Oracle::noisy(corpus.truths().to_vec(), noise, 5).expect("valid noise");
         let params = LoopParams {
             max_labels: 300,
             stop_at_f1: None,
@@ -127,6 +130,7 @@ fn noisy_oracle_degrades_gracefully() {
         };
         ActiveLearner::new(TreeQbcStrategy::new(10), params)
             .run(&corpus, &oracle, 3)
+            .expect("noisy run")
             .best_f1()
     };
     let clean = run_with_noise(0.0);
@@ -151,7 +155,11 @@ fn social_corpus_pipeline() {
             jaccard_threshold: 0.2,
         },
     );
-    assert!(corpus.len() > 100, "social corpus too small: {}", corpus.len());
+    assert!(
+        corpus.len() > 100,
+        "social corpus too small: {}",
+        corpus.len()
+    );
     let f1 = run(&corpus, TreeQbcStrategy::new(10), 300);
     assert!(f1 > 0.7, "Trees on social corpus best F1 {f1}");
 }

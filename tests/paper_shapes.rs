@@ -6,12 +6,12 @@
 //! Kept at small scale so the suite stays fast; the bench harness
 //! (`figures all`) reproduces the same shapes at larger scales.
 
-use alem_core::corpus::Corpus;
 use alem_core::blocking::BlockingConfig;
+use alem_core::corpus::Corpus;
+use alem_core::evaluator::RunResult;
 use alem_core::learner::{DnfTrainer, SvmTrainer};
 use alem_core::loop_::{ActiveLearner, LoopParams};
 use alem_core::oracle::Oracle;
-use alem_core::evaluator::RunResult;
 use alem_core::strategy::{
     LfpLfnStrategy, MarginSvmStrategy, QbcStrategy, Strategy, TreeQbcStrategy,
 };
@@ -35,7 +35,9 @@ fn run<S: Strategy>(c: &Corpus, s: S, max_labels: usize) -> RunResult {
         max_labels,
         ..LoopParams::default()
     };
-    ActiveLearner::new(s, params).run(c, &oracle, 17)
+    ActiveLearner::new(s, params)
+        .run(c, &oracle, 17)
+        .expect("perfect-oracle run")
 }
 
 /// §6.1: "random forests with learner-aware QBC invariably produce the
@@ -151,7 +153,7 @@ fn rules_fewer_atoms_and_labels_than_trees() {
 fn noise_hurts_trees() {
     let c = corpus(PaperDataset::AbtBuy, 0.12);
     let run_noise = |noise: f64| {
-        let oracle = Oracle::noisy(c.truths().to_vec(), noise, 5);
+        let oracle = Oracle::noisy(c.truths().to_vec(), noise, 5).expect("valid noise");
         let params = LoopParams {
             max_labels: 400,
             stop_at_f1: None,
@@ -159,6 +161,7 @@ fn noise_hurts_trees() {
         };
         ActiveLearner::new(TreeQbcStrategy::new(10), params)
             .run(&c, &oracle, 17)
+            .expect("noisy run")
             .best_f1()
     };
     let f0 = run_noise(0.0);
@@ -172,7 +175,8 @@ fn noise_hurts_trees() {
 fn majority_voting_recovers_noisy_quality() {
     let c = corpus(PaperDataset::DblpAcm, 0.12);
     let run_votes = |votes: usize| {
-        let oracle = Oracle::noisy_with_voting(c.truths().to_vec(), 0.35, votes, 5);
+        let oracle =
+            Oracle::noisy_with_voting(c.truths().to_vec(), 0.35, votes, 5).expect("odd committee");
         let params = LoopParams {
             max_labels: 400,
             stop_at_f1: None,
@@ -180,6 +184,7 @@ fn majority_voting_recovers_noisy_quality() {
         };
         ActiveLearner::new(TreeQbcStrategy::new(10), params)
             .run(&c, &oracle, 17)
+            .expect("voting run")
             .best_f1()
     };
     let one = run_votes(1);

@@ -101,7 +101,7 @@ proptest! {
     #[test]
     fn oracle_flip_rate(noise in 0.0f64..=1.0, seed in 0u64..50) {
         let n = 4000;
-        let oracle = Oracle::noisy(vec![true; n], noise, seed);
+        let oracle = Oracle::noisy(vec![true; n], noise, seed).expect("valid noise");
         let flips = (0..n).filter(|&i| !oracle.label(i)).count();
         let rate = flips as f64 / n as f64;
         prop_assert!((rate - noise).abs() < 0.05, "rate {} vs noise {}", rate, noise);

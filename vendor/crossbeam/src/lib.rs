@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam`, providing the scoped-thread subset
+//! used by the bench runner (`crossbeam::scope(|s| { s.spawn(|_| ...) })`),
+//! implemented over `std::thread::scope`.
+
+use std::thread;
+
+/// Handle passed to the scope closure; spawns threads bound to the scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, propagating its panic payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread that may borrow from the enclosing scope. The closure
+    /// receives the scope handle again (crossbeam signature), so nested
+    /// spawns work.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before this
+/// returns. Always `Ok` — a panicking child propagates the panic (matching
+/// how the workspace uses the crossbeam `Result`: it only `expect`s it).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+                .len()
+        })
+        .unwrap();
+        assert_eq!(out, 8);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

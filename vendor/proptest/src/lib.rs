@@ -1,0 +1,233 @@
+//! Offline stand-in for `proptest`. Implements the API subset this
+//! workspace uses — the `proptest!` macro, `Strategy` for ranges / regex
+//! string literals / `any::<T>()` / `prop::collection::vec`, and the
+//! `prop_assert*` macros — as plain seeded random sampling. No shrinking:
+//! a failing case reports the assertion directly, which is enough for CI.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod collection;
+pub mod string;
+
+/// The RNG driving generation (deterministic per test name).
+pub type TestRng = StdRng;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Regex-literal strategies: `"[a-z]{2,8}( [a-z]{2,8}){0,3}"` generates
+/// strings matching the pattern (supported subset: literals, `.`, char
+/// classes with ranges, groups, and `{m,n}` / `{n}` / `?` / `*` / `+`
+/// quantifiers).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        string::generate(self, rng)
+    }
+}
+
+/// Marker strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix of magnitudes and signs; finite only.
+        let exp = rng.gen_range(-6i32..=6);
+        (rng.gen::<f64>() - 0.5) * 10f64.powi(exp)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Per-`proptest!` configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test seed (FNV-1a of the test name).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// RNG deterministically seeded from a test name (used by `proptest!`).
+pub fn rng_for(name: &str) -> TestRng {
+    use rand::SeedableRng;
+    TestRng::seed_from_u64(seed_for(name))
+}
+
+/// Property-test entry point: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng_for(stringify!($name));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property body (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+    };
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds; vec sizes honor their range.
+        #[test]
+        fn ranges_and_vecs(
+            x in 0.0f64..1.0,
+            n in 3usize..7,
+            flags in prop::collection::vec(any::<bool>(), 2..5),
+        ) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            prop_assert!((2..5).contains(&flags.len()));
+        }
+
+        #[test]
+        fn regex_strategies(s in "[a-z]{2,8}( [a-z]{2,8}){0,3}") {
+            for tok in s.split(' ') {
+                prop_assert!((2..=8).contains(&tok.len()), "token {tok:?}");
+                prop_assert!(tok.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::seed_from_u64(crate::seed_for("t"));
+        let mut b = crate::TestRng::seed_from_u64(crate::seed_for("t"));
+        let s: String = crate::Strategy::sample(&".{0,20}", &mut a);
+        let t: String = crate::Strategy::sample(&".{0,20}", &mut b);
+        assert_eq!(s, t);
+    }
+}

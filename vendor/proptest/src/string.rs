@@ -1,0 +1,213 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supported syntax: literal characters, `.` (printable ASCII except
+//! newline), character classes `[a-z0-9 ,.!-]` (ranges and literals, `-`
+//! literal when last), groups `(...)`, and quantifiers `{m,n}`, `{n}`,
+//! `?`, `*`, `+` (unbounded capped at 8 repeats). No alternation.
+
+use crate::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    Dot,
+    Class(Vec<(char, char)>),
+    Group(Vec<Quantified>),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_seq(&chars, &mut pos, false);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex tail in {pattern:?} at {pos}"
+    );
+    let mut out = String::new();
+    emit_seq(&seq, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Quantified> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if c == ')' {
+            assert!(in_group, "unmatched `)` in regex");
+            return seq;
+        }
+        *pos += 1;
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => Atom::Class(parse_class(chars, pos)),
+            '(' => {
+                let inner = parse_seq(chars, pos, true);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unterminated group in regex"
+                );
+                *pos += 1;
+                Atom::Group(inner)
+            }
+            '\\' => {
+                let esc = chars[*pos];
+                *pos += 1;
+                match esc {
+                    'n' => Atom::Literal('\n'),
+                    't' => Atom::Literal('\t'),
+                    other => Atom::Literal(other),
+                }
+            }
+            '|' | '*' | '+' | '?' | '{' => panic!("unsupported regex syntax `{c}`"),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(chars, pos);
+        seq.push(Quantified { atom, min, max });
+    }
+    seq
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> (usize, usize) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars[*pos].is_ascii_digit() {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: usize = min.parse().expect("regex quantifier lower bound");
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut max = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    max.push(chars[*pos]);
+                    *pos += 1;
+                }
+                max.parse().expect("regex quantifier upper bound")
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "unterminated quantifier");
+            *pos += 1;
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    assert!(chars.get(*pos) != Some(&'^'), "negated classes unsupported");
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = if chars[*pos] == '\\' {
+            *pos += 1;
+            chars[*pos]
+        } else {
+            chars[*pos]
+        };
+        *pos += 1;
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            assert!(lo <= hi, "descending class range");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(chars.get(*pos) == Some(&']'), "unterminated class");
+    *pos += 1;
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn emit_seq(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in seq {
+        let reps = if q.min == q.max {
+            q.min
+        } else {
+            rng.gen_range(q.min..=q.max)
+        };
+        for _ in 0..reps {
+            emit_atom(&q.atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Dot => {
+            // Printable ASCII, occasionally multi-byte, never '\n'.
+            if rng.gen_bool(0.05) {
+                out.push(['é', 'ß', 'λ', '中'][rng.gen_range(0usize..4)]);
+            } else {
+                out.push(rng.gen_range(0x20u8..0x7f) as char);
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0u32..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick).expect("class char"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of range");
+        }
+        Atom::Group(inner) => emit_seq(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classes_ranges_groups_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = generate("[a-z0-9 ,.!-]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " ,.!-".contains(c)));
+
+            let t = generate("[a-z]{2,8}( [a-z]{2,8}){0,3}", &mut rng);
+            for tok in t.split(' ') {
+                assert!((2..=8).contains(&tok.len()));
+            }
+
+            let d = generate(".{0,20}", &mut rng);
+            assert!(!d.contains('\n'));
+            assert!(d.chars().count() <= 20);
+        }
+    }
+}

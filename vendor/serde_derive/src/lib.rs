@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`. Generates impls of the shim
+//! `serde::Serialize` / `serde::Deserialize` traits (value-tree model) by
+//! parsing the item's token stream directly — no `syn`/`quote`.
+//!
+//! Supported shapes (the ones this workspace uses):
+//! - structs with named fields (no generics)
+//! - enums whose variants are unit, one-field tuple ("newtype"), or
+//!   named-field; externally tagged by default, adjacently tagged with
+//!   `#[serde(tag = "...", content = "...")]`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Body {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+    /// `Some((tag, content))` when `#[serde(tag = "..", content = "..")]`.
+    tagging: Option<(String, String)>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tagging = None;
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(t) = parse_serde_attr(g.stream()) {
+                        tagging = Some(t);
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim does not support generic types ({name})");
+    }
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+        other => panic!("derive shim supports only braced bodies for {name}, got {other:?}"),
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(group.stream())),
+        "enum" => Body::Enum(parse_variants(group.stream())),
+        other => panic!("derive: unsupported item kind `{other}`"),
+    };
+    Item {
+        name,
+        body,
+        tagging,
+    }
+}
+
+/// Extract `(tag, content)` from a `serde(tag = "..", content = "..")`
+/// attribute body, if this bracket group is one.
+fn parse_serde_attr(stream: TokenStream) -> Option<(String, String)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let mut tag = None;
+    let mut content = None;
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        if let (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(val)),
+        ) = (inner.get(j), inner.get(j + 1), inner.get(j + 2))
+        {
+            if eq.as_char() == '=' {
+                let val = val.to_string().trim_matches('"').to_string();
+                match key.to_string().as_str() {
+                    "tag" => tag = Some(val),
+                    "content" => content = Some(val),
+                    other => panic!("derive shim: unsupported serde attribute `{other}`"),
+                }
+                j += 3;
+                continue;
+            }
+        }
+        j += 1;
+    }
+    match (tag, content) {
+        (Some(t), Some(c)) => Some((t, c)),
+        (None, None) => None,
+        _ => panic!("derive shim requires both tag and content for adjacent tagging"),
+    }
+}
+
+/// Field names of a named-field body: skip attributes and visibility, take
+/// the ident before each top-level `:`, then skip the type (commas inside
+/// `<...>` or delimited groups don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes / visibility before the field name.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type up to a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // variant attribute (doc comments)
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let mut angle = 0i32;
+                for t in g.stream() {
+                    match &t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            panic!("derive shim supports only 1-field tuple variants ({name})")
+                        }
+                        _ => {}
+                    }
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(\"{key}\".to_string(), {value_expr})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    obj_entry(
+                        f,
+                        &format!("::serde::Serialize::serialize_value(&self.{f})"),
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match (&v.kind, &item.tagging) {
+                        (VariantKind::Unit, None) => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string())"
+                        ),
+                        (VariantKind::Unit, Some((tag, _))) => format!(
+                            "{name}::{vname} => ::serde::Value::Object(vec![{}])",
+                            obj_entry(tag, &format!("::serde::Value::Str(\"{vname}\".to_string())"))
+                        ),
+                        (VariantKind::Newtype, None) => format!(
+                            "{name}::{vname}(inner) => ::serde::Value::Object(vec![{}])",
+                            obj_entry(vname, "::serde::Serialize::serialize_value(inner)")
+                        ),
+                        (VariantKind::Newtype, Some((tag, content))) => format!(
+                            "{name}::{vname}(inner) => ::serde::Value::Object(vec![{}, {}])",
+                            obj_entry(tag, &format!("::serde::Value::Str(\"{vname}\".to_string())")),
+                            obj_entry(content, "::serde::Serialize::serialize_value(inner)")
+                        ),
+                        (VariantKind::Named(fields), tagging) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    obj_entry(f, &format!("::serde::Serialize::serialize_value({f})"))
+                                })
+                                .collect();
+                            let inner = format!("::serde::Value::Object(vec![{}])", entries.join(", "));
+                            match tagging {
+                                None => format!(
+                                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![{}])",
+                                    obj_entry(vname, &inner)
+                                ),
+                                Some((tag, content)) => format!(
+                                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![{}, {}])",
+                                    obj_entry(tag, &format!(
+                                        "::serde::Value::Str(\"{vname}\".to_string())"
+                                    )),
+                                    obj_entry(content, &inner)
+                                ),
+                            }
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::Enum(variants) => {
+            let construct = |v: &Variant, content_expr: &str| -> String {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => format!("Ok({name}::{vname})"),
+                    VariantKind::Newtype => format!(
+                        "Ok({name}::{vname}(::serde::Deserialize::deserialize_value({content_expr})?))"
+                    ),
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field({content_expr}, \"{f}\")?"))
+                            .collect();
+                        format!("Ok({name}::{vname} {{ {} }})", inits.join(", "))
+                    }
+                }
+            };
+            match &item.tagging {
+                Some((tag, content)) => {
+                    let arms: Vec<String> = variants
+                        .iter()
+                        .map(|v| format!("\"{}\" => {}", v.name, construct(v, "content")))
+                        .collect();
+                    format!(
+                        "let tag: String = ::serde::field(v, \"{tag}\")?;\n\
+                         let null = ::serde::Value::Null;\n\
+                         let content = v.get(\"{content}\").unwrap_or(&null);\n\
+                         match tag.as_str() {{ {}, other => Err(::serde::DeError(format!(\"unknown {name} variant {{other:?}}\"))) }}",
+                        arms.join(", ")
+                    )
+                }
+                None => {
+                    let unit_arms: Vec<String> = variants
+                        .iter()
+                        .filter(|v| matches!(v.kind, VariantKind::Unit))
+                        .map(|v| format!("\"{}\" => return {}", v.name, construct(v, "v")))
+                        .collect();
+                    let unit_match = if unit_arms.is_empty() {
+                        String::new()
+                    } else {
+                        format!(
+                            "if let ::serde::Value::Str(s) = v {{\n\
+                                 match s.as_str() {{ {}, _ => {{}} }}\n\
+                             }}\n",
+                            unit_arms.join(", ")
+                        )
+                    };
+                    let tagged_arms: Vec<String> = variants
+                        .iter()
+                        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                        .map(|v| format!("\"{}\" => return {}", v.name, construct(v, "content")))
+                        .collect();
+                    format!(
+                        "{unit_match}\
+                         if let ::serde::Value::Object(fields) = v {{\n\
+                             if fields.len() == 1 {{\n\
+                                 let (tag, content) = (&fields[0].0, &fields[0].1);\n\
+                                 let _ = content;\n\
+                                 match tag.as_str() {{ {}, _ => {{}} }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError(format!(\"bad {name} value: {{v:?}}\")))",
+                        if tagged_arms.is_empty() {
+                            "_ => {}".to_string()
+                        } else {
+                            format!("{}, _ => {{}}", tagged_arms.join(", "))
+                        }
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
