@@ -5,6 +5,7 @@
 use alem_bench::data::prepare;
 use alem_core::learner::{SvmTrainer, Trainer};
 use alem_core::selector;
+use alem_obs::Registry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::PaperDataset;
 use rand::rngs::StdRng;
@@ -39,7 +40,13 @@ fn bench_blocking_k(c: &mut Criterion) {
             bch.iter(|| {
                 let mut rng = StdRng::seed_from_u64(1);
                 black_box(selector::blocking_dim::select(
-                    &svm, k, corpus, &unlabeled, 10, &mut rng,
+                    &svm,
+                    k,
+                    corpus,
+                    &unlabeled,
+                    10,
+                    &mut rng,
+                    &Registry::disabled(),
                 ))
             })
         });

@@ -6,6 +6,7 @@
 use alem_bench::data::prepare;
 use alem_core::learner::SvmTrainer;
 use alem_core::selector;
+use alem_obs::Registry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::PaperDataset;
 use rand::rngs::StdRng;
@@ -38,6 +39,7 @@ fn bench_committee_sizes(c: &mut Criterion) {
                     10,
                     &mut rng,
                     false,
+                    &Registry::disabled(),
                 ))
             })
         });

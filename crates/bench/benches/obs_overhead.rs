@@ -1,0 +1,73 @@
+//! Criterion bench: telemetry overhead on a hot selection round.
+//!
+//! Runs the same margin-selection round with a disabled registry (the
+//! default for every production code path) and with an enabled one
+//! recording spans + counters. The disabled path must stay within a few
+//! percent of free: ISSUE acceptance is < 5% overhead for the enabled
+//! path on a realistic round, and ~0 for the disabled path.
+
+use alem_bench::data::prepare;
+use alem_core::learner::{SvmTrainer, Trainer};
+use alem_core::selector;
+use alem_obs::Registry;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::PaperDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let p = prepare(PaperDataset::DblpAcm, 0.25);
+    let corpus = &p.corpus;
+    let labeled: Vec<(usize, bool)> = (0..corpus.len())
+        .step_by(corpus.len() / 200)
+        .map(|i| (i, corpus.truth(i)))
+        .collect();
+    let unlabeled: Vec<usize> = (0..corpus.len())
+        .filter(|i| !labeled.iter().any(|(j, _)| j == i))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let svm = SvmTrainer::default().train(
+        &labeled
+            .iter()
+            .map(|&(i, _)| corpus.x(i).to_vec())
+            .collect::<Vec<_>>(),
+        &labeled.iter().map(|&(_, y)| y).collect::<Vec<_>>(),
+        &mut rng,
+    );
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("selection_obs_disabled", |b| {
+        let obs = Registry::disabled();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(selector::margin::select(
+                |x| svm.margin(x),
+                corpus,
+                &unlabeled,
+                10,
+                &mut rng,
+                &obs,
+            ))
+        })
+    });
+    group.bench_function("selection_obs_enabled", |b| {
+        let obs = Registry::enabled();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(selector::margin::select(
+                |x| svm.margin(x),
+                corpus,
+                &unlabeled,
+                10,
+                &mut rng,
+                &obs,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

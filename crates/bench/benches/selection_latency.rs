@@ -8,6 +8,7 @@
 use alem_bench::data::prepare;
 use alem_core::learner::{SvmTrainer, Trainer};
 use alem_core::selector;
+use alem_obs::Registry;
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::PaperDataset;
 use mlcore::data::TrainSet;
@@ -43,6 +44,7 @@ fn bench_selection(c: &mut Criterion) {
                     10,
                     &mut rng,
                     false,
+                    &Registry::disabled(),
                 ))
             })
         });
@@ -67,6 +69,7 @@ fn bench_selection(c: &mut Criterion) {
                 &unlabeled,
                 10,
                 &mut rng,
+                &Registry::disabled(),
             ))
         })
     });
@@ -74,7 +77,13 @@ fn bench_selection(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             black_box(selector::blocking_dim::select(
-                &svm, 1, corpus, &unlabeled, 10, &mut rng,
+                &svm,
+                1,
+                corpus,
+                &unlabeled,
+                10,
+                &mut rng,
+                &Registry::disabled(),
             ))
         })
     });
@@ -86,7 +95,12 @@ fn bench_selection(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             black_box(selector::tree_qbc::select(
-                &forest, corpus, &unlabeled, 10, &mut rng,
+                &forest,
+                corpus,
+                &unlabeled,
+                10,
+                &mut rng,
+                &Registry::disabled(),
             ))
         })
     });

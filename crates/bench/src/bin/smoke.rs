@@ -1,8 +1,11 @@
 //! Calibration smoke test: quick per-dataset strategy comparison.
 //!
-//! Usage: `smoke [scale]` — runs a representative strategy set on
-//! Amazon-GoogleProducts and Cora and prints best/final progressive F1 so
-//! generator difficulty can be compared against the paper's Table 2.
+//! Usage: `smoke [scale] [--metrics-out FILE.jsonl]` — runs a
+//! representative strategy set on Amazon-GoogleProducts and Cora and
+//! prints best/final progressive F1 so generator difficulty can be
+//! compared against the paper's Table 2. With `--metrics-out` the runs
+//! are driven with an enabled telemetry registry and every span/counter
+//! event is written as JSONL (the CI telemetry-validation step).
 
 use alem_core::blocking::BlockingConfig;
 use alem_core::corpus::Corpus;
@@ -10,15 +13,39 @@ use alem_core::ensemble::EnsembleSvmStrategy;
 use alem_core::learner::{DnfTrainer, NnTrainer, SvmTrainer};
 use alem_core::loop_::{ActiveLearner, LoopParams};
 use alem_core::oracle::Oracle;
+use alem_core::session::SessionConfig;
 use alem_core::strategy::*;
+use alem_obs::Registry;
 use datagen::PaperDataset;
+use std::io::Write as _;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_out: Option<String> = None;
+    let mut scale = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics-out" {
+            metrics_out = args.get(i + 1).cloned();
+            if metrics_out.is_none() {
+                eprintln!("--metrics-out needs a file path");
+                std::process::exit(2);
+            }
+            i += 2;
+        } else {
+            if let Ok(s) = args[i].parse() {
+                scale = s;
+            }
+            i += 1;
+        }
+    }
+    let obs = if metrics_out.is_some() {
+        Registry::enabled()
+    } else {
+        Registry::disabled()
+    };
+    obs.set_run_id("smoke");
     for d in [PaperDataset::AmazonGoogle, PaperDataset::Cora] {
         let cfg = d.config(scale);
         let t0 = Instant::now();
@@ -47,9 +74,15 @@ fn main() {
                 let t = Instant::now();
                 let oracle = Oracle::perfect(corpus.truths().to_vec());
                 let mut al = ActiveLearner::new($strat, params.clone());
+                let config = SessionConfig {
+                    obs: obs.clone(),
+                    ..SessionConfig::default()
+                };
                 let r = al
-                    .run(&corpus, &oracle, 7)
-                    .unwrap_or_else(|e| panic!("smoke run failed: {e}"));
+                    .run_session(&corpus, &oracle, 7, &config)
+                    .unwrap_or_else(|e| panic!("smoke run failed: {e}"))
+                    .run_result()
+                    .unwrap_or_else(|| panic!("smoke session halted unexpectedly"));
                 println!(
                     "  {:<28} best_f1={:.3} final={:.3} labels={} wall={:?}",
                     $name,
@@ -74,5 +107,16 @@ fn main() {
             "Rules(LFP/LFN)",
             LfpLfnStrategy::new(DnfTrainer::default(), 0.85)
         );
+    }
+
+    if let Some(path) = metrics_out {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}")),
+        );
+        obs.write_jsonl(&mut f)
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        f.flush()
+            .unwrap_or_else(|e| panic!("cannot flush {path}: {e}"));
+        eprintln!("[smoke] telemetry events written to {path}");
     }
 }

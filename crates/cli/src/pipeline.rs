@@ -13,6 +13,7 @@ use alem_core::session::{Checkpoint, SessionConfig};
 use alem_core::strategy::{
     LfpLfnStrategy, MarginNnStrategy, MarginSvmStrategy, QbcStrategy, Strategy, TreeQbcStrategy,
 };
+use alem_obs::Registry;
 use datagen::PaperDataset;
 use std::collections::HashSet;
 use std::error::Error;
@@ -198,17 +199,31 @@ pub fn cmd_match(args: &Args) -> CliResult {
     if !interactive && args.get("truth").is_none() {
         return Err("pass --truth T.csv or --interactive".into());
     }
+    // Telemetry sinks (--metrics-out FILE.jsonl / --trace-out FILE.json).
+    // Either flag enables the registry; both sinks read the same events.
+    let metrics_out = args.get("metrics-out").map(PathBuf::from);
+    let trace_out = args.get("trace-out").map(PathBuf::from);
+    let obs = if metrics_out.is_some() || trace_out.is_some() {
+        Registry::enabled()
+    } else {
+        Registry::disabled()
+    };
+
     let ds = build_dataset(args)?;
     let threshold = blocking_threshold(args)?;
     let blocking = BlockingConfig {
         jaccard_threshold: threshold,
     };
+    let blocking_span = obs.span("blocking");
     let pairs = blocking.block(&ds);
+    blocking_span.finish();
     if pairs.is_empty() {
         return Err("blocking produced no candidate pairs; lower --threshold".into());
     }
     eprintln!("[alem] {} candidate pairs after blocking", pairs.len());
+    let featurize_span = obs.span("featurize");
     let (corpus, _fx) = Corpus::from_dataset(&ds, &blocking);
+    featurize_span.finish();
 
     let budget: usize = args
         .get("budget")
@@ -220,7 +235,9 @@ pub fn cmd_match(args: &Args) -> CliResult {
         .map(|s| s.parse().map_err(|_| "bad --seed"))
         .transpose()?
         .unwrap_or(42);
-    let strategy = build_strategy(args.get("strategy").unwrap_or("trees20"))?;
+    let strategy_name = args.get("strategy").unwrap_or("trees20");
+    let strategy = build_strategy(strategy_name)?;
+    obs.set_run_id(&format!("alem-match-{strategy_name}-seed{seed}"));
 
     let oracle = if interactive {
         let prompts: Vec<String> = (0..corpus.len())
@@ -258,6 +275,7 @@ pub fn cmd_match(args: &Args) -> CliResult {
     let config = SessionConfig {
         checkpoint_every,
         checkpoint_path,
+        obs: obs.clone(),
         ..SessionConfig::default()
     };
 
@@ -292,6 +310,26 @@ pub fn cmd_match(args: &Args) -> CliResult {
             run.strategy,
             run.total_labels()
         );
+    }
+
+    // Flush telemetry sinks and show the phase summary.
+    if let Some(path) = &metrics_out {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        obs.write_jsonl(&mut f)?;
+        f.flush()?;
+        eprintln!("[alem] telemetry events written to {}", path.display());
+    }
+    if let Some(path) = &trace_out {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        obs.write_chrome_trace(&mut f)?;
+        f.flush()?;
+        eprintln!(
+            "[alem] chrome://tracing trace written to {}",
+            path.display()
+        );
+    }
+    if obs.is_enabled() {
+        eprint!("{}", obs.summary());
     }
 
     // Persist the reusable model, if requested (§2: the point of learning

@@ -15,6 +15,7 @@ use crate::corpus::Corpus;
 use crate::learner::{SvmTrainer, Trainer};
 use crate::selector::{self, Selection};
 use crate::strategy::{labeled_rows, Strategy, StrategyStats};
+use alem_obs::Registry;
 use mlcore::svm::LinearSvm;
 use mlcore::Classifier;
 use rand::rngs::StdRng;
@@ -70,9 +71,10 @@ impl Strategy for EnsembleSvmStrategy {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         let svm = self.candidate.as_ref().expect("fit before select");
-        selector::margin::select(|x| svm.margin(x), corpus, unlabeled, batch, rng)
+        selector::margin::select(|x| svm.margin(x), corpus, unlabeled, batch, rng, obs)
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -99,6 +101,7 @@ impl Strategy for EnsembleSvmStrategy {
         labeled: &mut Vec<(usize, bool)>,
         unlabeled: &mut Vec<usize>,
         _rng: &mut StdRng,
+        obs: &Registry,
     ) {
         let Some(candidate) = &self.candidate else {
             return;
@@ -118,12 +121,22 @@ impl Strategy for EnsembleSvmStrategy {
             }
         }
         if claimed == 0 || (correct as f64 / claimed as f64) < self.tau {
+            if claimed > 0 {
+                obs.counter_add("ensemble.rejected", 1);
+            }
             return;
         }
         // Accept and prune everything the new member covers.
         let member = self.candidate.take().expect("candidate present");
+        let before = labeled.len() + unlabeled.len();
         labeled.retain(|&(i, _)| !member.predict(corpus.x(i)));
         unlabeled.retain(|&i| !member.predict(corpus.x(i)));
+        obs.counter_add("ensemble.accepted", 1);
+        obs.counter_add(
+            "ensemble.pruned_pairs",
+            (before - labeled.len() - unlabeled.len()) as u64,
+        );
+        obs.gauge_set("pool.unlabeled", unlabeled.len() as u64);
         self.accepted.push(member);
     }
 }
@@ -180,6 +193,7 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         let model = self.candidate.as_ref().expect("fit before select");
         selector::margin::select(
@@ -188,6 +202,7 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
             unlabeled,
             batch,
             rng,
+            obs,
         )
     }
 
@@ -209,6 +224,7 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
         labeled: &mut Vec<(usize, bool)>,
         unlabeled: &mut Vec<usize>,
         _rng: &mut StdRng,
+        obs: &Registry,
     ) {
         let Some(candidate) = &self.candidate else {
             return;
@@ -224,11 +240,21 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
             }
         }
         if claimed == 0 || (correct as f64 / claimed as f64) < self.tau {
+            if claimed > 0 {
+                obs.counter_add("ensemble.rejected", 1);
+            }
             return;
         }
         let member = self.candidate.take().expect("candidate present");
+        let before = labeled.len() + unlabeled.len();
         labeled.retain(|&(i, _)| !member.predict(corpus.x(i)));
         unlabeled.retain(|&i| !member.predict(corpus.x(i)));
+        obs.counter_add("ensemble.accepted", 1);
+        obs.counter_add(
+            "ensemble.pruned_pairs",
+            (before - labeled.len() - unlabeled.len()) as u64,
+        );
+        obs.gauge_set("pool.unlabeled", unlabeled.len() as u64);
         self.accepted.push(member);
     }
 }
@@ -275,7 +301,14 @@ mod tests {
             let mut labeled = labeled.clone();
             let mut unlabeled: Vec<usize> = (60..150).collect();
             let before = unlabeled.len();
-            s.post_label(&c, &new, &mut labeled, &mut unlabeled, &mut rng);
+            s.post_label(
+                &c,
+                &new,
+                &mut labeled,
+                &mut unlabeled,
+                &mut rng,
+                &Registry::disabled(),
+            );
             assert_eq!(s.accepted().len(), 1);
             assert!(unlabeled.len() < before, "covered pairs must be pruned");
         }
@@ -295,7 +328,14 @@ mod tests {
             .collect();
         let mut l = labeled.clone();
         let mut u: Vec<usize> = (90..150).collect();
-        s.post_label(&c, &claimed, &mut l, &mut u, &mut rng);
+        s.post_label(
+            &c,
+            &claimed,
+            &mut l,
+            &mut u,
+            &mut rng,
+            &Registry::disabled(),
+        );
         assert!(s.accepted().is_empty());
     }
 
@@ -308,7 +348,14 @@ mod tests {
         assert_eq!(s.name(), "Non-Convex Non-Linear-Margin(Ensemble)");
         let labeled: Vec<(usize, bool)> = (0..30).map(|i| (i, c.truth(i))).collect();
         s.fit(&c, &labeled, &mut rng);
-        let sel = s.select(&c, &labeled, &(30..60).collect::<Vec<_>>(), 5, &mut rng);
+        let sel = s.select(
+            &c,
+            &labeled,
+            &(30..60).collect::<Vec<_>>(),
+            5,
+            &mut rng,
+            &Registry::disabled(),
+        );
         assert_eq!(sel.chosen.len(), 5);
         assert_eq!(s.stats().accepted_models, Some(0));
         // Feeding it a perfectly-labeled claimed batch accepts the model
@@ -320,7 +367,14 @@ mod tests {
         if !claimed.is_empty() {
             let mut l = labeled.clone();
             let mut u: Vec<usize> = (90..150).collect();
-            s.post_label(&c, &claimed, &mut l, &mut u, &mut rng);
+            s.post_label(
+                &c,
+                &claimed,
+                &mut l,
+                &mut u,
+                &mut rng,
+                &Registry::disabled(),
+            );
             assert_eq!(s.accepted_len(), 1);
         }
     }

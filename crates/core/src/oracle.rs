@@ -512,13 +512,36 @@ impl RetryPolicy {
     /// exponential backoff up to `max_attempts` total attempts. The final
     /// error reports the true attempt count.
     pub fn query(&self, oracle: &dyn QueryOracle, i: usize) -> Result<OracleAnswer, AlemError> {
+        self.query_observed(oracle, i, &alem_obs::Registry::disabled())
+    }
+
+    /// Like [`RetryPolicy::query`], recording telemetry counters into
+    /// `obs`: `oracle.labels`, `oracle.abstentions`, `oracle.retries`
+    /// (attempts after the first), and `oracle.failures` (injected or real
+    /// transient faults observed, whether or not a retry recovered them).
+    pub fn query_observed(
+        &self,
+        oracle: &dyn QueryOracle,
+        i: usize,
+        obs: &alem_obs::Registry,
+    ) -> Result<OracleAnswer, AlemError> {
         let attempts_allowed = self.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
+            if attempt > 1 {
+                obs.counter_add("oracle.retries", 1);
+            }
             match oracle.try_label(i) {
-                Ok(answer) => return Ok(answer),
+                Ok(answer) => {
+                    match answer {
+                        OracleAnswer::Label(_) => obs.counter_add("oracle.labels", 1),
+                        OracleAnswer::Abstain => obs.counter_add("oracle.abstentions", 1),
+                    }
+                    return Ok(answer);
+                }
                 Err(AlemError::OracleUnavailable { reason, .. }) => {
+                    obs.counter_add("oracle.failures", 1);
                     if attempt >= attempts_allowed {
                         return Err(AlemError::OracleUnavailable {
                             example: i,

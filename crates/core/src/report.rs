@@ -120,9 +120,15 @@ impl Series {
 
     /// Average several same-shape series point-wise (noisy-Oracle runs are
     /// averaged over 5 seeds in the paper). Series are truncated to the
-    /// shortest length.
+    /// shortest length. An empty slice averages to an empty series.
     pub fn average(label: &str, series: &[Series]) -> Series {
-        assert!(!series.is_empty(), "cannot average zero series");
+        if series.is_empty() {
+            return Series {
+                label: label.to_owned(),
+                x: Vec::new(),
+                y: Vec::new(),
+            };
+        }
         let n = series.iter().map(|s| s.x.len()).min().unwrap_or(0);
         let mut x = vec![0.0; n];
         let mut y = vec![0.0; n];
@@ -147,9 +153,24 @@ impl Series {
     }
 
     /// Downsample to at most `k` evenly spaced points (keeps first and
-    /// last) for console-friendly output.
+    /// last) for console-friendly output. `k = 0` yields an empty series;
+    /// `k = 1` keeps only the first point.
     pub fn downsample(&self, k: usize) -> Series {
-        if self.x.len() <= k || k < 2 {
+        if k == 0 {
+            return Series {
+                label: self.label.clone(),
+                x: Vec::new(),
+                y: Vec::new(),
+            };
+        }
+        if k == 1 {
+            return Series {
+                label: self.label.clone(),
+                x: self.x.first().copied().into_iter().collect(),
+                y: self.y.first().copied().into_iter().collect(),
+            };
+        }
+        if self.x.len() <= k {
             return self.clone();
         }
         let n = self.x.len();
@@ -330,5 +351,27 @@ mod tests {
         assert_eq!(Series::depth_curve(&r).y[3], 3.0);
         assert!(Series::committee_time_curve(&r).label.starts_with("create"));
         assert!(Series::scoring_time_curve(&r).label.starts_with("score"));
+    }
+
+    #[test]
+    fn average_of_empty_slice_is_empty() {
+        let s = Series::average("mean", &[]);
+        assert_eq!(s.label, "mean");
+        assert!(s.x.is_empty());
+        assert!(s.y.is_empty());
+    }
+
+    #[test]
+    fn downsample_zero_and_one_are_degenerate_not_panics() {
+        let s = Series::f1_curve(&run());
+        let zero = s.downsample(0);
+        assert_eq!(zero.label, s.label);
+        assert!(zero.x.is_empty());
+        assert!(zero.y.is_empty());
+        let one = s.downsample(1);
+        assert_eq!(one.x, vec![s.x[0]]);
+        assert_eq!(one.y, vec![s.y[0]]);
+        // k >= len still returns everything.
+        assert_eq!(s.downsample(100).x.len(), s.x.len());
     }
 }

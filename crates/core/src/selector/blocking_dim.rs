@@ -15,9 +15,10 @@
 
 use super::{bottom_k_asc, Selection};
 use crate::corpus::Corpus;
+use alem_obs::Registry;
 use mlcore::svm::LinearSvm;
 use rand::rngs::StdRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Outcome of a blocking-dimension margin round, with pruning statistics.
 #[derive(Debug, Clone, Default)]
@@ -38,8 +39,9 @@ pub fn select(
     unlabeled: &[usize],
     batch: usize,
     rng: &mut StdRng,
+    obs: &Registry,
 ) -> BlockingSelection {
-    let t0 = Instant::now();
+    let score_span = obs.span("select.score");
     let dims = svm.top_weight_dims(k);
     let mut scored: Vec<(usize, f64)> = Vec::with_capacity(unlabeled.len());
     let mut pruned = 0usize;
@@ -52,6 +54,8 @@ pub fn select(
         scored.push((i, svm.margin(x)));
     }
     let evaluated = scored.len();
+    obs.counter_add("select.pairs_skipped", pruned as u64);
+    obs.counter_add("select.pairs_scored", evaluated as u64);
     let mut chosen = bottom_k_asc(scored, batch, rng);
     // Degenerate fallback: if pruning removed everything, fall back to the
     // skipped pool so active learning can still progress.
@@ -60,13 +64,14 @@ pub fn select(
             .iter()
             .map(|&i| (i, svm.margin(corpus.x(i))))
             .collect();
+        obs.counter_add("select.pairs_scored", unlabeled.len() as u64);
         chosen = bottom_k_asc(scored, batch, rng);
     }
     BlockingSelection {
         selection: Selection {
             chosen,
             committee_creation: Duration::ZERO,
-            scoring: t0.elapsed(),
+            scoring: score_span.finish(),
         },
         pruned,
         evaluated,
@@ -100,7 +105,7 @@ mod tests {
         let svm = LinearSvm::from_parts(vec![3.0, 0.1], -1.5);
         let unlabeled: Vec<usize> = (0..100).collect();
         let mut rng = StdRng::seed_from_u64(8);
-        let out = select(&svm, 1, &c, &unlabeled, 10, &mut rng);
+        let out = select(&svm, 1, &c, &unlabeled, 10, &mut rng, &Registry::disabled());
         // Examples 0..50 have a zero blocking dim, and so does example 50
         // (its value is (50-50)/50 = 0).
         assert_eq!(out.pruned, 51);
@@ -113,13 +118,22 @@ mod tests {
         let c = corpus();
         let svm = LinearSvm::from_parts(vec![3.0, 0.1], -1.5);
         let unlabeled: Vec<usize> = (50..100).collect();
-        let out = select(&svm, 2, &c, &unlabeled, 5, &mut StdRng::seed_from_u64(8));
+        let out = select(
+            &svm,
+            2,
+            &c,
+            &unlabeled,
+            5,
+            &mut StdRng::seed_from_u64(8),
+            &Registry::disabled(),
+        );
         let vanilla = super::super::margin::select(
             |x| svm.margin(x),
             &c,
             &unlabeled,
             5,
             &mut StdRng::seed_from_u64(8),
+            &Registry::disabled(),
         );
         let mut a = out.selection.chosen.clone();
         let mut b = vanilla.chosen.clone();
@@ -134,7 +148,15 @@ mod tests {
         let svm = LinearSvm::from_parts(vec![3.0, 0.1], -1.5);
         // Only examples whose blocking dim is zero.
         let unlabeled: Vec<usize> = (0..50).collect();
-        let out = select(&svm, 1, &c, &unlabeled, 5, &mut StdRng::seed_from_u64(8));
+        let out = select(
+            &svm,
+            1,
+            &c,
+            &unlabeled,
+            5,
+            &mut StdRng::seed_from_u64(8),
+            &Registry::disabled(),
+        );
         assert_eq!(out.selection.chosen.len(), 5);
         assert_eq!(out.pruned, 50);
     }

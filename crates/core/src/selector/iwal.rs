@@ -13,11 +13,12 @@
 
 use super::Selection;
 use crate::corpus::Corpus;
+use alem_obs::Registry;
 use mlcore::svm::LinearSvm;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// IWAL rejection-sampling parameters.
 #[derive(Debug, Clone, Copy)]
@@ -66,8 +67,9 @@ impl IwalConfig {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> IwalSelection {
-        let t0 = Instant::now();
+        let score_span = obs.span("select.score");
         let mut pool: Vec<usize> = unlabeled.to_vec();
         pool.shuffle(rng);
         let mut chosen = Vec::with_capacity(batch);
@@ -84,11 +86,13 @@ impl IwalConfig {
                 weights.push(1.0 / p);
             }
         }
+        obs.counter_add("select.pairs_inspected", inspected as u64);
+        obs.counter_add("select.pairs_scored", chosen.len() as u64);
         IwalSelection {
             selection: Selection {
                 chosen,
                 committee_creation: Duration::ZERO,
-                scoring: t0.elapsed(),
+                scoring: score_span.finish(),
             },
             weights,
             inspected,
@@ -126,7 +130,8 @@ mod tests {
         let svm = LinearSvm::from_parts(vec![2.0], -1.0);
         let unlabeled: Vec<usize> = (0..200).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let out = IwalConfig::default().select(&svm, &c, &unlabeled, 10, &mut rng);
+        let out =
+            IwalConfig::default().select(&svm, &c, &unlabeled, 10, &mut rng, &Registry::disabled());
         assert_eq!(out.selection.chosen.len(), 10);
         assert_eq!(out.weights.len(), 10);
         assert!(out
@@ -145,7 +150,14 @@ mod tests {
         let mut total = 0usize;
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let out = IwalConfig::default().select(&svm, &c, &unlabeled, 10, &mut rng);
+            let out = IwalConfig::default().select(
+                &svm,
+                &c,
+                &unlabeled,
+                10,
+                &mut rng,
+                &Registry::disabled(),
+            );
             for &i in &out.selection.chosen {
                 total += 1;
                 if (0.25..0.75).contains(&c.x(i)[0]) {
@@ -167,7 +179,8 @@ mod tests {
         let svm = LinearSvm::from_parts(vec![2.0], -1.0);
         let unlabeled: Vec<usize> = (0..3).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let out = IwalConfig::default().select(&svm, &c, &unlabeled, 10, &mut rng);
+        let out =
+            IwalConfig::default().select(&svm, &c, &unlabeled, 10, &mut rng, &Registry::disabled());
         assert!(out.selection.chosen.len() <= 3);
         assert_eq!(out.inspected, 3);
     }

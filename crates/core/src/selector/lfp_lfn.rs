@@ -16,9 +16,10 @@
 
 use super::{bottom_k_asc, top_k_desc, Selection};
 use crate::corpus::Corpus;
+use alem_obs::Registry;
 use mlcore::rules::{Conjunction, Dnf};
 use rand::rngs::StdRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Outcome of an LFP/LFN round.
 #[derive(Debug, Clone, Default)]
@@ -58,8 +59,9 @@ pub fn select(
     unlabeled: &[usize],
     batch: usize,
     rng: &mut StdRng,
+    obs: &Registry,
 ) -> LfpLfnSelection {
-    let t0 = Instant::now();
+    let score_span = obs.span("select.score");
     let bools = corpus
         .bool_features()
         .expect("LFP/LFN requires Boolean predicate features");
@@ -80,6 +82,9 @@ pub fn select(
     }
     let lfp_found = lfp.len();
     let lfn_found = lfn.len();
+    obs.counter_add("select.pairs_scored", unlabeled.len() as u64);
+    obs.counter_add("select.lfp_found", lfp_found as u64);
+    obs.counter_add("select.lfn_found", lfn_found as u64);
 
     // Lowest-similarity predicted matches and highest-similarity predicted
     // non-matches, half the batch each; shortfalls fill from the other.
@@ -94,7 +99,7 @@ pub fn select(
         selection: Selection {
             chosen,
             committee_creation: Duration::ZERO,
-            scoring: t0.elapsed(),
+            scoring: score_span.finish(),
         },
         lfp_found,
         lfn_found,
@@ -137,7 +142,15 @@ mod tests {
         let accepted = Dnf::empty();
         let unlabeled: Vec<usize> = (0..40).collect();
         let mut rng = StdRng::seed_from_u64(6);
-        let out = select(&candidate, &accepted, &c, &unlabeled, 10, &mut rng);
+        let out = select(
+            &candidate,
+            &accepted,
+            &c,
+            &unlabeled,
+            10,
+            &mut rng,
+            &Registry::disabled(),
+        );
         assert_eq!(out.lfp_found, 20); // all rows where both atoms hold
         assert_eq!(out.lfn_found, 10); // rows matched only by minus-rule {0}
         assert_eq!(out.selection.chosen.len(), 10);
@@ -168,7 +181,15 @@ mod tests {
         let accepted = Dnf::new(vec![Conjunction::new(vec![0])]);
         let unlabeled: Vec<usize> = (0..40).collect();
         let mut rng = StdRng::seed_from_u64(6);
-        let out = select(&candidate, &accepted, &c, &unlabeled, 10, &mut rng);
+        let out = select(
+            &candidate,
+            &accepted,
+            &c,
+            &unlabeled,
+            10,
+            &mut rng,
+            &Registry::disabled(),
+        );
         assert!(out.exhausted());
         assert!(out.selection.chosen.is_empty());
     }
@@ -179,7 +200,15 @@ mod tests {
         let candidate = Conjunction::new(vec![1]);
         let unlabeled: Vec<usize> = (0..40).collect();
         let mut rng = StdRng::seed_from_u64(6);
-        let out = select(&candidate, &Dnf::empty(), &c, &unlabeled, 10, &mut rng);
+        let out = select(
+            &candidate,
+            &Dnf::empty(),
+            &c,
+            &unlabeled,
+            10,
+            &mut rng,
+            &Registry::disabled(),
+        );
         assert_eq!(out.lfn_found, 0);
         assert!(out.lfp_found > 0);
     }

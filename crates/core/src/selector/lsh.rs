@@ -16,10 +16,11 @@
 
 use super::{bottom_k_asc, Selection};
 use crate::corpus::Corpus;
+use alem_obs::Registry;
 use mlcore::svm::LinearSvm;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Maximum signature width (bits of one `u64`).
 pub const MAX_BITS: usize = 64;
@@ -52,8 +53,9 @@ fn signature(planes: &[Vec<f64>], x: &[f64]) -> u64 {
 impl HyperplaneLsh {
     /// Build an index with `bits`-bit signatures (≤ 64) over every corpus
     /// example. This is the one-off preprocessing cost.
-    pub fn build(corpus: &Corpus, bits: usize, rng: &mut StdRng) -> Self {
+    pub fn build(corpus: &Corpus, bits: usize, rng: &mut StdRng, obs: &Registry) -> Self {
         assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..=64");
+        let build_span = obs.span("select.index_build");
         let dim = corpus.dim();
         let planes: Vec<Vec<f64>> = (0..bits)
             .map(|_| (0..dim).map(|_| gaussian(rng)).collect())
@@ -61,6 +63,7 @@ impl HyperplaneLsh {
         let signatures = (0..corpus.len())
             .map(|i| signature(&planes, corpus.x(i)))
             .collect();
+        build_span.finish();
         HyperplaneLsh {
             planes,
             signatures,
@@ -76,6 +79,7 @@ impl HyperplaneLsh {
     /// One approximate margin-selection round: hamming-rank the pool,
     /// exactly score the best `oversample × batch` candidates, return the
     /// least-margin `batch`.
+    #[allow(clippy::too_many_arguments)]
     pub fn select(
         &self,
         svm: &LinearSvm,
@@ -84,8 +88,9 @@ impl HyperplaneLsh {
         batch: usize,
         oversample: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
-        let t0 = Instant::now();
+        let score_span = obs.span("select.score");
         let w_sig = signature(&self.planes, svm.weights());
         let half = self.bits as f64 / 2.0;
         let ranked: Vec<(usize, f64)> = unlabeled
@@ -100,11 +105,12 @@ impl HyperplaneLsh {
             .into_iter()
             .map(|i| (i, svm.margin(corpus.x(i))))
             .collect();
+        obs.counter_add("select.pairs_scored", exact.len() as u64);
         let chosen = bottom_k_asc(exact, batch, rng);
         Selection {
             chosen,
             committee_creation: Duration::ZERO,
-            scoring: t0.elapsed(),
+            scoring: score_span.finish(),
         }
     }
 }
@@ -131,7 +137,7 @@ mod tests {
     fn build_produces_signatures_for_all() {
         let c = ring_corpus(100);
         let mut rng = StdRng::seed_from_u64(1);
-        let lsh = HyperplaneLsh::build(&c, 32, &mut rng);
+        let lsh = HyperplaneLsh::build(&c, 32, &mut rng, &Registry::disabled());
         assert_eq!(lsh.signatures.len(), 100);
         assert_eq!(lsh.bits(), 32);
     }
@@ -140,10 +146,10 @@ mod tests {
     fn selects_near_hyperplane_points() {
         let c = ring_corpus(360);
         let mut rng = StdRng::seed_from_u64(1);
-        let lsh = HyperplaneLsh::build(&c, 48, &mut rng);
+        let lsh = HyperplaneLsh::build(&c, 48, &mut rng, &Registry::disabled());
         let svm = LinearSvm::from_parts(vec![1.0, 0.0], 0.0);
         let unlabeled: Vec<usize> = (0..360).collect();
-        let sel = lsh.select(&svm, &c, &unlabeled, 10, 4, &mut rng);
+        let sel = lsh.select(&svm, &c, &unlabeled, 10, 4, &mut rng, &Registry::disabled());
         assert_eq!(sel.chosen.len(), 10);
         // Chosen points should have small |x[0]| (close to the w·x = 0
         // plane); allow LSH slack.
@@ -159,10 +165,10 @@ mod tests {
     fn oversample_one_still_fills_batch() {
         let c = ring_corpus(50);
         let mut rng = StdRng::seed_from_u64(2);
-        let lsh = HyperplaneLsh::build(&c, 16, &mut rng);
+        let lsh = HyperplaneLsh::build(&c, 16, &mut rng, &Registry::disabled());
         let svm = LinearSvm::from_parts(vec![0.3, 0.7], 0.1);
         let unlabeled: Vec<usize> = (0..50).collect();
-        let sel = lsh.select(&svm, &c, &unlabeled, 7, 1, &mut rng);
+        let sel = lsh.select(&svm, &c, &unlabeled, 7, 1, &mut rng, &Registry::disabled());
         assert_eq!(sel.chosen.len(), 7);
     }
 
@@ -171,6 +177,6 @@ mod tests {
     fn rejects_oversized_signatures() {
         let c = ring_corpus(10);
         let mut rng = StdRng::seed_from_u64(1);
-        let _ = HyperplaneLsh::build(&c, 65, &mut rng);
+        let _ = HyperplaneLsh::build(&c, 65, &mut rng, &Registry::disabled());
     }
 }

@@ -7,8 +7,9 @@
 
 use super::{bottom_k_asc, Selection};
 use crate::corpus::Corpus;
+use alem_obs::Registry;
 use rand::rngs::StdRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One margin-selection round. `margin_of` must return the *absolute*
 /// distance from the decision boundary for a corpus example index.
@@ -18,17 +19,19 @@ pub fn select<F: Fn(&[f64]) -> f64>(
     unlabeled: &[usize],
     batch: usize,
     rng: &mut StdRng,
+    obs: &Registry,
 ) -> Selection {
-    let t0 = Instant::now();
+    let score_span = obs.span("select.score");
     let scored: Vec<(usize, f64)> = unlabeled
         .iter()
         .map(|&i| (i, margin_of(corpus.x(i))))
         .collect();
+    obs.counter_add("select.pairs_scored", scored.len() as u64);
     let chosen = bottom_k_asc(scored, batch, rng);
     Selection {
         chosen,
         committee_creation: Duration::ZERO,
-        scoring: t0.elapsed(),
+        scoring: score_span.finish(),
     }
 }
 
@@ -51,7 +54,14 @@ mod tests {
         let svm = LinearSvm::from_parts(vec![2.0], -1.0);
         let unlabeled: Vec<usize> = (0..100).collect();
         let mut rng = StdRng::seed_from_u64(4);
-        let sel = select(|x| svm.margin(x), &c, &unlabeled, 10, &mut rng);
+        let sel = select(
+            |x| svm.margin(x),
+            &c,
+            &unlabeled,
+            10,
+            &mut rng,
+            &Registry::disabled(),
+        );
         assert_eq!(sel.committee_creation, Duration::ZERO);
         for &i in &sel.chosen {
             let v = c.x(i)[0];
@@ -65,7 +75,14 @@ mod tests {
         let svm = LinearSvm::from_parts(vec![2.0], -1.0);
         let unlabeled: Vec<usize> = (0..50).collect();
         let mut rng = StdRng::seed_from_u64(4);
-        let sel = select(|x| svm.margin(x), &c, &unlabeled, 7, &mut rng);
+        let sel = select(
+            |x| svm.margin(x),
+            &c,
+            &unlabeled,
+            7,
+            &mut rng,
+            &Registry::disabled(),
+        );
         assert_eq!(sel.chosen.len(), 7);
         assert!(sel.chosen.iter().all(|&i| i < 50));
     }

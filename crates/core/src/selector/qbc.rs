@@ -10,10 +10,10 @@
 use super::{top_k_desc, Selection};
 use crate::corpus::Corpus;
 use crate::learner::Trainer;
+use alem_obs::Registry;
 use mlcore::data::bootstrap_indices;
 use mlcore::Classifier;
 use rand::rngs::StdRng;
-use std::time::Instant;
 
 /// Train a bootstrap committee of `size` models on the labeled examples.
 pub fn train_committee<T: Trainer>(
@@ -60,8 +60,9 @@ pub fn select<T: Trainer>(
     batch: usize,
     rng: &mut StdRng,
     use_bool_features: bool,
+    obs: &Registry,
 ) -> Selection {
-    let t0 = Instant::now();
+    let committee_span = obs.span("select.committee");
     let committee = train_committee(
         trainer,
         corpus,
@@ -70,9 +71,9 @@ pub fn select<T: Trainer>(
         rng,
         use_bool_features,
     );
-    let committee_creation = t0.elapsed();
+    let committee_creation = committee_span.finish();
 
-    let t1 = Instant::now();
+    let score_span = obs.span("select.score");
     let scored: Vec<(usize, f64)> = unlabeled
         .iter()
         .map(|&i| {
@@ -84,8 +85,9 @@ pub fn select<T: Trainer>(
             (i, committee_variance(&committee, x))
         })
         .collect();
+    obs.counter_add("select.pairs_scored", scored.len() as u64);
     let chosen = top_k_desc(scored, batch, rng);
-    let scoring = t1.elapsed();
+    let scoring = score_span.finish();
 
     Selection {
         chosen,
@@ -139,6 +141,7 @@ mod tests {
             10,
             &mut rng,
             false,
+            &Registry::disabled(),
         );
         assert_eq!(sel.chosen.len(), 10);
         for i in &sel.chosen {
@@ -168,6 +171,7 @@ mod tests {
             10,
             &mut rng,
             false,
+            &Registry::disabled(),
         );
         // The decision boundary is at 0.5; the committee should disagree
         // mostly near it.

@@ -9,9 +9,10 @@
 
 use super::{top_k_desc, Selection};
 use crate::corpus::Corpus;
+use alem_obs::Registry;
 use mlcore::forest::RandomForest;
 use rand::rngs::StdRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One learner-aware QBC round over an already-trained forest.
 pub fn select(
@@ -20,17 +21,19 @@ pub fn select(
     unlabeled: &[usize],
     batch: usize,
     rng: &mut StdRng,
+    obs: &Registry,
 ) -> Selection {
-    let t0 = Instant::now();
+    let score_span = obs.span("select.score");
     let scored: Vec<(usize, f64)> = unlabeled
         .iter()
         .map(|&i| (i, forest.vote_variance(corpus.x(i))))
         .collect();
+    obs.counter_add("select.pairs_scored", scored.len() as u64);
     let chosen = top_k_desc(scored, batch, rng);
     Selection {
         chosen,
         committee_creation: Duration::ZERO,
-        scoring: t0.elapsed(),
+        scoring: score_span.finish(),
     }
 }
 
@@ -56,7 +59,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let forest = ForestConfig::with_trees(10).train(&TrainSet::new(&xs, &ys), &mut rng);
         let unlabeled: Vec<usize> = (0..100).filter(|i| !labeled.contains(i)).collect();
-        let sel = select(&forest, &c, &unlabeled, 10, &mut rng);
+        let sel = select(&forest, &c, &unlabeled, 10, &mut rng, &Registry::disabled());
         assert_eq!(sel.committee_creation, Duration::ZERO);
         assert_eq!(sel.chosen.len(), 10);
         for i in &sel.chosen {

@@ -28,12 +28,12 @@ use crate::evaluator::{confusion_over, iteration_stats, IterationStats, RunResul
 use crate::loop_::{ActiveLearner, EvalMode, LoopParams};
 use crate::oracle::{OracleAnswer, QueryOracle, RetryPolicy};
 use crate::strategy::Strategy;
+use alem_obs::Registry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Format version written into checkpoints; loading any other version
 /// fails with [`AlemError::CheckpointCorrupt`].
@@ -61,6 +61,11 @@ pub struct SessionConfig {
     /// abstained) tolerated before the session fails with
     /// [`AlemError::Stalled`].
     pub max_stalled_iters: usize,
+    /// Telemetry registry; defaults to [`Registry::disabled`]. Spans,
+    /// counters, and gauges recorded here never feed back into the
+    /// learner, so enabling it cannot change a run's
+    /// [`RunResult::deterministic_fingerprint`].
+    pub obs: Registry,
 }
 
 impl Default for SessionConfig {
@@ -71,6 +76,7 @@ impl Default for SessionConfig {
             retry: RetryPolicy::default(),
             halt_after: None,
             max_stalled_iters: 5,
+            obs: Registry::disabled(),
         }
     }
 }
@@ -240,6 +246,7 @@ impl<S: Strategy> ActiveLearner<S> {
         }
 
         let mut rng = derive_rng(seed, 0);
+        let seed_span = config.obs.span("seed");
 
         // Build the selection pool and the evaluation set.
         let (mut pool, eval_idx): (Vec<usize>, Vec<usize>) = match params.eval {
@@ -257,7 +264,7 @@ impl<S: Strategy> ActiveLearner<S> {
         while labeled.len() < seed_n && cursor < pool.len() {
             let i = pool[cursor];
             cursor += 1;
-            match config.retry.query(oracle, i)? {
+            match config.retry.query_observed(oracle, i, &config.obs)? {
                 OracleAnswer::Label(b) => labeled.push((i, b)),
                 OracleAnswer::Abstain => skipped.push(i),
             }
@@ -282,7 +289,7 @@ impl<S: Strategy> ActiveLearner<S> {
             let j = rng.gen_range(0..unlabeled.len());
             let i = unlabeled.swap_remove(j);
             extra += 1;
-            match config.retry.query(oracle, i)? {
+            match config.retry.query_observed(oracle, i, &config.obs)? {
                 OracleAnswer::Label(b) => labeled.push((i, b)),
                 OracleAnswer::Abstain => unlabeled.push(i),
             }
@@ -306,6 +313,7 @@ impl<S: Strategy> ActiveLearner<S> {
             );
         }
 
+        seed_span.finish();
         let state = LiveState {
             master_seed: seed,
             iter_no: 0,
@@ -390,9 +398,12 @@ impl<S: Strategy> ActiveLearner<S> {
             corpus_len: corpus.len(),
         };
 
+        let obs = &config.obs;
         let mut warned_empty_selection = false;
         loop {
             let k = st.iter_no;
+            obs.set_iter(k as u64);
+            let iter_span = obs.span("iteration");
 
             // Checkpoint at iteration boundaries (idempotent on resume).
             let due = config
@@ -405,7 +416,9 @@ impl<S: Strategy> ActiveLearner<S> {
                         "checkpointing requested but no checkpoint_path set".into(),
                     )
                 })?;
+                let ckpt_span = obs.span("checkpoint.write");
                 snapshot(&st, oracle.queries()).save(path)?;
+                ckpt_span.finish();
                 if halting {
                     return Ok(SessionOutcome::Halted {
                         checkpoint: path.clone(),
@@ -418,16 +431,18 @@ impl<S: Strategy> ActiveLearner<S> {
             let mut rng = derive_rng(st.master_seed, k as u64 + 1);
 
             // Train on the cumulative labeled data.
-            let t0 = Instant::now();
+            let train_span = obs.span("train");
             self.strategy.fit(corpus, &st.labeled, &mut rng);
-            let train_time = t0.elapsed();
+            let train_time = train_span.finish();
 
             // Evaluate against ground truth.
+            let eval_span = obs.span("eval");
             let confusion = confusion_over(
                 |i| self.strategy.predict(corpus, i),
                 |i| corpus.truth(i),
                 &st.eval_idx,
             );
+            eval_span.finish();
             let mut stats = iteration_stats(
                 k,
                 st.labeled.len(),
@@ -455,13 +470,16 @@ impl<S: Strategy> ActiveLearner<S> {
             }
 
             // Select and label the next batch.
+            let select_span = obs.span("select");
             let selection = self.strategy.select(
                 corpus,
                 &st.labeled,
                 &st.unlabeled,
                 params.batch_size,
                 &mut rng,
+                obs,
             );
+            select_span.finish();
             stats.committee_secs = selection.committee_creation.as_secs_f64();
             stats.scoring_secs = selection.scoring.as_secs_f64();
             st.iterations.push(stats);
@@ -489,13 +507,15 @@ impl<S: Strategy> ActiveLearner<S> {
                 }
             }
 
+            let oracle_span = obs.span("oracle.query");
             let mut new: Vec<(usize, bool)> = Vec::with_capacity(chosen.len());
             for &i in &chosen {
-                match config.retry.query(oracle, i)? {
+                match config.retry.query_observed(oracle, i, obs)? {
                     OracleAnswer::Label(b) => new.push((i, b)),
                     OracleAnswer::Abstain => {} // stays unlabeled, re-selectable
                 }
             }
+            oracle_span.finish();
             st.unlabeled.retain(|i| !new.iter().any(|&(j, _)| j == *i));
             if new.is_empty() {
                 st.stalled += 1;
@@ -513,8 +533,11 @@ impl<S: Strategy> ActiveLearner<S> {
                     &mut st.labeled,
                     &mut st.unlabeled,
                     &mut rng,
+                    obs,
                 );
             }
+            obs.gauge_set("pool.unlabeled", st.unlabeled.len() as u64);
+            iter_span.finish();
 
             st.iter_no += 1;
         }
@@ -772,6 +795,93 @@ mod tests {
         assert!(oracle.abstentions() > 0, "abstentions actually fired");
         // Labels still accumulate despite abstentions.
         assert!(run.total_labels() > 20, "labels: {}", run.total_labels());
+    }
+
+    #[test]
+    fn telemetry_is_determinism_neutral() {
+        let c = corpus(300);
+        let plain = {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let mut al = ActiveLearner::new(TreeQbcStrategy::new(5), params());
+            al.run_session(&c, &oracle, 41, &SessionConfig::default())
+                .unwrap()
+                .run_result()
+                .unwrap()
+        };
+
+        let obs = Registry::enabled();
+        let cfg = SessionConfig {
+            obs: obs.clone(),
+            ..SessionConfig::default()
+        };
+        let observed = {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let mut al = ActiveLearner::new(TreeQbcStrategy::new(5), params());
+            al.run_session(&c, &oracle, 41, &cfg)
+                .unwrap()
+                .run_result()
+                .unwrap()
+        };
+        assert_eq!(
+            plain.deterministic_fingerprint(),
+            observed.deterministic_fingerprint(),
+            "enabling telemetry changed the run"
+        );
+
+        // The enabled registry really recorded the whole loop.
+        let names: std::collections::BTreeSet<&str> = obs.events().iter().map(|e| e.name).collect();
+        for want in [
+            "seed",
+            "iteration",
+            "train",
+            "eval",
+            "select",
+            "select.score",
+            "oracle.query",
+        ] {
+            assert!(names.contains(want), "missing span {want} in {names:?}");
+        }
+        assert!(obs.counter_value("oracle.labels") > 0);
+    }
+
+    #[test]
+    fn resume_with_telemetry_keeps_fingerprint() {
+        let c = corpus(300);
+        let full = {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let mut al =
+                ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+            al.run(&c, &oracle, 17).unwrap()
+        };
+
+        let path = tmp_path("telemetry-resume");
+        let halted_cfg = SessionConfig {
+            checkpoint_path: Some(path.clone()),
+            halt_after: Some(3),
+            obs: Registry::enabled(),
+            ..SessionConfig::default()
+        };
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        al.run_session(&c, &oracle, 17, &halted_cfg).unwrap();
+
+        let resume_cfg = SessionConfig {
+            obs: Registry::enabled(),
+            ..SessionConfig::default()
+        };
+        let ckpt = Checkpoint::load(&path).unwrap();
+        let oracle2 = Oracle::perfect(c.truths().to_vec());
+        let mut al2 = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+        let resumed = al2
+            .resume_session(&c, &oracle2, ckpt, &resume_cfg)
+            .unwrap()
+            .run_result()
+            .unwrap();
+        assert_eq!(
+            resumed.deterministic_fingerprint(),
+            full.deterministic_fingerprint()
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

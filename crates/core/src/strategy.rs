@@ -20,6 +20,7 @@ use crate::corpus::Corpus;
 use crate::interpret;
 use crate::learner::{DnfTrainer, ForestTrainer, NnTrainer, SvmTrainer, Trainer};
 use crate::selector::{self, Selection};
+use alem_obs::Registry;
 use mlcore::forest::RandomForest;
 use mlcore::nn::NeuralNet;
 use mlcore::rules::{Conjunction, Dnf};
@@ -49,7 +50,11 @@ pub trait Strategy {
     /// (Re)train on the cumulative labeled data.
     fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng);
 
-    /// Choose up to `batch` examples from the unlabeled pool.
+    /// Choose up to `batch` examples from the unlabeled pool. Timing in
+    /// the returned [`Selection`] is sourced from `obs` spans
+    /// (`select.committee` / `select.score`); pass
+    /// [`Registry::disabled`] when telemetry is off.
+    #[allow(clippy::too_many_arguments)] // mirrors the pipeline's natural inputs
     fn select(
         &mut self,
         corpus: &Corpus,
@@ -57,6 +62,7 @@ pub trait Strategy {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection;
 
     /// Predict the label of corpus example `i` with the current model.
@@ -73,6 +79,7 @@ pub trait Strategy {
     }
 
     /// Hook after new labels arrive; ensemble strategies prune pools here.
+    #[allow(clippy::too_many_arguments)] // mirrors the pipeline's natural inputs
     fn post_label(
         &mut self,
         _corpus: &Corpus,
@@ -80,6 +87,7 @@ pub trait Strategy {
         _labeled: &mut Vec<(usize, bool)>,
         _unlabeled: &mut Vec<usize>,
         _rng: &mut StdRng,
+        _obs: &Registry,
     ) {
     }
 
@@ -106,8 +114,9 @@ impl Strategy for Box<dyn Strategy + Send> {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
-        (**self).select(corpus, labeled, unlabeled, batch, rng)
+        (**self).select(corpus, labeled, unlabeled, batch, rng, obs)
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -129,8 +138,9 @@ impl Strategy for Box<dyn Strategy + Send> {
         labeled: &mut Vec<(usize, bool)>,
         unlabeled: &mut Vec<usize>,
         rng: &mut StdRng,
+        obs: &Registry,
     ) {
-        (**self).post_label(corpus, new, labeled, unlabeled, rng);
+        (**self).post_label(corpus, new, labeled, unlabeled, rng, obs);
     }
 
     fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
@@ -215,6 +225,7 @@ impl<T: Trainer> Strategy for QbcStrategy<T> {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         selector::qbc::select(
             &self.trainer,
@@ -225,6 +236,7 @@ impl<T: Trainer> Strategy for QbcStrategy<T> {
             batch,
             rng,
             self.use_bool,
+            obs,
         )
     }
 
@@ -289,9 +301,10 @@ impl Strategy for TreeQbcStrategy {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         let forest = self.model.as_ref().expect("fit before select");
-        selector::tree_qbc::select(forest, corpus, unlabeled, batch, rng)
+        selector::tree_qbc::select(forest, corpus, unlabeled, batch, rng, obs)
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -375,15 +388,17 @@ impl Strategy for MarginSvmStrategy {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         let svm = self.model.as_ref().expect("fit before select");
         match self.blocking_k {
             Some(k) => {
-                let out = selector::blocking_dim::select(svm, k, corpus, unlabeled, batch, rng);
+                let out =
+                    selector::blocking_dim::select(svm, k, corpus, unlabeled, batch, rng, obs);
                 self.last_pruned = Some(out.pruned);
                 out.selection
             }
-            None => selector::margin::select(|x| svm.margin(x), corpus, unlabeled, batch, rng),
+            None => selector::margin::select(|x| svm.margin(x), corpus, unlabeled, batch, rng, obs),
         }
     }
 
@@ -454,13 +469,16 @@ impl Strategy for LshMarginStrategy {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         if self.index.is_none() {
-            self.index = Some(selector::lsh::HyperplaneLsh::build(corpus, self.bits, rng));
+            self.index = Some(selector::lsh::HyperplaneLsh::build(
+                corpus, self.bits, rng, obs,
+            ));
         }
         let svm = self.model.as_ref().expect("fit before select");
         let index = self.index.as_ref().expect("index built above");
-        index.select(svm, corpus, unlabeled, batch, self.oversample, rng)
+        index.select(svm, corpus, unlabeled, batch, self.oversample, rng, obs)
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -520,9 +538,10 @@ impl Strategy for MarginNnStrategy {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         let net = self.model.as_ref().expect("fit before select");
-        selector::margin::select(|x| net.margin(x).abs(), corpus, unlabeled, batch, rng)
+        selector::margin::select(|x| net.margin(x).abs(), corpus, unlabeled, batch, rng, obs)
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -583,9 +602,10 @@ impl Strategy for IwalSvmStrategy {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         let svm = self.model.as_ref().expect("fit before select");
-        let out = self.iwal.select(svm, corpus, unlabeled, batch, rng);
+        let out = self.iwal.select(svm, corpus, unlabeled, batch, rng, obs);
         for (&i, &w) in out.selection.chosen.iter().zip(&out.weights) {
             self.weights.insert(i, w);
         }
@@ -674,13 +694,21 @@ impl Strategy for LfpLfnStrategy {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
         let Some(candidate) = &self.candidate else {
             self.terminated = true;
             return Selection::default();
         };
-        let out =
-            selector::lfp_lfn::select(candidate, &self.accepted, corpus, unlabeled, batch, rng);
+        let out = selector::lfp_lfn::select(
+            candidate,
+            &self.accepted,
+            corpus,
+            unlabeled,
+            batch,
+            rng,
+            obs,
+        );
         if out.exhausted() {
             self.terminated = true;
         }
@@ -714,6 +742,7 @@ impl Strategy for LfpLfnStrategy {
         _labeled: &mut Vec<(usize, bool)>,
         _unlabeled: &mut Vec<usize>,
         _rng: &mut StdRng,
+        obs: &Registry,
     ) {
         // Accept the candidate if its precision on the newly labeled
         // examples it claims as matches reaches τ.
@@ -732,6 +761,7 @@ impl Strategy for LfpLfnStrategy {
             }
         }
         if claimed > 0 && correct as f64 / claimed as f64 >= self.accept_precision {
+            obs.counter_add("rules.clauses_accepted", 1);
             self.accepted.push(candidate.clone());
             self.candidate = None;
         }
@@ -803,15 +833,16 @@ impl<T: Trainer> Strategy for RandomStrategy<T> {
         unlabeled: &[usize],
         batch: usize,
         rng: &mut StdRng,
+        obs: &Registry,
     ) -> Selection {
-        let t0 = std::time::Instant::now();
+        let score_span = obs.span("select.score");
         let mut pool = unlabeled.to_vec();
         pool.shuffle(rng);
         pool.truncate(batch);
         Selection {
             chosen: pool,
             committee_creation: std::time::Duration::ZERO,
-            scoring: t0.elapsed(),
+            scoring: score_span.finish(),
         }
     }
 
@@ -881,7 +912,7 @@ mod tests {
         s.fit(&c, &labeled, &mut rng);
         assert!(s.predict(&c, 79));
         assert!(!s.predict(&c, 0));
-        let sel = s.select(&c, &labeled, &unlabeled, 5, &mut rng);
+        let sel = s.select(&c, &labeled, &unlabeled, 5, &mut rng, &Registry::disabled());
         assert_eq!(sel.chosen.len(), 5);
     }
 
@@ -909,7 +940,7 @@ mod tests {
         let new: Vec<(usize, bool)> = vec![(50, true), (60, true)];
         let mut l = labeled.clone();
         let mut u = vec![];
-        s.post_label(&c, &new, &mut l, &mut u, &mut rng);
+        s.post_label(&c, &new, &mut l, &mut u, &mut rng, &Registry::disabled());
         assert_eq!(s.accepted().clauses().len(), 1);
         assert!(s.predict(&c, 70));
         assert!(!s.predict(&c, 10));
@@ -923,7 +954,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = RandomStrategy::new(ForestTrainer::with_trees(3), "SupervisedTrees(Random-3)");
         s.fit(&c, &labeled, &mut rng);
-        let sel = s.select(&c, &labeled, &unlabeled, 10, &mut rng);
+        let sel = s.select(
+            &c,
+            &labeled,
+            &unlabeled,
+            10,
+            &mut rng,
+            &Registry::disabled(),
+        );
         assert_eq!(sel.chosen.len(), 10);
         let mut sorted = sel.chosen.clone();
         sorted.sort_unstable();

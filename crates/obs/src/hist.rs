@@ -1,0 +1,205 @@
+//! Log-bucketed latency histogram.
+//!
+//! Values (microseconds, or any `u64` unit) are assigned to buckets whose
+//! width grows geometrically: each power-of-two octave is split into four
+//! sub-buckets, so a bucket spanning `[lo, lo + w)` always has `w <= lo / 4`.
+//! Quantile estimates use the bucket midpoint, which bounds the relative
+//! error of any quantile estimate at 12.5% (half a bucket width over the
+//! bucket's lower bound). Merging is pointwise count addition and therefore
+//! associative and commutative — per-thread histograms can be combined in
+//! any order.
+
+/// Number of buckets: values 0..=3 get exact buckets, then 62 octaves
+/// (`msb` 2..=63) of four sub-buckets each.
+pub const BUCKETS: usize = 4 + 62 * 4;
+
+/// Fixed-size log-bucketed histogram with min/max/sum tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a value: identity below 4, then
+/// `4 + (msb - 2) * 4 + sub` where `sub` is the two bits below the msb.
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (msb - 2)) & 3) as usize;
+    4 + (msb - 2) * 4 + sub
+}
+
+/// Inclusive-exclusive bounds `[lo, hi)` of bucket `idx`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < 4 {
+        return (idx as u64, idx as u64 + 1);
+    }
+    let octave = (idx - 4) / 4 + 2;
+    let sub = ((idx - 4) % 4) as u64;
+    let width = 1u64 << (octave - 2);
+    let lo = (1u64 << octave) + sub * width;
+    (lo, lo.saturating_add(width))
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) as the midpoint of the bucket
+    /// holding the rank-`ceil(q * count)` observation, clamped to the
+    /// observed min/max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Pointwise-add `other` into `self`. Associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..4 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bounds_and_index_agree() {
+        // Every value must land inside the bounds of its own bucket, and
+        // bucket bounds must tile the line without gaps.
+        for v in [4u64, 5, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v < hi, "v={v} idx={idx} lo={lo} hi={hi}");
+        }
+        for idx in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (next_lo, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi, next_lo, "gap between buckets {idx} and {}", idx + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        // For idx >= 4: width <= lo / 4, so midpoint error <= 12.5%.
+        for idx in 4..BUCKETS - 4 {
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(hi - lo <= lo / 4, "idx={idx} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_within_error_bound() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (1..=1000).map(|i| i * 37).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for &(q, exact_idx) in &[(0.5, 499usize), (0.9, 899), (0.99, 989)] {
+            let exact = values[exact_idx] as f64;
+            let est = h.quantile(q) as f64;
+            let rel = (est - exact).abs() / exact;
+            assert!(rel <= 0.125, "q={q}: est={est} exact={exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(2000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 2000);
+    }
+}

@@ -1,0 +1,606 @@
+//! `alem-obs`: zero-dependency telemetry for the active-learning pipeline.
+//!
+//! Hand-rolled on `std` only (the build environment has no registry access,
+//! so this crate follows the same offline-shim discipline as `vendor/`).
+//! It provides:
+//!
+//! - hierarchical [`Span`]s with wall-clock timing — parent/child nesting is
+//!   tracked per thread, and every span close feeds a per-name latency
+//!   [`Histogram`];
+//! - monotonic **counters** and last-write-wins **gauges**;
+//! - two export sinks: a JSONL structured-event writer
+//!   ([`Registry::write_jsonl`]) and a Chrome `trace_event` exporter
+//!   ([`Registry::write_chrome_trace`]) loadable in `chrome://tracing` or
+//!   Perfetto;
+//! - an end-of-run summary table ([`Registry::summary`]).
+//!
+//! The [`Registry`] is cheap to clone (an `Arc`) and thread-safe. A
+//! *disabled* registry ([`Registry::disabled`]) skips all bookkeeping:
+//! [`Registry::span`] still returns a [`Span`] whose [`Span::finish`]
+//! reports the elapsed wall-clock time — so instrumented code uses the span
+//! as its single source of timing truth — but nothing is recorded.
+//!
+//! Telemetry is determinism-neutral by construction: no RNG is consumed and
+//! no recorded quantity feeds back into the learner, so enabling sinks
+//! cannot change a run's `deterministic_fingerprint`.
+
+#![warn(missing_docs)]
+
+mod hist;
+
+pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+/// What a recorded [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A closed span: `value` is the duration in microseconds.
+    Span,
+    /// A counter increment: `value` is the delta added.
+    Counter,
+    /// A gauge sample: `value` is the new level.
+    Gauge,
+}
+
+/// One structured telemetry event, recorded at span close or metric update.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event kind (span close, counter add, gauge set).
+    pub kind: EventKind,
+    /// Span or metric name.
+    pub name: &'static str,
+    /// Duration in µs (spans), delta (counters), or level (gauges).
+    pub value: u64,
+    /// Active-learning iteration the event was recorded in.
+    pub iter: u64,
+    /// Span id (0 for counter/gauge events).
+    pub id: u64,
+    /// Enclosing span id (0 = root).
+    pub parent: u64,
+    /// Event start time in µs since the registry epoch.
+    pub ts_us: u64,
+    /// Dense per-registry thread index (for trace viewers).
+    pub tid: u64,
+}
+
+#[derive(Default)]
+struct State {
+    stacks: HashMap<ThreadId, Vec<u64>>,
+    tids: HashMap<ThreadId, u64>,
+    events: Vec<Event>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+struct Inner {
+    epoch: Instant,
+    run_id: Mutex<String>,
+    iter: AtomicU64,
+    next_span_id: AtomicU64,
+    state: Mutex<State>,
+}
+
+impl Inner {
+    fn thread_ctx(state: &mut State) -> (u64, u64) {
+        let tid_key = std::thread::current().id();
+        let n = state.tids.len() as u64;
+        let tid = *state.tids.entry(tid_key).or_insert(n);
+        let parent = state
+            .stacks
+            .get(&tid_key)
+            .and_then(|s| s.last().copied())
+            .unwrap_or(0);
+        (tid, parent)
+    }
+}
+
+/// Thread-safe telemetry registry. Clones share the same store.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    /// The default registry is disabled (telemetry is opt-in).
+    fn default() -> Self {
+        Registry::disabled()
+    }
+}
+
+impl Registry {
+    /// A no-op registry: spans still time, nothing is recorded.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// A recording registry with its epoch set to now.
+    pub fn enabled() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                run_id: Mutex::new(String::new()),
+                iter: AtomicU64::new(0),
+                next_span_id: AtomicU64::new(1),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a run identifier stamped onto every exported JSONL line.
+    pub fn set_run_id(&self, id: &str) {
+        if let Some(inner) = &self.inner {
+            *inner.run_id.lock().unwrap() = id.to_string();
+        }
+    }
+
+    /// Set the current active-learning iteration; subsequent events carry it.
+    pub fn set_iter(&self, k: u64) {
+        if let Some(inner) = &self.inner {
+            inner.iter.store(k, Ordering::Relaxed);
+        }
+    }
+
+    /// Open a span. Always usable: on a disabled registry the returned
+    /// [`Span`] still measures elapsed time via [`Span::finish`].
+    pub fn span(&self, name: &'static str) -> Span {
+        let meta = self.inner.as_ref().map(|inner| {
+            let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+            let ts_us = inner.epoch.elapsed().as_micros() as u64;
+            let iter = inner.iter.load(Ordering::Relaxed);
+            let mut state = inner.state.lock().unwrap();
+            let (tid, parent) = Inner::thread_ctx(&mut state);
+            state
+                .stacks
+                .entry(std::thread::current().id())
+                .or_default()
+                .push(id);
+            SpanMeta {
+                inner: Arc::clone(inner),
+                id,
+                parent,
+                ts_us,
+                iter,
+                tid,
+            }
+        });
+        Span {
+            start: Instant::now(),
+            name,
+            meta,
+            done: false,
+        }
+    }
+
+    /// Add `delta` to counter `name` and record a counter event.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let ts_us = inner.epoch.elapsed().as_micros() as u64;
+            let iter = inner.iter.load(Ordering::Relaxed);
+            let mut state = inner.state.lock().unwrap();
+            let (tid, parent) = Inner::thread_ctx(&mut state);
+            *state.counters.entry(name).or_insert(0) += delta;
+            state.events.push(Event {
+                kind: EventKind::Counter,
+                name,
+                value: delta,
+                iter,
+                id: 0,
+                parent,
+                ts_us,
+                tid,
+            });
+        }
+    }
+
+    /// Set gauge `name` to `value` and record a gauge event.
+    pub fn gauge_set(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let ts_us = inner.epoch.elapsed().as_micros() as u64;
+            let iter = inner.iter.load(Ordering::Relaxed);
+            let mut state = inner.state.lock().unwrap();
+            let (tid, parent) = Inner::thread_ctx(&mut state);
+            state.gauges.insert(name, value);
+            state.events.push(Event {
+                kind: EventKind::Gauge,
+                name,
+                value,
+                iter,
+                id: 0,
+                parent,
+                ts_us,
+                tid,
+            });
+        }
+    }
+
+    /// Current total of counter `name` (0 if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|inner| {
+                inner
+                    .state
+                    .lock()
+                    .unwrap()
+                    .counters
+                    .get(name)
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Latency histogram accumulated for span `name`, if any closed.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.state.lock().unwrap().hists.get(name).cloned())
+    }
+
+    /// Snapshot of every recorded event, in recording (close) order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.state.lock().unwrap().events.clone())
+            .unwrap_or_default()
+    }
+
+    /// The run identifier set via [`Registry::set_run_id`].
+    pub fn run_id(&self) -> String {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.run_id.lock().unwrap().clone())
+            .unwrap_or_default()
+    }
+
+    /// Write one JSON object per event (spans, counters, gauges) followed by
+    /// one per-span-name histogram summary line. Every line carries the
+    /// `span`, `dur_us`, and `iter` fields.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let run = json_escape(&inner.run_id.lock().unwrap());
+        let state = inner.state.lock().unwrap();
+        for e in &state.events {
+            let (ty, dur, extra) = match e.kind {
+                EventKind::Span => ("span", e.value, String::new()),
+                EventKind::Counter => ("counter", 0, format!(",\"value\":{}", e.value)),
+                EventKind::Gauge => ("gauge", 0, format!(",\"value\":{}", e.value)),
+            };
+            writeln!(
+                w,
+                "{{\"type\":\"{ty}\",\"run\":\"{run}\",\"span\":\"{}\",\"id\":{},\"parent\":{},\"iter\":{},\"ts_us\":{},\"dur_us\":{dur},\"tid\":{}{extra}}}",
+                e.name, e.id, e.parent, e.iter, e.ts_us, e.tid
+            )?;
+        }
+        let last_iter = inner.iter.load(Ordering::Relaxed);
+        for (name, h) in &state.hists {
+            writeln!(
+                w,
+                "{{\"type\":\"hist\",\"run\":\"{run}\",\"span\":\"{name}\",\"iter\":{last_iter},\"dur_us\":0,\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+                h.count(),
+                h.sum(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99)
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Write the Chrome `trace_event` JSON format (an object with a
+    /// `traceEvents` array) loadable in `chrome://tracing` or Perfetto.
+    /// Spans become complete (`"ph":"X"`) events; counters and gauges become
+    /// counter (`"ph":"C"`) events.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let Some(inner) = &self.inner else {
+            writeln!(w, "{{\"traceEvents\":[]}}")?;
+            return Ok(());
+        };
+        let state = inner.state.lock().unwrap();
+        write!(w, "{{\"traceEvents\":[")?;
+        let mut running: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (i, e) in state.events.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            match e.kind {
+                EventKind::Span => write!(
+                    w,
+                    "{{\"name\":\"{}\",\"cat\":\"alem\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"iter\":{}}}}}",
+                    e.name, e.ts_us, e.value, e.tid, e.iter
+                )?,
+                EventKind::Counter | EventKind::Gauge => {
+                    let level = if e.kind == EventKind::Counter {
+                        let c = running.entry(e.name).or_insert(0);
+                        *c += e.value;
+                        *c
+                    } else {
+                        e.value
+                    };
+                    write!(
+                        w,
+                        "{{\"name\":\"{}\",\"cat\":\"alem\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{level}}}}}",
+                        e.name, e.ts_us, e.tid
+                    )?
+                }
+            }
+        }
+        writeln!(w, "]}}")?;
+        Ok(())
+    }
+
+    /// Per-span-name totals: `(name, count, total, p50, p90, p99)` in µs,
+    /// sorted by descending total time.
+    pub fn phase_totals(&self) -> Vec<(&'static str, u64, u64, u64, u64, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let state = inner.state.lock().unwrap();
+        let mut rows: Vec<_> = state
+            .hists
+            .iter()
+            .map(|(name, h)| {
+                (
+                    *name,
+                    h.count(),
+                    h.sum(),
+                    h.quantile(0.5),
+                    h.quantile(0.9),
+                    h.quantile(0.99),
+                )
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.2));
+        rows
+    }
+
+    /// Render the end-of-run summary table (per-phase totals + histogram
+    /// quantiles, then counters and gauges). Empty string when disabled.
+    pub fn summary(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>7} {:>12} {:>10} {:>10} {:>10}\n",
+            "span", "count", "total_ms", "p50_us", "p90_us", "p99_us"
+        ));
+        for (name, count, total_us, p50, p90, p99) in self.phase_totals() {
+            out.push_str(&format!(
+                "{name:<24} {count:>7} {:>12.2} {p50:>10} {p90:>10} {p99:>10}\n",
+                total_us as f64 / 1e3
+            ));
+        }
+        let state = inner.state.lock().unwrap();
+        if !state.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &state.counters {
+                out.push_str(&format!("  {name:<26} {v:>10}\n"));
+            }
+        }
+        if !state.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &state.gauges {
+                out.push_str(&format!("  {name:<26} {v:>10}\n"));
+            }
+        }
+        out
+    }
+}
+
+struct SpanMeta {
+    inner: Arc<Inner>,
+    id: u64,
+    parent: u64,
+    ts_us: u64,
+    iter: u64,
+    tid: u64,
+}
+
+impl SpanMeta {
+    fn close(&self, name: &'static str, dur: Duration) {
+        let dur_us = dur.as_micros() as u64;
+        let mut state = self.inner.state.lock().unwrap();
+        if let Some(stack) = state.stacks.get_mut(&std::thread::current().id()) {
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        }
+        state.hists.entry(name).or_default().record(dur_us);
+        state.events.push(Event {
+            kind: EventKind::Span,
+            name,
+            value: dur_us,
+            iter: self.iter,
+            id: self.id,
+            parent: self.parent,
+            ts_us: self.ts_us,
+            tid: self.tid,
+        });
+    }
+}
+
+/// An open timing span. Obtain via [`Registry::span`]; close with
+/// [`Span::finish`] to get the elapsed [`Duration`] (and, on an enabled
+/// registry, record the close event and feed the per-name histogram).
+/// Dropping an unfinished span closes it too.
+pub struct Span {
+    start: Instant,
+    name: &'static str,
+    meta: Option<SpanMeta>,
+    done: bool,
+}
+
+impl Span {
+    /// Close the span, returning its wall-clock duration. Works (and
+    /// returns an accurate duration) on disabled registries too.
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        if let Some(meta) = &self.meta {
+            meta.close(self.name, dur);
+        }
+        self.done = true;
+        dur
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            if let Some(meta) = &self.meta {
+                meta.close(self.name, self.start.elapsed());
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing_but_spans_still_time() {
+        let reg = Registry::disabled();
+        let span = reg.span("work");
+        std::thread::sleep(Duration::from_millis(2));
+        let dur = span.finish();
+        assert!(dur >= Duration::from_millis(2));
+        assert!(reg.events().is_empty());
+        reg.counter_add("c", 5);
+        reg.gauge_set("g", 7);
+        assert_eq!(reg.counter_value("c"), 0);
+        assert!(reg.histogram("work").is_none());
+        let mut buf = Vec::new();
+        reg.write_jsonl(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert!(reg.summary().is_empty());
+    }
+
+    #[test]
+    fn span_nesting_tracks_parent_ids() {
+        let reg = Registry::enabled();
+        let outer = reg.span("outer");
+        let inner = reg.span("inner");
+        inner.finish();
+        outer.finish();
+        let events = reg.events();
+        assert_eq!(events.len(), 2);
+        // Close order: inner first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[0].parent, events[1].id);
+        assert_eq!(events[1].parent, 0);
+    }
+
+    #[test]
+    fn dropped_span_still_closes() {
+        let reg = Registry::enabled();
+        {
+            let _span = reg.span("scoped");
+        }
+        assert_eq!(reg.events().len(), 1);
+        assert_eq!(reg.histogram("scoped").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let reg = Registry::enabled();
+        reg.counter_add("pairs", 3);
+        reg.counter_add("pairs", 4);
+        reg.gauge_set("pool", 100);
+        reg.gauge_set("pool", 90);
+        assert_eq!(reg.counter_value("pairs"), 7);
+        let events = reg.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[3].value, 90);
+    }
+
+    #[test]
+    fn jsonl_lines_have_required_fields() {
+        let reg = Registry::enabled();
+        reg.set_run_id("test-run");
+        reg.set_iter(2);
+        reg.span("phase").finish();
+        reg.counter_add("ticks", 1);
+        let mut buf = Vec::new();
+        reg.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // span + counter + hist summary
+        for line in &lines {
+            for key in ["\"span\":", "\"dur_us\":", "\"iter\":"] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+            assert!(line.contains("\"run\":\"test-run\""));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let reg = Registry::enabled();
+        reg.span("a").finish();
+        reg.counter_add("c", 2);
+        let mut buf = Vec::new();
+        reg.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn summary_lists_phases_and_metrics() {
+        let reg = Registry::enabled();
+        reg.span("train").finish();
+        reg.counter_add("labels", 10);
+        reg.gauge_set("pool", 5);
+        let s = reg.summary();
+        assert!(s.contains("train"));
+        assert!(s.contains("labels"));
+        assert!(s.contains("pool"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests on the log-bucketed histogram.
+
+use alem_obs::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value lands inside the bounds of the bucket it indexes to.
+    #[test]
+    fn value_within_own_bucket(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKETS);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v);
+        prop_assert!(v < hi || hi == u64::MAX);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c), including
+    /// count/sum/min/max bookkeeping.
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..40),
+        ys in prop::collection::vec(0u64..1_000_000, 0..40),
+        zs in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let fill = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (fill(&xs), fill(&ys), fill(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge is commutative and count-preserving.
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..40),
+        ys in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let fill = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b) = (fill(&xs), fill(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+    }
+
+    /// Quantile estimates stay within the documented 12.5% relative error
+    /// bound of the true empirical quantile (for values >= 4; below that
+    /// buckets are exact).
+    #[test]
+    fn quantile_error_bounded(
+        vals in prop::collection::vec(4u64..10_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut vals = vals;
+        vals.sort_unstable();
+        let rank = ((q * vals.len() as f64).ceil() as usize).max(1);
+        let exact = vals[rank - 1] as f64;
+        let est = h.quantile(q) as f64;
+        prop_assert!(
+            (est - exact).abs() / exact <= 0.125,
+            "q={} est={} exact={}", q, est, exact
+        );
+    }
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Validate a telemetry JSONL file emitted by alem-obs.
+
+Usage: validate_metrics.py METRICS.jsonl
+
+Fails (exit 1) if the file is empty, any line is not valid JSON, or any
+line is missing one of the required keys: span, dur_us, iter.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: validate_metrics.py METRICS.jsonl", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    required = {"span", "dur_us", "iter"}
+    lines = 0
+    spans = set()
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError as e:
+                print(f"{path}:{lineno}: invalid JSON: {e}", file=sys.stderr)
+                return 1
+            missing = required - event.keys()
+            if missing:
+                print(
+                    f"{path}:{lineno}: missing keys {sorted(missing)}: {raw}",
+                    file=sys.stderr,
+                )
+                return 1
+            lines += 1
+            if event.get("type") == "span":
+                spans.add(event["span"])
+    if lines == 0:
+        print(f"{path}: no telemetry events emitted", file=sys.stderr)
+        return 1
+    print(f"{path}: {lines} events OK, {len(spans)} distinct spans: {sorted(spans)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
