@@ -1,11 +1,14 @@
 //! Calibration smoke test: quick per-dataset strategy comparison.
 //!
-//! Usage: `smoke [scale] [--metrics-out FILE.jsonl]` — runs a
-//! representative strategy set on Amazon-GoogleProducts and Cora and
-//! prints best/final progressive F1 so generator difficulty can be
+//! Usage: `smoke [scale] [--metrics-out FILE.jsonl] [--fingerprints]` —
+//! runs a representative strategy set on Amazon-GoogleProducts and Cora
+//! and prints best/final progressive F1 so generator difficulty can be
 //! compared against the paper's Table 2. With `--metrics-out` the runs
 //! are driven with an enabled telemetry registry and every span/counter
-//! event is written as JSONL (the CI telemetry-validation step).
+//! event is written as JSONL (the CI telemetry-validation step). With
+//! `--fingerprints` each run also prints its
+//! `RunResult::deterministic_fingerprint`, so two builds can be compared
+//! for bit-identical labeling/modeling decisions.
 
 use alem_core::blocking::BlockingConfig;
 use alem_core::corpus::Corpus;
@@ -23,10 +26,14 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut metrics_out: Option<String> = None;
+    let mut fingerprints = false;
     let mut scale = 0.25f64;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--metrics-out" {
+        if args[i] == "--fingerprints" {
+            fingerprints = true;
+            i += 1;
+        } else if args[i] == "--metrics-out" {
             metrics_out = args.get(i + 1).cloned();
             if metrics_out.is_none() {
                 eprintln!("--metrics-out needs a file path");
@@ -91,6 +98,9 @@ fn main() {
                     r.total_labels(),
                     t.elapsed()
                 );
+                if fingerprints {
+                    println!("  fingerprint {}", r.deterministic_fingerprint());
+                }
             }};
         }
         run!("Trees(20)", TreeQbcStrategy::new(20));

@@ -13,6 +13,7 @@
 //! 0.25 reproduces every shape in minutes). Criterion micro-benchmarks for
 //! selection latency and the ablation studies live under `benches/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data;

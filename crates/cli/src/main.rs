@@ -20,6 +20,8 @@
 //! or by *you*, answering y/n in the terminal. Predicted matches are
 //! written as CSV.
 
+#![forbid(unsafe_code)]
+
 mod csv;
 mod pipeline;
 

@@ -15,7 +15,7 @@ use alem_core::strategy::{
 };
 use alem_obs::Registry;
 use datagen::PaperDataset;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -108,7 +108,7 @@ fn build_dataset(args: &Args) -> Result<EmDataset, Box<dyn Error>> {
     let right = to_alem_table(&rcsv, &columns, "right");
     let truth = match args.get("truth") {
         Some(path) => load_truth(path)?,
-        None => HashSet::new(),
+        None => BTreeSet::new(),
     };
     Ok(EmDataset {
         left,
@@ -120,10 +120,10 @@ fn build_dataset(args: &Args) -> Result<EmDataset, Box<dyn Error>> {
 
 /// A truth file is a headerless (or `left,right`-headed) CSV of 0-based
 /// row-index pairs.
-fn load_truth(path: &str) -> Result<HashSet<(u32, u32)>, Box<dyn Error>> {
+fn load_truth(path: &str) -> Result<BTreeSet<(u32, u32)>, Box<dyn Error>> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let rows = crate::csv::parse(&text)?;
-    let mut out = HashSet::new();
+    let mut out = BTreeSet::new();
     for (i, row) in rows.iter().enumerate() {
         if row.len() < 2 {
             return Err(format!("truth row {} needs two columns", i + 1).into());

@@ -8,7 +8,7 @@
 //! materializing the Cartesian product (DBLP-Scholar's is 168M pairs).
 
 use crate::schema::{EmDataset, Pair, Table};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the offline blocking step.
 #[derive(Debug, Clone, Copy)]
@@ -56,8 +56,11 @@ impl BlockingConfig {
             .map(|i| record_tokens(&ds.right, i))
             .collect();
 
-        // Inverted index over right-table tokens.
-        let mut index: HashMap<&str, Vec<u32>> = HashMap::new();
+        // Inverted index over right-table tokens. Ordered map: candidate
+        // generation below iterates it indirectly, and hash-ordered
+        // iteration anywhere on this path would make the pair list (and
+        // with it every downstream fingerprint) depend on hasher state.
+        let mut index: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
         for (r, toks) in right_tokens.iter().enumerate() {
             for t in toks {
                 index.entry(t.as_str()).or_default().push(r as u32);
@@ -65,25 +68,33 @@ impl BlockingConfig {
         }
 
         let mut pairs: Vec<Pair> = Vec::new();
-        let mut overlap: HashMap<u32, u32> = HashMap::new();
+        // Dense per-left-record overlap counts, reset via the `touched`
+        // list: O(|right|) memory once, no hashing in the hot loop.
+        let mut overlap: Vec<u32> = vec![0; ds.right.len()];
+        let mut touched: Vec<u32> = Vec::new();
         for (l, ltoks) in left_tokens.iter().enumerate() {
             if ltoks.is_empty() {
                 continue;
             }
-            overlap.clear();
             for t in ltoks {
                 if let Some(rs) = index.get(t.as_str()) {
                     for &r in rs {
-                        *overlap.entry(r).or_insert(0) += 1;
+                        if overlap[r as usize] == 0 {
+                            touched.push(r);
+                        }
+                        overlap[r as usize] += 1;
                     }
                 }
             }
-            for (&r, &inter) in &overlap {
+            for &r in &touched {
+                let inter = overlap[r as usize];
+                overlap[r as usize] = 0;
                 let union = ltoks.len() + right_tokens[r as usize].len() - inter as usize;
                 if union > 0 && f64::from(inter) / union as f64 >= self.jaccard_threshold {
                     pairs.push((l as u32, r));
                 }
             }
+            touched.clear();
         }
         pairs.sort_unstable();
         pairs

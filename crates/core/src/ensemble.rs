@@ -12,6 +12,7 @@
 //! selection latency fall sharply in later iterations (Fig. 10d).
 
 use crate::corpus::Corpus;
+use crate::error::AlemError;
 use crate::learner::{SvmTrainer, Trainer};
 use crate::selector::{self, Selection};
 use crate::strategy::{labeled_rows, Strategy, StrategyStats};
@@ -57,11 +58,17 @@ impl Strategy for EnsembleSvmStrategy {
         "Linear-Margin(Ensemble)".to_owned()
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
         // Covered examples were pruned from the pools in post_label, so the
         // candidate is trained on exactly the uncovered labeled data.
-        let (xs, ys) = labeled_rows(corpus, labeled, false);
+        let (xs, ys) = labeled_rows(corpus, labeled, false)?;
         self.candidate = Some(self.trainer.train(&xs, &ys, rng));
+        Ok(())
     }
 
     fn select(
@@ -73,7 +80,9 @@ impl Strategy for EnsembleSvmStrategy {
         rng: &mut StdRng,
         obs: &Registry,
     ) -> Selection {
-        let svm = self.candidate.as_ref().expect("fit before select");
+        let Some(svm) = self.candidate.as_ref() else {
+            return Selection::default();
+        };
         selector::margin::select(|x| svm.margin(x), corpus, unlabeled, batch, rng, obs)
     }
 
@@ -127,7 +136,9 @@ impl Strategy for EnsembleSvmStrategy {
             return;
         }
         // Accept and prune everything the new member covers.
-        let member = self.candidate.take().expect("candidate present");
+        let Some(member) = self.candidate.take() else {
+            return;
+        };
         let before = labeled.len() + unlabeled.len();
         labeled.retain(|&(i, _)| !member.predict(corpus.x(i)));
         unlabeled.retain(|&i| !member.predict(corpus.x(i)));
@@ -181,9 +192,15 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
         format!("{}-Margin(Ensemble)", self.trainer.name())
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
-        let (xs, ys) = labeled_rows(corpus, labeled, false);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        let (xs, ys) = labeled_rows(corpus, labeled, false)?;
         self.candidate = Some(self.trainer.train(&xs, &ys, rng));
+        Ok(())
     }
 
     fn select(
@@ -195,7 +212,9 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
         rng: &mut StdRng,
         obs: &Registry,
     ) -> Selection {
-        let model = self.candidate.as_ref().expect("fit before select");
+        let Some(model) = self.candidate.as_ref() else {
+            return Selection::default();
+        };
         selector::margin::select(
             |x| model.decision_value(x).abs(),
             corpus,
@@ -245,7 +264,9 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
             }
             return;
         }
-        let member = self.candidate.take().expect("candidate present");
+        let Some(member) = self.candidate.take() else {
+            return;
+        };
         let before = labeled.len() + unlabeled.len();
         labeled.retain(|&(i, _)| !member.predict(corpus.x(i)));
         unlabeled.retain(|&i| !member.predict(corpus.x(i)));
@@ -289,7 +310,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut s = EnsembleSvmStrategy::new(SvmTrainer::default(), 0.85);
         let labeled: Vec<(usize, bool)> = (0..30).map(|i| (i, c.truth(i))).collect();
-        s.fit(&c, &labeled, &mut rng);
+        s.fit(&c, &labeled, &mut rng).unwrap();
 
         // Build a batch of newly labeled examples the candidate predicts
         // positive and that are truly positive.
@@ -320,7 +341,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut s = EnsembleSvmStrategy::new(SvmTrainer::default(), 0.99);
         let labeled: Vec<(usize, bool)> = (0..30).map(|i| (i, c.truth(i))).collect();
-        s.fit(&c, &labeled, &mut rng);
+        s.fit(&c, &labeled, &mut rng).unwrap();
         // A batch labeled all-negative forces precision 0 on claimed pairs.
         let claimed: Vec<(usize, bool)> = (30..90)
             .filter(|&i| s.candidate.as_ref().unwrap().predict(c.x(i)))
@@ -347,7 +368,7 @@ mod tests {
         let mut s = ActiveEnsembleStrategy::new(NnTrainer::default(), 0.85);
         assert_eq!(s.name(), "Non-Convex Non-Linear-Margin(Ensemble)");
         let labeled: Vec<(usize, bool)> = (0..30).map(|i| (i, c.truth(i))).collect();
-        s.fit(&c, &labeled, &mut rng);
+        s.fit(&c, &labeled, &mut rng).unwrap();
         let sel = s.select(
             &c,
             &labeled,

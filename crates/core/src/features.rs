@@ -194,6 +194,7 @@ impl FeatureExtractor {
                 let sim_idx = SimilarityFunction::ALL
                     .iter()
                     .position(|&s| s == sim)
+                    // alem-lint: allow(no-panic) -- RULE_SUBSET is a compile-time subset of ALL, covered by unit tests
                     .expect("rule subset is part of ALL");
                 let v = continuous[a * n_sims + sim_idx];
                 for &threshold in &RULE_THRESHOLDS {

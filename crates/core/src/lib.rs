@@ -58,6 +58,7 @@
 //! ([`oracle::TransientOracle`] and friends); failures surface as
 //! structured [`error::AlemError`] values instead of panics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocking;

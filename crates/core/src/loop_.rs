@@ -104,6 +104,7 @@ impl<S: Strategy> ActiveLearner<S> {
         match self.run_session(corpus, oracle, seed, &SessionConfig::default())? {
             SessionOutcome::Complete(run) => Ok(run),
             SessionOutcome::Halted { .. } => {
+                // alem-lint: allow(no-panic) -- SessionConfig::default() sets halt_after: None, so the session cannot halt
                 unreachable!("default session config never halts")
             }
         }

@@ -5,7 +5,7 @@
 //! attributes across the two tables"). Attribute values are optional
 //! strings; missing values score 0 under every similarity measure.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The kind of an attribute, used by generators and pretty-printers.
 /// Feature extraction treats every attribute as text (numbers are
@@ -175,7 +175,7 @@ pub struct EmDataset {
     /// Right table (e.g. Buy).
     pub right: Table,
     /// Ground-truth matching pairs.
-    pub matches: HashSet<Pair>,
+    pub matches: BTreeSet<Pair>,
     /// Human-readable dataset name.
     pub name: String,
 }

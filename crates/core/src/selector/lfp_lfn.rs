@@ -61,10 +61,13 @@ pub fn select(
     rng: &mut StdRng,
     obs: &Registry,
 ) -> LfpLfnSelection {
+    // A corpus without Boolean predicates cannot reach this point through
+    // the session driver (Strategy::fit rejects it); degrade to an
+    // exhausted round rather than panicking.
+    let Some(bools) = corpus.bool_features() else {
+        return LfpLfnSelection::default();
+    };
     let score_span = obs.span("select.score");
-    let bools = corpus
-        .bool_features()
-        .expect("LFP/LFN requires Boolean predicate features");
     let minus = candidate.minus_variants();
 
     let mut lfp: Vec<(usize, f64)> = Vec::new();

@@ -16,6 +16,10 @@ use mlcore::Classifier;
 use rand::rngs::StdRng;
 
 /// Train a bootstrap committee of `size` models on the labeled examples.
+///
+/// Returns an empty committee when `use_bool_features` is requested on a
+/// corpus without Boolean predicates — [`crate::strategy::Strategy::fit`]
+/// rejects that configuration before selection can reach this point.
 pub fn train_committee<T: Trainer>(
     trainer: &T,
     corpus: &Corpus,
@@ -24,11 +28,18 @@ pub fn train_committee<T: Trainer>(
     rng: &mut StdRng,
     use_bool_features: bool,
 ) -> Vec<T::Model> {
+    let bools = if use_bool_features {
+        match corpus.bool_features() {
+            Some(b) => Some(b),
+            None => return Vec::new(),
+        }
+    } else {
+        None
+    };
     let rows = |i: usize| -> Vec<f64> {
-        if use_bool_features {
-            corpus.bool_features().expect("bool features required")[i].clone()
-        } else {
-            corpus.x(i).to_vec()
+        match bools {
+            Some(b) => b[i].clone(),
+            None => corpus.x(i).to_vec(),
         }
     };
     (0..size)
@@ -62,6 +73,14 @@ pub fn select<T: Trainer>(
     use_bool_features: bool,
     obs: &Registry,
 ) -> Selection {
+    let bools = if use_bool_features {
+        match corpus.bool_features() {
+            Some(b) => Some(b),
+            None => return Selection::default(),
+        }
+    } else {
+        None
+    };
     let committee_span = obs.span("select.committee");
     let committee = train_committee(
         trainer,
@@ -77,10 +96,9 @@ pub fn select<T: Trainer>(
     let scored: Vec<(usize, f64)> = unlabeled
         .iter()
         .map(|&i| {
-            let x: &[f64] = if use_bool_features {
-                &corpus.bool_features().expect("bool features required")[i]
-            } else {
-                corpus.x(i)
+            let x: &[f64] = match bools {
+                Some(b) => &b[i],
+                None => corpus.x(i),
             };
             (i, committee_variance(&committee, x))
         })

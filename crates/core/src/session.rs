@@ -432,7 +432,7 @@ impl<S: Strategy> ActiveLearner<S> {
 
             // Train on the cumulative labeled data.
             let train_span = obs.span("train");
-            self.strategy.fit(corpus, &st.labeled, &mut rng);
+            self.strategy.fit(corpus, &st.labeled, &mut rng)?;
             let train_time = train_span.finish();
 
             // Evaluate against ground truth.

@@ -17,6 +17,7 @@
 //! The active-ensemble optimization lives in [`crate::ensemble`].
 
 use crate::corpus::Corpus;
+use crate::error::AlemError;
 use crate::interpret;
 use crate::learner::{DnfTrainer, ForestTrainer, NnTrainer, SvmTrainer, Trainer};
 use crate::selector::{self, Selection};
@@ -43,12 +44,29 @@ pub struct StrategyStats {
 }
 
 /// A learner + selector combination runnable by the active-learning loop.
+///
+/// # Fallibility
+///
+/// [`Strategy::fit`] is the validation point: it returns an
+/// [`AlemError`] when the corpus cannot support the strategy (e.g. a rule
+/// learner on a corpus without Boolean predicate features). Once `fit`
+/// has succeeded, [`Strategy::select`] and [`Strategy::predict`] cannot
+/// fail; called *before* a successful `fit` they degrade instead of
+/// panicking — `select` returns an empty [`Selection`] (the session
+/// driver falls back to random sampling) and `predict` returns `false`
+/// (no evidence of a match).
 pub trait Strategy {
     /// Report label, e.g. `"Trees(20)"`.
     fn name(&self) -> String;
 
-    /// (Re)train on the cumulative labeled data.
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng);
+    /// (Re)train on the cumulative labeled data. Errors when the corpus
+    /// is unusable for this strategy ([`AlemError::InvalidConfig`]).
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError>;
 
     /// Choose up to `batch` examples from the unlabeled pool. Timing in
     /// the returned [`Selection`] is sourced from `obs` spans
@@ -103,8 +121,13 @@ impl Strategy for Box<dyn Strategy + Send> {
         (**self).name()
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
-        (**self).fit(corpus, labeled, rng);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        (**self).fit(corpus, labeled, rng)
     }
 
     fn select(
@@ -148,24 +171,28 @@ impl Strategy for Box<dyn Strategy + Send> {
     }
 }
 
-/// Gather labeled feature rows for training.
+/// Gather labeled feature rows for training. Errors when `use_bool` is
+/// requested on a corpus without Boolean predicate features — the one
+/// user-reachable way to hand a rule-family strategy the wrong corpus.
 pub(crate) fn labeled_rows(
     corpus: &Corpus,
     labeled: &[(usize, bool)],
     use_bool: bool,
-) -> (Vec<Vec<f64>>, Vec<bool>) {
-    let xs = labeled
-        .iter()
-        .map(|&(i, _)| {
-            if use_bool {
-                corpus.bool_features().expect("bool features required")[i].clone()
-            } else {
-                corpus.x(i).to_vec()
-            }
-        })
-        .collect();
+) -> Result<(Vec<Vec<f64>>, Vec<bool>), AlemError> {
+    let xs = if use_bool {
+        let bools = corpus.bool_features().ok_or_else(|| {
+            AlemError::InvalidConfig(format!(
+                "corpus '{}' has no Boolean predicate features; build it with \
+                 Corpus::from_dataset or Corpus::with_bool_features",
+                corpus.name()
+            ))
+        })?;
+        labeled.iter().map(|&(i, _)| bools[i].clone()).collect()
+    } else {
+        labeled.iter().map(|&(i, _)| corpus.x(i).to_vec()).collect()
+    };
     let ys = labeled.iter().map(|&(_, y)| y).collect();
-    (xs, ys)
+    Ok((xs, ys))
 }
 
 // ---------------------------------------------------------------------------
@@ -213,9 +240,15 @@ impl<T: Trainer> Strategy for QbcStrategy<T> {
         format!("{}-QBC({})", self.trainer.name(), self.committee_size)
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
-        let (xs, ys) = labeled_rows(corpus, labeled, self.use_bool);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        let (xs, ys) = labeled_rows(corpus, labeled, self.use_bool)?;
         self.model = Some(self.trainer.train(&xs, &ys, rng));
+        Ok(())
     }
 
     fn select(
@@ -241,9 +274,13 @@ impl<T: Trainer> Strategy for QbcStrategy<T> {
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
-        let model = self.model.as_ref().expect("fit before predict");
+        let Some(model) = self.model.as_ref() else {
+            return false;
+        };
         if self.use_bool {
-            model.predict(&corpus.bool_features().expect("bool features")[i])
+            corpus
+                .bool_features()
+                .is_some_and(|bools| model.predict(&bools[i]))
         } else {
             model.predict(corpus.x(i))
         }
@@ -289,9 +326,15 @@ impl Strategy for TreeQbcStrategy {
         format!("Trees({})", self.trainer.0.n_trees)
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
-        let (xs, ys) = labeled_rows(corpus, labeled, false);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        let (xs, ys) = labeled_rows(corpus, labeled, false)?;
         self.model = Some(self.trainer.train(&xs, &ys, rng));
+        Ok(())
     }
 
     fn select(
@@ -303,15 +346,16 @@ impl Strategy for TreeQbcStrategy {
         rng: &mut StdRng,
         obs: &Registry,
     ) -> Selection {
-        let forest = self.model.as_ref().expect("fit before select");
+        let Some(forest) = self.model.as_ref() else {
+            return Selection::default();
+        };
         selector::tree_qbc::select(forest, corpus, unlabeled, batch, rng, obs)
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
         self.model
             .as_ref()
-            .expect("fit before predict")
-            .predict(corpus.x(i))
+            .is_some_and(|forest| forest.predict(corpus.x(i)))
     }
 
     fn stats(&self) -> StrategyStats {
@@ -376,9 +420,15 @@ impl Strategy for MarginSvmStrategy {
         }
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
-        let (xs, ys) = labeled_rows(corpus, labeled, false);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        let (xs, ys) = labeled_rows(corpus, labeled, false)?;
         self.model = Some(self.trainer.train(&xs, &ys, rng));
+        Ok(())
     }
 
     fn select(
@@ -390,7 +440,9 @@ impl Strategy for MarginSvmStrategy {
         rng: &mut StdRng,
         obs: &Registry,
     ) -> Selection {
-        let svm = self.model.as_ref().expect("fit before select");
+        let Some(svm) = self.model.as_ref() else {
+            return Selection::default();
+        };
         match self.blocking_k {
             Some(k) => {
                 let out =
@@ -405,8 +457,7 @@ impl Strategy for MarginSvmStrategy {
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
         self.model
             .as_ref()
-            .expect("fit before predict")
-            .predict(corpus.x(i))
+            .is_some_and(|svm| svm.predict(corpus.x(i)))
     }
 
     fn stats(&self) -> StrategyStats {
@@ -457,9 +508,15 @@ impl Strategy for LshMarginStrategy {
         format!("Linear-Margin(LSH{})", self.bits)
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
-        let (xs, ys) = labeled_rows(corpus, labeled, false);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        let (xs, ys) = labeled_rows(corpus, labeled, false)?;
         self.model = Some(self.trainer.train(&xs, &ys, rng));
+        Ok(())
     }
 
     fn select(
@@ -471,21 +528,26 @@ impl Strategy for LshMarginStrategy {
         rng: &mut StdRng,
         obs: &Registry,
     ) -> Selection {
+        if self.model.is_none() {
+            return Selection::default();
+        }
         if self.index.is_none() {
             self.index = Some(selector::lsh::HyperplaneLsh::build(
                 corpus, self.bits, rng, obs,
             ));
         }
-        let svm = self.model.as_ref().expect("fit before select");
-        let index = self.index.as_ref().expect("index built above");
-        index.select(svm, corpus, unlabeled, batch, self.oversample, rng, obs)
+        match (self.model.as_ref(), self.index.as_ref()) {
+            (Some(svm), Some(index)) => {
+                index.select(svm, corpus, unlabeled, batch, self.oversample, rng, obs)
+            }
+            _ => Selection::default(),
+        }
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
         self.model
             .as_ref()
-            .expect("fit before predict")
-            .predict(corpus.x(i))
+            .is_some_and(|svm| svm.predict(corpus.x(i)))
     }
 }
 
@@ -526,9 +588,15 @@ impl Strategy for MarginNnStrategy {
             .map(|m| crate::model_io::SavedModel::NeuralNet(Box::new(m)))
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
-        let (xs, ys) = labeled_rows(corpus, labeled, false);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        let (xs, ys) = labeled_rows(corpus, labeled, false)?;
         self.model = Some(self.trainer.train(&xs, &ys, rng));
+        Ok(())
     }
 
     fn select(
@@ -540,15 +608,16 @@ impl Strategy for MarginNnStrategy {
         rng: &mut StdRng,
         obs: &Registry,
     ) -> Selection {
-        let net = self.model.as_ref().expect("fit before select");
+        let Some(net) = self.model.as_ref() else {
+            return Selection::default();
+        };
         selector::margin::select(|x| net.margin(x).abs(), corpus, unlabeled, batch, rng, obs)
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
         self.model
             .as_ref()
-            .expect("fit before predict")
-            .predict(corpus.x(i))
+            .is_some_and(|net| net.predict(corpus.x(i)))
     }
 }
 
@@ -565,7 +634,8 @@ pub struct IwalSvmStrategy {
     iwal: selector::iwal::IwalConfig,
     model: Option<LinearSvm>,
     /// Importance weight per labeled example (seed labels weigh 1.0).
-    weights: std::collections::HashMap<usize, f64>,
+    /// Ordered map: iteration order must not depend on hasher state.
+    weights: std::collections::BTreeMap<usize, f64>,
 }
 
 impl IwalSvmStrategy {
@@ -575,7 +645,7 @@ impl IwalSvmStrategy {
             svm_config,
             iwal,
             model: None,
-            weights: std::collections::HashMap::new(),
+            weights: std::collections::BTreeMap::new(),
         }
     }
 }
@@ -585,14 +655,20 @@ impl Strategy for IwalSvmStrategy {
         "Linear-IWAL".to_owned()
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
-        let (xs, ys) = labeled_rows(corpus, labeled, false);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        let (xs, ys) = labeled_rows(corpus, labeled, false)?;
         let ws: Vec<f64> = labeled
             .iter()
             .map(|&(i, _)| self.weights.get(&i).copied().unwrap_or(1.0))
             .collect();
         let set = mlcore::data::TrainSet::new(&xs, &ys);
         self.model = Some(self.svm_config.train_weighted(&set, Some(&ws), rng));
+        Ok(())
     }
 
     fn select(
@@ -604,7 +680,9 @@ impl Strategy for IwalSvmStrategy {
         rng: &mut StdRng,
         obs: &Registry,
     ) -> Selection {
-        let svm = self.model.as_ref().expect("fit before select");
+        let Some(svm) = self.model.as_ref() else {
+            return Selection::default();
+        };
         let out = self.iwal.select(svm, corpus, unlabeled, batch, rng, obs);
         for (&i, &w) in out.selection.chosen.iter().zip(&out.weights) {
             self.weights.insert(i, w);
@@ -615,8 +693,7 @@ impl Strategy for IwalSvmStrategy {
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
         self.model
             .as_ref()
-            .expect("fit before predict")
-            .predict(corpus.x(i))
+            .is_some_and(|svm| svm.predict(corpus.x(i)))
     }
 }
 
@@ -670,8 +747,13 @@ impl Strategy for LfpLfnStrategy {
         "Rules(LFP/LFN)".to_owned()
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], _rng: &mut StdRng) {
-        let (xs, ys) = labeled_rows(corpus, labeled, true);
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        _rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        let (xs, ys) = labeled_rows(corpus, labeled, true)?;
         // Positives not yet covered by the accepted ensemble drive the
         // next candidate clause.
         let active: Vec<bool> = xs
@@ -681,10 +763,9 @@ impl Strategy for LfpLfnStrategy {
             .collect();
         let set = mlcore::data::TrainSet::new(&xs, &ys);
         self.candidate = self.trainer.0.learn_conjunction(&set, &active);
-        if self.candidate.is_none() && self.accepted.clauses().is_empty() {
-            // Nothing learnable at all yet; keep going (more labels may
-            // unlock a clause) unless selection also finds nothing.
-        }
+        // When no clause is learnable yet we keep going: more labels may
+        // unlock one, and selection will report exhaustion otherwise.
+        Ok(())
     }
 
     fn select(
@@ -716,7 +797,10 @@ impl Strategy for LfpLfnStrategy {
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
-        let x = &corpus.bool_features().expect("bool features")[i];
+        let Some(bools) = corpus.bool_features() else {
+            return false;
+        };
+        let x = &bools[i];
         self.accepted.matches(x) || self.candidate.as_ref().is_some_and(|c| c.matches(x))
     }
 
@@ -749,7 +833,9 @@ impl Strategy for LfpLfnStrategy {
         let Some(candidate) = &self.candidate else {
             return;
         };
-        let bools = corpus.bool_features().expect("bool features");
+        let Some(bools) = corpus.bool_features() else {
+            return;
+        };
         let mut claimed = 0usize;
         let mut correct = 0usize;
         for &(i, y) in new {
@@ -813,7 +899,12 @@ impl<T: Trainer> Strategy for RandomStrategy<T> {
         self.label.clone()
     }
 
-    fn fit(&mut self, corpus: &Corpus, labeled: &[(usize, bool)], rng: &mut StdRng) {
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
         let n_train = ((labeled.len() as f64) * self.train_frac).round().max(1.0) as usize;
         let mut pool: Vec<&(usize, bool)> = labeled.iter().collect();
         pool.shuffle(rng);
@@ -822,8 +913,9 @@ impl<T: Trainer> Strategy for RandomStrategy<T> {
             .take(n_train.min(labeled.len()))
             .copied()
             .collect();
-        let (xs, ys) = labeled_rows(corpus, &subset, false);
+        let (xs, ys) = labeled_rows(corpus, &subset, false)?;
         self.model = Some(self.trainer.train(&xs, &ys, rng));
+        Ok(())
     }
 
     fn select(
@@ -847,10 +939,7 @@ impl<T: Trainer> Strategy for RandomStrategy<T> {
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
-        self.model
-            .as_ref()
-            .expect("fit before predict")
-            .predict(corpus.x(i))
+        self.model.as_ref().is_some_and(|m| m.predict(corpus.x(i)))
     }
 }
 
@@ -909,7 +998,7 @@ mod tests {
             .collect();
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = MarginSvmStrategy::new(SvmTrainer::default());
-        s.fit(&c, &labeled, &mut rng);
+        s.fit(&c, &labeled, &mut rng).unwrap();
         assert!(s.predict(&c, 79));
         assert!(!s.predict(&c, 0));
         let sel = s.select(&c, &labeled, &unlabeled, 5, &mut rng, &Registry::disabled());
@@ -922,7 +1011,7 @@ mod tests {
         let labeled = seed_labeled(&c);
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = TreeQbcStrategy::new(5);
-        s.fit(&c, &labeled, &mut rng);
+        s.fit(&c, &labeled, &mut rng).unwrap();
         let st = s.stats();
         assert!(st.atoms.is_some());
         assert!(st.depth.is_some());
@@ -934,7 +1023,7 @@ mod tests {
         let labeled = seed_labeled(&c);
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = LfpLfnStrategy::new(DnfTrainer::default(), 0.85);
-        s.fit(&c, &labeled, &mut rng);
+        s.fit(&c, &labeled, &mut rng).unwrap();
         assert!(s.candidate.is_some());
         // Feed it a perfectly-labeled batch the candidate claims.
         let new: Vec<(usize, bool)> = vec![(50, true), (60, true)];
@@ -953,7 +1042,7 @@ mod tests {
         let unlabeled: Vec<usize> = (0..40).collect();
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = RandomStrategy::new(ForestTrainer::with_trees(3), "SupervisedTrees(Random-3)");
-        s.fit(&c, &labeled, &mut rng);
+        s.fit(&c, &labeled, &mut rng).unwrap();
         let sel = s.select(
             &c,
             &labeled,

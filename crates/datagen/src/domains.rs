@@ -71,7 +71,7 @@ pub enum DomainKind {
 }
 
 fn pick<'a, R: Rng>(v: &[&'a str], rng: &mut R) -> &'a str {
-    v.choose(rng).expect("non-empty vocabulary")
+    v.choose(rng).copied().unwrap_or("")
 }
 
 fn pick_n<R: Rng>(v: &[&str], n: usize, rng: &mut R) -> Vec<String> {

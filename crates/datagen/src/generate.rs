@@ -10,7 +10,7 @@ use crate::perturb::Perturber;
 use alem_core::schema::{AttrKind, EmDataset, Record, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Which table a mention goes to (selects the side of
 /// [`CanonValue::SideText`]).
@@ -49,7 +49,7 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> EmDataset {
 
     let mut left_records = Vec::new();
     let mut right_records = Vec::new();
-    let mut matches: HashSet<(u32, u32)> = HashSet::new();
+    let mut matches: BTreeSet<(u32, u32)> = BTreeSet::new();
 
     for _ in 0..cfg.n_families {
         let fam = cfg.domain.family(&mut rng);

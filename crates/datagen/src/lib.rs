@@ -25,6 +25,7 @@
 //! assert!(!ds.matches.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod configs;

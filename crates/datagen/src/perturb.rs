@@ -140,12 +140,9 @@ fn typo<R: Rng>(token: &str, rng: &mut R) -> String {
         _ => {
             // Replace one character with a random lowercase letter.
             let i = rng.gen_range(0..chars.len());
-            chars[i] = *b"abcdefghijklmnopqrstuvwxyz"
+            chars[i] = b"abcdefghijklmnopqrstuvwxyz"
                 .choose(rng)
-                .map(|&b| b as char)
-                .iter()
-                .next()
-                .unwrap();
+                .map_or('x', |&b| b as char);
         }
     }
     chars.into_iter().collect()

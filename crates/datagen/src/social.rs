@@ -16,7 +16,7 @@ use alem_core::schema::{AttrKind, EmDataset, Record, Schema, Table};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration for the social-media corpus.
 #[derive(Debug, Clone)]
@@ -62,10 +62,22 @@ struct Person {
 
 fn person<R: Rng>(rng: &mut R) -> Person {
     Person {
-        first: vocab::FIRST_NAMES.choose(rng).unwrap().to_string(),
-        last: vocab::LAST_NAMES.choose(rng).unwrap().to_string(),
-        city: vocab::CITIES.choose(rng).unwrap().to_string(),
-        occupation: vocab::OCCUPATIONS.choose(rng).unwrap().to_string(),
+        first: vocab::FIRST_NAMES
+            .choose(rng)
+            .copied()
+            .unwrap_or("")
+            .to_string(),
+        last: vocab::LAST_NAMES
+            .choose(rng)
+            .copied()
+            .unwrap_or("")
+            .to_string(),
+        city: vocab::CITIES.choose(rng).copied().unwrap_or("").to_string(),
+        occupation: vocab::OCCUPATIONS
+            .choose(rng)
+            .copied()
+            .unwrap_or("")
+            .to_string(),
         gender: if rng.gen_bool(0.5) { "m" } else { "f" }.to_owned(),
     }
 }
@@ -113,7 +125,7 @@ fn profile_record<R: Rng>(p: &Person, rng: &mut R) -> Record {
     let location = if rng.gen_bool(0.85) {
         Some(p.city.clone())
     } else {
-        Some(vocab::CITIES.choose(rng).unwrap().to_string())
+        Some(vocab::CITIES.choose(rng).copied().unwrap_or("").to_string())
     };
     let occupation = if rng.gen_bool(0.7) {
         Some(p.occupation.clone())
@@ -141,7 +153,7 @@ pub fn generate_social(cfg: &SocialConfig, seed: u64) -> EmDataset {
 
     let mut left = Vec::with_capacity(cfg.n_employees);
     let mut right = Vec::with_capacity(cfg.n_profiles);
-    let mut matches: HashSet<(u32, u32)> = HashSet::new();
+    let mut matches: BTreeSet<(u32, u32)> = BTreeSet::new();
 
     // Employees, a fraction of whom also get a profile.
     for e in 0..cfg.n_employees {

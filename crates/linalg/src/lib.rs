@@ -7,6 +7,7 @@
 //! tight loops well enough for feature dimensions in the tens-to-hundreds
 //! this framework uses.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod matrix;

@@ -1,0 +1,7 @@
+//! Fixture: a crate root whose only `#![forbid(unsafe_code)]` is inside a
+//! comment, which must not satisfy the forbid-unsafe rule:
+//! `#![forbid(unsafe_code)]`
+
+#![warn(missing_docs)]
+
+pub fn noop() {}

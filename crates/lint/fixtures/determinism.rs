@@ -1,0 +1,19 @@
+//! Fixture: every determinism rule fires. Never compiled — scanned by
+//! crates/lint/tests/fixtures.rs under a fake `crates/core/src/` path.
+
+use rand::thread_rng;
+use std::time::{Instant, SystemTime};
+
+pub fn ambient_randomness() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn wall_clock_seed() -> u64 {
+    SystemTime::now().elapsed().unwrap_or_default().as_nanos() as u64
+}
+
+pub fn ad_hoc_timing() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

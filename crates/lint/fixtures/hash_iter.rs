@@ -1,0 +1,18 @@
+//! Fixture: hash-ordered collections in core library code.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn hash_ordered(pairs: &[(u32, u32)]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &(l, r) in pairs {
+        seen.insert(l);
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}
+
+// alem-lint: allow(determinism-hash-iter) -- fixture: membership-only set, never iterated
+pub fn annotated(set: &std::collections::HashSet<u32>) -> bool {
+    set.contains(&1)
+}

@@ -1,0 +1,36 @@
+//! Fixture: no-panic rule coverage, including test-module exemption and
+//! both flavors of allow annotation.
+
+pub fn bare_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bare_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn explicit_panic() {
+    panic!("boom");
+}
+
+pub fn marked_unreachable() -> u32 {
+    // alem-lint: allow(no-panic) -- fixture: a justified invariant statement
+    unreachable!("suppressed by the annotation above")
+}
+
+pub fn reasonless_allow(x: Option<u32>) -> u32 {
+    // alem-lint: allow(no-panic)
+    x.unwrap()
+}
+
+pub fn not_a_panic(x: Option<u32>) -> u32 {
+    x.unwrap_or(7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a selector module with off-scheme telemetry names and no
+//! `select.pairs_scored` registration.
+
+pub fn select(obs: &Registry) {
+    let span = obs.span("Selector.Score");
+    obs.counter_add("margin.pairs", 1);
+    span.finish();
+}

@@ -1,0 +1,451 @@
+//! A small comment/string-aware lexer for Rust sources.
+//!
+//! The linter does not parse Rust — it only needs to know, for every byte
+//! of a source file, whether it is *code*, part of a *comment*, or inside a
+//! *string/char literal*. This module produces:
+//!
+//! - a **blanked code view**: the original text with comment bodies and
+//!   literal contents replaced by spaces (newlines preserved), so naive
+//!   token scans cannot be fooled by `"panic!"` in a string or a rule name
+//!   mentioned in a doc comment;
+//! - the list of **comments** (for `// alem-lint: allow(...)` annotations);
+//! - the list of **string literals** with their contents and positions
+//!   (for the obs-counter naming rule);
+//! - the set of lines inside **`#[cfg(test)]` regions** (exempt from the
+//!   no-panic and collection rules).
+//!
+//! Handled syntax: line comments, nested block comments, string literals
+//! with escapes, raw strings `r"…"`/`r#"…"#` (any hash depth, also `br…`),
+//! byte strings, char literals vs. lifetimes, and raw identifiers
+//! (`r#match`).
+
+/// A comment found in the source (either `//…` or `/*…*/`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the first character of the comment.
+    pub line: usize,
+    /// Comment text without its delimiters.
+    pub text: String,
+}
+
+/// A string literal found in the source.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// Byte offset of the opening quote in the file.
+    pub offset: usize,
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Literal contents (escapes left as written).
+    pub value: String,
+}
+
+/// Lexing result for one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Source with comment bodies and literal contents blanked to spaces.
+    /// Same byte length as the input; newlines are preserved.
+    pub code: String,
+    /// All comments, in file order.
+    pub comments: Vec<Comment>,
+    /// All string literals, in file order.
+    pub strings: Vec<StrLit>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// `in_test[i]` is true when 1-based line `i + 1` lies inside a
+    /// `#[cfg(test)]` item (module, function, or single statement).
+    pub in_test: Vec<bool>,
+}
+
+impl Lexed {
+    /// Map a byte offset into the file to a `(line, col)` pair (1-based).
+    pub fn position(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// Whether the 1-based `line` is inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex `src` into its blanked-code view plus comments and string literals.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut code: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line_starts = vec![0usize];
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push a blanked byte (preserving newlines for line accounting).
+    macro_rules! blank {
+        ($b:expr) => {
+            if $b == b'\n' {
+                code.push(b'\n');
+                line += 1;
+                line_starts.push(code.len());
+            } else {
+                code.push(b' ');
+            }
+        };
+    }
+    macro_rules! keep {
+        ($b:expr) => {
+            if $b == b'\n' {
+                code.push(b'\n');
+                line += 1;
+                line_starts.push(code.len());
+            } else {
+                code.push($b);
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Line comment.
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let start_line = line;
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                blank!(bytes[i]);
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: src[start..i].trim_start_matches('/').trim().to_string(),
+            });
+            continue;
+        }
+        // Block comment (nesting).
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start_line = line;
+            let start = i;
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    blank!(bytes[i]);
+                    blank!(bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    blank!(bytes[i]);
+                    blank!(bytes[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+            }
+            let body = src[start..i]
+                .trim_start_matches("/*")
+                .trim_end_matches("*/")
+                .trim();
+            comments.push(Comment {
+                line: start_line,
+                text: body.to_string(),
+            });
+            continue;
+        }
+        // Raw strings r"…", r#"…"#, br#"…"# — and raw identifiers r#ident.
+        if (b == b'r' || b == b'b') && (i == 0 || !is_ident_char(bytes[i - 1])) {
+            // Find the candidate start of a raw/byte string.
+            let mut j = i;
+            if bytes[j] == b'b' && j + 1 < bytes.len() && bytes[j + 1] == b'r' {
+                j += 1;
+            }
+            if bytes[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < bytes.len() && bytes[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b'"' {
+                    // Raw (byte) string from i..; emit prefix as code, blank body.
+                    let lit_line = line;
+                    let lit_offset = k;
+                    while i < k {
+                        keep!(bytes[i]);
+                        i += 1;
+                    }
+                    keep!(b'"');
+                    i += 1;
+                    let body_start = i;
+                    // Scan for closing `"` followed by `hashes` hashes.
+                    while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let mut h = 0usize;
+                            while i + 1 + h < bytes.len() && bytes[i + 1 + h] == b'#' && h < hashes
+                            {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                strings.push(StrLit {
+                                    offset: lit_offset,
+                                    line: lit_line,
+                                    value: src[body_start..i].to_string(),
+                                });
+                                keep!(b'"');
+                                i += 1;
+                                for _ in 0..hashes {
+                                    keep!(b'#');
+                                    i += 1;
+                                }
+                                break;
+                            }
+                        }
+                        blank!(bytes[i]);
+                        i += 1;
+                    }
+                    continue;
+                } else if hashes > 0 && bytes[j] == b'r' && j == i {
+                    // Raw identifier r#ident: emit it verbatim.
+                    keep!(bytes[i]);
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        // Plain or byte string literal.
+        if b == b'"'
+            || (b == b'b'
+                && i + 1 < bytes.len()
+                && bytes[i + 1] == b'"'
+                && (i == 0 || !is_ident_char(bytes[i - 1])))
+        {
+            if b == b'b' {
+                keep!(b'b');
+                i += 1;
+            }
+            let lit_line = line;
+            let lit_offset = i;
+            keep!(b'"');
+            i += 1;
+            let body_start = i;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' if i + 1 < bytes.len() => {
+                        blank!(bytes[i]);
+                        blank!(bytes[i + 1]);
+                        i += 2;
+                    }
+                    b'"' => break,
+                    other => {
+                        blank!(other);
+                        i += 1;
+                    }
+                }
+            }
+            strings.push(StrLit {
+                offset: lit_offset,
+                line: lit_line,
+                value: src[body_start..i.min(src.len())].to_string(),
+            });
+            if i < bytes.len() {
+                keep!(b'"');
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if b == b'\'' {
+            let next = bytes.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(c) => bytes.get(i + 2) == Some(&b'\'') && c != b'\'',
+                None => false,
+            };
+            if is_char {
+                keep!(b'\'');
+                i += 1;
+                if bytes.get(i) == Some(&b'\\') {
+                    // Escaped char: blank until the closing quote.
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        blank!(bytes[i]);
+                        i += 1;
+                    }
+                } else {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+                if i < bytes.len() {
+                    keep!(b'\'');
+                    i += 1;
+                }
+                continue;
+            }
+            // Lifetime: fall through as code.
+        }
+        keep!(b);
+        i += 1;
+    }
+
+    let code = String::from_utf8(code).unwrap_or_default();
+    let in_test = test_regions(&code, &line_starts, line);
+    Lexed {
+        code,
+        comments,
+        strings,
+        line_starts,
+        in_test,
+    }
+}
+
+/// Compute the set of lines covered by `#[cfg(test)]` items, by scanning
+/// the blanked code view: from each `#[cfg(test)]` attribute, the region
+/// extends either over the brace-delimited item that follows (`mod tests {
+/// … }`) or, if a `;` appears first, over that single statement.
+fn test_regions(code: &str, line_starts: &[usize], n_lines: usize) -> Vec<bool> {
+    let mut in_test = vec![false; n_lines];
+    let bytes = code.as_bytes();
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    };
+    let mut search = 0usize;
+    while let Some(pos) = code[search..].find("#[cfg(test)") {
+        let attr_start = search + pos;
+        // Walk to the attribute's closing `]` (attributes never contain
+        // unbalanced brackets once strings are blanked).
+        let mut i = attr_start;
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Find the item's opening `{` or a terminating `;`, whichever
+        // comes first (skipping any further stacked attributes).
+        let mut j = i + 1;
+        let mut end = bytes.len();
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    // Region runs to the matching close brace.
+                    let mut d = 0usize;
+                    let mut k = j;
+                    while k < bytes.len() {
+                        match bytes[k] {
+                            b'{' => d += 1,
+                            b'}' => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end = k.min(bytes.len().saturating_sub(1));
+                    break;
+                }
+                b';' => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let first = line_of(attr_start);
+        let last = line_of(end.min(bytes.len().saturating_sub(1)));
+        for flag in in_test.iter_mut().take(last + 1).skip(first) {
+            *flag = true;
+        }
+        search = attr_start + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let src = r#"let x = "panic!"; // unwrap() here
+/* thread_rng */ let y = 'a';"#;
+        let lexed = lex(src);
+        assert!(!lexed.code.contains("panic!"));
+        assert!(!lexed.code.contains("unwrap"));
+        assert!(!lexed.code.contains("thread_rng"));
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].value, "panic!");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, "unwrap() here");
+        assert_eq!(lexed.comments[1].text, "thread_rng");
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) { let r = r#\"unwrap()\"#; }";
+        let lexed = lex(src);
+        assert!(!lexed.code.contains("unwrap"));
+        assert!(lexed.code.contains("fn f<'a>"));
+        assert_eq!(lexed.strings[0].value, "unwrap()");
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let src = "let c = '\\n'; let d = 'x'; foo.unwrap();";
+        let lexed = lex(src);
+        assert!(lexed.code.contains("unwrap"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn a() { b.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { c.unwrap(); }\n}\nfn z() {}\n";
+        let lexed = lex(src);
+        assert!(!lexed.is_test_line(1));
+        assert!(lexed.is_test_line(2));
+        assert!(lexed.is_test_line(3));
+        assert!(lexed.is_test_line(4));
+        assert!(lexed.is_test_line(5));
+        assert!(!lexed.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_on_statement_only_covers_statement() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { x.unwrap(); }\n";
+        let lexed = lex(src);
+        assert!(lexed.is_test_line(1));
+        assert!(lexed.is_test_line(2));
+        assert!(!lexed.is_test_line(3));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("abc\ndef");
+        assert_eq!(lexed.position(0), (1, 1));
+        assert_eq!(lexed.position(4), (2, 1));
+        assert_eq!(lexed.position(6), (2, 3));
+    }
+}

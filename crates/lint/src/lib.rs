@@ -1,0 +1,100 @@
+//! `alem-lint`: project-invariant static analysis for the alem workspace.
+//!
+//! Clippy and rustc enforce Rust's rules; this crate enforces *ours* —
+//! the invariants PRs 1 and 2 made testable and that a single careless
+//! line can silently break:
+//!
+//! - **determinism** — bit-identical [`RunResult::deterministic_fingerprint`]
+//!   across checkpoint/resume requires every RNG to derive from the master
+//!   seed, every library timing to flow through `Span::finish()`, and no
+//!   hash-ordered iteration on the labeling/modeling path;
+//! - **no-panic** — every user-reachable failure in library code surfaces
+//!   as a structured `AlemError`, never an `unwrap()`;
+//! - **hygiene** — `#![forbid(unsafe_code)]` on every crate root, offline
+//!   `vendor/` path dependencies only, and `select.*` telemetry naming in
+//!   selector modules.
+//!
+//! See [`rules`] for the full catalog and DESIGN.md §8 for the rationale,
+//! the allow-annotation grammar, and how to add a rule. The binary
+//! (`cargo run -p alem-lint`) prints rustc-style diagnostics, or machine
+//! JSON with `--json`, and exits non-zero on any finding.
+//!
+//! Zero-dependency by design: a lint tool must not drag dependencies into
+//! the workspace it polices, and the build environment has no registry
+//! access (the same constraint that produced the `vendor/` shims and
+//! `alem-obs`).
+//!
+//! [`RunResult::deterministic_fingerprint`]: ../alem_core/evaluator/struct.RunResult.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{
+    classify, lint_crate_root, lint_source, lint_workspace_manifest, FileClass, Finding,
+};
+pub use workspace::{find_workspace_root, lint_workspace, Report};
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array (machine output for CI).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let rows: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.path),
+                f.line,
+                f.col,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(",\n "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_is_escaped_and_parseable_shape() {
+        let findings = vec![Finding {
+            rule: "no-panic",
+            path: "crates/core/src/a \"b\".rs".into(),
+            line: 3,
+            col: 7,
+            message: "line1\nline2".into(),
+        }];
+        let json = findings_to_json(&findings);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\\\"b\\\""));
+        assert!(json.contains("\\n"));
+        assert!(!json.contains('\n') || json.contains("\\n"));
+    }
+
+    #[test]
+    fn empty_findings_render_empty_array() {
+        assert_eq!(findings_to_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,78 @@
+//! `alem-lint` binary: scan the workspace and report invariant violations.
+//!
+//! ```text
+//! alem-lint [--root DIR] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("alem-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: alem-lint [--root DIR] [--json]");
+                println!("Enforces the workspace's determinism, no-panic, and hygiene rules.");
+                println!("See DESIGN.md §8 for the rule catalog and the allow-annotation grammar.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("alem-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| alem_lint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("alem-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match alem_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alem-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", alem_lint::findings_to_json(&report.findings));
+    } else {
+        for f in &report.findings {
+            println!("{f}\n");
+        }
+    }
+    eprintln!(
+        "alem-lint: {} finding(s) in {} file(s) scanned",
+        report.findings.len(),
+        report.files_scanned
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,567 @@
+//! The project-invariant rule catalog.
+//!
+//! Every rule guards an invariant the test suite established in earlier
+//! PRs and that ordinary Rust tooling cannot know about:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `determinism-rng` | all randomness flows from a seeded `StdRng`; `thread_rng`/`from_entropy`/`SystemTime` would silently break `RunResult::deterministic_fingerprint` |
+//! | `determinism-time` | library timing flows through `alem_obs::Span::finish()`; ad-hoc `Instant::now()` belongs only in `crates/obs` and bench/CLI binaries |
+//! | `determinism-hash-iter` | `crates/core` library code uses `BTreeMap`/`BTreeSet` (or sorted vectors), never `HashMap`/`HashSet`, because hash iteration order varies per process |
+//! | `no-panic` | library targets of `core`, `mlcore`, `linalg`, `textsim`, `datagen` route failures through `AlemError` instead of `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `vendor-path-deps` | every `[workspace.dependencies]` entry is an offline `vendor/` or `crates/` path dependency (PR 1's offline-registry invariant) |
+//! | `obs-naming` | selector modules register their telemetry under `select.*` and always count `select.pairs_scored` (§5.1 instrumentation) |
+//! | `bad-allow` | an `// alem-lint: allow(...)` annotation must state a non-empty reason |
+//!
+//! Escape hatch: `// alem-lint: allow(<rule>) -- <reason>` suppresses the
+//! named rule on the annotation's line and the line below it. The reason
+//! is mandatory — a reasonless allow is itself reported (`bad-allow`) and
+//! suppresses nothing.
+
+use crate::lexer::{lex, Lexed};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Crates whose **library targets** must be panic-free (tests, benches,
+/// and binaries are exempt; `obs` is exempt because `std::sync::Mutex`
+/// poisoning makes `lock().unwrap()` the idiomatic non-poisoned read).
+const NO_PANIC_CRATES: &[&str] = &["core", "mlcore", "linalg", "textsim", "datagen"];
+
+/// Obs-name prefix selector modules must use, per DESIGN.md §7.
+const SELECTOR_OBS_PREFIX: &str = "select";
+
+/// The counter every selector module must register (§5.1 latency
+/// instrumentation: scored = inspected − skipped).
+const SELECTOR_REQUIRED_COUNTER: &str = "select.pairs_scored";
+
+/// How a source file participates in the build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileClass {
+    /// Part of a crate's library target; `krate` is the directory name
+    /// under `crates/`.
+    Lib {
+        /// Crate directory name (e.g. `"core"` for `alem-core`).
+        krate: String,
+    },
+    /// A binary, bench, test, or example target.
+    NonLib,
+    /// Not scanned (vendored shims, lint fixtures, build output).
+    Skip,
+}
+
+/// Classify a workspace-relative path (unix separators).
+pub fn classify(rel: &str) -> FileClass {
+    if rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.contains("/fixtures/")
+        || rel.starts_with(".")
+    {
+        return FileClass::Skip;
+    }
+    if rel.starts_with("examples/") || rel.starts_with("tests/") {
+        return FileClass::NonLib;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let Some((krate, inner)) = rest.split_once('/') else {
+            return FileClass::Skip;
+        };
+        if krate == "cli" {
+            // The CLI crate is a single binary target.
+            return FileClass::NonLib;
+        }
+        if inner.starts_with("benches/")
+            || inner.starts_with("tests/")
+            || inner.starts_with("examples/")
+            || inner.starts_with("src/bin/")
+            || inner == "src/main.rs"
+        {
+            return FileClass::NonLib;
+        }
+        if inner.starts_with("src/") {
+            return FileClass::Lib {
+                krate: krate.to_string(),
+            };
+        }
+        return FileClass::Skip;
+    }
+    FileClass::Skip
+}
+
+/// One diagnostic produced by the linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `"no-panic"`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+/// Per-file allow annotations: rule → lines where it is suppressed.
+struct Allows {
+    by_rule: BTreeMap<String, Vec<usize>>,
+    bad: Vec<(usize, String)>,
+}
+
+/// Parse `// alem-lint: allow(<rule>) -- <reason>` annotations. The
+/// suppression covers the comment's own line and the next line (so the
+/// annotation can sit inline or on the line above the flagged code).
+fn parse_allows(lexed: &Lexed) -> Allows {
+    let mut by_rule: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        let Some(rest) = c.text.trim().strip_prefix("alem-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad.push((
+                c.line,
+                format!("unrecognized alem-lint annotation: `{rest}`"),
+            ));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad.push((c.line, "unclosed `allow(` annotation".to_string()));
+            continue;
+        };
+        let rule = args[..close].trim().to_string();
+        let tail = args[close + 1..].trim();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad.push((
+                c.line,
+                format!("allow({rule}) needs a reason: `// alem-lint: allow({rule}) -- <why>`"),
+            ));
+            continue;
+        }
+        by_rule
+            .entry(rule)
+            .or_default()
+            .extend([c.line, c.line + 1]);
+    }
+    Allows { by_rule, bad }
+}
+
+impl Allows {
+    fn covers(&self, rule: &str, line: usize) -> bool {
+        self.by_rule.get(rule).is_some_and(|ls| ls.contains(&line))
+    }
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offsets where `word` occurs as a whole identifier in `code`.
+fn ident_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let ok_before = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let ok_after = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if ok_before && ok_after {
+            out.push(start);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+/// First non-whitespace byte at or after `from`.
+fn next_nonspace(code: &str, from: usize) -> Option<u8> {
+    code.as_bytes()[from..]
+        .iter()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+/// The trimmed code immediately preceding `offset` (used to attribute a
+/// string literal to the call it is an argument of, tolerating rustfmt
+/// line breaks).
+fn preceding_code(code: &str, offset: usize) -> &str {
+    code[..offset].trim_end()
+}
+
+struct Ctx<'a> {
+    rel: &'a str,
+    lexed: &'a Lexed,
+    allows: &'a Allows,
+    findings: &'a mut Vec<Finding>,
+}
+
+impl Ctx<'_> {
+    fn report(&mut self, rule: &'static str, offset: usize, message: String) {
+        let (line, col) = self.lexed.position(offset);
+        if self.allows.covers(rule, line) {
+            return;
+        }
+        self.findings.push(Finding {
+            rule,
+            path: self.rel.to_string(),
+            line,
+            col,
+            message,
+        });
+    }
+
+    fn report_at_line(&mut self, rule: &'static str, line: usize, message: String) {
+        if self.allows.covers(rule, line) {
+            return;
+        }
+        self.findings.push(Finding {
+            rule,
+            path: self.rel.to_string(),
+            line,
+            col: 1,
+            message,
+        });
+    }
+}
+
+/// Lint one source file. `rel` is the workspace-relative path (unix
+/// separators) — it determines which rules apply via [`classify`].
+pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
+    let class = classify(rel);
+    if class == FileClass::Skip {
+        return Vec::new();
+    }
+    let lexed = lex(source);
+    let allows = parse_allows(&lexed);
+    let mut findings = Vec::new();
+    let mut ctx = Ctx {
+        rel,
+        lexed: &lexed,
+        allows: &allows,
+        findings: &mut findings,
+    };
+
+    for (line, msg) in &allows.bad {
+        ctx.report_at_line("bad-allow", *line, msg.clone());
+    }
+
+    rule_determinism_rng(&mut ctx);
+    if let FileClass::Lib { krate } = &class {
+        if krate != "obs" {
+            rule_determinism_time(&mut ctx);
+        }
+        if krate == "core" {
+            rule_hash_iter(&mut ctx);
+        }
+        if NO_PANIC_CRATES.contains(&krate.as_str()) {
+            rule_no_panic(&mut ctx);
+        }
+    }
+    if rel.starts_with("crates/core/src/selector/") && !rel.ends_with("/mod.rs") {
+        rule_obs_naming(&mut ctx);
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+/// `thread_rng` / `from_entropy` / `SystemTime` anywhere in the workspace
+/// (including tests and benches — a nondeterministic test is a flaky
+/// test).
+fn rule_determinism_rng(ctx: &mut Ctx<'_>) {
+    for word in ["thread_rng", "from_entropy", "SystemTime"] {
+        for off in ident_occurrences(&ctx.lexed.code, word) {
+            ctx.report(
+                "determinism-rng",
+                off,
+                format!(
+                    "`{word}` injects ambient nondeterminism; derive every RNG from the \
+                     session's master seed (see session::derive_rng) and take timestamps \
+                     from the obs registry"
+                ),
+            );
+        }
+    }
+}
+
+/// `Instant::now()` in library code — timing must come from
+/// `Span::finish()` so enabling/disabling telemetry cannot skew results.
+fn rule_determinism_time(ctx: &mut Ctx<'_>) {
+    for off in ident_occurrences(&ctx.lexed.code, "Instant") {
+        let after = off + "Instant".len();
+        let rest = &ctx.lexed.code[after..];
+        let trimmed = rest.trim_start();
+        if let Some(t) = trimmed.strip_prefix("::") {
+            if t.trim_start().starts_with("now") {
+                ctx.report(
+                    "determinism-time",
+                    off,
+                    "`Instant::now()` in library code: source wall-clock timing from \
+                     `alem_obs::Span::finish()` instead (obs and bench/CLI binaries are exempt)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// `HashMap`/`HashSet` in `crates/core` library code. Hash iteration
+/// order varies per process, which is exactly the kind of drift
+/// `deterministic_fingerprint` exists to catch; membership-only uses that
+/// provably never iterate may carry an allow annotation.
+fn rule_hash_iter(ctx: &mut Ctx<'_>) {
+    for word in ["HashMap", "HashSet"] {
+        for off in ident_occurrences(&ctx.lexed.code, word) {
+            let (line, _) = ctx.lexed.position(off);
+            if ctx.lexed.is_test_line(line) {
+                continue;
+            }
+            ctx.report(
+                "determinism-hash-iter",
+                off,
+                format!(
+                    "`{word}` in fingerprint-affecting core code: iteration order varies \
+                     per process — use `BTreeMap`/`BTreeSet` or sort before iterating"
+                ),
+            );
+        }
+    }
+}
+
+/// Panicking constructs in library targets of the no-panic crates.
+fn rule_no_panic(ctx: &mut Ctx<'_>) {
+    for method in ["unwrap", "expect"] {
+        for off in ident_occurrences(&ctx.lexed.code, method) {
+            let (line, _) = ctx.lexed.position(off);
+            if ctx.lexed.is_test_line(line) {
+                continue;
+            }
+            if next_nonspace(&ctx.lexed.code, off + method.len()) != Some(b'(') {
+                continue; // `unwrap_or`, path mention, etc.
+            }
+            ctx.report(
+                "no-panic",
+                off,
+                format!(
+                    "`.{method}()` in library code: return an `AlemError` on reachable \
+                     failures, or state the invariant with \
+                     `// alem-lint: allow(no-panic) -- <why>`"
+                ),
+            );
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for off in ident_occurrences(&ctx.lexed.code, mac) {
+            let (line, _) = ctx.lexed.position(off);
+            if ctx.lexed.is_test_line(line) {
+                continue;
+            }
+            if next_nonspace(&ctx.lexed.code, off + mac.len()) != Some(b'!') {
+                continue;
+            }
+            ctx.report(
+                "no-panic",
+                off,
+                format!(
+                    "`{mac}!` in library code: user-reachable failures must surface as \
+                     `AlemError` (tests, benches, and binaries are exempt)"
+                ),
+            );
+        }
+    }
+}
+
+/// Telemetry naming in selector modules: every name passed to
+/// `span`/`counter_add`/`gauge_set` must be a dotted lowercase identifier
+/// under the `select.` prefix, and the module must register
+/// `select.pairs_scored`.
+fn rule_obs_naming(ctx: &mut Ctx<'_>) {
+    const CALLS: &[&str] = &["span(", "counter_add(", "gauge_set("];
+    let mut registers_required = false;
+    for lit in &ctx.lexed.strings {
+        let before = preceding_code(&ctx.lexed.code, lit.offset);
+        let is_obs_name = CALLS.iter().any(|c| before.ends_with(c));
+        if !is_obs_name {
+            continue;
+        }
+        if lit.value == SELECTOR_REQUIRED_COUNTER {
+            registers_required = true;
+        }
+        let mut parts = lit.value.split('.');
+        let prefix_ok = parts.next() == Some(SELECTOR_OBS_PREFIX);
+        let mut saw_segment = false;
+        let segments_ok = parts.all(|s| {
+            saw_segment = true;
+            !s.is_empty()
+                && s.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        });
+        if !(prefix_ok && segments_ok && saw_segment) {
+            ctx.report(
+                "obs-naming",
+                lit.offset,
+                format!(
+                    "obs name `{}` violates the selector naming scheme: \
+                     `select.<segment>` with lowercase `[a-z0-9_]` segments (DESIGN.md §8)",
+                    lit.value
+                ),
+            );
+        }
+    }
+    if !registers_required {
+        ctx.report_at_line(
+            "obs-naming",
+            1,
+            format!(
+                "selector module never registers `{SELECTOR_REQUIRED_COUNTER}`: every \
+                 selector must count scored pairs (§5.1 latency instrumentation)"
+            ),
+        );
+    }
+}
+
+/// Crate-root hygiene: `#![forbid(unsafe_code)]` must appear in the root
+/// file's code (a commented-out attribute does not count).
+pub fn lint_crate_root(rel: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    if lexed.code.contains("#![forbid(unsafe_code)]") {
+        return Vec::new();
+    }
+    vec![Finding {
+        rule: "forbid-unsafe",
+        path: rel.to_string(),
+        line: 1,
+        col: 1,
+        message: "crate root is missing `#![forbid(unsafe_code)]` (workspace hygiene rule)"
+            .to_string(),
+    }]
+}
+
+/// Manifest hygiene: every `[workspace.dependencies]` entry must resolve
+/// to an in-tree path (`vendor/` shims for third-party names, `crates/`
+/// for workspace members) — the offline-registry invariant from PR 1.
+pub fn lint_workspace_manifest(rel: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_section = false;
+    for (i, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_section = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_section || line.is_empty() || line.starts_with('#') || !line.contains('=') {
+            continue;
+        }
+        if line.contains("path = \"vendor/") || line.contains("path = \"crates/") {
+            continue;
+        }
+        let name = line.split('=').next().unwrap_or("").trim();
+        findings.push(Finding {
+            rule: "vendor-path-deps",
+            path: rel.to_string(),
+            line: i + 1,
+            col: 1,
+            message: format!(
+                "workspace dependency `{name}` is not a `vendor/`/`crates/` path dep; \
+                 the build environment has no registry access (see vendor/README.md)"
+            ),
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_targets() {
+        assert_eq!(
+            classify("crates/core/src/session.rs"),
+            FileClass::Lib {
+                krate: "core".into()
+            }
+        );
+        assert_eq!(classify("crates/core/tests/x.rs"), FileClass::NonLib);
+        assert_eq!(classify("crates/bench/src/bin/smoke.rs"), FileClass::NonLib);
+        assert_eq!(
+            classify("crates/bench/benches/pipeline.rs"),
+            FileClass::NonLib
+        );
+        assert_eq!(classify("crates/cli/src/main.rs"), FileClass::NonLib);
+        assert_eq!(classify("crates/cli/src/pipeline.rs"), FileClass::NonLib);
+        assert_eq!(classify("tests/end_to_end.rs"), FileClass::NonLib);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::NonLib);
+        assert_eq!(classify("vendor/rand/src/lib.rs"), FileClass::Skip);
+        assert_eq!(
+            classify("crates/lint/tests/fixtures/no_panic.rs"),
+            FileClass::Skip
+        );
+    }
+
+    #[test]
+    fn unwrap_flagged_in_lib_not_in_tests_dir() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let lib = lint_source("crates/core/src/session.rs", src);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib[0].rule, "no-panic");
+        assert!(lint_source("crates/core/tests/t.rs", src).is_empty());
+        assert!(lint_source("tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(lint_source("crates/core/src/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_without_reason_reports() {
+        let good = "// alem-lint: allow(no-panic) -- provably Some: guarded above\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_source("crates/core/src/session.rs", good).is_empty());
+
+        let bad = "// alem-lint: allow(no-panic)\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let out = lint_source("crates/core/src/session.rs", bad);
+        let rules: Vec<&str> = out.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"bad-allow"), "{out:?}");
+        assert!(rules.contains(&"no-panic"), "{out:?}");
+    }
+
+    #[test]
+    fn manifest_rule_flags_registry_deps() {
+        let good = "[workspace.dependencies]\nrand = { path = \"vendor/rand\" }\n";
+        assert!(lint_workspace_manifest("Cargo.toml", good).is_empty());
+        let bad = "[workspace.dependencies]\nrand = \"0.8\"\n";
+        let out = lint_workspace_manifest("Cargo.toml", bad);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "vendor-path-deps");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn obs_naming_checks_prefix_and_required_counter() {
+        let src = r#"pub fn select(obs: &Registry) {
+    obs.counter_add("selector.pairs", 1);
+}
+"#;
+        let out = lint_source("crates/core/src/selector/margin.rs", src);
+        assert_eq!(out.len(), 2, "{out:?}"); // bad prefix + missing pairs_scored
+        let ok = r#"pub fn select(obs: &Registry) {
+    let span = obs.span("select.score");
+    obs.counter_add("select.pairs_scored", 1);
+}
+"#;
+        assert!(lint_source("crates/core/src/selector/margin.rs", ok).is_empty());
+    }
+}

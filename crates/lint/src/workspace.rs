@@ -1,0 +1,126 @@
+//! Workspace discovery and whole-tree linting.
+
+use crate::rules::{self, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "results"];
+
+/// Recursively collect `.rs` files under `dir`, returning paths relative
+/// to `root` with unix separators, in sorted (deterministic) order.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Summary of a whole-workspace lint pass.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint the workspace rooted at `root`: every non-vendored `.rs` source,
+/// every crate root (for `forbid-unsafe`), and the root manifest (for
+/// `vendor-path-deps`).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        files_scanned += 1;
+        findings.extend(rules::lint_source(rel, &source));
+    }
+
+    // Crate roots: lib.rs when present, else main.rs.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let lib = dir.join("src/lib.rs");
+            let main = dir.join("src/main.rs");
+            let crate_root = if lib.is_file() {
+                lib
+            } else if main.is_file() {
+                main
+            } else {
+                continue;
+            };
+            let rel = crate_root
+                .strip_prefix(root)
+                .unwrap_or(&crate_root)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let source = fs::read_to_string(&crate_root)?;
+            findings.extend(rules::lint_crate_root(&rel, &source));
+        }
+    }
+
+    let manifest = root.join("Cargo.toml");
+    if manifest.is_file() {
+        let source = fs::read_to_string(&manifest)?;
+        findings.extend(rules::lint_workspace_manifest("Cargo.toml", &source));
+    }
+
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

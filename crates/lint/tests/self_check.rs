@@ -1,0 +1,40 @@
+//! The linter's strongest test: the real workspace must be clean. Any
+//! regression — a stray `unwrap()` in library code, a `HashMap` on the
+//! fingerprint path, a crate root losing `#![forbid(unsafe_code)]` — turns
+//! up here (and in CI's `alem-lint --json` step) as a named diagnostic.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace two levels up");
+    let report = alem_lint::lint_workspace(root).expect("workspace scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "workspace lint found {} issue(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually visited the workspace sources.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — walker is broken",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_root_is_discoverable() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let root = alem_lint::find_workspace_root(&here).expect("found root");
+    assert!(root.join("Cargo.toml").is_file());
+    assert!(root.join("crates/lint").is_dir());
+}

@@ -19,6 +19,7 @@
 //! active-learning loop needs. Training is deterministic given a seeded
 //! RNG, which is what makes the paper's experiments reproducible here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data;

@@ -24,6 +24,7 @@
 //! no recorded quantity feeds back into the learner, so enabling sinks
 //! cannot change a run's `deterministic_fingerprint`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod hist;

@@ -27,6 +27,7 @@
 //! assert_eq!(exact, 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod phonetic;
