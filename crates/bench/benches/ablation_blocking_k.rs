@@ -47,6 +47,7 @@ fn bench_blocking_k(c: &mut Criterion) {
                     10,
                     &mut rng,
                     &Registry::disabled(),
+                    &alem_par::Parallelism::default(),
                 ))
             })
         });

@@ -40,6 +40,7 @@ fn bench_committee_sizes(c: &mut Criterion) {
                     &mut rng,
                     false,
                     &Registry::disabled(),
+                    &alem_par::Parallelism::default(),
                 ))
             })
         });

@@ -49,6 +49,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
                 10,
                 &mut rng,
                 &obs,
+                &alem_par::Parallelism::default(),
             ))
         })
     });
@@ -63,6 +64,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
                 10,
                 &mut rng,
                 &obs,
+                &alem_par::Parallelism::default(),
             ))
         })
     });

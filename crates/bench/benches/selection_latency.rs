@@ -45,6 +45,7 @@ fn bench_selection(c: &mut Criterion) {
                     &mut rng,
                     false,
                     &Registry::disabled(),
+                    &alem_par::Parallelism::default(),
                 ))
             })
         });
@@ -70,6 +71,7 @@ fn bench_selection(c: &mut Criterion) {
                 10,
                 &mut rng,
                 &Registry::disabled(),
+                &alem_par::Parallelism::default(),
             ))
         })
     });
@@ -84,6 +86,7 @@ fn bench_selection(c: &mut Criterion) {
                 10,
                 &mut rng,
                 &Registry::disabled(),
+                &alem_par::Parallelism::default(),
             ))
         })
     });
@@ -101,6 +104,7 @@ fn bench_selection(c: &mut Criterion) {
                 10,
                 &mut rng,
                 &Registry::disabled(),
+                &alem_par::Parallelism::default(),
             ))
         })
     });

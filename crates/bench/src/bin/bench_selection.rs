@@ -1,0 +1,203 @@
+//! Selection-latency benchmark across thread counts (§6.3 systems axis).
+//!
+//! Usage: `bench_selection [--scale S] [--threads-list 1,2,4,8] [--out FILE]`
+//!
+//! Runs a committee-heavy and a scoring-heavy strategy on the smoke
+//! datasets at each thread count, records per-phase latency from the run's
+//! own iteration clocks, and writes `BENCH_selection.json`. Every run's
+//! `deterministic_fingerprint` is captured and cross-checked: a thread
+//! count may only change wall-clock numbers, never results, and the
+//! process exits non-zero if any fingerprint diverges. Timings are
+//! whatever this machine actually measured — on a single-core host the
+//! thread counts will (honestly) tie.
+
+use alem_core::blocking::BlockingConfig;
+use alem_core::corpus::Corpus;
+use alem_core::learner::SvmTrainer;
+use alem_core::loop_::{ActiveLearner, LoopParams};
+use alem_core::oracle::Oracle;
+use alem_core::session::SessionConfig;
+use alem_core::strategy::{MarginSvmStrategy, QbcStrategy, Strategy, TreeQbcStrategy};
+use alem_par::Parallelism;
+use datagen::PaperDataset;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    scale: f64,
+    host_threads: usize,
+    thread_counts: Vec<usize>,
+    datasets: Vec<DatasetReport>,
+}
+
+#[derive(Serialize)]
+struct DatasetReport {
+    dataset: String,
+    pairs: usize,
+    dims: usize,
+    runs: Vec<RunRow>,
+    /// True iff, per strategy, every thread count produced the same
+    /// `deterministic_fingerprint` — the layer's core contract.
+    fingerprints_identical: bool,
+}
+
+#[derive(Serialize)]
+struct RunRow {
+    strategy: String,
+    threads: usize,
+    select_secs: f64,
+    train_secs: f64,
+    wall_secs: f64,
+    best_f1: f64,
+    fingerprint: String,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_selection [--scale S] [--threads-list 1,2,4,8] [--out FILE]");
+    std::process::exit(2);
+}
+
+fn strategies() -> Vec<(&'static str, Box<dyn Strategy + Send>)> {
+    vec![
+        (
+            "Trees(20)",
+            Box::new(TreeQbcStrategy::builder().trees(20).build()),
+        ),
+        (
+            "QBC-SVM(10)",
+            Box::new(
+                QbcStrategy::builder(SvmTrainer::default())
+                    .committee_size(10)
+                    .build(),
+            ),
+        ),
+        (
+            "Linear-Margin",
+            Box::new(MarginSvmStrategy::builder().build()),
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.15f64;
+    let mut out = String::from("BENCH_selection.json");
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--threads-list" => {
+                thread_counts = args
+                    .get(i + 1)
+                    .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
+                    .filter(|v: &Vec<usize>| !v.is_empty() && !v.contains(&0))
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let params = LoopParams {
+        max_labels: 400,
+        ..LoopParams::default()
+    };
+    let mut report = Report {
+        bench: "selection_latency",
+        scale,
+        host_threads,
+        thread_counts: thread_counts.clone(),
+        datasets: Vec::new(),
+    };
+    let mut all_identical = true;
+
+    for d in [PaperDataset::AmazonGoogle, PaperDataset::Cora] {
+        let cfg = d.config(scale);
+        let ds = datagen::generate(&cfg, 42);
+        let (corpus, _fx) = Corpus::from_dataset_with(
+            &ds,
+            &BlockingConfig {
+                jaccard_threshold: cfg.blocking_threshold,
+            },
+            &Parallelism::default(),
+        );
+        println!("{}: pairs={} dim={}", d.name(), corpus.len(), corpus.dim());
+        let mut runs = Vec::new();
+        let mut identical = true;
+
+        for si in 0..strategies().len() {
+            let mut baseline: Option<String> = None;
+            for &threads in &thread_counts {
+                let (name, strat) = strategies().remove(si);
+                let oracle = Oracle::perfect(corpus.truths().to_vec());
+                let config = SessionConfig {
+                    parallelism: Parallelism::fixed(threads),
+                    ..SessionConfig::default()
+                };
+                let t0 = Instant::now();
+                let r = ActiveLearner::new(strat, params.clone())
+                    .run_session(&corpus, &oracle, 7, &config)
+                    .unwrap_or_else(|e| panic!("bench run failed: {e}"))
+                    .run_result()
+                    .unwrap_or_else(|| panic!("bench session halted unexpectedly"));
+                let wall = t0.elapsed().as_secs_f64();
+                let select: f64 = r.iterations.iter().map(|it| it.selection_secs()).sum();
+                let train: f64 = r.iterations.iter().map(|it| it.train_secs).sum();
+                let fp = r.deterministic_fingerprint();
+                match &baseline {
+                    None => baseline = Some(fp.clone()),
+                    Some(b) if *b != fp => {
+                        identical = false;
+                        eprintln!(
+                            "FINGERPRINT DIVERGENCE: {} / {name} at {threads} threads",
+                            d.name()
+                        );
+                    }
+                    Some(_) => {}
+                }
+                println!(
+                    "  {name:<16} threads={threads} select={select:.3}s train={train:.3}s wall={wall:.3}s"
+                );
+                runs.push(RunRow {
+                    strategy: name.to_string(),
+                    threads,
+                    select_secs: select,
+                    train_secs: train,
+                    wall_secs: wall,
+                    best_f1: r.best_f1(),
+                    fingerprint: fp,
+                });
+            }
+        }
+        all_identical &= identical;
+        report.datasets.push(DatasetReport {
+            dataset: d.name().to_string(),
+            pairs: corpus.len(),
+            dims: corpus.dim(),
+            runs,
+            fingerprints_identical: identical,
+        });
+    }
+
+    let js = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, js).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out} (host_threads={host_threads})");
+    if !all_identical {
+        eprintln!("bench_selection: fingerprints diverged across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -1,14 +1,15 @@
 //! Calibration smoke test: quick per-dataset strategy comparison.
 //!
-//! Usage: `smoke [scale] [--metrics-out FILE.jsonl] [--fingerprints]` —
-//! runs a representative strategy set on Amazon-GoogleProducts and Cora
-//! and prints best/final progressive F1 so generator difficulty can be
-//! compared against the paper's Table 2. With `--metrics-out` the runs
-//! are driven with an enabled telemetry registry and every span/counter
-//! event is written as JSONL (the CI telemetry-validation step). With
-//! `--fingerprints` each run also prints its
-//! `RunResult::deterministic_fingerprint`, so two builds can be compared
-//! for bit-identical labeling/modeling decisions.
+//! Usage: `smoke [scale] [--metrics-out FILE.jsonl] [--fingerprints]
+//! [--threads N]` — runs a representative strategy set on
+//! Amazon-GoogleProducts and Cora and prints best/final progressive F1 so
+//! generator difficulty can be compared against the paper's Table 2. With
+//! `--metrics-out` the runs are driven with an enabled telemetry registry
+//! and every span/counter event is written as JSONL (the CI
+//! telemetry-validation step). With `--fingerprints` each run also prints
+//! its `RunResult::deterministic_fingerprint`, so two builds — or the same
+//! build at different `--threads` values, which must agree byte-for-byte —
+//! can be compared for bit-identical labeling/modeling decisions.
 
 use alem_core::blocking::BlockingConfig;
 use alem_core::corpus::Corpus;
@@ -28,11 +29,22 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut fingerprints = false;
     let mut scale = 0.25f64;
+    let mut parallelism = alem_par::Parallelism::default();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--fingerprints" {
             fingerprints = true;
             i += 1;
+        } else if args[i] == "--threads" {
+            let n = args
+                .get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                });
+            parallelism = alem_par::Parallelism::fixed(n);
+            i += 2;
         } else if args[i] == "--metrics-out" {
             metrics_out = args.get(i + 1).cloned();
             if metrics_out.is_none() {
@@ -57,11 +69,12 @@ fn main() {
         let cfg = d.config(scale);
         let t0 = Instant::now();
         let ds = datagen::generate(&cfg, 42);
-        let (corpus, _fx) = Corpus::from_dataset(
+        let (corpus, _fx) = Corpus::from_dataset_with(
             &ds,
             &BlockingConfig {
                 jaccard_threshold: cfg.blocking_threshold,
             },
+            &parallelism,
         );
         println!(
             "{}: pairs={} skew={:.3} dim={} prep={:?}",
@@ -83,6 +96,7 @@ fn main() {
                 let mut al = ActiveLearner::new($strat, params.clone());
                 let config = SessionConfig {
                     obs: obs.clone(),
+                    parallelism,
                     ..SessionConfig::default()
                 };
                 let r = al

@@ -20,25 +20,10 @@ pub struct PreparedData {
     pub stats: BlockingStats,
 }
 
-/// Featurize `pairs` across `threads` worker threads.
+/// Featurize `pairs` across the machine's cores (rows merge in pair
+/// order, so the output is identical to a sequential extraction).
 fn extract_parallel(fx: &FeatureExtractor, pairs: &[alem_core::schema::Pair]) -> Vec<Vec<f64>> {
-    let threads = std::thread::available_parallelism().map_or(4, usize::from);
-    if pairs.len() < 1024 || threads <= 1 {
-        return fx.extract_all(pairs);
-    }
-    let chunk = pairs.len().div_ceil(threads);
-    let mut out: Vec<Vec<Vec<f64>>> = Vec::new();
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = pairs
-            .chunks(chunk)
-            .map(|slice| s.spawn(move |_| fx.extract_all(slice)))
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("extraction worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    out.into_iter().flatten().collect()
+    fx.extract_all_with(pairs, &alem_par::Parallelism::default())
 }
 
 /// Build a corpus for a generated dataset with its configured blocking

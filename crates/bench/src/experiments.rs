@@ -85,7 +85,7 @@ impl Spec {
             Spec::QbcNn(b) => Box::new(QbcStrategy::new(NnTrainer::default(), b)),
             Spec::MarginSvm => Box::new(MarginSvmStrategy::new(SvmTrainer::default())),
             Spec::MarginSvmBlocking(k) => {
-                Box::new(MarginSvmStrategy::with_blocking(SvmTrainer::default(), k))
+                Box::new(MarginSvmStrategy::builder().blocking_dims(k).build())
             }
             Spec::MarginNn => Box::new(MarginNnStrategy::new(NnTrainer::default())),
             Spec::EnsembleSvm => Box::new(EnsembleSvmStrategy::new(SvmTrainer::default(), TAU)),
@@ -105,14 +105,17 @@ impl Spec {
                 ForestTrainer::with_trees(n),
                 &format!("SupervisedTrees(Random-{n})"),
             )),
-            Spec::DeepMatcherProxy => Box::new(RandomStrategy::with_train_frac(
-                NnTrainer(NnConfig {
-                    hidden: 64,
-                    ..NnConfig::default()
-                }),
-                "DeepMatcher",
-                0.75,
-            )),
+            Spec::DeepMatcherProxy => Box::new(
+                RandomStrategy::builder(
+                    NnTrainer(NnConfig {
+                        hidden: 64,
+                        ..NnConfig::default()
+                    }),
+                    "DeepMatcher",
+                )
+                .train_frac(0.75)
+                .build(),
+            ),
         }
     }
 }
@@ -853,7 +856,13 @@ pub fn fig19(cfg: ExpConfig) -> TableReport {
             stop_at_f1: None,
             ..paper_params(corpus, max_labels)
         };
-        let mut al = ActiveLearner::new(QbcStrategy::new_bool(DnfTrainer::default(), b), params);
+        let mut al = ActiveLearner::new(
+            QbcStrategy::builder(DnfTrainer::default())
+                .committee_size(b)
+                .bool_features(true)
+                .build(),
+            params,
+        );
         let run = al
             .run(corpus, &oracle, RUN_SEED)
             .unwrap_or_else(|e| panic!("QBC({b}) run failed: {e}"));
@@ -1340,7 +1349,7 @@ pub fn ablation_feature_subset(cfg: ExpConfig) -> TableReport {
                 let params = paper_params(corpus, PAPER_MAX_LABELS);
                 run_perfect(
                     corpus,
-                    TreeQbcStrategy::with_trainer(trainer),
+                    TreeQbcStrategy::builder().trainer(trainer).build(),
                     params,
                     RUN_SEED,
                 )

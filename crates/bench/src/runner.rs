@@ -20,30 +20,7 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let threads = std::thread::available_parallelism().map_or(4, usize::from);
-    if jobs.len() <= 1 || threads <= 1 {
-        return jobs.into_iter().map(|j| j()).collect();
-    }
-    let mut results: Vec<Option<T>> = Vec::with_capacity(jobs.len());
-    results.resize_with(jobs.len(), || None);
-    let queue: std::sync::Mutex<Vec<(usize, F)>> =
-        std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let results_mx = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let job = queue.lock().expect("queue poisoned").pop();
-                let Some((idx, f)) = job else { break };
-                let out = f();
-                results_mx.lock().expect("results poisoned")[idx] = Some(out);
-            });
-        }
-    })
-    .expect("crossbeam scope failed");
-    results
-        .into_iter()
-        .map(|r| r.expect("job completed"))
-        .collect()
+    alem_par::Parallelism::default().run(jobs)
 }
 
 /// Run one strategy on a corpus with a perfect Oracle.

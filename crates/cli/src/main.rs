@@ -4,7 +4,7 @@
 //! alem match    --left a.csv --right b.csv [--columns name,price]
 //!               (--truth truth.csv | --interactive)
 //!               [--strategy trees20] [--budget 500] [--threshold 0.1875]
-//!               [--output matches.csv] [--seed 42]
+//!               [--output matches.csv] [--seed 42] [--threads N]
 //!               [--checkpoint-every N] [--checkpoint ckpt.json]
 //!               [--resume ckpt.json]
 //!               [--metrics-out metrics.jsonl] [--trace-out trace.json]
@@ -32,7 +32,7 @@ fn usage() -> ! {
         "usage:\n  alem match    --left L.csv --right R.csv (--truth T.csv | --interactive)\n\
          \x20                [--columns a,b,c] [--strategy trees20|trees10|margin|margin1dim|\n\
          \x20                 qbc10|ensemble|rules|nn] [--budget N] [--threshold J]\n\
-         \x20                [--output OUT.csv] [--save-model M.json] [--seed N]\n\
+         \x20                [--output OUT.csv] [--save-model M.json] [--seed N] [--threads N]\n\
          \x20                [--checkpoint-every N] [--checkpoint C.json] [--resume C.json]\n\
          \x20                [--metrics-out M.jsonl] [--trace-out T.json]\n\
          \x20 alem predict  --model M.json --left L.csv --right R.csv [--output OUT.csv]\n\

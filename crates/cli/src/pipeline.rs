@@ -14,6 +14,7 @@ use alem_core::strategy::{
     LfpLfnStrategy, MarginNnStrategy, MarginSvmStrategy, QbcStrategy, Strategy, TreeQbcStrategy,
 };
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use datagen::PaperDataset;
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -156,7 +157,7 @@ fn build_strategy(name: &str) -> Result<Box<dyn Strategy + Send>, Box<dyn Error>
         "trees20" => Box::new(TreeQbcStrategy::new(20)),
         "trees10" => Box::new(TreeQbcStrategy::new(10)),
         "margin" => Box::new(MarginSvmStrategy::new(SvmTrainer::default())),
-        "margin1dim" => Box::new(MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1)),
+        "margin1dim" => Box::new(MarginSvmStrategy::builder().blocking_dims(1).build()),
         "qbc10" => Box::new(QbcStrategy::new(SvmTrainer::default(), 10)),
         "ensemble" => Box::new(EnsembleSvmStrategy::new(SvmTrainer::default(), 0.85)),
         "rules" => Box::new(LfpLfnStrategy::new(DnfTrainer::default(), 0.85)),
@@ -209,6 +210,14 @@ pub fn cmd_match(args: &Args) -> CliResult {
         Registry::disabled()
     };
 
+    // Thread-count policy for featurization, committee training, and pool
+    // scoring. Results are byte-identical for any value; `--threads 1`
+    // reproduces the sequential path exactly.
+    let parallelism = match args.get("threads") {
+        Some(s) => Parallelism::fixed(s.parse().map_err(|_| "bad --threads")?),
+        None => Parallelism::default(),
+    };
+
     let ds = build_dataset(args)?;
     let threshold = blocking_threshold(args)?;
     let blocking = BlockingConfig {
@@ -222,7 +231,7 @@ pub fn cmd_match(args: &Args) -> CliResult {
     }
     eprintln!("[alem] {} candidate pairs after blocking", pairs.len());
     let featurize_span = obs.span("featurize");
-    let (corpus, _fx) = Corpus::from_dataset(&ds, &blocking);
+    let (corpus, _fx) = Corpus::from_dataset_with(&ds, &blocking, &parallelism);
     featurize_span.finish();
 
     let budget: usize = args
@@ -276,6 +285,7 @@ pub fn cmd_match(args: &Args) -> CliResult {
         checkpoint_every,
         checkpoint_path,
         obs: obs.clone(),
+        parallelism,
         ..SessionConfig::default()
     };
 

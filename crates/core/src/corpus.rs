@@ -41,9 +41,20 @@ impl Corpus {
     /// ground truth. Returns the corpus and the extractor (whose feature
     /// descriptions the interpretability reports need).
     pub fn from_dataset(ds: &EmDataset, blocking: &BlockingConfig) -> (Self, FeatureExtractor) {
+        Corpus::from_dataset_with(ds, blocking, &alem_par::Parallelism::default())
+    }
+
+    /// [`Corpus::from_dataset`] with an explicit thread-count policy for
+    /// the feature-extraction fan-out. Output is byte-identical for any
+    /// `par` (rows merge in pair order); only build wall-clock changes.
+    pub fn from_dataset_with(
+        ds: &EmDataset,
+        blocking: &BlockingConfig,
+        par: &alem_par::Parallelism,
+    ) -> (Self, FeatureExtractor) {
         let pairs = blocking.block(ds);
         let fx = FeatureExtractor::new(ds);
-        let mut features = fx.extract_all(&pairs);
+        let mut features = fx.extract_all_with(&pairs, par);
         let sanitized = sanitize(&mut features);
         let bool_features = fx.booleanize_all(&features);
         let truth = pairs.iter().map(|&p| ds.is_match(p)).collect();

@@ -17,6 +17,7 @@ use crate::learner::{SvmTrainer, Trainer};
 use crate::selector::{self, Selection};
 use crate::strategy::{labeled_rows, Strategy, StrategyStats};
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use mlcore::svm::LinearSvm;
 use mlcore::Classifier;
 use rand::rngs::StdRng;
@@ -28,6 +29,7 @@ pub struct EnsembleSvmStrategy {
     tau: f64,
     accepted: Vec<LinearSvm>,
     candidate: Option<LinearSvm>,
+    par: Parallelism,
 }
 
 impl EnsembleSvmStrategy {
@@ -39,6 +41,7 @@ impl EnsembleSvmStrategy {
             tau,
             accepted: Vec::new(),
             candidate: None,
+            par: Parallelism::sequential(),
         }
     }
 
@@ -83,7 +86,31 @@ impl Strategy for EnsembleSvmStrategy {
         let Some(svm) = self.candidate.as_ref() else {
             return Selection::default();
         };
-        selector::margin::select(|x| svm.margin(x), corpus, unlabeled, batch, rng, obs)
+        selector::margin::select(
+            |x| svm.margin(x),
+            corpus,
+            unlabeled,
+            batch,
+            rng,
+            obs,
+            &self.par,
+        )
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        let svm = self.candidate.as_ref().ok_or_else(|| {
+            AlemError::InvalidConfig("ensemble has no candidate yet; call fit first".to_owned())
+        })?;
+        Ok(selector::margin::score_pool(
+            |x| svm.margin(x),
+            corpus,
+            unlabeled,
+            &self.par,
+        ))
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -162,6 +189,7 @@ pub struct ActiveEnsembleStrategy<T: Trainer> {
     tau: f64,
     accepted: Vec<T::Model>,
     candidate: Option<T::Model>,
+    par: Parallelism,
 }
 
 impl<T: Trainer> ActiveEnsembleStrategy<T> {
@@ -173,6 +201,7 @@ impl<T: Trainer> ActiveEnsembleStrategy<T> {
             tau,
             accepted: Vec::new(),
             candidate: None,
+            par: Parallelism::sequential(),
         }
     }
 
@@ -222,7 +251,24 @@ impl<T: Trainer> Strategy for ActiveEnsembleStrategy<T> {
             batch,
             rng,
             obs,
+            &self.par,
         )
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        let model = self.candidate.as_ref().ok_or_else(|| {
+            AlemError::InvalidConfig("ensemble has no candidate yet; call fit first".to_owned())
+        })?;
+        Ok(selector::margin::score_pool(
+            |x| model.decision_value(x).abs(),
+            corpus,
+            unlabeled,
+            &self.par,
+        ))
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {

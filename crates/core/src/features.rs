@@ -143,6 +143,14 @@ impl FeatureExtractor {
         pairs.iter().map(|&p| self.extract_pair(p)).collect()
     }
 
+    /// [`FeatureExtractor::extract_all`] fanned out over worker threads.
+    /// Rows come back in pair order regardless of thread count, so the
+    /// resulting corpus (and every fingerprint downstream of it) is
+    /// identical to the sequential build.
+    pub fn extract_all_with(&self, pairs: &[Pair], par: &alem_par::Parallelism) -> Vec<Vec<f64>> {
+        par.map(pairs, |&p| self.extract_pair(p))
+    }
+
     /// Compute a *single* continuous feature dimension on demand.
     ///
     /// This is what makes the §5.1 blocking optimization pay off in its

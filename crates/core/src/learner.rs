@@ -16,9 +16,14 @@ use mlcore::Classifier;
 use rand::rngs::StdRng;
 
 /// Trains a model of a fixed family from labeled feature rows.
-pub trait Trainer {
+///
+/// `Sync` (on the trainer) and `Send + Sync` (on the model) let committee
+/// members train on worker threads and score the pool from shared
+/// references — every implementation is a plain data struct, so the
+/// bounds are free.
+pub trait Trainer: Sync {
     /// The trained model type.
-    type Model: Classifier;
+    type Model: Classifier + Send + Sync;
 
     /// Train a fresh model. Implementations must be deterministic given
     /// the RNG state.

@@ -32,11 +32,7 @@
 //! # Quick start
 //!
 //! ```
-//! use alem_core::corpus::Corpus;
-//! use alem_core::learner::SvmTrainer;
-//! use alem_core::loop_::{ActiveLearner, LoopParams};
-//! use alem_core::oracle::Oracle;
-//! use alem_core::strategy::MarginSvmStrategy;
+//! use alem_core::prelude::*;
 //!
 //! // A tiny synthetic corpus: one informative feature.
 //! let feats: Vec<Vec<f64>> = (0..200)
@@ -45,7 +41,11 @@
 //! let truth: Vec<bool> = (0..200).map(|i| i >= 120).collect();
 //! let corpus = Corpus::from_features(feats, truth.clone());
 //!
-//! let params = LoopParams { seed_size: 20, batch_size: 10, max_labels: 120, ..LoopParams::default() };
+//! let params = LoopParams::builder()
+//!     .seed_size(20)
+//!     .batch_size(10)
+//!     .max_labels(120)
+//!     .build();
 //! let oracle = Oracle::perfect(truth);
 //! let run = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params)
 //!     .run(&corpus, &oracle, 42)
@@ -72,6 +72,7 @@ pub mod learner;
 pub mod loop_;
 pub mod model_io;
 pub mod oracle;
+pub mod prelude;
 pub mod report;
 pub mod schema;
 pub mod selector;

@@ -63,6 +63,74 @@ impl Default for LoopParams {
     }
 }
 
+impl LoopParams {
+    /// Fluent construction starting from the paper's defaults:
+    ///
+    /// ```
+    /// use alem_core::loop_::{EvalMode, LoopParams};
+    /// let params = LoopParams::builder()
+    ///     .max_labels(500)
+    ///     .eval(EvalMode::Holdout { test_frac: 0.2 })
+    ///     .build();
+    /// assert_eq!(params.seed_size, 30); // untouched defaults remain
+    /// ```
+    pub fn builder() -> LoopParamsBuilder {
+        LoopParamsBuilder {
+            params: LoopParams::default(),
+        }
+    }
+}
+
+/// Builder returned by [`LoopParams::builder`]. Every setter overrides one
+/// paper default; [`LoopParamsBuilder::build`] yields the final params.
+#[derive(Debug, Clone)]
+pub struct LoopParamsBuilder {
+    params: LoopParams,
+}
+
+impl LoopParamsBuilder {
+    /// Initial random labeled seed (paper: 30).
+    pub fn seed_size(mut self, n: usize) -> Self {
+        self.params.seed_size = n;
+        self
+    }
+
+    /// Labels queried per iteration (paper: 10).
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.params.batch_size = n;
+        self
+    }
+
+    /// Total label budget including the seed.
+    pub fn max_labels(mut self, n: usize) -> Self {
+        self.params.max_labels = n;
+        self
+    }
+
+    /// Evaluation mode (progressive F1 or a conventional hold-out split).
+    pub fn eval(mut self, eval: EvalMode) -> Self {
+        self.params.eval = eval;
+        self
+    }
+
+    /// Stop once progressive F1 reaches this value.
+    pub fn stop_at_f1(mut self, f1: f64) -> Self {
+        self.params.stop_at_f1 = Some(f1);
+        self
+    }
+
+    /// Run to label exhaustion: never stop on F1 (the noisy-Oracle setting).
+    pub fn run_to_exhaustion(mut self) -> Self {
+        self.params.stop_at_f1 = None;
+        self
+    }
+
+    /// Finalize the parameters.
+    pub fn build(self) -> LoopParams {
+        self.params
+    }
+}
+
 /// An active-learning session binding a strategy to loop parameters.
 pub struct ActiveLearner<S: Strategy> {
     pub(crate) strategy: S,
@@ -134,6 +202,22 @@ mod tests {
             eval: EvalMode::Progressive,
             stop_at_f1: Some(0.99),
         }
+    }
+
+    #[test]
+    fn builder_overrides_only_named_fields() {
+        let p = LoopParams::builder()
+            .seed_size(12)
+            .eval(EvalMode::Holdout { test_frac: 0.25 })
+            .run_to_exhaustion()
+            .build();
+        assert_eq!(p.seed_size, 12);
+        assert_eq!(p.batch_size, LoopParams::default().batch_size);
+        assert_eq!(p.max_labels, LoopParams::default().max_labels);
+        assert_eq!(p.eval, EvalMode::Holdout { test_frac: 0.25 });
+        assert_eq!(p.stop_at_f1, None);
+        let q = LoopParams::builder().stop_at_f1(0.95).build();
+        assert_eq!(q.stop_at_f1, Some(0.95));
     }
 
     #[test]

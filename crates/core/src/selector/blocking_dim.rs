@@ -13,9 +13,10 @@
 //! the "margin(1Dim)" variant that cuts selection latency without hurting
 //! quality on most datasets (Fig. 10d, Fig. 11).
 
-use super::{bottom_k_asc, Selection};
+use super::{scored_pool, top_k_desc, Selection, EXCLUDED};
 use crate::corpus::Corpus;
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use mlcore::svm::LinearSvm;
 use rand::rngs::StdRng;
 use std::time::Duration;
@@ -31,7 +32,37 @@ pub struct BlockingSelection {
     pub evaluated: usize,
 }
 
+/// Pruned margin scores for the pool, aligned with `unlabeled`: examples
+/// whose blocking dimensions are all zero get [`EXCLUDED`]; survivors get
+/// the negated absolute margin (higher = closer to the boundary).
+///
+/// The cheap prune pass runs sequentially *before* the fan-out — it only
+/// touches `k` dimensions per example — so worker threads spend their time
+/// exclusively on full dot products.
+pub fn score_pool(
+    svm: &LinearSvm,
+    k: usize,
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    par: &Parallelism,
+) -> Vec<f64> {
+    let dims = svm.top_weight_dims(k);
+    let survivors: Vec<(usize, usize)> = unlabeled
+        .iter()
+        .enumerate()
+        .filter(|&(_, &i)| dims.iter().any(|&d| corpus.x(i)[d] != 0.0))
+        .map(|(j, &i)| (j, i))
+        .collect();
+    let margins = par.map(&survivors, |&(_, i)| -svm.margin(corpus.x(i)));
+    let mut scores = vec![EXCLUDED; unlabeled.len()];
+    for (&(j, _), m) in survivors.iter().zip(margins) {
+        scores[j] = m;
+    }
+    scores
+}
+
 /// One margin round pruned by the top-`k` blocking dimensions of `svm`.
+#[allow(clippy::too_many_arguments)] // mirrors the pipeline's natural inputs
 pub fn select(
     svm: &LinearSvm,
     k: usize,
@@ -40,32 +71,21 @@ pub fn select(
     batch: usize,
     rng: &mut StdRng,
     obs: &Registry,
+    par: &Parallelism,
 ) -> BlockingSelection {
     let score_span = obs.span("select.score");
-    let dims = svm.top_weight_dims(k);
-    let mut scored: Vec<(usize, f64)> = Vec::with_capacity(unlabeled.len());
-    let mut pruned = 0usize;
-    for &i in unlabeled {
-        let x = corpus.x(i);
-        if dims.iter().all(|&d| x[d] == 0.0) {
-            pruned += 1;
-            continue;
-        }
-        scored.push((i, svm.margin(x)));
-    }
-    let evaluated = scored.len();
+    let scores = score_pool(svm, k, corpus, unlabeled, par);
+    let pruned = scores.iter().filter(|&&s| s == EXCLUDED).count();
+    let evaluated = unlabeled.len() - pruned;
     obs.counter_add("select.pairs_skipped", pruned as u64);
     obs.counter_add("select.pairs_scored", evaluated as u64);
-    let mut chosen = bottom_k_asc(scored, batch, rng);
+    let mut chosen = top_k_desc(scored_pool(unlabeled, &scores), batch, rng);
     // Degenerate fallback: if pruning removed everything, fall back to the
     // skipped pool so active learning can still progress.
     if chosen.is_empty() && !unlabeled.is_empty() {
-        let scored: Vec<(usize, f64)> = unlabeled
-            .iter()
-            .map(|&i| (i, svm.margin(corpus.x(i))))
-            .collect();
+        let scores = super::margin::score_pool(|x| svm.margin(x), corpus, unlabeled, par);
         obs.counter_add("select.pairs_scored", unlabeled.len() as u64);
-        chosen = bottom_k_asc(scored, batch, rng);
+        chosen = top_k_desc(scored_pool(unlabeled, &scores), batch, rng);
     }
     BlockingSelection {
         selection: Selection {
@@ -105,7 +125,16 @@ mod tests {
         let svm = LinearSvm::from_parts(vec![3.0, 0.1], -1.5);
         let unlabeled: Vec<usize> = (0..100).collect();
         let mut rng = StdRng::seed_from_u64(8);
-        let out = select(&svm, 1, &c, &unlabeled, 10, &mut rng, &Registry::disabled());
+        let out = select(
+            &svm,
+            1,
+            &c,
+            &unlabeled,
+            10,
+            &mut rng,
+            &Registry::disabled(),
+            &Parallelism::sequential(),
+        );
         // Examples 0..50 have a zero blocking dim, and so does example 50
         // (its value is (50-50)/50 = 0).
         assert_eq!(out.pruned, 51);
@@ -126,6 +155,7 @@ mod tests {
             5,
             &mut StdRng::seed_from_u64(8),
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         let vanilla = super::super::margin::select(
             |x| svm.margin(x),
@@ -134,6 +164,7 @@ mod tests {
             5,
             &mut StdRng::seed_from_u64(8),
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         let mut a = out.selection.chosen.clone();
         let mut b = vanilla.chosen.clone();
@@ -156,8 +187,24 @@ mod tests {
             5,
             &mut StdRng::seed_from_u64(8),
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         assert_eq!(out.selection.chosen.len(), 5);
         assert_eq!(out.pruned, 50);
+    }
+
+    #[test]
+    fn scores_are_thread_count_invariant() {
+        let c = corpus();
+        let svm = LinearSvm::from_parts(vec![3.0, 0.1], -1.5);
+        let unlabeled: Vec<usize> = (0..100).collect();
+        let seq = score_pool(&svm, 1, &c, &unlabeled, &Parallelism::sequential());
+        for t in [2, 3, 8] {
+            assert_eq!(
+                seq,
+                score_pool(&svm, 1, &c, &unlabeled, &Parallelism::fixed(t))
+            );
+        }
+        assert_eq!(seq.iter().filter(|&&s| s == EXCLUDED).count(), 51);
     }
 }

@@ -14,12 +14,17 @@
 //! Active learning for rules terminates when neither kind exists, which is
 //! why the paper's rule runs stop early with few labels (§6, Table 2).
 
-use super::{bottom_k_asc, top_k_desc, Selection};
+use super::{score_pool_with, top_k_desc, Selection, EXCLUDED};
 use crate::corpus::Corpus;
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use mlcore::rules::{Conjunction, Dnf};
 use rand::rngs::StdRng;
 use std::time::Duration;
+
+/// Scores at or above this value encode LFP candidates; positive scores
+/// below it encode LFN candidates (see [`score_pool`]).
+const LFP_BAND: f64 = 2.0;
 
 /// Outcome of an LFP/LFN round.
 #[derive(Debug, Clone, Default)]
@@ -41,17 +46,55 @@ impl LfpLfnSelection {
 }
 
 /// Mean continuous similarity of an example — the feature-similarity
-/// heuristic scoring how "match-like" a pair looks overall.
+/// heuristic scoring how "match-like" a pair looks overall. Clamped to
+/// `[0, 1]` so the LFP/LFN score bands of [`score_pool`] cannot collide.
 fn mean_similarity(corpus: &Corpus, i: usize) -> f64 {
     let x = corpus.x(i);
     if x.is_empty() {
         return 0.0;
     }
-    x.iter().sum::<f64>() / x.len() as f64
+    (x.iter().sum::<f64>() / x.len() as f64).clamp(0.0, 1.0)
+}
+
+/// Composite LFP/LFN scores for the pool, aligned with `unlabeled`.
+///
+/// The two candidate kinds are encoded in disjoint bands so one score
+/// vector carries both: an LFP (rule predicts match) scores
+/// `2 + (1 − sim)` ∈ `[2, 3]` — suspicious *low*-similarity matches rank
+/// highest — while an LFN (only a Rule-Minus relaxation matches) scores
+/// `sim` ∈ `[0, 1]` — suspicious *high*-similarity non-matches rank
+/// highest. Pairs covered by `accepted` or matched by neither rule get
+/// [`EXCLUDED`]. Within each band, higher = more informative, so a
+/// generic top-k consumer drains LFPs before LFNs; [`select`] instead
+/// splits the batch half-and-half per the paper.
+pub fn score_pool(
+    candidate: &Conjunction,
+    accepted: &Dnf,
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    par: &Parallelism,
+) -> Vec<f64> {
+    let Some(bools) = corpus.bool_features() else {
+        return vec![EXCLUDED; unlabeled.len()];
+    };
+    let minus = candidate.minus_variants();
+    score_pool_with(par, unlabeled, |i| {
+        let b = &bools[i];
+        if accepted.matches(b) {
+            EXCLUDED // already covered by accepted high-precision rules
+        } else if candidate.matches(b) {
+            LFP_BAND + (1.0 - mean_similarity(corpus, i))
+        } else if minus.iter().any(|m| m.matches(b)) {
+            mean_similarity(corpus, i)
+        } else {
+            EXCLUDED
+        }
+    })
 }
 
 /// One LFP/LFN selection round for `candidate`, ignoring pairs already
 /// covered by the `accepted` rule ensemble.
+#[allow(clippy::too_many_arguments)] // mirrors the pipeline's natural inputs
 pub fn select(
     candidate: &Conjunction,
     accepted: &Dnf,
@@ -60,27 +103,27 @@ pub fn select(
     batch: usize,
     rng: &mut StdRng,
     obs: &Registry,
+    par: &Parallelism,
 ) -> LfpLfnSelection {
     // A corpus without Boolean predicates cannot reach this point through
     // the session driver (Strategy::fit rejects it); degrade to an
     // exhausted round rather than panicking.
-    let Some(bools) = corpus.bool_features() else {
+    if corpus.bool_features().is_none() {
         return LfpLfnSelection::default();
-    };
+    }
     let score_span = obs.span("select.score");
-    let minus = candidate.minus_variants();
+    let scores = score_pool(candidate, accepted, corpus, unlabeled, par);
 
     let mut lfp: Vec<(usize, f64)> = Vec::new();
     let mut lfn: Vec<(usize, f64)> = Vec::new();
-    for &i in unlabeled {
-        let b = &bools[i];
-        if accepted.matches(b) {
-            continue; // already covered by accepted high-precision rules
+    for (&i, &s) in unlabeled.iter().zip(&scores) {
+        if s == EXCLUDED {
+            continue;
         }
-        if candidate.matches(b) {
-            lfp.push((i, mean_similarity(corpus, i)));
-        } else if minus.iter().any(|m| m.matches(b)) {
-            lfn.push((i, mean_similarity(corpus, i)));
+        if s >= LFP_BAND {
+            lfp.push((i, s));
+        } else {
+            lfn.push((i, s));
         }
     }
     let lfp_found = lfp.len();
@@ -91,9 +134,11 @@ pub fn select(
 
     // Lowest-similarity predicted matches and highest-similarity predicted
     // non-matches, half the batch each; shortfalls fill from the other.
+    // Both bands already rank "most suspicious first" under descending
+    // score, so a single top-k shape serves both halves.
     let half = batch / 2;
     let lfp_take = half.max(batch.saturating_sub(lfn_found));
-    let mut chosen = bottom_k_asc(lfp, lfp_take, rng);
+    let mut chosen = top_k_desc(lfp, lfp_take, rng);
     let rest = batch - chosen.len().min(batch);
     chosen.extend(top_k_desc(lfn, rest, rng));
     chosen.truncate(batch);
@@ -153,6 +198,7 @@ mod tests {
             10,
             &mut rng,
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         assert_eq!(out.lfp_found, 20); // all rows where both atoms hold
         assert_eq!(out.lfn_found, 10); // rows matched only by minus-rule {0}
@@ -176,6 +222,37 @@ mod tests {
     }
 
     #[test]
+    fn score_bands_are_disjoint_and_thread_count_invariant() {
+        let c = corpus();
+        let candidate = Conjunction::new(vec![0, 1]);
+        let unlabeled: Vec<usize> = (0..40).collect();
+        let seq = score_pool(
+            &candidate,
+            &Dnf::empty(),
+            &c,
+            &unlabeled,
+            &Parallelism::sequential(),
+        );
+        for (j, &s) in seq.iter().enumerate() {
+            match j / 10 {
+                0 | 1 => assert!((LFP_BAND..=LFP_BAND + 1.0).contains(&s), "idx {j}: {s}"),
+                2 => assert!((0.0..=1.0).contains(&s), "idx {j}: {s}"),
+                _ => assert_eq!(s, EXCLUDED, "idx {j}"),
+            }
+        }
+        for t in [2, 3, 8] {
+            let p = score_pool(
+                &candidate,
+                &Dnf::empty(),
+                &c,
+                &unlabeled,
+                &Parallelism::fixed(t),
+            );
+            assert_eq!(seq, p, "threads={t}");
+        }
+    }
+
+    #[test]
     fn accepted_rules_suppress_candidates() {
         let c = corpus();
         let candidate = Conjunction::new(vec![0, 1]);
@@ -192,6 +269,7 @@ mod tests {
             10,
             &mut rng,
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         assert!(out.exhausted());
         assert!(out.selection.chosen.is_empty());
@@ -211,6 +289,7 @@ mod tests {
             10,
             &mut rng,
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         assert_eq!(out.lfn_found, 0);
         assert!(out.lfp_found > 0);

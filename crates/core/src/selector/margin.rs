@@ -5,29 +5,46 @@
 //! the neural net — and picks the examples closest to it. Learner-aware:
 //! there is no committee to build, so the whole latency is scoring time.
 
-use super::{bottom_k_asc, Selection};
+use super::{score_pool_with, scored_pool, top_k_desc, Selection};
 use crate::corpus::Corpus;
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use rand::rngs::StdRng;
 use std::time::Duration;
 
+/// Ambiguity scores for the pool: the negated absolute margin, so the
+/// examples closest to the decision boundary score highest. Aligned with
+/// `unlabeled`; thread-count invariant.
+pub fn score_pool<F>(
+    margin_of: F,
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    par: &Parallelism,
+) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    score_pool_with(par, unlabeled, |i| -margin_of(corpus.x(i)))
+}
+
 /// One margin-selection round. `margin_of` must return the *absolute*
 /// distance from the decision boundary for a corpus example index.
-pub fn select<F: Fn(&[f64]) -> f64>(
+pub fn select<F>(
     margin_of: F,
     corpus: &Corpus,
     unlabeled: &[usize],
     batch: usize,
     rng: &mut StdRng,
     obs: &Registry,
-) -> Selection {
+    par: &Parallelism,
+) -> Selection
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
     let score_span = obs.span("select.score");
-    let scored: Vec<(usize, f64)> = unlabeled
-        .iter()
-        .map(|&i| (i, margin_of(corpus.x(i))))
-        .collect();
-    obs.counter_add("select.pairs_scored", scored.len() as u64);
-    let chosen = bottom_k_asc(scored, batch, rng);
+    let scores = score_pool(margin_of, corpus, unlabeled, par);
+    obs.counter_add("select.pairs_scored", scores.len() as u64);
+    let chosen = top_k_desc(scored_pool(unlabeled, &scores), batch, rng);
     Selection {
         chosen,
         committee_creation: Duration::ZERO,
@@ -61,6 +78,7 @@ mod tests {
             10,
             &mut rng,
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         assert_eq!(sel.committee_creation, Duration::ZERO);
         for &i in &sel.chosen {
@@ -82,8 +100,33 @@ mod tests {
             7,
             &mut rng,
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         assert_eq!(sel.chosen.len(), 7);
         assert!(sel.chosen.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn selection_is_thread_count_invariant() {
+        let c = corpus();
+        let svm = LinearSvm::from_parts(vec![2.0], -1.0);
+        let unlabeled: Vec<usize> = (0..100).collect();
+        let pick = |par: Parallelism| {
+            let mut rng = StdRng::seed_from_u64(9);
+            select(
+                |x| svm.margin(x),
+                &c,
+                &unlabeled,
+                10,
+                &mut rng,
+                &Registry::disabled(),
+                &par,
+            )
+            .chosen
+        };
+        let seq = pick(Parallelism::sequential());
+        for t in [2, 3, 8] {
+            assert_eq!(seq, pick(Parallelism::fixed(t)), "threads={t}");
+        }
     }
 }

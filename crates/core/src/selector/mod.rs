@@ -16,9 +16,38 @@ pub mod margin;
 pub mod qbc;
 pub mod tree_qbc;
 
+use alem_par::Parallelism;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::time::Duration;
+
+/// Score marking an example as excluded from selection (pruned by
+/// blocking dimensions, covered by an accepted rule, …). Top-k consumers
+/// drop excluded entries before ranking, so an excluded example is never
+/// chosen even when the pool is smaller than the batch.
+pub const EXCLUDED: f64 = f64::NEG_INFINITY;
+
+/// The workspace's single pool-scoring fan-out: score `unlabeled[j]` with
+/// `score`, in parallel per `par`, returning a score vector aligned with
+/// `unlabeled`. Chunk boundaries depend only on `(len, threads)` and
+/// results merge in chunk order, so the output is byte-identical for any
+/// thread count (see `alem_par::chunks`).
+pub fn score_pool_with<F>(par: &Parallelism, unlabeled: &[usize], score: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    par.map(unlabeled, |&i| score(i))
+}
+
+/// Pair pool indices with their scores, dropping [`EXCLUDED`] entries.
+pub fn scored_pool(unlabeled: &[usize], scores: &[f64]) -> Vec<(usize, f64)> {
+    unlabeled
+        .iter()
+        .copied()
+        .zip(scores.iter().copied())
+        .filter(|&(_, s)| s != EXCLUDED)
+        .collect()
+}
 
 /// Outcome of one selection round.
 #[derive(Debug, Clone, Default)]
@@ -91,5 +120,23 @@ mod tests {
         let scored = vec![(7, 0.3)];
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(top_k_desc(scored, 10, &mut rng), vec![7]);
+    }
+
+    #[test]
+    fn scored_pool_drops_excluded() {
+        let unlabeled = vec![4, 9, 2, 7];
+        let scores = vec![0.5, EXCLUDED, 0.1, EXCLUDED];
+        assert_eq!(scored_pool(&unlabeled, &scores), vec![(4, 0.5), (2, 0.1)]);
+    }
+
+    #[test]
+    fn score_pool_with_is_thread_count_invariant() {
+        let unlabeled: Vec<usize> = (0..97).collect();
+        let f = |i: usize| (i as f64).sin();
+        let seq = score_pool_with(&Parallelism::sequential(), &unlabeled, f);
+        for t in [2, 3, 8] {
+            assert_eq!(seq, score_pool_with(&Parallelism::fixed(t), &unlabeled, f));
+        }
+        assert_eq!(seq.len(), 97);
     }
 }

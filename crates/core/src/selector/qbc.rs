@@ -7,15 +7,23 @@
 //! The latency is reported split into committee-creation and
 //! example-scoring time, the decomposition plotted in Fig. 10.
 
-use super::{top_k_desc, Selection};
+use super::{score_pool_with, scored_pool, top_k_desc, Selection};
 use crate::corpus::Corpus;
 use crate::learner::Trainer;
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use mlcore::data::bootstrap_indices;
 use mlcore::Classifier;
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Train a bootstrap committee of `size` models on the labeled examples.
+/// Train a bootstrap committee of `size` models on the labeled examples,
+/// one worker per chunk of members.
+///
+/// Every member gets its own `StdRng` seeded from a u64 pre-drawn on the
+/// caller's thread, so member `i`'s bootstrap sample and training run are
+/// independent of scheduling: the committee is byte-identical for any
+/// thread count.
 ///
 /// Returns an empty committee when `use_bool_features` is requested on a
 /// corpus without Boolean predicates — [`crate::strategy::Strategy::fit`]
@@ -27,6 +35,7 @@ pub fn train_committee<T: Trainer>(
     size: usize,
     rng: &mut StdRng,
     use_bool_features: bool,
+    par: &Parallelism,
 ) -> Vec<T::Model> {
     let bools = if use_bool_features {
         match corpus.bool_features() {
@@ -42,14 +51,14 @@ pub fn train_committee<T: Trainer>(
             None => corpus.x(i).to_vec(),
         }
     };
-    (0..size)
-        .map(|_| {
-            let idx = bootstrap_indices(labeled.len(), rng);
-            let xs: Vec<Vec<f64>> = idx.iter().map(|&j| rows(labeled[j].0)).collect();
-            let ys: Vec<bool> = idx.iter().map(|&j| labeled[j].1).collect();
-            trainer.train(&xs, &ys, rng)
-        })
-        .collect()
+    let seeds: Vec<u64> = (0..size).map(|_| rng.gen()).collect();
+    par.map(&seeds, |&seed| {
+        let mut mrng = StdRng::seed_from_u64(seed);
+        let idx = bootstrap_indices(labeled.len(), &mut mrng);
+        let xs: Vec<Vec<f64>> = idx.iter().map(|&j| rows(labeled[j].0)).collect();
+        let ys: Vec<bool> = idx.iter().map(|&j| labeled[j].1).collect();
+        trainer.train(&xs, &ys, &mut mrng)
+    })
 }
 
 /// Vote variance of a committee on one example.
@@ -59,8 +68,33 @@ pub fn committee_variance<M: Classifier>(committee: &[M], x: &[f64]) -> f64 {
     p * (1.0 - p)
 }
 
+/// Vote-variance scores for the pool, aligned with `unlabeled`; higher =
+/// more committee disagreement. Thread-count invariant.
+pub fn score_pool<M: Classifier + Sync>(
+    committee: &[M],
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    use_bool_features: bool,
+    par: &Parallelism,
+) -> Vec<f64> {
+    let bools = if use_bool_features {
+        corpus.bool_features()
+    } else {
+        None
+    };
+    score_pool_with(par, unlabeled, |i| {
+        let x: &[f64] = match bools {
+            Some(b) => &b[i],
+            None => corpus.x(i),
+        };
+        committee_variance(committee, x)
+    })
+}
+
 /// One QBC selection round: build the committee, score the unlabeled pool,
-/// return the `batch` most ambiguous examples.
+/// return the `batch` most ambiguous examples. Returns the trained
+/// committee alongside the selection so callers can reuse it for
+/// [`crate::strategy::Strategy::score_pool`].
 #[allow(clippy::too_many_arguments)] // mirrors the pipeline's natural inputs
 pub fn select<T: Trainer>(
     trainer: &T,
@@ -72,15 +106,8 @@ pub fn select<T: Trainer>(
     rng: &mut StdRng,
     use_bool_features: bool,
     obs: &Registry,
-) -> Selection {
-    let bools = if use_bool_features {
-        match corpus.bool_features() {
-            Some(b) => Some(b),
-            None => return Selection::default(),
-        }
-    } else {
-        None
-    };
+    par: &Parallelism,
+) -> (Selection, Vec<T::Model>) {
     let committee_span = obs.span("select.committee");
     let committee = train_committee(
         trainer,
@@ -89,29 +116,27 @@ pub fn select<T: Trainer>(
         committee_size,
         rng,
         use_bool_features,
+        par,
     );
     let committee_creation = committee_span.finish();
+    if committee.is_empty() {
+        return (Selection::default(), committee);
+    }
 
     let score_span = obs.span("select.score");
-    let scored: Vec<(usize, f64)> = unlabeled
-        .iter()
-        .map(|&i| {
-            let x: &[f64] = match bools {
-                Some(b) => &b[i],
-                None => corpus.x(i),
-            };
-            (i, committee_variance(&committee, x))
-        })
-        .collect();
-    obs.counter_add("select.pairs_scored", scored.len() as u64);
-    let chosen = top_k_desc(scored, batch, rng);
+    let scores = score_pool(&committee, corpus, unlabeled, use_bool_features, par);
+    obs.counter_add("select.pairs_scored", scores.len() as u64);
+    let chosen = top_k_desc(scored_pool(unlabeled, &scores), batch, rng);
     let scoring = score_span.finish();
 
-    Selection {
-        chosen,
-        committee_creation,
-        scoring,
-    }
+    (
+        Selection {
+            chosen,
+            committee_creation,
+            scoring,
+        },
+        committee,
+    )
 }
 
 #[cfg(test)]
@@ -138,8 +163,47 @@ mod tests {
         let c = corpus();
         let labeled = labeled_seed(&c);
         let mut rng = StdRng::seed_from_u64(3);
-        let committee = train_committee(&SvmTrainer::default(), &c, &labeled, 5, &mut rng, false);
+        let committee = train_committee(
+            &SvmTrainer::default(),
+            &c,
+            &labeled,
+            5,
+            &mut rng,
+            false,
+            &Parallelism::sequential(),
+        );
         assert_eq!(committee.len(), 5);
+    }
+
+    #[test]
+    fn committee_is_thread_count_invariant() {
+        let c = corpus();
+        let labeled = labeled_seed(&c);
+        let train = |par: Parallelism| {
+            let mut rng = StdRng::seed_from_u64(7);
+            train_committee(
+                &SvmTrainer::default(),
+                &c,
+                &labeled,
+                6,
+                &mut rng,
+                false,
+                &par,
+            )
+        };
+        let seq = train(Parallelism::sequential());
+        for t in [2, 3, 8] {
+            let p = train(Parallelism::fixed(t));
+            for (a, b) in seq.iter().zip(&p) {
+                for i in 0..c.len() {
+                    assert_eq!(
+                        a.decision_value(c.x(i)),
+                        b.decision_value(c.x(i)),
+                        "threads={t}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -150,7 +214,7 @@ mod tests {
             .filter(|i| !labeled.iter().any(|(j, _)| j == i))
             .collect();
         let mut rng = StdRng::seed_from_u64(3);
-        let sel = select(
+        let (sel, committee) = select(
             &SvmTrainer::default(),
             4,
             &c,
@@ -160,7 +224,9 @@ mod tests {
             &mut rng,
             false,
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
+        assert_eq!(committee.len(), 4);
         assert_eq!(sel.chosen.len(), 10);
         for i in &sel.chosen {
             assert!(unlabeled.contains(i));
@@ -180,7 +246,7 @@ mod tests {
             .filter(|i| !labeled.iter().any(|(j, _)| j == i))
             .collect();
         let mut rng = StdRng::seed_from_u64(3);
-        let sel = select(
+        let (sel, _) = select(
             &SvmTrainer::default(),
             8,
             &c,
@@ -190,6 +256,7 @@ mod tests {
             &mut rng,
             false,
             &Registry::disabled(),
+            &Parallelism::sequential(),
         );
         // The decision boundary is at 0.5; the committee should disagree
         // mostly near it.
@@ -206,7 +273,15 @@ mod tests {
         let c = corpus();
         let labeled = labeled_seed(&c);
         let mut rng = StdRng::seed_from_u64(3);
-        let committee = train_committee(&SvmTrainer::default(), &c, &labeled, 6, &mut rng, false);
+        let committee = train_committee(
+            &SvmTrainer::default(),
+            &c,
+            &labeled,
+            6,
+            &mut rng,
+            false,
+            &Parallelism::sequential(),
+        );
         for i in 0..c.len() {
             let v = committee_variance(&committee, c.x(i));
             assert!((0.0..=0.25 + 1e-12).contains(&v));

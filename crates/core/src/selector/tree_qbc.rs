@@ -7,12 +7,24 @@
 //! times across forest sizes and Fig. 13 shows trees with the lowest user
 //! wait times.
 
-use super::{top_k_desc, Selection};
+use super::{score_pool_with, scored_pool, top_k_desc, Selection};
 use crate::corpus::Corpus;
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use mlcore::forest::RandomForest;
 use rand::rngs::StdRng;
 use std::time::Duration;
+
+/// Vote-variance scores for the pool, aligned with `unlabeled`; higher =
+/// more tree disagreement. Thread-count invariant.
+pub fn score_pool(
+    forest: &RandomForest,
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    par: &Parallelism,
+) -> Vec<f64> {
+    score_pool_with(par, unlabeled, |i| forest.vote_variance(corpus.x(i)))
+}
 
 /// One learner-aware QBC round over an already-trained forest.
 pub fn select(
@@ -22,14 +34,12 @@ pub fn select(
     batch: usize,
     rng: &mut StdRng,
     obs: &Registry,
+    par: &Parallelism,
 ) -> Selection {
     let score_span = obs.span("select.score");
-    let scored: Vec<(usize, f64)> = unlabeled
-        .iter()
-        .map(|&i| (i, forest.vote_variance(corpus.x(i))))
-        .collect();
-    obs.counter_add("select.pairs_scored", scored.len() as u64);
-    let chosen = top_k_desc(scored, batch, rng);
+    let scores = score_pool(forest, corpus, unlabeled, par);
+    obs.counter_add("select.pairs_scored", scores.len() as u64);
+    let chosen = top_k_desc(scored_pool(unlabeled, &scores), batch, rng);
     Selection {
         chosen,
         committee_creation: Duration::ZERO,
@@ -59,7 +69,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let forest = ForestConfig::with_trees(10).train(&TrainSet::new(&xs, &ys), &mut rng);
         let unlabeled: Vec<usize> = (0..100).filter(|i| !labeled.contains(i)).collect();
-        let sel = select(&forest, &c, &unlabeled, 10, &mut rng, &Registry::disabled());
+        let sel = select(
+            &forest,
+            &c,
+            &unlabeled,
+            10,
+            &mut rng,
+            &Registry::disabled(),
+            &Parallelism::sequential(),
+        );
         assert_eq!(sel.committee_creation, Duration::ZERO);
         assert_eq!(sel.chosen.len(), 10);
         for i in &sel.chosen {

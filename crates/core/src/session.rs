@@ -11,7 +11,9 @@
 //! # Determinism and resume
 //!
 //! Every iteration `k` draws from its own RNG, derived from the master
-//! seed: `seed ⊕ φ·(k+1)` (setup draws from slot 0). The checkpointed "RNG
+//! seed: `seed ⊕ φ·(k+1)`. Setup forks slot 0 into one sub-RNG per concern
+//! (hold-out split, seed draw) so the evaluation mode cannot perturb the
+//! selection stream. The checkpointed "RNG
 //! state" is therefore just `(master_seed, iter_no)` — resuming
 //! reconstructs iteration `k`'s generator bit-for-bit. For strategies that
 //! refit from scratch each iteration (all of the paper's core strategies),
@@ -29,6 +31,7 @@ use crate::loop_::{ActiveLearner, EvalMode, LoopParams};
 use crate::oracle::{OracleAnswer, QueryOracle, RetryPolicy};
 use crate::strategy::Strategy;
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -66,6 +69,13 @@ pub struct SessionConfig {
     /// learner, so enabling it cannot change a run's
     /// [`RunResult::deterministic_fingerprint`].
     pub obs: Registry,
+    /// Thread-count policy for the parallel hot paths (committee/forest
+    /// training and pool scoring). Results are byte-identical for any
+    /// value — chunk boundaries depend only on `(len, n_threads)` and
+    /// per-member RNG seeds are pre-drawn — so this knob only trades
+    /// wall-clock for cores. Defaults to [`Parallelism::auto`];
+    /// [`Parallelism::sequential`] reproduces the single-threaded path.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SessionConfig {
@@ -77,6 +87,7 @@ impl Default for SessionConfig {
             halt_after: None,
             max_stalled_iters: 5,
             obs: Registry::disabled(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -245,18 +256,31 @@ impl<S: Strategy> ActiveLearner<S> {
             });
         }
 
-        let mut rng = derive_rng(seed, 0);
+        // One sub-RNG per setup concern, forked from slot 0 in a fixed
+        // order. The hold-out split and the seed draw must not share a
+        // stream: with a shared stream the split's shuffles advance the
+        // generator, so merely switching `EvalMode` rewired which examples
+        // the seed picked. With dedicated streams, `Progressive` and
+        // `Holdout` runs on the same master seed draw the same seed labels
+        // (modulo examples the split holds out).
+        let mut setup_rng = derive_rng(seed, 0);
+        let mut eval_rng = StdRng::seed_from_u64(setup_rng.gen());
+        let mut pool_rng = StdRng::seed_from_u64(setup_rng.gen());
         let seed_span = config.obs.span("seed");
 
         // Build the selection pool and the evaluation set.
         let (mut pool, eval_idx): (Vec<usize>, Vec<usize>) = match params.eval {
             EvalMode::Progressive => ((0..corpus.len()).collect(), (0..corpus.len()).collect()),
-            EvalMode::Holdout { test_frac } => corpus.split_holdout(test_frac, &mut rng),
+            EvalMode::Holdout { test_frac } => corpus.split_holdout(test_frac, &mut eval_rng),
         };
 
         // Random initial seed from the pool; abstained examples go back to
-        // the unlabeled pool and the cursor moves on.
-        pool.shuffle(&mut rng);
+        // the unlabeled pool and the cursor moves on. The pool is brought
+        // to canonical order first so the seed draw is a pure function of
+        // `pool_rng` and the pool's *contents*, not of how the eval split
+        // happened to order it.
+        pool.sort_unstable();
+        pool.shuffle(&mut pool_rng);
         let seed_n = params.seed_size.min(pool.len());
         let mut labeled: Vec<(usize, bool)> = Vec::with_capacity(seed_n);
         let mut skipped: Vec<usize> = Vec::new();
@@ -286,7 +310,7 @@ impl<S: Strategy> ActiveLearner<S> {
             && !unlabeled.is_empty()
             && labeled.len() < params.max_labels
         {
-            let j = rng.gen_range(0..unlabeled.len());
+            let j = pool_rng.gen_range(0..unlabeled.len());
             let i = unlabeled.swap_remove(j);
             extra += 1;
             match config.retry.query_observed(oracle, i, &config.obs)? {
@@ -399,11 +423,19 @@ impl<S: Strategy> ActiveLearner<S> {
         };
 
         let obs = &config.obs;
+        // Install the session's thread-count policy; results are invariant
+        // to it by construction, so this only affects wall-clock.
+        self.strategy.set_parallelism(config.parallelism);
+        obs.gauge_set("par.threads", config.parallelism.threads() as u64);
         let mut warned_empty_selection = false;
         loop {
             let k = st.iter_no;
             obs.set_iter(k as u64);
             let iter_span = obs.span("iteration");
+            obs.counter_add(
+                "par.chunks",
+                config.parallelism.chunk_count(st.unlabeled.len()) as u64,
+            );
 
             // Checkpoint at iteration boundaries (idempotent on resume).
             let due = config
@@ -842,6 +874,82 @@ mod tests {
             assert!(names.contains(want), "missing span {want} in {names:?}");
         }
         assert!(obs.counter_value("oracle.labels") > 0);
+        // The parallel layer reports its shape even when sequential.
+        assert!(names.contains("par.threads"), "missing gauge par.threads");
+        assert!(obs.counter_value("par.chunks") > 0);
+    }
+
+    #[test]
+    fn eval_mode_does_not_perturb_query_stream() {
+        use std::sync::Mutex;
+
+        /// Records the exact index sequence sent to the Oracle.
+        struct RecordingOracle {
+            inner: Oracle,
+            order: Mutex<Vec<usize>>,
+        }
+        impl QueryOracle for RecordingOracle {
+            fn try_label(&self, i: usize) -> Result<OracleAnswer, AlemError> {
+                self.order.lock().unwrap().push(i);
+                self.inner.try_label(i)
+            }
+            fn queries(&self) -> u64 {
+                self.inner.queries()
+            }
+            fn universe(&self) -> usize {
+                self.inner.universe()
+            }
+            fn fast_forward(&self, n: u64) {
+                self.inner.fast_forward(n)
+            }
+        }
+
+        let c = corpus(300);
+        let run = |eval: EvalMode| -> Vec<usize> {
+            let oracle = RecordingOracle {
+                inner: Oracle::perfect(c.truths().to_vec()),
+                order: Mutex::new(Vec::new()),
+            };
+            let p = LoopParams { eval, ..params() };
+            let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), p);
+            al.run_session(&c, &oracle, 31, &SessionConfig::default())
+                .unwrap();
+            oracle.order.into_inner().unwrap()
+        };
+
+        // A hold-out split that holds nothing out leaves the same pool as
+        // progressive mode; with per-concern setup RNGs the *entire* query
+        // stream — seed draw and every selection — must be identical.
+        // (Before the fix, the split's shuffles advanced the shared setup
+        // RNG and the two modes diverged from the first seed query on.)
+        let progressive = run(EvalMode::Progressive);
+        let holdout = run(EvalMode::Holdout { test_frac: 0.0 });
+        assert_eq!(progressive, holdout);
+    }
+
+    #[test]
+    fn parallelism_setting_keeps_fingerprint() {
+        let c = corpus(300);
+        let run = |par: Parallelism| {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let cfg = SessionConfig {
+                parallelism: par,
+                ..SessionConfig::default()
+            };
+            let mut al = ActiveLearner::new(TreeQbcStrategy::new(5), params());
+            al.run_session(&c, &oracle, 47, &cfg)
+                .unwrap()
+                .run_result()
+                .unwrap()
+        };
+        let seq = run(Parallelism::sequential());
+        for t in [2, 4] {
+            assert_eq!(
+                seq.deterministic_fingerprint(),
+                run(Parallelism::fixed(t)).deterministic_fingerprint(),
+                "threads={t}"
+            );
+        }
     }
 
     #[test]

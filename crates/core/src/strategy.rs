@@ -22,6 +22,7 @@ use crate::interpret;
 use crate::learner::{DnfTrainer, ForestTrainer, NnTrainer, SvmTrainer, Trainer};
 use crate::selector::{self, Selection};
 use alem_obs::Registry;
+use alem_par::Parallelism;
 use mlcore::forest::RandomForest;
 use mlcore::nn::NeuralNet;
 use mlcore::rules::{Conjunction, Dnf};
@@ -83,6 +84,33 @@ pub trait Strategy {
         obs: &Registry,
     ) -> Selection;
 
+    /// Batch ambiguity scores for the unlabeled pool: entry `j` scores
+    /// `unlabeled[j]`, higher means more informative, and
+    /// [`selector::EXCLUDED`] marks examples this strategy refuses to
+    /// select (pruned by blocking dimensions, covered by accepted rules).
+    ///
+    /// This is the uniform batch-scoring surface behind every selector:
+    /// [`Strategy::select`] implementations are thin top-k consumers of
+    /// these scores, and the parallel fan-out (see
+    /// [`Strategy::set_parallelism`]) happens inside this single method
+    /// family instead of once per selector.
+    ///
+    /// Errors with [`AlemError::InvalidConfig`] when the strategy has no
+    /// scoring model yet (e.g. `fit`/`select` not called). The default
+    /// implementation scores every example `0.0` — sequentially, with no
+    /// model consulted — so a generic top-k consumer degrades to uniform
+    /// random sampling (ties are randomized).
+    fn score_pool(&self, _corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        Ok(vec![0.0; unlabeled.len()])
+    }
+
+    /// Install the thread-count policy used by `score_pool`/`select`/`fit`
+    /// fan-outs. Results are byte-identical for any setting; only wall
+    /// clock changes. The default ignores it (inherently sequential
+    /// strategies). Strategies start out sequential until the session
+    /// driver calls this with [`crate::session::SessionConfig`]'s value.
+    fn set_parallelism(&mut self, _par: Parallelism) {}
+
     /// Predict the label of corpus example `i` with the current model.
     fn predict(&self, corpus: &Corpus, i: usize) -> bool;
 
@@ -140,6 +168,14 @@ impl Strategy for Box<dyn Strategy + Send> {
         obs: &Registry,
     ) -> Selection {
         (**self).select(corpus, labeled, unlabeled, batch, rng, obs)
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        (**self).score_pool(corpus, unlabeled)
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        (**self).set_parallelism(par);
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -205,28 +241,75 @@ pub struct QbcStrategy<T: Trainer> {
     committee_size: usize,
     use_bool: bool,
     model: Option<T::Model>,
+    /// Committee from the most recent selection round, kept so
+    /// [`Strategy::score_pool`] can score without retraining.
+    committee: Vec<T::Model>,
+    par: Parallelism,
+}
+
+/// Builder for [`QbcStrategy`]; start from [`QbcStrategy::builder`].
+#[derive(Debug, Clone)]
+pub struct QbcStrategyBuilder<T: Trainer> {
+    trainer: T,
+    committee_size: usize,
+    use_bool: bool,
+}
+
+impl<T: Trainer> QbcStrategyBuilder<T> {
+    /// Committee size `B` (paper sweeps 2, 10, 20; default 20).
+    pub fn committee_size(mut self, size: usize) -> Self {
+        self.committee_size = size;
+        self
+    }
+
+    /// Train committee members on Boolean predicate features instead of
+    /// continuous similarities (rule learners, Fig. 19).
+    pub fn bool_features(mut self, use_bool: bool) -> Self {
+        self.use_bool = use_bool;
+        self
+    }
+
+    /// Finish building the strategy.
+    pub fn build(self) -> QbcStrategy<T> {
+        QbcStrategy {
+            trainer: self.trainer,
+            committee_size: self.committee_size,
+            use_bool: self.use_bool,
+            model: None,
+            committee: Vec::new(),
+            par: Parallelism::sequential(),
+        }
+    }
 }
 
 impl<T: Trainer> QbcStrategy<T> {
     /// QBC with a committee of `committee_size` models over continuous
     /// features.
     pub fn new(trainer: T, committee_size: usize) -> Self {
-        QbcStrategy {
+        QbcStrategy::builder(trainer)
+            .committee_size(committee_size)
+            .build()
+    }
+
+    /// Configure a QBC strategy; defaults to a committee of 20 over
+    /// continuous features.
+    pub fn builder(trainer: T) -> QbcStrategyBuilder<T> {
+        QbcStrategyBuilder {
             trainer,
-            committee_size,
+            committee_size: 20,
             use_bool: false,
-            model: None,
         }
     }
 
     /// QBC over Boolean predicate features (rule learners, Fig. 19).
+    #[deprecated(
+        note = "use QbcStrategy::builder(trainer).committee_size(n).bool_features(true).build()"
+    )]
     pub fn new_bool(trainer: T, committee_size: usize) -> Self {
-        QbcStrategy {
-            trainer,
-            committee_size,
-            use_bool: true,
-            model: None,
-        }
+        QbcStrategy::builder(trainer)
+            .committee_size(committee_size)
+            .bool_features(true)
+            .build()
     }
 
     /// The current trained model, if any.
@@ -260,7 +343,7 @@ impl<T: Trainer> Strategy for QbcStrategy<T> {
         rng: &mut StdRng,
         obs: &Registry,
     ) -> Selection {
-        selector::qbc::select(
+        let (sel, committee) = selector::qbc::select(
             &self.trainer,
             self.committee_size,
             corpus,
@@ -270,7 +353,29 @@ impl<T: Trainer> Strategy for QbcStrategy<T> {
             rng,
             self.use_bool,
             obs,
-        )
+            &self.par,
+        );
+        self.committee = committee;
+        sel
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        if self.committee.is_empty() {
+            return Err(AlemError::InvalidConfig(
+                "QBC has no committee yet; run select once before score_pool".to_owned(),
+            ));
+        }
+        Ok(selector::qbc::score_pool(
+            &self.committee,
+            corpus,
+            unlabeled,
+            self.use_bool,
+            &self.par,
+        ))
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -296,23 +401,56 @@ impl<T: Trainer> Strategy for QbcStrategy<T> {
 pub struct TreeQbcStrategy {
     trainer: ForestTrainer,
     model: Option<RandomForest>,
+    par: Parallelism,
+}
+
+/// Builder for [`TreeQbcStrategy`]; start from [`TreeQbcStrategy::builder`].
+#[derive(Debug, Clone)]
+pub struct TreeQbcStrategyBuilder {
+    trainer: ForestTrainer,
+}
+
+impl TreeQbcStrategyBuilder {
+    /// Number of trees (paper sweeps 2, 10, 20).
+    pub fn trees(mut self, n_trees: usize) -> Self {
+        self.trainer = ForestTrainer::with_trees(n_trees);
+        self
+    }
+
+    /// Use a custom forest trainer (ablation benches).
+    pub fn trainer(mut self, trainer: ForestTrainer) -> Self {
+        self.trainer = trainer;
+        self
+    }
+
+    /// Finish building the strategy.
+    pub fn build(self) -> TreeQbcStrategy {
+        TreeQbcStrategy {
+            trainer: self.trainer,
+            model: None,
+            par: Parallelism::sequential(),
+        }
+    }
 }
 
 impl TreeQbcStrategy {
     /// Forest of `n_trees` with Corleone settings.
     pub fn new(n_trees: usize) -> Self {
-        TreeQbcStrategy {
-            trainer: ForestTrainer::with_trees(n_trees),
-            model: None,
+        TreeQbcStrategy::builder().trees(n_trees).build()
+    }
+
+    /// Configure a tree-QBC strategy; defaults to a 10-tree forest with
+    /// Corleone settings.
+    pub fn builder() -> TreeQbcStrategyBuilder {
+        TreeQbcStrategyBuilder {
+            trainer: ForestTrainer::default(),
         }
     }
 
     /// Use a custom forest trainer (ablation benches).
+    #[deprecated(note = "use TreeQbcStrategy::builder().trainer(t).build()")]
     pub fn with_trainer(trainer: ForestTrainer) -> Self {
-        TreeQbcStrategy {
-            trainer,
-            model: None,
-        }
+        TreeQbcStrategy::builder().trainer(trainer).build()
     }
 
     /// The current forest, if trained.
@@ -333,7 +471,8 @@ impl Strategy for TreeQbcStrategy {
         rng: &mut StdRng,
     ) -> Result<(), AlemError> {
         let (xs, ys) = labeled_rows(corpus, labeled, false)?;
-        self.model = Some(self.trainer.train(&xs, &ys, rng));
+        let set = mlcore::data::TrainSet::new(&xs, &ys);
+        self.model = Some(self.trainer.0.train_with(&set, rng, &self.par));
         Ok(())
     }
 
@@ -349,7 +488,20 @@ impl Strategy for TreeQbcStrategy {
         let Some(forest) = self.model.as_ref() else {
             return Selection::default();
         };
-        selector::tree_qbc::select(forest, corpus, unlabeled, batch, rng, obs)
+        selector::tree_qbc::select(forest, corpus, unlabeled, batch, rng, obs, &self.par)
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        let forest = self.model.as_ref().ok_or_else(|| {
+            AlemError::InvalidConfig("tree QBC has no forest yet; call fit first".to_owned())
+        })?;
+        Ok(selector::tree_qbc::score_pool(
+            forest, corpus, unlabeled, &self.par,
+        ))
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -383,27 +535,61 @@ pub struct MarginSvmStrategy {
     blocking_k: Option<usize>,
     model: Option<LinearSvm>,
     last_pruned: Option<usize>,
+    par: Parallelism,
+}
+
+/// Builder for [`MarginSvmStrategy`]; start from
+/// [`MarginSvmStrategy::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct MarginSvmStrategyBuilder {
+    trainer: SvmTrainer,
+    blocking_k: Option<usize>,
+}
+
+impl MarginSvmStrategyBuilder {
+    /// Use a custom SVM trainer.
+    pub fn trainer(mut self, trainer: SvmTrainer) -> Self {
+        self.trainer = trainer;
+        self
+    }
+
+    /// Prune with the top-`k` blocking dimensions of §5.1.
+    pub fn blocking_dims(mut self, k: usize) -> Self {
+        self.blocking_k = Some(k);
+        self
+    }
+
+    /// Finish building the strategy.
+    pub fn build(self) -> MarginSvmStrategy {
+        MarginSvmStrategy {
+            trainer: self.trainer,
+            blocking_k: self.blocking_k,
+            model: None,
+            last_pruned: None,
+            par: Parallelism::sequential(),
+        }
+    }
 }
 
 impl MarginSvmStrategy {
     /// Vanilla margin over all dimensions.
     pub fn new(trainer: SvmTrainer) -> Self {
-        MarginSvmStrategy {
-            trainer,
-            blocking_k: None,
-            model: None,
-            last_pruned: None,
-        }
+        MarginSvmStrategy::builder().trainer(trainer).build()
+    }
+
+    /// Configure a margin-SVM strategy; defaults to a vanilla margin over
+    /// all dimensions with a default SVM trainer.
+    pub fn builder() -> MarginSvmStrategyBuilder {
+        MarginSvmStrategyBuilder::default()
     }
 
     /// Margin with top-`k` blocking dimensions.
+    #[deprecated(note = "use MarginSvmStrategy::builder().trainer(t).blocking_dims(k).build()")]
     pub fn with_blocking(trainer: SvmTrainer, k: usize) -> Self {
-        MarginSvmStrategy {
-            trainer,
-            blocking_k: Some(k),
-            model: None,
-            last_pruned: None,
-        }
+        MarginSvmStrategy::builder()
+            .trainer(trainer)
+            .blocking_dims(k)
+            .build()
     }
 
     /// The current SVM, if trained.
@@ -445,13 +631,36 @@ impl Strategy for MarginSvmStrategy {
         };
         match self.blocking_k {
             Some(k) => {
-                let out =
-                    selector::blocking_dim::select(svm, k, corpus, unlabeled, batch, rng, obs);
+                let out = selector::blocking_dim::select(
+                    svm, k, corpus, unlabeled, batch, rng, obs, &self.par,
+                );
                 self.last_pruned = Some(out.pruned);
                 out.selection
             }
-            None => selector::margin::select(|x| svm.margin(x), corpus, unlabeled, batch, rng, obs),
+            None => selector::margin::select(
+                |x| svm.margin(x),
+                corpus,
+                unlabeled,
+                batch,
+                rng,
+                obs,
+                &self.par,
+            ),
         }
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        let svm = self.model.as_ref().ok_or_else(|| {
+            AlemError::InvalidConfig("margin SVM has no model yet; call fit first".to_owned())
+        })?;
+        Ok(match self.blocking_k {
+            Some(k) => selector::blocking_dim::score_pool(svm, k, corpus, unlabeled, &self.par),
+            None => selector::margin::score_pool(|x| svm.margin(x), corpus, unlabeled, &self.par),
+        })
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -487,6 +696,7 @@ pub struct LshMarginStrategy {
     oversample: usize,
     model: Option<LinearSvm>,
     index: Option<selector::lsh::HyperplaneLsh>,
+    par: Parallelism,
 }
 
 impl LshMarginStrategy {
@@ -499,6 +709,7 @@ impl LshMarginStrategy {
             oversample,
             model: None,
             index: None,
+            par: Parallelism::sequential(),
         }
     }
 }
@@ -544,6 +755,24 @@ impl Strategy for LshMarginStrategy {
         }
     }
 
+    /// Exact margin scores — the LSH approximation only shortcuts
+    /// `select`'s candidate shortlist, not the scoring surface.
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        let svm = self.model.as_ref().ok_or_else(|| {
+            AlemError::InvalidConfig("LSH margin has no model yet; call fit first".to_owned())
+        })?;
+        Ok(selector::margin::score_pool(
+            |x| svm.margin(x),
+            corpus,
+            unlabeled,
+            &self.par,
+        ))
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+    }
+
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
         self.model
             .as_ref()
@@ -560,6 +789,7 @@ impl Strategy for LshMarginStrategy {
 pub struct MarginNnStrategy {
     trainer: NnTrainer,
     model: Option<NeuralNet>,
+    par: Parallelism,
 }
 
 impl MarginNnStrategy {
@@ -568,6 +798,7 @@ impl MarginNnStrategy {
         MarginNnStrategy {
             trainer,
             model: None,
+            par: Parallelism::sequential(),
         }
     }
 
@@ -611,7 +842,31 @@ impl Strategy for MarginNnStrategy {
         let Some(net) = self.model.as_ref() else {
             return Selection::default();
         };
-        selector::margin::select(|x| net.margin(x).abs(), corpus, unlabeled, batch, rng, obs)
+        selector::margin::select(
+            |x| net.margin(x).abs(),
+            corpus,
+            unlabeled,
+            batch,
+            rng,
+            obs,
+            &self.par,
+        )
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        let net = self.model.as_ref().ok_or_else(|| {
+            AlemError::InvalidConfig("NN margin has no model yet; call fit first".to_owned())
+        })?;
+        Ok(selector::margin::score_pool(
+            |x| net.margin(x).abs(),
+            corpus,
+            unlabeled,
+            &self.par,
+        ))
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -712,6 +967,7 @@ pub struct LfpLfnStrategy {
     accepted: Dnf,
     candidate: Option<Conjunction>,
     terminated: bool,
+    par: Parallelism,
 }
 
 impl LfpLfnStrategy {
@@ -723,6 +979,7 @@ impl LfpLfnStrategy {
             accepted: Dnf::empty(),
             candidate: None,
             terminated: false,
+            par: Parallelism::sequential(),
         }
     }
 
@@ -789,11 +1046,29 @@ impl Strategy for LfpLfnStrategy {
             batch,
             rng,
             obs,
+            &self.par,
         );
         if out.exhausted() {
             self.terminated = true;
         }
         out.selection
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        let candidate = self.candidate.as_ref().ok_or_else(|| {
+            AlemError::InvalidConfig("LFP/LFN has no candidate rule yet; call fit first".to_owned())
+        })?;
+        Ok(selector::lfp_lfn::score_pool(
+            candidate,
+            &self.accepted,
+            corpus,
+            unlabeled,
+            &self.par,
+        ))
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     fn predict(&self, corpus: &Corpus, i: usize) -> bool {
@@ -870,27 +1145,59 @@ pub struct RandomStrategy<T: Trainer> {
     model: Option<T::Model>,
 }
 
+/// Builder for [`RandomStrategy`]; start from [`RandomStrategy::builder`].
+#[derive(Debug, Clone)]
+pub struct RandomStrategyBuilder<T: Trainer> {
+    trainer: T,
+    label: String,
+    train_frac: f64,
+}
+
+impl<T: Trainer> RandomStrategyBuilder<T> {
+    /// Train on only this fraction of the labeled pool (3:1
+    /// train:validation, like the paper's DeepMatcher runs).
+    pub fn train_frac(mut self, train_frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&train_frac));
+        self.train_frac = train_frac;
+        self
+    }
+
+    /// Finish building the strategy.
+    pub fn build(self) -> RandomStrategy<T> {
+        RandomStrategy {
+            trainer: self.trainer,
+            label: self.label,
+            train_frac: self.train_frac,
+            model: None,
+        }
+    }
+}
+
 impl<T: Trainer> RandomStrategy<T> {
     /// Random selection training on all labels.
     pub fn new(trainer: T, label: &str) -> Self {
-        RandomStrategy {
+        RandomStrategy::builder(trainer, label).build()
+    }
+
+    /// Configure a random-selection baseline; defaults to training on all
+    /// labels. Random selection keeps the default uniform
+    /// [`Strategy::score_pool`] — scoring every example equally *is* this
+    /// strategy's policy.
+    pub fn builder(trainer: T, label: &str) -> RandomStrategyBuilder<T> {
+        RandomStrategyBuilder {
             trainer,
             label: label.to_owned(),
             train_frac: 1.0,
-            model: None,
         }
     }
 
     /// Random selection training on a fraction of labels (3:1
     /// train:validation, like the paper's DeepMatcher runs).
+    #[deprecated(note = "use RandomStrategy::builder(trainer, label).train_frac(f).build()")]
     pub fn with_train_frac(trainer: T, label: &str, train_frac: f64) -> Self {
-        assert!((0.0..=1.0).contains(&train_frac));
-        RandomStrategy {
-            trainer,
-            label: label.to_owned(),
-            train_frac,
-            model: None,
-        }
+        RandomStrategy::builder(trainer, label)
+            .train_frac(train_frac)
+            .build()
     }
 }
 
@@ -976,7 +1283,7 @@ mod tests {
             "Linear-Margin"
         );
         assert_eq!(
-            MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1).name(),
+            MarginSvmStrategy::builder().blocking_dims(1).build().name(),
             "Linear-Margin(1Dim)"
         );
         assert_eq!(
@@ -1033,6 +1340,46 @@ mod tests {
         assert_eq!(s.accepted().clauses().len(), 1);
         assert!(s.predict(&c, 70));
         assert!(!s.predict(&c, 10));
+    }
+
+    #[test]
+    #[allow(deprecated)] // shim-equivalence: builders must match the old constructors
+    fn builders_replace_constructor_zoo() {
+        let a = QbcStrategy::new_bool(SvmTrainer::default(), 7);
+        let b = QbcStrategy::builder(SvmTrainer::default())
+            .committee_size(7)
+            .bool_features(true)
+            .build();
+        assert_eq!(a.name(), b.name());
+        let c = MarginSvmStrategy::with_blocking(SvmTrainer::default(), 2);
+        let d = MarginSvmStrategy::builder().blocking_dims(2).build();
+        assert_eq!(c.name(), d.name());
+        let e = TreeQbcStrategy::with_trainer(ForestTrainer::with_trees(4));
+        let f = TreeQbcStrategy::builder().trees(4).build();
+        assert_eq!(e.name(), f.name());
+        let g = RandomStrategy::with_train_frac(SvmTrainer::default(), "R", 0.75);
+        let h = RandomStrategy::builder(SvmTrainer::default(), "R")
+            .train_frac(0.75)
+            .build();
+        assert_eq!(g.name(), h.name());
+    }
+
+    #[test]
+    fn score_pool_errors_before_fit_and_aligns_after() {
+        let c = corpus();
+        let labeled = seed_labeled(&c);
+        let unlabeled: Vec<usize> = (0..40).collect();
+        let mut s = MarginSvmStrategy::new(SvmTrainer::default());
+        assert!(s.score_pool(&c, &unlabeled).is_err());
+        let mut rng = StdRng::seed_from_u64(1);
+        s.fit(&c, &labeled, &mut rng).unwrap();
+        let scores = s.score_pool(&c, &unlabeled).unwrap();
+        assert_eq!(scores.len(), unlabeled.len());
+        // The default implementation scores every example equally — the
+        // random baseline's uniform policy.
+        let r = RandomStrategy::new(SvmTrainer::default(), "Random");
+        let uniform = r.score_pool(&c, &unlabeled).unwrap();
+        assert!(uniform.iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Fixture: raw thread fan-out that must go through alem_par::Parallelism.
+
+pub fn fan_out(xs: &[u64]) -> Vec<u64> {
+    let handle = std::thread::spawn(|| 1u64); // flagged
+    std::thread::scope(|s| {
+        // flagged (the scope call above)
+        s.spawn(|| ());
+    });
+    let _ = crossbeam::scope(|_| ()); // flagged
+    let _ = handle;
+    xs.to_vec()
+}
+
+pub fn watchdog() {
+    // alem-lint: allow(par-only-threads) -- timer thread, never touches pool data
+    std::thread::spawn(|| ());
+}
+
+pub fn benign(scope: u32) -> u32 {
+    // A plain identifier named `scope`, and a spawn not rooted at
+    // `thread::`/`crossbeam::`, are out of the rule's reach.
+    tokio::spawn(async {});
+    scope
+}

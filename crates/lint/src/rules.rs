@@ -257,6 +257,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     }
 
     rule_determinism_rng(&mut ctx);
+    if !rel.starts_with("crates/par/") {
+        rule_par_only_threads(&mut ctx);
+    }
     if let FileClass::Lib { krate } = &class {
         if krate != "obs" {
             rule_determinism_time(&mut ctx);
@@ -291,6 +294,30 @@ fn rule_determinism_rng(ctx: &mut Ctx<'_>) {
                      from the obs registry"
                 ),
             );
+        }
+    }
+}
+
+/// Raw thread fan-out (`thread::spawn` / `thread::scope` /
+/// `crossbeam::scope`) anywhere outside `crates/par`. All parallelism must
+/// go through `alem_par::Parallelism`, whose fixed chunking keeps results
+/// byte-identical for any thread count; ad-hoc threads reintroduce
+/// scheduling-order nondeterminism the fingerprint cannot catch.
+fn rule_par_only_threads(ctx: &mut Ctx<'_>) {
+    for word in ["spawn", "scope"] {
+        for off in ident_occurrences(&ctx.lexed.code, word) {
+            let before = preceding_code(&ctx.lexed.code, off);
+            if before.ends_with("thread::") || before.ends_with("crossbeam::") {
+                ctx.report(
+                    "par-only-threads",
+                    off,
+                    format!(
+                        "`{word}` spawns raw threads outside crates/par: fan out through \
+                         `alem_par::Parallelism` so chunk boundaries stay a pure function \
+                         of (len, n_threads) and results are thread-count-invariant"
+                    ),
+                );
+            }
         }
     }
 }
@@ -536,6 +563,34 @@ mod tests {
         let rules: Vec<&str> = out.iter().map(|f| f.rule).collect();
         assert!(rules.contains(&"bad-allow"), "{out:?}");
         assert!(rules.contains(&"no-panic"), "{out:?}");
+    }
+
+    #[test]
+    fn raw_threads_flagged_everywhere_but_par() {
+        let src = "pub fn f() { std::thread::spawn(|| {}); }\n\
+                   pub fn g() { std::thread::scope(|_| {}); }\n\
+                   pub fn h() { crossbeam::scope(|_| {}); }\n";
+        for rel in [
+            "crates/bench/src/runner.rs",
+            "crates/core/src/session.rs",
+            "tests/end_to_end.rs",
+        ] {
+            let out = lint_source(rel, src);
+            assert_eq!(out.len(), 3, "{rel}: {out:?}");
+            assert!(out.iter().all(|f| f.rule == "par-only-threads"), "{out:?}");
+        }
+        // crates/par is the one place raw threads are allowed to live.
+        assert!(lint_source("crates/par/src/lib.rs", src).is_empty());
+        // Non-fan-out uses of the idents are not flagged.
+        let benign = "pub fn f(scope: u32) -> u32 { scope }\n\
+                      pub fn g() { tokio::spawn(async {}); }\n";
+        assert!(lint_source("crates/core/src/session.rs", benign)
+            .iter()
+            .all(|f| f.rule != "par-only-threads"));
+        // An allow annotation with a reason suppresses the finding.
+        let allowed = "// alem-lint: allow(par-only-threads) -- watchdog thread, no data fan-out\n\
+                       pub fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(lint_source("crates/core/src/session.rs", allowed).is_empty());
     }
 
     #[test]

@@ -111,6 +111,27 @@ fn selector_fixture_flags_naming_scheme() {
 }
 
 #[test]
+fn par_threads_fixture_flags_raw_fan_out_outside_par() {
+    let out = lint_source("crates/bench/src/runner.rs", &fixture("par_threads.rs"));
+    assert_eq!(
+        rule_lines(&out),
+        vec![
+            ("par-only-threads", 4), // std::thread::spawn
+            ("par-only-threads", 5), // std::thread::scope
+            ("par-only-threads", 9), // crossbeam::scope
+        ],
+        "{out:#?}"
+    );
+    for f in &out {
+        assert!(f.message.contains("alem_par::Parallelism"), "{}", f.message);
+    }
+    // The annotated watchdog spawn (line 16) and the tokio::spawn /
+    // `scope` identifier in benign() are absent above. Inside crates/par
+    // itself the rule never fires.
+    assert!(lint_source("crates/par/src/lib.rs", &fixture("par_threads.rs")).is_empty());
+}
+
+#[test]
 fn manifest_fixture_flags_registry_dependencies() {
     let out = lint_workspace_manifest("Cargo.toml", &fixture("bad_manifest.toml"));
     assert_eq!(

@@ -8,7 +8,9 @@
 use crate::data::{bootstrap_indices, resample, TrainSet};
 use crate::tree::{DecisionTree, FeatureSubset, TreeConfig};
 use crate::Classifier;
-use rand::Rng;
+use alem_par::Parallelism;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Hyper-parameters for [`RandomForest`] training.
 #[derive(Debug, Clone)]
@@ -59,6 +61,36 @@ impl ForestConfig {
                 trees.push(self.tree.train(set, rng));
             }
         }
+        RandomForest { trees }
+    }
+
+    /// Train a forest in parallel, byte-identical for any thread count.
+    ///
+    /// Each tree gets its own `StdRng` seeded from a u64 pre-drawn on the
+    /// caller's thread, so the tree built at index `i` never depends on
+    /// how work was scheduled. Note the RNG *stream* differs from
+    /// [`ForestConfig::train`], which threads one generator through all
+    /// trees sequentially — `train_with(.., Parallelism::sequential())`
+    /// and `train` produce different (equally valid) forests.
+    pub fn train_with<R: Rng>(
+        &self,
+        set: &TrainSet<'_>,
+        rng: &mut R,
+        par: &Parallelism,
+    ) -> RandomForest {
+        assert!(self.n_trees >= 1, "forest needs at least one tree");
+        let seeds: Vec<u64> = (0..self.n_trees).map(|_| rng.gen()).collect();
+        let trees = par.map(&seeds, |&seed| {
+            let mut trng = StdRng::seed_from_u64(seed);
+            if self.bootstrap && !set.is_empty() {
+                let idx = bootstrap_indices(set.len(), &mut trng);
+                let (xs, ys) = resample(set, &idx);
+                let sub = TrainSet::new(&xs, &ys);
+                self.tree.train(&sub, &mut trng)
+            } else {
+                self.tree.train(set, &mut trng)
+            }
+        });
         RandomForest { trees }
     }
 }
@@ -170,6 +202,22 @@ mod tests {
         let a = ForestConfig::with_trees(5).train(&set, &mut StdRng::seed_from_u64(42));
         let b = ForestConfig::with_trees(5).train(&set, &mut StdRng::seed_from_u64(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_training_is_thread_count_invariant() {
+        let (xs, ys) = banded();
+        let set = TrainSet::new(&xs, &ys);
+        let cfg = ForestConfig::with_trees(7);
+        let seq = cfg.train_with(
+            &set,
+            &mut StdRng::seed_from_u64(3),
+            &Parallelism::sequential(),
+        );
+        for t in [2, 3, 8] {
+            let par = cfg.train_with(&set, &mut StdRng::seed_from_u64(3), &Parallelism::fixed(t));
+            assert_eq!(seq, par, "threads={t}");
+        }
     }
 
     #[test]

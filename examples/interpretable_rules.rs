@@ -11,13 +11,8 @@
 //! cargo run --release -p alem-bench --example interpretable_rules
 //! ```
 
-use alem_core::blocking::BlockingConfig;
-use alem_core::corpus::Corpus;
 use alem_core::interpret::dnf_to_string;
-use alem_core::learner::DnfTrainer;
-use alem_core::loop_::{ActiveLearner, LoopParams};
-use alem_core::oracle::Oracle;
-use alem_core::strategy::LfpLfnStrategy;
+use alem_core::prelude::*;
 use datagen::social::{generate_social, SocialConfig};
 
 fn main() {

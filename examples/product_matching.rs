@@ -10,14 +10,8 @@
 //! cargo run --release -p alem-bench --example product_matching
 //! ```
 
-use alem_core::blocking::BlockingConfig;
-use alem_core::corpus::Corpus;
-use alem_core::ensemble::EnsembleSvmStrategy;
-use alem_core::learner::SvmTrainer;
-use alem_core::loop_::{ActiveLearner, LoopParams};
-use alem_core::oracle::Oracle;
+use alem_core::prelude::*;
 use alem_core::report::TableReport;
-use alem_core::strategy::{MarginSvmStrategy, QbcStrategy, Strategy, TreeQbcStrategy};
 use datagen::PaperDataset;
 
 fn run_one<S: Strategy>(corpus: &Corpus, strategy: S, noise: f64) -> Vec<String> {
@@ -60,7 +54,7 @@ fn main() {
         run_one(&corpus, QbcStrategy::new(SvmTrainer::default(), 10), noise),
         run_one(
             &corpus,
-            MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1),
+            MarginSvmStrategy::builder().blocking_dims(1).build(),
             noise,
         ),
         run_one(

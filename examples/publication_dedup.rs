@@ -11,12 +11,7 @@
 //! cargo run --release -p alem-bench --example publication_dedup
 //! ```
 
-use alem_core::blocking::BlockingConfig;
-use alem_core::corpus::Corpus;
-use alem_core::learner::SvmTrainer;
-use alem_core::loop_::{ActiveLearner, LoopParams};
-use alem_core::oracle::Oracle;
-use alem_core::strategy::{MarginSvmStrategy, QbcStrategy};
+use alem_core::prelude::*;
 use datagen::PaperDataset;
 
 fn main() {
@@ -47,7 +42,7 @@ fn main() {
     // Learner-aware margin with a single blocking dimension.
     let oracle = Oracle::perfect(corpus.truths().to_vec());
     let mut margin = ActiveLearner::new(
-        MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1),
+        MarginSvmStrategy::builder().blocking_dims(1).build(),
         params,
     );
     let margin_run = margin

@@ -9,11 +9,7 @@
 //! cargo run --release -p alem-bench --example quickstart
 //! ```
 
-use alem_core::blocking::BlockingConfig;
-use alem_core::corpus::Corpus;
-use alem_core::loop_::{ActiveLearner, LoopParams};
-use alem_core::oracle::Oracle;
-use alem_core::strategy::TreeQbcStrategy;
+use alem_core::prelude::*;
 use datagen::PaperDataset;
 
 fn main() {
@@ -41,8 +37,8 @@ fn main() {
 
     // 3. Active learning: 30 seed labels, batches of 10, perfect Oracle.
     let oracle = Oracle::perfect(corpus.truths().to_vec());
-    let params = LoopParams::default();
-    let mut learner = ActiveLearner::new(TreeQbcStrategy::new(20), params);
+    let params = LoopParams::builder().build(); // the paper's defaults
+    let mut learner = ActiveLearner::new(TreeQbcStrategy::builder().trees(20).build(), params);
     let run = learner
         .run(&corpus, &oracle, 7)
         .unwrap_or_else(|e| panic!("quickstart run failed: {e}"));

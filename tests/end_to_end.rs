@@ -56,7 +56,7 @@ fn linear_blocking_dims_end_to_end() {
     let corpus = easy_corpus();
     let f1 = run(
         &corpus,
-        MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1),
+        MarginSvmStrategy::builder().blocking_dims(1).build(),
         400,
     );
     assert!(f1 > 0.75, "Linear-Margin(1Dim) best F1 {f1}");

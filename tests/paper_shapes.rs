@@ -242,7 +242,7 @@ fn blocking_dims_preserve_quality() {
     let full = run(&c, MarginSvmStrategy::new(SvmTrainer::default()), 400).best_f1();
     let b1 = run(
         &c,
-        MarginSvmStrategy::with_blocking(SvmTrainer::default(), 1),
+        MarginSvmStrategy::builder().blocking_dims(1).build(),
         400,
     )
     .best_f1();

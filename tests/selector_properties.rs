@@ -72,9 +72,9 @@ proptest! {
         let unlabeled: Vec<usize> =
             (0..n).filter(|i| i % 4 != 0).collect();
         let mut rng = StdRng::seed_from_u64(seed);
-        let sel = qbc::select(
+        let (sel, _committee) = qbc::select(
             &SvmTrainer::default(), 3, &corpus, &labeled, &unlabeled, batch, &mut rng, false,
-            &alem_obs::Registry::disabled(),
+            &alem_obs::Registry::disabled(), &alem_par::Parallelism::sequential(),
         );
         prop_assert!(sel.chosen.len() <= batch);
         let mut sorted = sel.chosen.clone();
@@ -133,7 +133,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(5);
         let out = alem_core::selector::blocking_dim::select(
             &svm, k, &corpus, &unlabeled, 5, &mut rng,
-            &alem_obs::Registry::disabled(),
+            &alem_obs::Registry::disabled(), &alem_par::Parallelism::sequential(),
         );
         prop_assert_eq!(out.pruned, zeros);
         prop_assert!(out.selection.chosen.iter().all(|&i| i >= zeros));
