@@ -157,6 +157,46 @@ impl Corpus {
         self.sanitized
     }
 
+    /// Content fingerprint: FNV-1a over every feature bit pattern, truth
+    /// label, and Boolean predicate row. Two corpora with the same length
+    /// but different contents fingerprint differently, which is what lets
+    /// [`crate::session::Checkpoint`] reject a resume against the wrong
+    /// data (same-length corpora previously slipped through silently).
+    /// Pair ids and the dataset name are deliberately excluded: they don't
+    /// affect learning, and the dataset name is checked separately.
+    pub fn content_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        fn eat(h: &mut u64, byte: u8) {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(PRIME);
+        }
+        fn eat_u64(h: &mut u64, v: u64) {
+            for byte in v.to_le_bytes() {
+                eat(h, byte);
+            }
+        }
+        eat_u64(&mut h, self.features.len() as u64);
+        eat_u64(&mut h, self.dim() as u64);
+        for row in &self.features {
+            for v in row {
+                eat_u64(&mut h, v.to_bits());
+            }
+        }
+        for &t in &self.truth {
+            eat(&mut h, u8::from(t));
+        }
+        if let Some(rows) = &self.bool_features {
+            for row in rows {
+                for v in row {
+                    eat_u64(&mut h, v.to_bits());
+                }
+            }
+        }
+        h
+    }
+
     /// Class skew: fraction of true matches among pairs.
     pub fn skew(&self) -> f64 {
         if self.truth.is_empty() {
@@ -239,6 +279,35 @@ mod tests {
     #[should_panic(expected = "feature/label mismatch")]
     fn rejects_mismatch() {
         Corpus::from_features(vec![vec![0.0]], vec![true, false]);
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_contents_not_length() {
+        let a = toy(40);
+        let b = toy(40);
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+
+        // Same length, one feature bit different: fingerprints diverge.
+        let mut feats: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        feats[17][0] += 1e-12;
+        let c = Corpus::from_features(feats, (0..40).map(|i| i % 5 == 0).collect());
+        assert_ne!(a.content_fingerprint(), c.content_fingerprint());
+
+        // Same features, one truth label different: fingerprints diverge.
+        let feats: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let mut truth: Vec<bool> = (0..40).map(|i| i % 5 == 0).collect();
+        truth[3] = !truth[3];
+        let d = Corpus::from_features(feats, truth);
+        assert_ne!(a.content_fingerprint(), d.content_fingerprint());
+
+        // Attaching bool features changes the fingerprint (it is part of
+        // what the learner sees).
+        let e = toy(40).with_bool_features(vec![vec![1.0]; 40]);
+        assert_ne!(a.content_fingerprint(), e.content_fingerprint());
+
+        // Renaming does not (identity is content, not label).
+        let f = toy(40).with_name("renamed");
+        assert_eq!(a.content_fingerprint(), f.content_fingerprint());
     }
 
     #[test]

@@ -557,6 +557,139 @@ impl RetryPolicy {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Asynchronous answering
+// ---------------------------------------------------------------------------
+
+/// An order-invariant answer function: the label for example `i` is a pure
+/// function of `(key_seed, i, truth)`, derived by hashing instead of a
+/// sequential RNG stream.
+///
+/// The sequential fault decorators ([`TransientOracle`],
+/// [`AbstainingOracle`]) draw from one RNG stream, so their behavior
+/// depends on *query order* — correct for benchmarking a blocking loop,
+/// useless for a service where answers arrive late, duplicated, or out of
+/// order. `AnswerKey` makes the answer for an example stable across
+/// re-asks, replays, and process restarts: exactly the property the
+/// `serve-load` chaos harness needs to assert that a kill-and-restart run
+/// reproduces the fault-free fingerprint bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerKey {
+    seed: u64,
+    noise: f64,
+    abstain_rate: f64,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl AnswerKey {
+    /// A key answering with `noise` probability of a flipped label and
+    /// `abstain_rate` probability of abstaining (decided per example, not
+    /// per query). Rates outside `[0, 1]` are rejected.
+    pub fn new(seed: u64, noise: f64, abstain_rate: f64) -> Result<Self, AlemError> {
+        for (name, rate) in [("noise", noise), ("abstain_rate", abstain_rate)] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(AlemError::InvalidConfig(format!(
+                    "{name} must be in [0, 1], got {rate}"
+                )));
+            }
+        }
+        Ok(AnswerKey {
+            seed,
+            noise,
+            abstain_rate,
+        })
+    }
+
+    /// A noiseless, never-abstaining key (still useful as a stable
+    /// identity for a labeler).
+    pub fn perfect(seed: u64) -> Self {
+        AnswerKey {
+            seed,
+            noise: 0.0,
+            abstain_rate: 0.0,
+        }
+    }
+
+    /// Uniform value in `[0, 1)` for (key, example, concern-salt).
+    fn unit(&self, example: usize, salt: u64) -> f64 {
+        let h = mix64(self.seed ^ mix64(example as u64 ^ salt));
+        // 53 high bits → f64 in [0, 1), the standard conversion.
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The answer for `example` whose ground truth is `truth`. Calling
+    /// this twice (or on a different machine, or after a restart) gives
+    /// the same answer.
+    pub fn answer(&self, example: usize, truth: bool) -> OracleAnswer {
+        if self.unit(example, 0x0a11_ab5e) < self.abstain_rate {
+            return OracleAnswer::Abstain;
+        }
+        let flip = self.unit(example, 0x0f11_99ed) < self.noise;
+        OracleAnswer::Label(truth ^ flip)
+    }
+}
+
+/// Adapter that decouples *requesting* a label from *consuming* it,
+/// turning any blocking [`QueryOracle`] into an asynchronous answer
+/// source for a [`crate::session::SessionMachine`].
+///
+/// [`AsyncAnswerer::request`] resolves the inner oracle immediately (with
+/// the adapter's [`RetryPolicy`]) and buffers the `(example, answer)`
+/// pair; [`AsyncAnswerer::take`] drains buffered answers in an arbitrary,
+/// caller-controlled order. Because the machine applies a batch wave only
+/// once complete — keyed by example, not arrival — the buffer may be
+/// drained out of order, partially, or with duplicates without affecting
+/// the run's fingerprint.
+pub struct AsyncAnswerer<O: QueryOracle> {
+    inner: O,
+    retry: RetryPolicy,
+    ready: Mutex<Vec<(usize, OracleAnswer)>>,
+}
+
+impl<O: QueryOracle> AsyncAnswerer<O> {
+    /// Wrap `inner`, answering requests through `retry`.
+    pub fn new(inner: O, retry: RetryPolicy) -> Self {
+        AsyncAnswerer {
+            inner,
+            retry,
+            ready: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Resolve the label for `example` now and buffer it for later
+    /// consumption. Errors if the inner oracle stays unavailable past the
+    /// retry budget.
+    pub fn request(&self, example: usize) -> Result<(), AlemError> {
+        let answer = self.retry.query(&self.inner, example)?;
+        self.ready.lock().push((example, answer));
+        Ok(())
+    }
+
+    /// Pop one buffered answer, newest first (LIFO — deliberately *not*
+    /// request order, so default consumption already exercises the
+    /// machine's order invariance). `None` when the buffer is empty.
+    pub fn take(&self) -> Option<(usize, OracleAnswer)> {
+        self.ready.lock().pop()
+    }
+
+    /// Buffered answers not yet taken.
+    pub fn ready_len(&self) -> usize {
+        self.ready.lock().len()
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,5 +923,69 @@ mod tests {
         assert_eq!(labels + abstains, 1000);
         assert!(abstains > 50, "abstains {abstains}");
         assert!(o.failures() > 50, "failures {}", o.failures());
+    }
+
+    #[test]
+    fn answer_key_is_order_invariant_and_replayable() {
+        let key = AnswerKey::new(99, 0.2, 0.15).unwrap();
+        let forward: Vec<OracleAnswer> = (0..500).map(|i| key.answer(i, i % 3 == 0)).collect();
+        let backward: Vec<OracleAnswer> =
+            (0..500).rev().map(|i| key.answer(i, i % 3 == 0)).collect();
+        let rereversed: Vec<OracleAnswer> = backward.into_iter().rev().collect();
+        assert_eq!(forward, rereversed, "answers depend on query order");
+
+        // Rates actually bite, roughly at their configured levels.
+        let abstains = forward
+            .iter()
+            .filter(|a| matches!(a, OracleAnswer::Abstain))
+            .count();
+        assert!((40..=110).contains(&abstains), "abstains {abstains}");
+        let flips = (0..500)
+            .filter(|&i| forward[i] == OracleAnswer::Label(i % 3 != 0))
+            .count();
+        assert!(flips > 30, "flips {flips}");
+
+        // Different seeds disagree somewhere.
+        let other = AnswerKey::new(100, 0.2, 0.15).unwrap();
+        assert!((0..500).any(|i| key.answer(i, false) != other.answer(i, false)));
+
+        // Perfect keys echo the truth.
+        let perfect = AnswerKey::perfect(7);
+        assert!((0..100).all(|i| perfect.answer(i, i % 2 == 0) == OracleAnswer::Label(i % 2 == 0)));
+
+        assert!(AnswerKey::new(1, 1.5, 0.0).is_err());
+        assert!(AnswerKey::new(1, 0.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn async_answerer_buffers_and_drains_out_of_order() {
+        let truths: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let oracle = Oracle::perfect(truths.clone());
+        let answerer = AsyncAnswerer::new(oracle, RetryPolicy::none());
+        for i in 0..10 {
+            answerer.request(i).unwrap();
+        }
+        assert_eq!(answerer.ready_len(), 10);
+        // LIFO drain: last requested comes out first, values still correct.
+        let mut seen = Vec::new();
+        while let Some((i, a)) = answerer.take() {
+            assert_eq!(a, OracleAnswer::Label(truths[i]));
+            seen.push(i);
+        }
+        assert_eq!(seen, (0..10).rev().collect::<Vec<_>>());
+        assert_eq!(answerer.inner().queries(), 10);
+        assert!(answerer.take().is_none());
+    }
+
+    #[test]
+    fn async_answerer_surfaces_exhausted_retries() {
+        let oracle = TransientOracle::new(Oracle::perfect(vec![true; 4]), 0.0, 1).unwrap();
+        oracle.script_failures(5);
+        let answerer = AsyncAnswerer::new(oracle, RetryPolicy::none());
+        assert!(matches!(
+            answerer.request(0),
+            Err(AlemError::OracleUnavailable { .. })
+        ));
+        assert_eq!(answerer.ready_len(), 0);
     }
 }

@@ -24,23 +24,28 @@
 //! ensemble, LFP/LFN caches) resume correctly but not bit-identically —
 //! DESIGN.md documents the fault model in full.
 
+mod machine;
+
+pub use machine::{MachineState, QueryRequest, SessionMachine};
+
 use crate::corpus::Corpus;
 use crate::error::AlemError;
-use crate::evaluator::{confusion_over, iteration_stats, IterationStats, RunResult};
+use crate::evaluator::{IterationStats, RunResult};
 use crate::loop_::{ActiveLearner, EvalMode, LoopParams};
-use crate::oracle::{OracleAnswer, QueryOracle, RetryPolicy};
+use crate::oracle::{QueryOracle, RetryPolicy};
 use crate::strategy::Strategy;
 use alem_obs::Registry;
 use alem_par::Parallelism;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Format version written into checkpoints; loading any other version
-/// fails with [`AlemError::CheckpointCorrupt`].
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// fails with [`AlemError::CheckpointCorrupt`]. Version 2 added
+/// `corpus_fingerprint` so a resume against a different corpus of the
+/// same length is rejected instead of silently producing garbage.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Derive the RNG for a session slot (0 = setup, k+1 = iteration k).
 fn derive_rng(master_seed: u64, slot: u64) -> StdRng {
@@ -122,6 +127,9 @@ pub struct Checkpoint {
     pub dataset: String,
     /// Corpus size — resuming on a different corpus is rejected.
     pub corpus_len: usize,
+    /// [`Corpus::content_fingerprint`] of the corpus the session ran on —
+    /// resuming on same-length-but-different contents is rejected.
+    pub corpus_fingerprint: u64,
 }
 
 impl Checkpoint {
@@ -137,7 +145,16 @@ impl Checkpoint {
     }
 
     /// Load and validate a checkpoint from `path`.
+    ///
+    /// A stale `.tmp` sibling (left behind when a process died between
+    /// [`Checkpoint::save`]'s write and rename) is removed best-effort:
+    /// its contents are possibly truncated and the rename never happened,
+    /// so the durable file at `path` is always the authoritative snapshot.
     pub fn load(path: &Path) -> Result<Self, AlemError> {
+        let tmp = path.with_extension("tmp");
+        if tmp.exists() {
+            std::fs::remove_file(&tmp).ok();
+        }
         let text = std::fs::read_to_string(path)?;
         let ckpt: Checkpoint = serde_json::from_str(&text)
             .map_err(|e| AlemError::CheckpointCorrupt(format!("{}: {e}", path.display())))?;
@@ -175,18 +192,6 @@ impl SessionOutcome {
             SessionOutcome::Halted { .. } => None,
         }
     }
-}
-
-/// Mutable state threaded through the session loop (and captured by
-/// checkpoints).
-struct LiveState {
-    master_seed: u64,
-    iter_no: usize,
-    stalled: usize,
-    labeled: Vec<(usize, bool)>,
-    unlabeled: Vec<usize>,
-    eval_idx: Vec<usize>,
-    iterations: Vec<IterationStats>,
 }
 
 fn validate_params(params: &LoopParams) -> Result<(), AlemError> {
@@ -256,98 +261,9 @@ impl<S: Strategy> ActiveLearner<S> {
             });
         }
 
-        // One sub-RNG per setup concern, forked from slot 0 in a fixed
-        // order. The hold-out split and the seed draw must not share a
-        // stream: with a shared stream the split's shuffles advance the
-        // generator, so merely switching `EvalMode` rewired which examples
-        // the seed picked. With dedicated streams, `Progressive` and
-        // `Holdout` runs on the same master seed draw the same seed labels
-        // (modulo examples the split holds out).
-        let mut setup_rng = derive_rng(seed, 0);
-        let mut eval_rng = StdRng::seed_from_u64(setup_rng.gen());
-        let mut pool_rng = StdRng::seed_from_u64(setup_rng.gen());
-        let seed_span = config.obs.span("seed");
-
-        // Build the selection pool and the evaluation set.
-        let (mut pool, eval_idx): (Vec<usize>, Vec<usize>) = match params.eval {
-            EvalMode::Progressive => ((0..corpus.len()).collect(), (0..corpus.len()).collect()),
-            EvalMode::Holdout { test_frac } => corpus.split_holdout(test_frac, &mut eval_rng),
-        };
-
-        // Random initial seed from the pool; abstained examples go back to
-        // the unlabeled pool and the cursor moves on. The pool is brought
-        // to canonical order first so the seed draw is a pure function of
-        // `pool_rng` and the pool's *contents*, not of how the eval split
-        // happened to order it.
-        pool.sort_unstable();
-        pool.shuffle(&mut pool_rng);
-        let seed_n = params.seed_size.min(pool.len());
-        let mut labeled: Vec<(usize, bool)> = Vec::with_capacity(seed_n);
-        let mut skipped: Vec<usize> = Vec::new();
-        let mut cursor = 0;
-        while labeled.len() < seed_n && cursor < pool.len() {
-            let i = pool[cursor];
-            cursor += 1;
-            match config.retry.query_observed(oracle, i, &config.obs)? {
-                OracleAnswer::Label(b) => labeled.push((i, b)),
-                OracleAnswer::Abstain => skipped.push(i),
-            }
-        }
-        let mut unlabeled: Vec<usize> = skipped;
-        unlabeled.extend(pool.drain(cursor..));
-        if labeled.is_empty() {
-            return Err(AlemError::DegenerateLabels(
-                "no seed labels: the oracle abstained on every seed example".into(),
-            ));
-        }
-
-        // Graceful degradation: a single-class seed trains a degenerate
-        // model, so draw extra random labels (bounded by one extra seed's
-        // worth — a genuinely one-class corpus must not burn the budget).
-        let mut extra = 0usize;
-        while one_class(&labeled)
-            && extra < seed_n
-            && !unlabeled.is_empty()
-            && labeled.len() < params.max_labels
-        {
-            let j = pool_rng.gen_range(0..unlabeled.len());
-            let i = unlabeled.swap_remove(j);
-            extra += 1;
-            match config.retry.query_observed(oracle, i, &config.obs)? {
-                OracleAnswer::Label(b) => labeled.push((i, b)),
-                OracleAnswer::Abstain => unlabeled.push(i),
-            }
-        }
-        if extra > 0 {
-            eprintln!(
-                "alem: single-class seed; drew {extra} extra random label(s) ({})",
-                if one_class(&labeled) {
-                    "still one class — proceeding"
-                } else {
-                    "now two classes"
-                }
-            );
-        }
-
-        if corpus.sanitized_features() > 0 {
-            eprintln!(
-                "alem: corpus '{}' had {} non-finite feature value(s) sanitized to 0",
-                corpus.name(),
-                corpus.sanitized_features()
-            );
-        }
-
-        seed_span.finish();
-        let state = LiveState {
-            master_seed: seed,
-            iter_no: 0,
-            stalled: 0,
-            labeled,
-            unlabeled,
-            eval_idx,
-            iterations: Vec::new(),
-        };
-        self.drive(corpus, oracle, &params, config, state)
+        let mut machine = SessionMachine::new(&mut self.strategy, params, config.clone());
+        machine.start(corpus, seed)?;
+        pump(machine, corpus, oracle, config)
     }
 
     /// Resume a checkpointed session. The Oracle is fast-forwarded past
@@ -360,225 +276,88 @@ impl<S: Strategy> ActiveLearner<S> {
         checkpoint: Checkpoint,
         config: &SessionConfig,
     ) -> Result<SessionOutcome, AlemError> {
-        if checkpoint.version != CHECKPOINT_VERSION {
-            return Err(AlemError::CheckpointCorrupt(format!(
-                "version {} (this build reads {CHECKPOINT_VERSION})",
-                checkpoint.version
-            )));
-        }
-        if checkpoint.corpus_len != corpus.len() {
-            return Err(AlemError::CheckpointCorrupt(format!(
-                "checkpoint was taken on a corpus of {} pairs, this one has {}",
-                checkpoint.corpus_len,
-                corpus.len()
-            )));
-        }
-        let strategy_name = self.strategy.name();
-        if checkpoint.strategy != strategy_name {
-            return Err(AlemError::InvalidConfig(format!(
-                "checkpoint was taken with strategy '{}', learner runs '{}'",
-                checkpoint.strategy, strategy_name
-            )));
-        }
-        validate_params(&checkpoint.params)?;
-        oracle.fast_forward(checkpoint.oracle_queries);
-
-        let params = checkpoint.params.clone();
-        let state = LiveState {
-            master_seed: checkpoint.master_seed,
-            iter_no: checkpoint.iter_no,
-            stalled: checkpoint.stalled,
-            labeled: checkpoint.labeled,
-            unlabeled: checkpoint.unlabeled,
-            eval_idx: checkpoint.eval_idx,
-            iterations: checkpoint.iterations,
-        };
-        self.drive(corpus, oracle, &params, config, state)
+        let consumed = checkpoint.oracle_queries;
+        let mut machine =
+            SessionMachine::new(&mut self.strategy, self.params.clone(), config.clone());
+        // Validation (version, corpus length + fingerprint, strategy,
+        // params) happens inside resume; only fast-forward the oracle once
+        // the checkpoint is accepted.
+        machine.resume(corpus, checkpoint)?;
+        oracle.fast_forward(consumed);
+        pump(machine, corpus, oracle, config)
     }
+}
 
-    /// The shared session loop (fresh runs and resumes both land here).
-    fn drive(
-        &mut self,
-        corpus: &Corpus,
-        oracle: &dyn QueryOracle,
-        params: &LoopParams,
-        config: &SessionConfig,
-        mut st: LiveState,
-    ) -> Result<SessionOutcome, AlemError> {
-        let strategy_name = self.strategy.name();
-        let snapshot = |st: &LiveState, queries: u64| Checkpoint {
-            version: CHECKPOINT_VERSION,
-            master_seed: st.master_seed,
-            iter_no: st.iter_no,
-            stalled: st.stalled,
-            labeled: st.labeled.clone(),
-            unlabeled: st.unlabeled.clone(),
-            eval_idx: st.eval_idx.clone(),
-            iterations: st.iterations.clone(),
-            oracle_queries: queries,
-            params: params.clone(),
-            strategy: strategy_name.clone(),
-            dataset: corpus.name().to_owned(),
-            corpus_len: corpus.len(),
-        };
-
-        let obs = &config.obs;
-        // Install the session's thread-count policy; results are invariant
-        // to it by construction, so this only affects wall-clock.
-        self.strategy.set_parallelism(config.parallelism);
-        obs.gauge_set("par.threads", config.parallelism.threads() as u64);
-        let mut warned_empty_selection = false;
-        loop {
-            let k = st.iter_no;
-            obs.set_iter(k as u64);
-            let iter_span = obs.span("iteration");
-            obs.counter_add(
-                "par.chunks",
-                config.parallelism.chunk_count(st.unlabeled.len()) as u64,
-            );
-
-            // Checkpoint at iteration boundaries (idempotent on resume).
+/// Drive a [`SessionMachine`] to completion against a blocking
+/// [`QueryOracle`], answering every pending query in order through the
+/// session's [`RetryPolicy`] and handling the machine's boundary side
+/// effects (periodic checkpoints, `halt_after`). Fresh runs and resumes
+/// both land here, so the blocking API is a thin pump over the same state
+/// machine `alem-serve` drives over the wire.
+fn pump<S: Strategy>(
+    mut machine: SessionMachine<S>,
+    corpus: &Corpus,
+    oracle: &dyn QueryOracle,
+    config: &SessionConfig,
+) -> Result<SessionOutcome, AlemError> {
+    let mut written: Option<usize> = None;
+    loop {
+        // Boundary side effects first: the machine snapshots the
+        // pre-iteration state before training, and no oracle queries can
+        // be in flight at that point, so `oracle.queries()` still equals
+        // its value at the boundary.
+        let halted = machine.state() == MachineState::Halted;
+        if let Some(k) = machine.boundary_iter() {
             let due = config
                 .checkpoint_every
                 .is_some_and(|every| every > 0 && k > 0 && k.is_multiple_of(every));
-            let halting = config.halt_after == Some(k) && k > 0;
-            if due || halting {
+            if (due && written != Some(k)) || halted {
                 let path = config.checkpoint_path.as_ref().ok_or_else(|| {
                     AlemError::InvalidConfig(
                         "checkpointing requested but no checkpoint_path set".into(),
                     )
                 })?;
-                let ckpt_span = obs.span("checkpoint.write");
-                snapshot(&st, oracle.queries()).save(path)?;
+                let Some(mut ckpt) = machine.checkpoint() else {
+                    return Err(AlemError::InvalidConfig(
+                        "internal: boundary without a checkpoint snapshot".into(),
+                    ));
+                };
+                ckpt.oracle_queries = oracle.queries();
+                let ckpt_span = config.obs.span("checkpoint.write");
+                ckpt.save(path)?;
                 ckpt_span.finish();
-                if halting {
+                written = Some(k);
+                if halted {
                     return Ok(SessionOutcome::Halted {
                         checkpoint: path.clone(),
-                        labels_used: st.labeled.len(),
-                        iterations_done: st.iterations.len(),
+                        labels_used: ckpt.labeled.len(),
+                        iterations_done: ckpt.iterations.len(),
                     });
                 }
             }
-
-            let mut rng = derive_rng(st.master_seed, k as u64 + 1);
-
-            // Train on the cumulative labeled data.
-            let train_span = obs.span("train");
-            self.strategy.fit(corpus, &st.labeled, &mut rng)?;
-            let train_time = train_span.finish();
-
-            // Evaluate against ground truth.
-            let eval_span = obs.span("eval");
-            let confusion = confusion_over(
-                |i| self.strategy.predict(corpus, i),
-                |i| corpus.truth(i),
-                &st.eval_idx,
-            );
-            eval_span.finish();
-            let mut stats = iteration_stats(
-                k,
-                st.labeled.len(),
-                &confusion,
-                train_time,
-                std::time::Duration::ZERO,
-                std::time::Duration::ZERO,
-            );
-            let extra = self.strategy.stats();
-            stats.atoms = extra.atoms;
-            stats.depth = extra.depth;
-            stats.accepted_models = extra.accepted_models;
-            stats.pruned = extra.pruned;
-
-            // Termination checks before selecting more labels.
-            let reached_target = params.stop_at_f1.is_some_and(|t| stats.f1 >= t);
-            let out_of_budget = st.labeled.len() + params.batch_size > params.max_labels;
-            if reached_target
-                || out_of_budget
-                || st.unlabeled.is_empty()
-                || self.strategy.terminated()
-            {
-                st.iterations.push(stats);
-                break;
-            }
-
-            // Select and label the next batch.
-            let select_span = obs.span("select");
-            let selection = self.strategy.select(
-                corpus,
-                &st.labeled,
-                &st.unlabeled,
-                params.batch_size,
-                &mut rng,
-                obs,
-            );
-            select_span.finish();
-            stats.committee_secs = selection.committee_creation.as_secs_f64();
-            stats.scoring_secs = selection.scoring.as_secs_f64();
-            st.iterations.push(stats);
-
-            let mut chosen = selection.chosen;
-            if chosen.is_empty() {
-                if self.strategy.terminated() {
-                    break; // deliberate exhaustion (e.g. LFP/LFN ran dry)
-                }
-                // Graceful degradation: a selector that returns an empty
-                // batch without terminating gets a random batch instead.
-                if !warned_empty_selection {
-                    eprintln!(
-                        "alem: selector returned an empty batch at iteration {k}; \
-                         falling back to random sampling"
-                    );
-                    warned_empty_selection = true;
-                }
-                let mut candidates = st.unlabeled.clone();
-                candidates.shuffle(&mut rng);
-                candidates.truncate(params.batch_size);
-                chosen = candidates;
-                if chosen.is_empty() {
-                    break;
-                }
-            }
-
-            let oracle_span = obs.span("oracle.query");
-            let mut new: Vec<(usize, bool)> = Vec::with_capacity(chosen.len());
-            for &i in &chosen {
-                match config.retry.query_observed(oracle, i, obs)? {
-                    OracleAnswer::Label(b) => new.push((i, b)),
-                    OracleAnswer::Abstain => {} // stays unlabeled, re-selectable
-                }
-            }
-            oracle_span.finish();
-            st.unlabeled.retain(|i| !new.iter().any(|&(j, _)| j == *i));
-            if new.is_empty() {
-                st.stalled += 1;
-                if st.stalled > config.max_stalled_iters {
-                    return Err(AlemError::Stalled {
-                        iterations: st.stalled,
-                    });
-                }
-            } else {
-                st.stalled = 0;
-                st.labeled.extend(new.iter().copied());
-                self.strategy.post_label(
-                    corpus,
-                    &new,
-                    &mut st.labeled,
-                    &mut st.unlabeled,
-                    &mut rng,
-                    obs,
-                );
-            }
-            obs.gauge_set("pool.unlabeled", st.unlabeled.len() as u64);
-            iter_span.finish();
-
-            st.iter_no += 1;
         }
-
-        Ok(SessionOutcome::Complete(RunResult {
-            strategy: self.strategy.name(),
-            dataset: corpus.name().to_owned(),
-            iterations: st.iterations,
-        }))
+        match machine.state() {
+            MachineState::Done => {
+                let Some(run) = machine.take_result() else {
+                    return Err(AlemError::InvalidConfig(
+                        "internal: completed session has no result".into(),
+                    ));
+                };
+                return Ok(SessionOutcome::Complete(run));
+            }
+            MachineState::AwaitingAnswers => {
+                let wave: Vec<usize> = machine.pending().iter().map(|q| q.example).collect();
+                for i in wave {
+                    let answer = config.retry.query_observed(oracle, i, &config.obs)?;
+                    machine.deliver(corpus, i, answer)?;
+                }
+            }
+            _ => {
+                return Err(AlemError::InvalidConfig(
+                    "internal: session machine made no progress".into(),
+                ))
+            }
+        }
     }
 }
 
@@ -586,7 +365,7 @@ impl<S: Strategy> ActiveLearner<S> {
 mod tests {
     use super::*;
     use crate::learner::SvmTrainer;
-    use crate::oracle::{AbstainingOracle, Oracle, TransientOracle};
+    use crate::oracle::{AbstainingOracle, Oracle, OracleAnswer, TransientOracle};
     use crate::strategy::{MarginSvmStrategy, TreeQbcStrategy};
     use std::time::Duration;
 
@@ -628,6 +407,7 @@ mod tests {
             strategy: "Linear-Margin".into(),
             dataset: "toy".into(),
             corpus_len: 6,
+            corpus_fingerprint: 0xdead_beef_0123_4567,
         };
         let path = tmp_path("roundtrip");
         ckpt.save(&path).unwrap();
@@ -716,11 +496,22 @@ mod tests {
             strategy: "Linear-Margin(AllDim)".into(),
             dataset: "toy".into(),
             corpus_len: 999, // wrong
+            corpus_fingerprint: c.content_fingerprint(),
         };
         let oracle = Oracle::perfect(c.truths().to_vec());
         let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
         assert!(matches!(
             al.resume_session(&c, &oracle, ckpt.clone(), &SessionConfig::default()),
+            Err(AlemError::CheckpointCorrupt(_))
+        ));
+
+        // Same length, different contents: the fingerprint catches what
+        // `corpus_len` cannot.
+        let mut wrong_content = ckpt.clone();
+        wrong_content.corpus_len = 100;
+        wrong_content.corpus_fingerprint ^= 1;
+        assert!(matches!(
+            al.resume_session(&c, &oracle, wrong_content, &SessionConfig::default()),
             Err(AlemError::CheckpointCorrupt(_))
         ));
 
@@ -1008,6 +799,143 @@ mod tests {
         assert_eq!(ckpt.version, CHECKPOINT_VERSION);
         assert!(ckpt.iter_no >= 2);
         assert_eq!(ckpt.corpus_len, 300);
+        assert_eq!(ckpt.corpus_fingerprint, c.content_fingerprint());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_tmp_sibling_is_removed_on_load() {
+        let ckpt = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            master_seed: 7,
+            iter_no: 1,
+            stalled: 0,
+            labeled: vec![(0, true)],
+            unlabeled: vec![1],
+            eval_idx: vec![0, 1],
+            iterations: vec![],
+            oracle_queries: 1,
+            params: LoopParams::default(),
+            strategy: "Linear-Margin".into(),
+            dataset: "toy".into(),
+            corpus_len: 2,
+            corpus_fingerprint: 9,
+        };
+        let path = tmp_path("stale-tmp");
+        ckpt.save(&path).unwrap();
+        // Simulate a kill between write and rename: a truncated .tmp
+        // sibling next to a good checkpoint.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, "{\"version\": 2, \"truncat").unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt, "durable file is authoritative");
+        assert!(!tmp.exists(), "stale .tmp should be cleaned up");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Drive the `SessionMachine` by hand, delivering each batch wave in
+    /// reverse arrival order with duplicated and bogus answers thrown in.
+    /// The fingerprint must equal the blocking run's: answer *values*
+    /// matter, delivery order and duplication must not.
+    #[test]
+    fn machine_is_invariant_to_answer_delivery_order() {
+        let c = corpus(300);
+        let blocking = {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let mut al = ActiveLearner::new(TreeQbcStrategy::new(5), params());
+            al.run(&c, &oracle, 53).unwrap()
+        };
+
+        let mut machine =
+            SessionMachine::new(TreeQbcStrategy::new(5), params(), SessionConfig::default());
+        machine.start(&c, 53).unwrap();
+        let mut waves = 0usize;
+        while machine.state() == MachineState::AwaitingAnswers {
+            let mut wave: Vec<usize> = machine.pending().iter().map(|q| q.example).collect();
+            wave.reverse();
+            waves += 1;
+            // An answer for an example nobody asked about must be ignored.
+            machine
+                .deliver(&c, usize::MAX, OracleAnswer::Label(true))
+                .unwrap();
+            let n = wave.len();
+            for (pos, i) in wave.into_iter().enumerate() {
+                machine
+                    .deliver(&c, i, OracleAnswer::Label(c.truth(i)))
+                    .unwrap();
+                // Mid-wave duplicates (with a contradicting label!) must be
+                // ignored; after the last answer the machine has already
+                // advanced, so a duplicate there could hit the next wave.
+                if pos + 1 < n {
+                    machine
+                        .deliver(&c, i, OracleAnswer::Label(!c.truth(i)))
+                        .unwrap();
+                }
+            }
+        }
+        assert_eq!(machine.state(), MachineState::Done);
+        assert!(machine.ignored_answers() > 0, "duplicates actually fired");
+        assert!(waves > 2, "expected several waves, got {waves}");
+        let run = machine.take_result().unwrap();
+        assert_eq!(
+            run.deterministic_fingerprint(),
+            blocking.deterministic_fingerprint(),
+            "delivery order changed the run"
+        );
+    }
+
+    /// Checkpoint the machine at a boundary, rebuild a fresh machine from
+    /// that checkpoint, and finish: fingerprint must match the
+    /// uninterrupted blocking run.
+    #[test]
+    fn machine_checkpoint_rehydrates_bit_identically() {
+        let c = corpus(300);
+        let full = {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let mut al =
+                ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
+            al.run(&c, &oracle, 61).unwrap()
+        };
+
+        let mut machine = SessionMachine::new(
+            MarginSvmStrategy::new(SvmTrainer::default()),
+            params(),
+            SessionConfig::default(),
+        );
+        machine.start(&c, 61).unwrap();
+        // Answer waves until the third iteration boundary, then snapshot.
+        while machine.state() == MachineState::AwaitingAnswers && machine.boundary_iter() != Some(3)
+        {
+            let wave: Vec<usize> = machine.pending().iter().map(|q| q.example).collect();
+            for i in wave {
+                machine
+                    .deliver(&c, i, OracleAnswer::Label(c.truth(i)))
+                    .unwrap();
+            }
+        }
+        let ckpt = machine.checkpoint().expect("boundary reached");
+        assert_eq!(ckpt.iter_no, 3);
+        drop(machine);
+
+        let mut resumed = SessionMachine::new(
+            MarginSvmStrategy::new(SvmTrainer::default()),
+            params(),
+            SessionConfig::default(),
+        );
+        resumed.resume(&c, ckpt).unwrap();
+        while resumed.state() == MachineState::AwaitingAnswers {
+            let wave: Vec<usize> = resumed.pending().iter().map(|q| q.example).collect();
+            for i in wave {
+                resumed
+                    .deliver(&c, i, OracleAnswer::Label(c.truth(i)))
+                    .unwrap();
+            }
+        }
+        assert_eq!(resumed.state(), MachineState::Done);
+        let run = resumed.take_result().unwrap();
+        assert_eq!(
+            run.deterministic_fingerprint(),
+            full.deterministic_fingerprint()
+        );
     }
 }

@@ -144,6 +144,72 @@ pub trait Strategy {
     }
 }
 
+/// Mutable references delegate, so a [`crate::session::SessionMachine`]
+/// can borrow a strategy (e.g. out of an
+/// [`crate::loop_::ActiveLearner`]) instead of owning it.
+impl<S: Strategy + ?Sized> Strategy for &mut S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn fit(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        rng: &mut StdRng,
+    ) -> Result<(), AlemError> {
+        (**self).fit(corpus, labeled, rng)
+    }
+
+    fn select(
+        &mut self,
+        corpus: &Corpus,
+        labeled: &[(usize, bool)],
+        unlabeled: &[usize],
+        batch: usize,
+        rng: &mut StdRng,
+        obs: &Registry,
+    ) -> Selection {
+        (**self).select(corpus, labeled, unlabeled, batch, rng, obs)
+    }
+
+    fn score_pool(&self, corpus: &Corpus, unlabeled: &[usize]) -> Result<Vec<f64>, AlemError> {
+        (**self).score_pool(corpus, unlabeled)
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        (**self).set_parallelism(par);
+    }
+
+    fn predict(&self, corpus: &Corpus, i: usize) -> bool {
+        (**self).predict(corpus, i)
+    }
+
+    fn stats(&self) -> StrategyStats {
+        (**self).stats()
+    }
+
+    fn terminated(&self) -> bool {
+        (**self).terminated()
+    }
+
+    fn post_label(
+        &mut self,
+        corpus: &Corpus,
+        new: &[(usize, bool)],
+        labeled: &mut Vec<(usize, bool)>,
+        unlabeled: &mut Vec<usize>,
+        rng: &mut StdRng,
+        obs: &Registry,
+    ) {
+        (**self).post_label(corpus, new, labeled, unlabeled, rng, obs);
+    }
+
+    fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
+        (**self).saved_model()
+    }
+}
+
 impl Strategy for Box<dyn Strategy + Send> {
     fn name(&self) -> String {
         (**self).name()

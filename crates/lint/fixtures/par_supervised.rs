@@ -1,0 +1,25 @@
+//! Fixture: supervised service threads — the sanctioned entry point vs.
+//! the `thread::Builder` bypass.
+
+pub fn allowed_supervised_worker() {
+    // The sanctioned form: named, panic-containing, lives in alem-par.
+    let worker = alem_par::supervised::spawn("serve.accept", || 1u64).unwrap();
+    let _ = worker.join();
+}
+
+pub fn forbidden_builder_bypass() {
+    let h = std::thread::Builder::new() // flagged
+        .name("sneaky".into())
+        .spawn(|| ())
+        .unwrap();
+    let _ = h.join();
+}
+
+pub fn forbidden_raw_spawn() {
+    std::thread::spawn(|| ()); // flagged
+}
+
+pub fn annotated_builder() {
+    // alem-lint: allow(par-only-threads) -- fixture: demonstrating the escape hatch
+    let _ = std::thread::Builder::new();
+}

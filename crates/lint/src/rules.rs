@@ -9,6 +9,7 @@
 //! | `determinism-time` | library timing flows through `alem_obs::Span::finish()`; ad-hoc `Instant::now()` belongs only in `crates/obs` and bench/CLI binaries |
 //! | `determinism-hash-iter` | `crates/core` library code uses `BTreeMap`/`BTreeSet` (or sorted vectors), never `HashMap`/`HashSet`, because hash iteration order varies per process |
 //! | `no-panic` | library targets of `core`, `mlcore`, `linalg`, `textsim`, `datagen` route failures through `AlemError` instead of `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
+//! | `par-only-threads` | threads are created only inside `crates/par`: compute fan-outs via `alem_par::Parallelism` (thread-count-invariant chunking), long-lived service threads via `alem_par::supervised::spawn` (named, panic-containing); `thread::spawn`/`thread::scope`/`crossbeam::scope`/`thread::Builder` are flagged everywhere else |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
 //! | `vendor-path-deps` | every `[workspace.dependencies]` entry is an offline `vendor/` or `crates/` path dependency (PR 1's offline-registry invariant) |
 //! | `obs-naming` | selector modules register their telemetry under `select.*` and always count `select.pairs_scored` (§5.1 instrumentation) |
@@ -298,25 +299,33 @@ fn rule_determinism_rng(ctx: &mut Ctx<'_>) {
     }
 }
 
-/// Raw thread fan-out (`thread::spawn` / `thread::scope` /
-/// `crossbeam::scope`) anywhere outside `crates/par`. All parallelism must
-/// go through `alem_par::Parallelism`, whose fixed chunking keeps results
-/// byte-identical for any thread count; ad-hoc threads reintroduce
-/// scheduling-order nondeterminism the fingerprint cannot catch.
+/// Raw thread creation (`thread::spawn` / `thread::scope` /
+/// `crossbeam::scope`, and the `thread::Builder` escape hatch) anywhere
+/// outside `crates/par`. Compute fan-outs must go through
+/// `alem_par::Parallelism`, whose fixed chunking keeps results
+/// byte-identical for any thread count; long-lived service threads
+/// (accept loops, per-connection workers) must go through
+/// `alem_par::supervised::spawn`, which names the thread and contains its
+/// panics as data instead of silently unwinding a detached worker.
 fn rule_par_only_threads(ctx: &mut Ctx<'_>) {
-    for word in ["spawn", "scope"] {
+    for word in ["spawn", "scope", "Builder"] {
         for off in ident_occurrences(&ctx.lexed.code, word) {
             let before = preceding_code(&ctx.lexed.code, off);
             if before.ends_with("thread::") || before.ends_with("crossbeam::") {
-                ctx.report(
-                    "par-only-threads",
-                    off,
+                let message = if word == "Builder" {
+                    "`thread::Builder` bypasses the workspace thread audit surface: \
+                     spawn long-lived named threads via `alem_par::supervised::spawn` \
+                     (panic containment included) and compute fan-outs via \
+                     `alem_par::Parallelism`"
+                        .to_string()
+                } else {
                     format!(
                         "`{word}` spawns raw threads outside crates/par: fan out through \
                          `alem_par::Parallelism` so chunk boundaries stay a pure function \
                          of (len, n_threads) and results are thread-count-invariant"
-                    ),
-                );
+                    )
+                };
+                ctx.report("par-only-threads", off, message);
             }
         }
     }
@@ -591,6 +600,14 @@ mod tests {
         let allowed = "// alem-lint: allow(par-only-threads) -- watchdog thread, no data fan-out\n\
                        pub fn f() { std::thread::spawn(|| {}); }\n";
         assert!(lint_source("crates/core/src/session.rs", allowed).is_empty());
+        // thread::Builder is the bypass the rule closes; the supervised
+        // entry point in alem-par is the sanctioned replacement.
+        let builder = "pub fn f() { let _ = std::thread::Builder::new(); }\n";
+        let out = lint_source("crates/serve/src/lib.rs", builder);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "par-only-threads");
+        let sanctioned = "pub fn f() { alem_par::supervised::spawn(\"w\", || ()).unwrap(); }\n";
+        assert!(lint_source("crates/serve/src/lib.rs", sanctioned).is_empty());
     }
 
     #[test]

@@ -132,6 +132,34 @@ fn par_threads_fixture_flags_raw_fan_out_outside_par() {
 }
 
 #[test]
+fn par_supervised_fixture_allows_entry_point_and_flags_builder_bypass() {
+    // Linted under the server crate's path: the sanctioned
+    // `alem_par::supervised::spawn` is clean, while `thread::Builder` and
+    // raw `thread::spawn` are both flagged.
+    let out = lint_source("crates/serve/src/fleet.rs", &fixture("par_supervised.rs"));
+    assert_eq!(
+        rule_lines(&out),
+        vec![
+            ("par-only-threads", 11), // thread::Builder::new()
+            ("par-only-threads", 19), // std::thread::spawn
+        ],
+        "{out:#?}"
+    );
+    assert!(
+        out[0].message.contains("alem_par::supervised::spawn"),
+        "{}",
+        out[0].message
+    );
+    // The annotated Builder on line 24 is suppressed, and inside
+    // crates/par the rule never fires at all.
+    assert!(lint_source(
+        "crates/par/src/supervised.rs",
+        &fixture("par_supervised.rs")
+    )
+    .is_empty());
+}
+
+#[test]
 fn manifest_fixture_flags_registry_dependencies() {
     let out = lint_workspace_manifest("Cargo.toml", &fixture("bad_manifest.toml"));
     assert_eq!(

@@ -22,6 +22,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod supervised;
+
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::Mutex;

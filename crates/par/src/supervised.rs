@@ -1,0 +1,129 @@
+//! Supervised, named threads for long-running service code.
+//!
+//! [`Parallelism::map`][crate::Parallelism::map] and friends cover the
+//! *compute* fan-outs (scoped, joined before return, panics re-raised).
+//! A server is different: its accept loops and per-connection workers are
+//! long-lived, detached from any scope, and a panic in one must be
+//! *contained and observed* rather than propagated — one poisoned session
+//! must never take down the fleet. [`spawn`] is the workspace's single
+//! entry point for that shape of thread (the `par-only-threads` lint
+//! forbids `std::thread::spawn`/`Builder` everywhere else, including the
+//! server crate): every thread gets a name (so panics and debuggers can
+//! attribute it) and a join handle whose [`Supervised::join`] converts a
+//! panic into a structured [`Panicked`] value instead of unwinding into
+//! the supervisor.
+
+use std::thread;
+
+/// A thread died by panicking; the payload's message, if it was a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Panicked {
+    /// The thread's name as given to [`spawn`].
+    pub thread: String,
+    /// Panic payload rendered to text (`"<non-string panic payload>"`
+    /// when the payload was not a `String`/`&str`).
+    pub message: String,
+}
+
+impl std::fmt::Display for Panicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread '{}' panicked: {}", self.thread, self.message)
+    }
+}
+
+impl std::error::Error for Panicked {}
+
+/// Handle to a supervised thread. Dropping it detaches the thread (fine
+/// for daemon loops that run until process exit); [`Supervised::join`]
+/// reaps it and reports a panic as data.
+pub struct Supervised<T> {
+    name: String,
+    handle: thread::JoinHandle<T>,
+}
+
+impl<T> Supervised<T> {
+    /// The name the thread was spawned with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True once the thread has finished running (join will not block).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Wait for the thread and return its result, converting a panic into
+    /// [`Panicked`] instead of resuming the unwind in the supervisor.
+    pub fn join(self) -> Result<T, Panicked> {
+        match self.handle.join() {
+            Ok(v) => Ok(v),
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_owned()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_owned()
+                };
+                Err(Panicked {
+                    thread: self.name,
+                    message,
+                })
+            }
+        }
+    }
+}
+
+/// Spawn a named, supervised thread. The only sanctioned way to start a
+/// long-lived thread outside this crate; see the module docs.
+///
+/// Errors only if the OS refuses to create the thread.
+pub fn spawn<T, F>(name: &str, f: F) -> std::io::Result<Supervised<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let handle = thread::Builder::new().name(name.to_owned()).spawn(f)?;
+    Ok(Supervised {
+        name: name.to_owned(),
+        handle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_the_value() {
+        let t = spawn("adder", || 40 + 2).unwrap();
+        assert_eq!(t.name(), "adder");
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn panic_is_contained_as_data() {
+        let t = spawn("doomed", || -> u32 { panic!("boom {}", 7) }).unwrap();
+        let err = t.join().unwrap_err();
+        assert_eq!(err.thread, "doomed");
+        assert_eq!(err.message, "boom 7");
+        assert!(err.to_string().contains("thread 'doomed' panicked"));
+    }
+
+    #[test]
+    fn non_string_payload_is_reported_generically() {
+        let t = spawn("weird", || std::panic::panic_any(17u32)).unwrap();
+        let err = t.join().unwrap_err();
+        assert_eq!(err.message, "<non-string panic payload>");
+    }
+
+    #[test]
+    fn is_finished_flips_after_completion() {
+        let t = spawn("quick", || ()).unwrap();
+        // Join implies finished; poll first to exercise the accessor.
+        while !t.is_finished() {
+            std::thread::yield_now();
+        }
+        t.join().unwrap();
+    }
+}

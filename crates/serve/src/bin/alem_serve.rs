@@ -1,0 +1,154 @@
+//! `alem-serve` — the crash-tolerant multi-session labeling service.
+//!
+//! ```text
+//! alem-serve --socket /tmp/alem.sock --state-dir ./state \
+//!            --max-sessions 256 --deadline-ms 30000 --checkpoint-every 3
+//! ```
+//!
+//! Startup: install signal latches, restore the fleet from the state
+//! directory (cold restart), bind, print the resolved listen address on
+//! stdout (load harnesses wait for this line), serve until drained.
+
+use alem_obs::Registry;
+use alem_serve::fleet::{Fleet, FleetConfig};
+use alem_serve::server::{Bind, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    bind: Bind,
+    state_dir: PathBuf,
+    max_sessions: usize,
+    deadline_ms: u64,
+    checkpoint_every: usize,
+    metrics_out: Option<PathBuf>,
+    chaos_die_at_checkpoint: Option<u64>,
+}
+
+const USAGE: &str = "usage: alem-serve [--tcp ADDR | --socket PATH] --state-dir DIR \
+[--max-sessions N] [--deadline-ms N] [--checkpoint-every N] \
+[--metrics-out FILE] [--chaos-die-at-checkpoint N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        bind: Bind::Tcp("127.0.0.1:0".to_string()),
+        state_dir: PathBuf::from("alem-serve-state"),
+        max_sessions: 256,
+        deadline_ms: 30_000,
+        checkpoint_every: 3,
+        metrics_out: None,
+        chaos_die_at_checkpoint: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--tcp" => args.bind = Bind::Tcp(value("--tcp")?),
+            "--socket" => {
+                #[cfg(unix)]
+                {
+                    args.bind = Bind::Unix(PathBuf::from(value("--socket")?));
+                }
+                #[cfg(not(unix))]
+                return Err("--socket requires a unix platform".to_string());
+            }
+            "--state-dir" => args.state_dir = PathBuf::from(value("--state-dir")?),
+            "--max-sessions" => {
+                args.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--chaos-die-at-checkpoint" => {
+                args.chaos_die_at_checkpoint = Some(
+                    value("--chaos-die-at-checkpoint")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-die-at-checkpoint: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    sigshim::install();
+    let obs = Registry::enabled();
+    obs.set_run_id("alem-serve");
+    let fleet = match Fleet::new(FleetConfig {
+        state_dir: args.state_dir.clone(),
+        max_sessions: args.max_sessions,
+        answer_deadline: Duration::from_millis(args.deadline_ms),
+        checkpoint_every: args.checkpoint_every,
+        obs: obs.clone(),
+        chaos_die_at_checkpoint: args.chaos_die_at_checkpoint,
+    }) {
+        Ok(f) => Arc::new(f),
+        Err(e) => {
+            eprintln!("alem-serve: opening state dir: {e}");
+            return 1;
+        }
+    };
+    match fleet.restore() {
+        Ok((live, done, failed)) => {
+            eprintln!("alem-serve: restored {live} live, {done} done, {failed} failed");
+        }
+        Err(e) => {
+            eprintln!("alem-serve: fleet restore failed: {e}");
+            return 1;
+        }
+    }
+    let server = match Server::bind(&args.bind, Arc::clone(&fleet)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("alem-serve: bind failed: {e}");
+            return 1;
+        }
+    };
+    // The load harness and tests block on this exact line.
+    println!("alem-serve: listening on {}", server.addr_desc());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    if let Err(e) = server.run() {
+        eprintln!("alem-serve: serve loop failed: {e}");
+        return 1;
+    }
+    if let Some(path) = &args.metrics_out {
+        match std::fs::File::create(path) {
+            Ok(mut f) => {
+                if let Err(e) = obs.write_jsonl(&mut f) {
+                    eprintln!("alem-serve: writing metrics: {e}");
+                }
+            }
+            Err(e) => eprintln!("alem-serve: creating {}: {e}", path.display()),
+        }
+    }
+    0
+}

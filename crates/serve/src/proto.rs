@@ -1,0 +1,297 @@
+//! Wire frames: one JSON object per line in each direction.
+//!
+//! The protocol is deliberately flat — a single [`Request`] shape whose
+//! relevance of fields depends on `op`, and a single [`Response`] shape —
+//! because the vendored serde shim derives named structs with `Option`
+//! fields tolerating absence, and because a flat shape keeps malformed
+//! input diagnosable: any parse failure is answered with
+//! `{"ok":false,"error":"malformed","detail":…}` on the same connection.
+//!
+//! Operations:
+//!
+//! | `op`      | fields                                            | effect |
+//! |-----------|---------------------------------------------------|--------|
+//! | `open`    | `session`, `dataset`, `seed`, `strategy`, params  | create a session; emits its first pending query |
+//! | `answer`  | `session`, `example`, `label` or `abstain`        | deliver one oracle answer |
+//! | `poll`    | `session`                                         | state + pending queries |
+//! | `status`  | —                                                 | fleet-wide counts |
+//! | `metrics` | —                                                 | counters + query-to-batch latency quantiles |
+//! | `crash`   | `session`                                         | testing hook: panic inside the session's supervised region |
+//! | `drain`   | —                                                 | graceful shutdown: checkpoint all, exit |
+//!
+//! Fingerprints travel as 16-hex-digit strings (the shim renders `u64`
+//! through `i64`, which would turn high-bit fingerprints negative in the
+//! JSON text).
+
+use serde::{Deserialize, Serialize};
+
+/// Error code for an unparsable frame.
+pub const ERR_MALFORMED: &str = "malformed";
+/// Error code for admission-control rejection (retry later).
+pub const ERR_BUSY: &str = "busy";
+/// Error code for an `op` naming no live or finished session.
+pub const ERR_UNKNOWN_SESSION: &str = "unknown_session";
+/// Error code for opening a session name that already exists.
+pub const ERR_EXISTS: &str = "exists";
+/// Error code for requests arriving while the server is draining.
+pub const ERR_DRAINING: &str = "draining";
+/// Error code for a request that is well-formed JSON but invalid
+/// (unknown op, missing field, bad dataset/strategy, bad session name).
+pub const ERR_INVALID: &str = "invalid";
+
+/// One client request. Which fields matter depends on `op` (see the
+/// module docs); unknown extra fields are ignored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation name.
+    pub op: String,
+    /// Session name (`[A-Za-z0-9_-]{1,64}`).
+    pub session: Option<String>,
+    /// Dataset spec understood by [`crate::dataset::build`] (`open`).
+    pub dataset: Option<String>,
+    /// Master seed for the session (`open`).
+    pub seed: Option<u64>,
+    /// Strategy name understood by [`crate::fleet::build_strategy`] (`open`).
+    pub strategy: Option<String>,
+    /// Seed draw size (`open`; default 12).
+    pub seed_size: Option<usize>,
+    /// Labels per iteration (`open`; default 8).
+    pub batch_size: Option<usize>,
+    /// Total label budget (`open`; default 80).
+    pub max_labels: Option<usize>,
+    /// Early-stop F1 target (`open`; default none).
+    pub stop_at_f1: Option<f64>,
+    /// Example index being answered (`answer`).
+    pub example: Option<usize>,
+    /// The label (`answer`; ignored when `abstain` is true).
+    pub label: Option<bool>,
+    /// Deliver an abstention instead of a label (`answer`).
+    pub abstain: Option<bool>,
+}
+
+impl Request {
+    /// An empty request for `op` (fields default to `None`).
+    pub fn new(op: &str) -> Self {
+        Request {
+            op: op.to_string(),
+            session: None,
+            dataset: None,
+            seed: None,
+            strategy: None,
+            seed_size: None,
+            batch_size: None,
+            max_labels: None,
+            stop_at_f1: None,
+            example: None,
+            label: None,
+            abstain: None,
+        }
+    }
+
+    /// An `open` request with the required fields.
+    pub fn open(session: &str, dataset: &str, seed: u64, strategy: &str) -> Self {
+        let mut r = Request::new("open");
+        r.session = Some(session.to_string());
+        r.dataset = Some(dataset.to_string());
+        r.seed = Some(seed);
+        r.strategy = Some(strategy.to_string());
+        r
+    }
+
+    /// An `answer` request delivering `label` for `example`.
+    pub fn answer(session: &str, example: usize, label: bool) -> Self {
+        let mut r = Request::new("answer");
+        r.session = Some(session.to_string());
+        r.example = Some(example);
+        r.label = Some(label);
+        r
+    }
+
+    /// An `answer` request delivering an abstention for `example`.
+    pub fn abstain(session: &str, example: usize) -> Self {
+        let mut r = Request::new("answer");
+        r.session = Some(session.to_string());
+        r.example = Some(example);
+        r.abstain = Some(true);
+        r
+    }
+
+    /// A `poll` request for `session`.
+    pub fn poll(session: &str) -> Self {
+        let mut r = Request::new("poll");
+        r.session = Some(session.to_string());
+        r
+    }
+}
+
+/// One server response. `ok` distinguishes success from failure; the rest
+/// is op-specific and absent when irrelevant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request was accepted.
+    pub ok: bool,
+    /// Error code (`ok == false` only): see the `ERR_*` constants.
+    pub error: Option<String>,
+    /// Human-readable diagnostic accompanying `error` or a state change.
+    pub detail: Option<String>,
+    /// Suggested client backoff before retrying (`busy` only).
+    pub retry_after_ms: Option<u64>,
+    /// Session state: `awaiting_answers`, `done`, or `failed`.
+    pub state: Option<String>,
+    /// Example indices the session is waiting on.
+    pub pending: Option<Vec<usize>>,
+    /// Iterations fully recorded so far (or in the final result).
+    pub iterations: Option<usize>,
+    /// Labels consumed so far.
+    pub labels_used: Option<usize>,
+    /// `RunResult::deterministic_fingerprint` once `state == "done"`,
+    /// rendered as hex digits.
+    pub fingerprint: Option<String>,
+    /// Best F1 reached, once done.
+    pub best_f1: Option<f64>,
+    /// Whether this session was re-hydrated from a checkpoint after a
+    /// restart (as opposed to running in its original process).
+    pub resumed: Option<bool>,
+    /// Fleet status: live sessions.
+    pub active: Option<u64>,
+    /// Fleet status: completed sessions.
+    pub done: Option<u64>,
+    /// Fleet status: poisoned/failed sessions.
+    pub failed: Option<u64>,
+    /// Fleet status: whether a drain is in progress.
+    pub draining: Option<bool>,
+    /// Metrics: counter name/value pairs.
+    pub counters: Option<Vec<(String, u64)>>,
+    /// Metrics: closed `serve.query_to_batch` spans.
+    pub q2b_count: Option<u64>,
+    /// Metrics: query-to-batch latency p50 (µs).
+    pub q2b_p50_us: Option<u64>,
+    /// Metrics: query-to-batch latency p90 (µs).
+    pub q2b_p90_us: Option<u64>,
+    /// Metrics: query-to-batch latency p99 (µs).
+    pub q2b_p99_us: Option<u64>,
+}
+
+impl Response {
+    /// A bare success.
+    pub fn ok() -> Self {
+        Response {
+            ok: true,
+            error: None,
+            detail: None,
+            retry_after_ms: None,
+            state: None,
+            pending: None,
+            iterations: None,
+            labels_used: None,
+            fingerprint: None,
+            best_f1: None,
+            resumed: None,
+            active: None,
+            done: None,
+            failed: None,
+            draining: None,
+            counters: None,
+            q2b_count: None,
+            q2b_p50_us: None,
+            q2b_p90_us: None,
+            q2b_p99_us: None,
+        }
+    }
+
+    /// A failure with `code` and a diagnostic.
+    pub fn err(code: &str, detail: impl Into<String>) -> Self {
+        let mut r = Response::ok();
+        r.ok = false;
+        r.error = Some(code.to_string());
+        r.detail = Some(detail.into());
+        r
+    }
+
+    /// The `busy` rejection with its backoff hint.
+    pub fn busy(retry_after_ms: u64, detail: impl Into<String>) -> Self {
+        let mut r = Response::err(ERR_BUSY, detail);
+        r.retry_after_ms = Some(retry_after_ms);
+        r
+    }
+}
+
+/// Serialize a frame to its wire line (no trailing newline).
+pub fn encode<T: Serialize>(frame: &T) -> String {
+    // The shim's to_string cannot fail on these derive shapes.
+    serde_json::to_string(frame).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Parse one request line. `Err` is the malformed-frame diagnostic.
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str::<Request>(line.trim()).map_err(|e| e.to_string())
+}
+
+/// Parse one response line (client side).
+pub fn decode_response(line: &str) -> Result<Response, String> {
+    serde_json::from_str::<Response>(line.trim()).map_err(|e| e.to_string())
+}
+
+/// Whether `name` is acceptable as a session name (it becomes part of
+/// checkpoint file names, so the alphabet is strict).
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let r = Request::open("s1", "toy", 7, "margin");
+        let line = encode(&r);
+        let back = decode_request(&line).unwrap();
+        assert_eq!(back.op, "open");
+        assert_eq!(back.session.as_deref(), Some("s1"));
+        assert_eq!(back.seed, Some(7));
+        assert_eq!(back.example, None);
+    }
+
+    #[test]
+    fn minimal_request_parses_with_missing_optionals() {
+        let back = decode_request("{\"op\":\"status\"}").unwrap();
+        assert_eq!(back.op, "status");
+        assert!(back.session.is_none() && back.label.is_none());
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        assert!(decode_request("{\"op\": tru").is_err());
+        assert!(decode_request("[1,2,3]").is_err());
+        assert!(decode_request("").is_err());
+    }
+
+    #[test]
+    fn response_round_trips_with_counters() {
+        let mut r = Response::ok();
+        r.state = Some("awaiting_answers".into());
+        r.pending = Some(vec![3, 1, 4]);
+        r.counters = Some(vec![("serve.sessions_opened".into(), 2)]);
+        let back = decode_response(&encode(&r)).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.pending.as_deref(), Some(&[3, 1, 4][..]));
+        assert_eq!(
+            back.counters.unwrap()[0],
+            ("serve.sessions_opened".to_string(), 2)
+        );
+    }
+
+    #[test]
+    fn session_names_are_path_safe() {
+        assert!(valid_session_name("s-1_B"));
+        assert!(!valid_session_name(""));
+        assert!(!valid_session_name("a/b"));
+        assert!(!valid_session_name("x".repeat(65).as_str()));
+        assert!(!valid_session_name("dot.dot"));
+    }
+}

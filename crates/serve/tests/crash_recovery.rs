@@ -1,0 +1,136 @@
+//! Crash-recovery integration tests: kill a real server mid-run (three
+//! different ways), restart it over the same state dir, and assert every
+//! resumed session finishes byte-identical to a fault-free run.
+
+mod common;
+
+use alem_serve::proto::Request;
+use common::{drive_partial, drive_to_done, reference, TestServer};
+
+/// SIGKILL mid-iteration (answers in flight, no drain, no checkpoint-all),
+/// then a cold restart must resume from the last boundary checkpoint and
+/// reproduce the reference fingerprint exactly.
+#[test]
+fn sigkill_mid_iteration_then_restart_resumes_byte_identical() {
+    let args = ["--checkpoint-every", "1"];
+    let server = TestServer::spawn("cr-kill", &args, None);
+    let mut c = server.client();
+    assert!(c.call(&Request::open("a", "toy", 21, "margin")).unwrap().ok);
+    assert!(
+        c.call(&Request::open("b", "skew", 22, "margin"))
+            .unwrap()
+            .ok
+    );
+    // Push both sessions past at least one checkpoint boundary, leaving
+    // them mid-wave.
+    drive_partial(&mut c, "a", "toy", 21, 30);
+    drive_partial(&mut c, "b", "skew", 22, 25);
+    let state_dir = server.kill();
+
+    let server2 = TestServer::spawn("cr-kill2", &args, Some(state_dir));
+    let mut c = server2.client();
+    let ra = c.call(&Request::poll("a")).unwrap();
+    assert!(ra.ok, "{:?}", ra.detail);
+    assert_eq!(ra.resumed, Some(true));
+    assert_eq!(drive_to_done(&mut c, "a", "toy", 21), reference("toy", 21));
+    assert_eq!(
+        drive_to_done(&mut c, "b", "skew", 22),
+        reference("skew", 22)
+    );
+    server2.drain();
+}
+
+/// Abort *during* a checkpoint write (truncated `.tmp` left behind, no
+/// rename). Restart must discard the stale temp file, resume from the
+/// previous durable snapshot, and still converge to the reference.
+#[test]
+fn abort_mid_checkpoint_write_leaves_recoverable_state() {
+    let args = ["--checkpoint-every", "1", "--chaos-die-at-checkpoint", "3"];
+    let server = TestServer::spawn("cr-abort", &args, None);
+    let mut c = server.client();
+    assert!(c.call(&Request::open("a", "toy", 31, "margin")).unwrap().ok);
+    // Answer until the chaos hook aborts the process mid-write: client
+    // calls start failing once the server is gone.
+    let corpus = alem_serve::dataset::build("toy").unwrap();
+    let key = alem_core::oracle::AnswerKey::perfect(31);
+    'outer: loop {
+        let Ok(r) = c.call(&Request::poll("a")) else {
+            break 'outer; // server died as planned
+        };
+        match r.state.as_deref() {
+            Some("awaiting_answers") => {
+                for example in r.pending.unwrap_or_default() {
+                    let req = match key.answer(example, corpus.truth(example)) {
+                        alem_core::oracle::OracleAnswer::Label(l) => {
+                            Request::answer("a", example, l)
+                        }
+                        alem_core::oracle::OracleAnswer::Abstain => Request::abstain("a", example),
+                    };
+                    if c.call(&req).is_err() {
+                        break 'outer;
+                    }
+                }
+            }
+            other => panic!("session ended before the abort: {other:?}"),
+        }
+    }
+    let state_dir = server.wait_death(std::time::Duration::from_secs(60));
+    // The interrupted write left a stale temp sibling.
+    let stale: Vec<_> = std::fs::read_dir(&state_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+        .collect();
+    assert!(!stale.is_empty(), "expected a truncated .tmp checkpoint");
+
+    let server2 = TestServer::spawn("cr-abort2", &["--checkpoint-every", "1"], Some(state_dir));
+    let mut c = server2.client();
+    assert_eq!(drive_to_done(&mut c, "a", "toy", 31), reference("toy", 31));
+    let state_dir = server2.drain();
+    // The stale temp file was cleaned up during resume.
+    let stale: Vec<_> = std::fs::read_dir(&state_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+        .collect();
+    assert!(stale.is_empty(), "stale .tmp survived recovery: {stale:?}");
+}
+
+/// Graceful drain (the `drain` op = SIGTERM semantics) checkpoints every
+/// live session — including ones never pushed past a boundary — and a
+/// restart finishes them all byte-identically.
+#[test]
+fn graceful_drain_then_restart_finishes_all_sessions() {
+    let server = TestServer::spawn("cr-drain", &[], None);
+    let mut c = server.client();
+    assert!(c.call(&Request::open("a", "toy", 51, "margin")).unwrap().ok);
+    assert!(c.call(&Request::open("b", "toy", 52, "margin")).unwrap().ok);
+    assert!(
+        c.call(&Request::open("c", "skew", 53, "margin"))
+            .unwrap()
+            .ok
+    );
+    // One finished, one mid-run, one untouched (still in its seed wave).
+    let done_before = drive_to_done(&mut c, "a", "toy", 51);
+    drive_partial(&mut c, "b", "toy", 52, 30);
+    drop(c);
+    let state_dir = server.drain();
+
+    let server2 = TestServer::spawn("cr-drain2", &[], Some(state_dir));
+    let mut c = server2.client();
+    // The finished session is reported from its durable done record.
+    let ra = c.call(&Request::poll("a")).unwrap();
+    assert_eq!(ra.state.as_deref(), Some("done"));
+    assert_eq!(ra.fingerprint.as_deref(), Some(done_before.as_str()));
+    assert_eq!(done_before, reference("toy", 51));
+    // The others resume and land on their references.
+    assert_eq!(drive_to_done(&mut c, "b", "toy", 52), reference("toy", 52));
+    assert_eq!(
+        drive_to_done(&mut c, "c", "skew", 53),
+        reference("skew", 53)
+    );
+    let status = c.call(&Request::new("status")).unwrap();
+    assert_eq!(status.done, Some(3));
+    assert_eq!(status.failed, Some(0));
+    server2.drain();
+}

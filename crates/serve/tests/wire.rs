@@ -1,0 +1,124 @@
+//! Wire-protocol integration tests against a real `alem-serve` process.
+
+mod common;
+
+use alem_serve::proto::{self, Request};
+use common::{drive_to_done, reference, TestServer};
+
+#[test]
+fn session_over_the_wire_matches_in_process_reference() {
+    let server = TestServer::spawn("wire-basic", &[], None);
+    let mut c = server.client();
+    let r = c.call(&Request::open("s1", "toy", 41, "margin")).unwrap();
+    assert!(r.ok, "{:?} {:?}", r.error, r.detail);
+    assert_eq!(r.state.as_deref(), Some("awaiting_answers"));
+    assert!(!r.pending.unwrap().is_empty());
+    let fp = drive_to_done(&mut c, "s1", "toy", 41);
+    assert_eq!(fp, reference("toy", 41));
+    server.drain();
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_the_connection_survives() {
+    let server = TestServer::spawn("wire-malformed", &[], None);
+    let mut c = server.client();
+    for garbage in ["{\"op\": tru", "[1,2,3]", "not json at all", "{}"] {
+        let r = c.send_raw(garbage).unwrap();
+        assert!(!r.ok, "garbage accepted: {garbage}");
+        assert_eq!(r.error.as_deref(), Some(proto::ERR_MALFORMED), "{garbage}");
+        assert!(r.detail.is_some());
+    }
+    // Same connection still works for real traffic.
+    let r = c.call(&Request::new("status")).unwrap();
+    assert!(r.ok);
+    assert_eq!(r.active, Some(0));
+
+    // Well-formed but invalid requests get their own codes.
+    let r = c.call(&Request::poll("never-opened")).unwrap();
+    assert_eq!(r.error.as_deref(), Some(proto::ERR_UNKNOWN_SESSION));
+    let r = c
+        .call(&Request::open("bad/name", "toy", 1, "margin"))
+        .unwrap();
+    assert_eq!(r.error.as_deref(), Some(proto::ERR_INVALID));
+    let r = c
+        .call(&Request::open("s1", "toy", 1, "no-such-strategy"))
+        .unwrap();
+    assert_eq!(r.error.as_deref(), Some(proto::ERR_INVALID));
+    let r = c.call(&Request::new("frobnicate")).unwrap();
+    assert_eq!(r.error.as_deref(), Some(proto::ERR_INVALID));
+    server.drain();
+}
+
+#[test]
+fn backpressure_rejects_with_retry_hint_at_capacity() {
+    let server = TestServer::spawn("wire-busy", &["--max-sessions", "1"], None);
+    let mut c = server.client();
+    assert!(
+        c.call(&Request::open("only", "toy", 1, "margin"))
+            .unwrap()
+            .ok
+    );
+    let r = c.call(&Request::open("extra", "toy", 2, "margin")).unwrap();
+    assert!(!r.ok);
+    assert_eq!(r.error.as_deref(), Some(proto::ERR_BUSY));
+    assert!(r.retry_after_ms.unwrap() > 0);
+    // Capacity frees once the only session completes.
+    drive_to_done(&mut c, "only", "toy", 1);
+    let r = c.call(&Request::open("extra", "toy", 2, "margin")).unwrap();
+    assert!(r.ok, "{:?} {:?}", r.error, r.detail);
+    server.drain();
+}
+
+#[test]
+fn crash_op_poisons_one_session_and_the_fleet_keeps_serving() {
+    let server = TestServer::spawn("wire-crash", &[], None);
+    let mut c = server.client();
+    assert!(
+        c.call(&Request::open("victim", "toy", 9, "margin"))
+            .unwrap()
+            .ok
+    );
+    assert!(
+        c.call(&Request::open("bystander", "skew", 10, "margin"))
+            .unwrap()
+            .ok
+    );
+    let mut crash = Request::new("crash");
+    crash.session = Some("victim".to_string());
+    let r = c.call(&crash).unwrap();
+    assert_eq!(r.state.as_deref(), Some("failed"));
+    assert!(r.detail.unwrap().contains("panic"));
+    // Same connection, different session: unaffected.
+    let fp = drive_to_done(&mut c, "bystander", "skew", 10);
+    assert_eq!(fp, reference("skew", 10));
+    let status = c.call(&Request::new("status")).unwrap();
+    assert_eq!(status.failed, Some(1));
+    assert_eq!(status.done, Some(1));
+    server.drain();
+}
+
+#[test]
+fn metrics_op_reports_counters_and_latency_quantiles() {
+    let server = TestServer::spawn("wire-metrics", &[], None);
+    let mut c = server.client();
+    assert!(c.call(&Request::open("s1", "toy", 3, "margin")).unwrap().ok);
+    drive_to_done(&mut c, "s1", "toy", 3);
+    let m = c.call(&Request::new("metrics")).unwrap();
+    let counters = m.counters.unwrap();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert_eq!(get("serve.sessions_opened"), 1);
+    assert_eq!(get("serve.sessions_completed"), 1);
+    assert!(get("serve.answers_applied") > 0);
+    assert!(
+        m.q2b_count.unwrap_or(0) > 0,
+        "query_to_batch spans recorded"
+    );
+    assert!(m.q2b_p99_us.unwrap_or(0) >= m.q2b_p50_us.unwrap_or(0));
+    server.drain();
+}

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Validate a telemetry JSONL file emitted by alem-obs.
 
-Usage: validate_metrics.py METRICS.jsonl
+Usage: validate_metrics.py METRICS.jsonl [--require name1,name2,...]
 
 Fails (exit 1) if the file is empty, any line is not valid JSON, or any
-line is missing one of the required keys: span, dur_us, iter.
+line is missing one of the required keys: span, dur_us, iter. With
+--require, additionally fails unless every listed name appears among the
+file's span/counter/gauge names (used by CI to pin the serve.* metric
+namespace).
 """
 
 import json
@@ -12,13 +15,26 @@ import sys
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
-        print("usage: validate_metrics.py METRICS.jsonl", file=sys.stderr)
+    argv = sys.argv[1:]
+    require: set[str] = set()
+    if "--require" in argv:
+        i = argv.index("--require")
+        if i + 1 >= len(argv):
+            print("--require needs a comma-separated name list", file=sys.stderr)
+            return 2
+        require = {n for n in argv[i + 1].split(",") if n}
+        del argv[i : i + 2]
+    if len(argv) != 1:
+        print(
+            "usage: validate_metrics.py METRICS.jsonl [--require a,b,...]",
+            file=sys.stderr,
+        )
         return 2
-    path = sys.argv[1]
+    path = argv[0]
     required = {"span", "dur_us", "iter"}
     lines = 0
     spans = set()
+    names = set()
     with open(path, encoding="utf-8") as f:
         for lineno, raw in enumerate(f, start=1):
             raw = raw.strip()
@@ -37,10 +53,18 @@ def main() -> int:
                 )
                 return 1
             lines += 1
+            names.add(event["span"])
             if event.get("type") == "span":
                 spans.add(event["span"])
     if lines == 0:
         print(f"{path}: no telemetry events emitted", file=sys.stderr)
+        return 1
+    missing_names = require - names
+    if missing_names:
+        print(
+            f"{path}: required metric names never emitted: {sorted(missing_names)}",
+            file=sys.stderr,
+        )
         return 1
     print(f"{path}: {lines} events OK, {len(spans)} distinct spans: {sorted(spans)}")
     return 0

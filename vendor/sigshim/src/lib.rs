@@ -1,0 +1,106 @@
+//! Minimal POSIX signal shim: latch SIGTERM/SIGINT into an `AtomicBool`.
+//!
+//! The workspace has no registry access, so `signal-hook`/`ctrlc` are
+//! unavailable; this crate is the offline stand-in, scoped to the one
+//! thing `alem-serve` needs — *"has a shutdown signal arrived?"* — with
+//! the canonical async-signal-safe implementation: the handler does
+//! nothing but store into a `static` atomic.
+//!
+//! On non-Unix targets [`install`] is a no-op returning `false`, and
+//! [`requested`] only ever reports shutdowns triggered programmatically
+//! via [`raise_shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// SIGINT signal number (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// SIGTERM signal number (polite kill; what `kill` and orchestrators send).
+pub const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, SHUTDOWN, SIGINT, SIGTERM};
+
+    // `signal(2)` from libc, which every Rust binary on Unix already
+    // links. The simple `fn(int)` handler ABI avoids depending on the
+    // platform-specific `sigaction` struct layout. Good enough here: we
+    // need no SA_RESTART guarantees — accept loops run with read
+    // timeouts precisely so EINTR/latency never matters.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        // alem-lint: allow(forbid-unsafe) -- vendored shim; see vendor/README.md
+        let mut ok = true;
+        for signum in [SIGTERM, SIGINT] {
+            // SAFETY: `signal` is the C library's own entry point; the
+            // handler is an `extern "C" fn(i32)` that only performs an
+            // atomic store, which is async-signal-safe.
+            let prev = unsafe { signal(signum, on_signal as *const () as usize) };
+            ok &= prev != SIG_ERR;
+        }
+        ok
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Install handlers for SIGTERM and SIGINT that latch [`requested`] to
+/// `true`. Returns whether installation succeeded (always `false` on
+/// non-Unix targets, where the latch still works via [`raise_shutdown`]).
+///
+/// Process-global and idempotent: callers may invoke it repeatedly.
+pub fn install() -> bool {
+    imp::install()
+}
+
+/// True once a shutdown signal has been received (or raised in-process).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Latch the shutdown flag programmatically (tests; `drain` commands).
+pub fn raise_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Reset the latch (tests only: the flag is process-global).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_round_trip() {
+        reset();
+        assert!(!requested());
+        raise_shutdown();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn install_succeeds_on_unix() {
+        assert!(install());
+    }
+}
