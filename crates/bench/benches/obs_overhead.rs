@@ -1,22 +1,42 @@
-//! Criterion bench: telemetry overhead on a hot selection round.
+//! Pass/fail gate: telemetry overhead on a hot selection round.
 //!
 //! Runs the same margin-selection round with a disabled registry (the
 //! default for every production code path) and with an enabled one
-//! recording spans + counters. The disabled path must stay within a few
-//! percent of free: ISSUE acceptance is < 5% overhead for the enabled
-//! path on a realistic round, and ~0 for the disabled path.
+//! recording spans + counters, then compares the fastest observed round
+//! of each. ISSUE acceptance: the enabled path costs < 5% over the
+//! disabled path on a realistic round. Exits non-zero past the
+//! threshold, so CI can run it as a gate:
+//!
+//! ```text
+//! cargo bench --bench obs_overhead
+//! ```
+//!
+//! Minimum-of-samples (not mean) is compared because scheduler noise
+//! only ever adds time; the minimum is the closest observable to the
+//! true cost of each configuration.
 
 use alem_bench::data::prepare;
 use alem_core::learner::{SvmTrainer, Trainer};
 use alem_core::selector;
 use alem_obs::Registry;
-use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::PaperDataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_obs_overhead(c: &mut Criterion) {
+/// Interleaved measurement rounds per configuration.
+const SAMPLES: usize = 9;
+/// Selection rounds per measured sample.
+const ROUNDS_PER_SAMPLE: usize = 4;
+/// Maximum tolerated (enabled − disabled) / disabled.
+const MAX_OVERHEAD: f64 = 0.05;
+
+fn main() {
+    // Tolerate the extra args harness=false benches receive from cargo
+    // (e.g. `--bench`); none of them change what this gate measures.
+    let _ = std::env::args();
+
     let p = prepare(PaperDataset::DblpAcm, 0.25);
     let corpus = &p.corpus;
     let labeled: Vec<(usize, bool)> = (0..corpus.len())
@@ -35,41 +55,62 @@ fn bench_obs_overhead(c: &mut Criterion) {
         &labeled.iter().map(|&(_, y)| y).collect::<Vec<_>>(),
         &mut rng,
     );
+    let par = alem_par::Parallelism::default();
 
-    let mut group = c.benchmark_group("obs_overhead");
-    group.sample_size(20);
-    group.bench_function("selection_obs_disabled", |b| {
-        let obs = Registry::disabled();
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            black_box(selector::margin::select(
-                |x| svm.margin(x),
-                corpus,
-                &unlabeled,
-                10,
-                &mut rng,
-                &obs,
-                &alem_par::Parallelism::default(),
-            ))
-        })
-    });
-    group.bench_function("selection_obs_enabled", |b| {
-        let obs = Registry::enabled();
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            black_box(selector::margin::select(
-                |x| svm.margin(x),
-                corpus,
-                &unlabeled,
-                10,
-                &mut rng,
-                &obs,
-                &alem_par::Parallelism::default(),
-            ))
-        })
-    });
-    group.finish();
+    let round = |obs: &Registry| {
+        let mut rng = StdRng::seed_from_u64(1);
+        black_box(selector::margin::select(
+            |x| svm.margin(x),
+            corpus,
+            &unlabeled,
+            10,
+            &mut rng,
+            obs,
+            &par,
+        ))
+    };
+
+    let disabled = Registry::disabled();
+    let enabled = Registry::enabled();
+
+    // Warmup both paths (page cache, branch predictors, allocator).
+    for _ in 0..2 {
+        round(&disabled);
+        round(&enabled);
+    }
+
+    // Interleave samples so drift (thermal, background load) hits both
+    // configurations symmetrically.
+    let mut best_disabled = f64::INFINITY;
+    let mut best_enabled = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..ROUNDS_PER_SAMPLE {
+            round(&disabled);
+        }
+        best_disabled = best_disabled.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for _ in 0..ROUNDS_PER_SAMPLE {
+            round(&enabled);
+        }
+        best_enabled = best_enabled.min(t.elapsed().as_secs_f64());
+    }
+
+    let overhead = (best_enabled - best_disabled) / best_disabled;
+    println!(
+        "obs_overhead: disabled {:.3} ms/round, enabled {:.3} ms/round, overhead {:+.2}%",
+        best_disabled * 1e3 / ROUNDS_PER_SAMPLE as f64,
+        best_enabled * 1e3 / ROUNDS_PER_SAMPLE as f64,
+        overhead * 100.0
+    );
+    if overhead > MAX_OVERHEAD {
+        println!(
+            "obs_overhead: FAILED (enabled telemetry costs {:.2}% > {:.0}% budget)",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("obs_overhead: OK (budget {:.0}%)", MAX_OVERHEAD * 100.0);
 }
-
-criterion_group!(benches, bench_obs_overhead);
-criterion_main!(benches);

@@ -8,6 +8,7 @@
 //!               [--checkpoint-every N] [--checkpoint ckpt.json]
 //!               [--resume ckpt.json]
 //!               [--metrics-out metrics.jsonl] [--trace-out trace.json]
+//!               [--trace-id ID]
 //! alem predict  --model model.json --left a.csv --right b.csv
 //!               [--threshold 0.1875] [--output matches.csv]
 //! alem block    --left a.csv --right b.csv [--threshold 0.1875]
@@ -34,7 +35,7 @@ fn usage() -> ! {
          \x20                 qbc10|ensemble|rules|nn] [--budget N] [--threshold J]\n\
          \x20                [--output OUT.csv] [--save-model M.json] [--seed N] [--threads N]\n\
          \x20                [--checkpoint-every N] [--checkpoint C.json] [--resume C.json]\n\
-         \x20                [--metrics-out M.jsonl] [--trace-out T.json]\n\
+         \x20                [--metrics-out M.jsonl] [--trace-out T.json] [--trace-id ID]\n\
          \x20 alem predict  --model M.json --left L.csv --right R.csv [--output OUT.csv]\n\
          \x20 alem block    --left L.csv --right R.csv [--threshold J] [--columns a,b,c]\n\
          \x20 alem generate --dataset abt-buy|amazon-google|dblp-acm|dblp-scholar|cora|\n\

@@ -209,6 +209,11 @@ pub fn cmd_match(args: &Args) -> CliResult {
     } else {
         Registry::disabled()
     };
+    // `--trace-id ID` stamps every event this run emits, so a CLI run can
+    // be correlated with server-side traces (or across a batch of runs)
+    // in the JSONL/Chrome sinks. Purely observational: the guard holds
+    // the id for the duration of the pipeline and never touches results.
+    let _trace = alem_obs::trace_scope(args.get("trace-id"));
 
     // Thread-count policy for featurization, committee training, and pool
     // scoring. Results are byte-identical for any value; `--threads 1`

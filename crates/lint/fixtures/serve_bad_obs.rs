@@ -1,0 +1,22 @@
+//! Fixture: serve-crate telemetry drifting off the `serve.*` /
+//! `checkpoint.*` families, plus a hard-coded trace id.
+
+pub fn handle(obs: &Registry) {
+    let span = obs.span("server.request"); // flagged: family typo
+    obs.counter_add("serve.requests", 1);
+    obs.counter_add("admin.metrics_calls", 1); // flagged: unknown family
+    let _t = alem_obs::trace_scope(Some("hard-coded")); // flagged
+    let _ok = alem_obs::trace_scope(req_trace.as_deref());
+    let _cp = obs.span("checkpoint.write");
+    span.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_names_are_exempt_in_tests() {
+        let obs = Registry::enabled();
+        obs.counter_add("x.scratch", 1);
+        let _t = alem_obs::trace_scope(Some("test-trace"));
+    }
+}

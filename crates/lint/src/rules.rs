@@ -12,7 +12,7 @@
 //! | `par-only-threads` | threads are created only inside `crates/par`: compute fan-outs via `alem_par::Parallelism` (thread-count-invariant chunking), long-lived service threads via `alem_par::supervised::spawn` (named, panic-containing); `thread::spawn`/`thread::scope`/`crossbeam::scope`/`thread::Builder` are flagged everywhere else |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
 //! | `vendor-path-deps` | every `[workspace.dependencies]` entry is an offline `vendor/` or `crates/` path dependency (PR 1's offline-registry invariant) |
-//! | `obs-naming` | selector modules register their telemetry under `select.*` and always count `select.pairs_scored` (§5.1 instrumentation) |
+//! | `obs-naming` | instrumented subsystems keep telemetry inside their registered family prefixes (selectors: `select.*` plus mandatory `select.pairs_scored`; serve: `serve.*`/`checkpoint.*`; flight recorder: `obs.*`) and never hard-code trace ids — ids arrive from the client on the wire |
 //! | `bad-allow` | an `// alem-lint: allow(...)` annotation must state a non-empty reason |
 //!
 //! Escape hatch: `// alem-lint: allow(<rule>) -- <reason>` suppresses the
@@ -35,6 +35,50 @@ const SELECTOR_OBS_PREFIX: &str = "select";
 /// The counter every selector module must register (§5.1 latency
 /// instrumentation: scored = inspected − skipped).
 const SELECTOR_REQUIRED_COUNTER: &str = "select.pairs_scored";
+
+/// Which telemetry-name families a file may register, and which counter
+/// (if any) it must register. One policy per instrumented subsystem so a
+/// new metric cannot silently invent a family the dashboards and
+/// `validate_metrics.py --require` lists don't know about.
+struct ObsNamingPolicy {
+    /// Allowed first segments of dotted obs names.
+    families: &'static [&'static str],
+    /// A counter the file must register, if the subsystem has one.
+    required_counter: Option<&'static str>,
+    /// Short label used in diagnostics ("selector", "serve", ...).
+    subsystem: &'static str,
+}
+
+/// Look up the naming policy for a workspace-relative path; files
+/// without a policy get no obs-naming enforcement (their test scaffolding
+/// uses throwaway names on purpose).
+fn obs_naming_policy(rel: &str) -> Option<ObsNamingPolicy> {
+    if rel.starts_with("crates/core/src/selector/") && !rel.ends_with("/mod.rs") {
+        return Some(ObsNamingPolicy {
+            families: &[SELECTOR_OBS_PREFIX],
+            required_counter: Some(SELECTOR_REQUIRED_COUNTER),
+            subsystem: "selector",
+        });
+    }
+    if rel.starts_with("crates/serve/src/") {
+        // The fleet emits `serve.*` plus the checkpoint spans shared with
+        // the session store; admin-plane additions stay inside `serve.*`
+        // (e.g. `serve.admin.*`).
+        return Some(ObsNamingPolicy {
+            families: &["serve", "checkpoint"],
+            required_counter: None,
+            subsystem: "serve",
+        });
+    }
+    if rel == "crates/obs/src/flight.rs" {
+        return Some(ObsNamingPolicy {
+            families: &["obs"],
+            required_counter: None,
+            subsystem: "flight recorder",
+        });
+    }
+    None
+}
 
 /// How a source file participates in the build.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -272,8 +316,8 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
             rule_no_panic(&mut ctx);
         }
     }
-    if rel.starts_with("crates/core/src/selector/") && !rel.ends_with("/mod.rs") {
-        rule_obs_naming(&mut ctx);
+    if let Some(policy) = obs_naming_policy(rel) {
+        rule_obs_naming(&mut ctx, &policy);
     }
 
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -418,24 +462,41 @@ fn rule_no_panic(ctx: &mut Ctx<'_>) {
     }
 }
 
-/// Telemetry naming in selector modules: every name passed to
+/// Telemetry naming in instrumented subsystems: every name passed to
 /// `span`/`counter_add`/`gauge_set` must be a dotted lowercase identifier
-/// under the `select.` prefix, and the module must register
-/// `select.pairs_scored`.
-fn rule_obs_naming(ctx: &mut Ctx<'_>) {
+/// whose first segment is one of the policy's families, and the file must
+/// register the policy's required counter (if any). Hard-coded trace ids
+/// (`trace_scope(Some("..."))` outside tests) are flagged too: trace ids
+/// belong to the caller, not the instrumented code.
+fn rule_obs_naming(ctx: &mut Ctx<'_>, policy: &ObsNamingPolicy) {
     const CALLS: &[&str] = &["span(", "counter_add(", "gauge_set("];
-    let mut registers_required = false;
+    let mut registers_required = policy.required_counter.is_none();
     for lit in &ctx.lexed.strings {
+        let (line, _) = ctx.lexed.position(lit.offset);
+        let in_test = ctx.lexed.is_test_line(line);
         let before = preceding_code(&ctx.lexed.code, lit.offset);
-        let is_obs_name = CALLS.iter().any(|c| before.ends_with(c));
-        if !is_obs_name {
+        if !in_test && before.ends_with("trace_scope(Some(") {
+            ctx.report(
+                "obs-naming",
+                lit.offset,
+                format!(
+                    "hard-coded trace id `{}`: trace ids are supplied by the client on \
+                     the wire (`Request.trace_id`), never invented inside the {}",
+                    lit.value, policy.subsystem
+                ),
+            );
             continue;
         }
-        if lit.value == SELECTOR_REQUIRED_COUNTER {
+        let is_obs_name = CALLS.iter().any(|c| before.ends_with(c));
+        if !is_obs_name || in_test {
+            continue;
+        }
+        if Some(lit.value.as_str()) == policy.required_counter {
             registers_required = true;
         }
         let mut parts = lit.value.split('.');
-        let prefix_ok = parts.next() == Some(SELECTOR_OBS_PREFIX);
+        let family = parts.next().unwrap_or("");
+        let prefix_ok = policy.families.contains(&family);
         let mut saw_segment = false;
         let segments_ok = parts.all(|s| {
             saw_segment = true;
@@ -448,20 +509,22 @@ fn rule_obs_naming(ctx: &mut Ctx<'_>) {
                 "obs-naming",
                 lit.offset,
                 format!(
-                    "obs name `{}` violates the selector naming scheme: \
-                     `select.<segment>` with lowercase `[a-z0-9_]` segments (DESIGN.md §8)",
-                    lit.value
+                    "obs name `{}` violates the {} naming scheme: `<family>.<segment>` \
+                     with family in {:?} and lowercase `[a-z0-9_]` segments (DESIGN.md §8)",
+                    lit.value, policy.subsystem, policy.families
                 ),
             );
         }
     }
     if !registers_required {
+        let required = policy.required_counter.unwrap_or_default();
         ctx.report_at_line(
             "obs-naming",
             1,
             format!(
-                "selector module never registers `{SELECTOR_REQUIRED_COUNTER}`: every \
-                 selector must count scored pairs (§5.1 latency instrumentation)"
+                "{} module never registers `{required}`: every selector must count \
+                 scored pairs (§5.1 latency instrumentation)",
+                policy.subsystem
             ),
         );
     }
@@ -635,5 +698,36 @@ mod tests {
 }
 "#;
         assert!(lint_source("crates/core/src/selector/margin.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn obs_naming_scopes_families_per_subsystem() {
+        // The serve crate may mix `serve.*` and `checkpoint.*`, nothing else.
+        let serve = r#"pub fn f(obs: &Registry) {
+    obs.counter_add("serve.requests", 1);
+    let s = obs.span("checkpoint.write");
+    obs.gauge_set("select.pairs", 1);
+}
+"#;
+        let out = lint_source("crates/serve/src/fleet.rs", serve);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!((out[0].rule, out[0].line), ("obs-naming", 4));
+
+        // The flight recorder stays under `obs.*`.
+        let flight = r#"pub fn f(obs: &Registry) {
+    obs.counter_add("obs.flight.dumps", 1);
+    obs.counter_add("flight.dumps", 1);
+}
+"#;
+        let out = lint_source("crates/obs/src/flight.rs", flight);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!((out[0].rule, out[0].line), ("obs-naming", 3));
+
+        // Hard-coded trace ids are flagged outside tests.
+        let traced = "pub fn f() { let _t = alem_obs::trace_scope(Some(\"fixed\")); }\n";
+        let out = lint_source("crates/serve/src/server.rs", traced);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "obs-naming");
+        assert!(out[0].message.contains("hard-coded trace id"));
     }
 }

@@ -111,6 +111,24 @@ fn selector_fixture_flags_naming_scheme() {
 }
 
 #[test]
+fn serve_obs_fixture_flags_families_and_hardcoded_trace_ids() {
+    let out = lint_source("crates/serve/src/server.rs", &fixture("serve_bad_obs.rs"));
+    assert_eq!(
+        rule_lines(&out),
+        vec![
+            ("obs-naming", 5), // "server.request" — family typo
+            ("obs-naming", 7), // "admin.metrics_calls" — unknown family
+            ("obs-naming", 8), // trace_scope(Some("hard-coded"))
+        ],
+        "{out:#?}"
+    );
+    // `serve.requests`, `checkpoint.write`, the pass-through trace scope,
+    // and everything inside #[cfg(test)] are all clean. Files without a
+    // naming policy are not checked at all.
+    assert!(lint_source("crates/core/src/session.rs", &fixture("serve_bad_obs.rs")).is_empty());
+}
+
+#[test]
 fn par_threads_fixture_flags_raw_fan_out_outside_par() {
     let out = lint_source("crates/bench/src/runner.rs", &fixture("par_threads.rs"));
     assert_eq!(

@@ -1,0 +1,511 @@
+//! Flight recorder: O(1)-memory ring of per-interval telemetry snapshots.
+//!
+//! A [`Snapshot`] is a point-in-time copy of every counter, gauge, and
+//! histogram in a [`Registry`]; [`Snapshot::delta`] turns two cumulative
+//! snapshots into one *interval* snapshot (counter deltas, last gauge
+//! values, bucket-wise histogram subtraction — sound because the
+//! log-bucket scheme is pointwise mergeable). The [`FlightRecorder`]
+//! keeps the last N interval snapshots in a ring, ticked either manually
+//! or by a supervised background thread ([`FlightRecorder::start_ticker`]),
+//! so the process always holds a bounded window of "what just happened":
+//! windowed quantiles for admission control, and a black-box dump
+//! ([`FlightRecorder::dump_to_dir`]) written on drain, on caught worker
+//! panics, and on abnormal exit — every chaos-run crash leaves a
+//! post-mortem artifact.
+//!
+//! Dump filenames are `<reason>-<pid>-<seq>.jsonl` (process id plus an
+//! atomic sequence number — deliberately no wall-clock timestamp, which
+//! the determinism lint forbids workspace-wide).
+
+use crate::hist::Histogram;
+use crate::{json_escape, Registry};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Point-in-time (or per-interval, after [`Snapshot::delta`]) copy of a
+/// registry's aggregate metric state. Events are *not* included — the
+/// snapshot is O(metric names), not O(events), which is what keeps the
+/// flight recorder's memory constant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Registry uptime when the snapshot was taken (µs since epoch).
+    pub at_us: u64,
+    /// Interval covered (0 for a cumulative snapshot; for a delta, the
+    /// µs between the two snapshots).
+    pub interval_us: u64,
+    /// Counter totals (cumulative) or deltas (interval).
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge levels (last-write-wins; a delta carries the later values).
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Per-span-name latency histograms (cumulative or interval).
+    pub hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Snapshot {
+    /// The interval snapshot covering `earlier` → `self`: counter
+    /// differences, `self`'s gauge values, and bucket-wise histogram
+    /// subtraction. Merging consecutive interval histograms reproduces
+    /// the cumulative bucket counts, so windowed quantiles computed from
+    /// the ring agree (within bucket resolution) with what a fresh
+    /// histogram recording only that window would report.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| {
+                (
+                    k,
+                    v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(&k, h)| match earlier.hists.get(k) {
+                Some(prev) => (k, h.delta_since(prev)),
+                None => (k, h.clone()),
+            })
+            .collect();
+        Snapshot {
+            at_us: self.at_us,
+            interval_us: self.at_us.saturating_sub(earlier.at_us),
+            counters,
+            gauges: self.gauges.clone(),
+            hists,
+        }
+    }
+}
+
+struct FlightState {
+    /// The most recent cumulative snapshot (delta baseline).
+    last: Option<Snapshot>,
+    /// Interval snapshots, oldest first.
+    ring: VecDeque<Snapshot>,
+}
+
+struct FlightInner {
+    registry: Registry,
+    capacity: usize,
+    dump_dir: Option<PathBuf>,
+    dump_seq: AtomicU64,
+    max_dumps: u64,
+    state: Mutex<FlightState>,
+}
+
+/// Ring of the last N interval [`Snapshot`]s over a [`Registry`]. Cheap
+/// to clone (an `Arc`); all methods are callable from any thread.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.inner.capacity)
+            .field("intervals", &self.intervals())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` intervals of `registry`.
+    pub fn new(registry: Registry, capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                registry,
+                capacity: capacity.max(1),
+                dump_dir: None,
+                dump_seq: AtomicU64::new(0),
+                max_dumps: 32,
+                state: Mutex::new(FlightState {
+                    last: None,
+                    ring: VecDeque::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Set the directory [`FlightRecorder::dump_to_dir`] writes into
+    /// (created on first dump). Builder-style, call before sharing.
+    pub fn with_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        let inner = Arc::get_mut(&mut self.inner)
+            // alem-lint: allow(no-panic) -- builder runs before the Arc is shared; obs is panic-exempt anyway
+            .expect("with_dump_dir after the recorder was shared");
+        inner.dump_dir = Some(dir.into());
+        self
+    }
+
+    /// The registry this recorder snapshots.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Record one interval: snapshot the registry, push the delta since
+    /// the previous tick (or the cumulative state on the first tick),
+    /// evict the oldest interval past capacity. No-op when the registry
+    /// is disabled.
+    pub fn tick(&self) {
+        if !self.inner.registry.is_enabled() {
+            return;
+        }
+        let snap = self.inner.registry.snapshot();
+        let mut st = self.inner.state.lock().unwrap();
+        let delta = match &st.last {
+            Some(prev) => snap.delta(prev),
+            None => {
+                let mut first = snap.clone();
+                first.interval_us = snap.at_us;
+                first
+            }
+        };
+        st.ring.push_back(delta);
+        while st.ring.len() > self.inner.capacity {
+            st.ring.pop_front();
+        }
+        st.last = Some(snap);
+    }
+
+    /// Number of intervals currently in the ring.
+    pub fn intervals(&self) -> usize {
+        self.inner.state.lock().unwrap().ring.len()
+    }
+
+    /// Copy of the windowed intervals, oldest first.
+    pub fn window(&self) -> Vec<Snapshot> {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Total µs covered by the window.
+    pub fn window_us(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .ring
+            .iter()
+            .map(|s| s.interval_us)
+            .sum()
+    }
+
+    /// Sum of counter `name`'s deltas across the window.
+    pub fn window_counter(&self, name: &str) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .ring
+            .iter()
+            .map(|s| s.counters.get(name).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Merge of histogram `name`'s interval histograms across the window
+    /// — windowed quantiles, e.g. "p99 over the last N ticks".
+    pub fn window_hist(&self, name: &str) -> Histogram {
+        let st = self.inner.state.lock().unwrap();
+        let mut out = Histogram::new();
+        for s in &st.ring {
+            if let Some(h) = s.hists.get(name) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Write the window as JSONL, one object per interval (oldest first).
+    pub fn dump<W: Write>(&self, reason: &str, w: &mut W) -> io::Result<()> {
+        let window = self.window();
+        let reason = json_escape(reason);
+        for (i, s) in window.iter().enumerate() {
+            write!(
+                w,
+                "{{\"type\":\"flight\",\"reason\":\"{reason}\",\"seq\":{i},\"at_us\":{},\"interval_us\":{}",
+                s.at_us, s.interval_us
+            )?;
+            write!(w, ",\"counters\":{{")?;
+            for (j, (name, v)) in s.counters.iter().enumerate() {
+                let sep = if j > 0 { "," } else { "" };
+                write!(w, "{sep}\"{name}\":{v}")?;
+            }
+            write!(w, "}},\"gauges\":{{")?;
+            for (j, (name, v)) in s.gauges.iter().enumerate() {
+                let sep = if j > 0 { "," } else { "" };
+                write!(w, "{sep}\"{name}\":{v}")?;
+            }
+            write!(w, "}},\"hists\":{{")?;
+            for (j, (name, h)) in s.hists.iter().enumerate() {
+                let sep = if j > 0 { "," } else { "" };
+                write!(
+                    w,
+                    "{sep}\"{name}\":{{\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+                    h.count(),
+                    h.sum(),
+                    h.quantile(0.5),
+                    h.quantile(0.9),
+                    h.quantile(0.99)
+                )?;
+            }
+            writeln!(w, "}}}}")?;
+        }
+        Ok(())
+    }
+
+    /// Write a black-box dump `<reason>-<pid>-<seq>.jsonl` into the
+    /// configured dump directory (atomic via tmp + rename). Returns the
+    /// path, or `None` when no dump dir is configured or the per-process
+    /// dump cap was reached (a panic storm must not fill the disk).
+    /// Counts `obs.flight.dumps` on the registry for each file written.
+    pub fn dump_to_dir(&self, reason: &str) -> io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.inner.dump_dir else {
+            return Ok(None);
+        };
+        let seq = self.inner.dump_seq.fetch_add(1, Ordering::SeqCst);
+        if seq >= self.inner.max_dumps {
+            return Ok(None);
+        }
+        self.dump_to_path(reason, dir, seq).map(Some)
+    }
+
+    fn dump_to_path(&self, reason: &str, dir: &Path, seq: u64) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let stem = format!("{reason}-{}-{seq}", std::process::id());
+        let tmp = dir.join(format!("{stem}.tmp"));
+        let path = dir.join(format!("{stem}.jsonl"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            self.dump(reason, &mut f)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        self.inner.registry.counter_add("obs.flight.dumps", 1);
+        Ok(path)
+    }
+
+    /// Start a supervised background thread ticking every `interval`.
+    /// The thread is named `obs.flight`; stop it with
+    /// [`FlightTicker::stop`] (dropping the ticker detaches the thread,
+    /// which is fine for daemons that run until process exit).
+    pub fn start_ticker(&self, interval: Duration) -> io::Result<FlightTicker> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let rec = self.clone();
+        let thread_stop = Arc::clone(&stop);
+        let handle = alem_par::supervised::spawn("obs.flight", move || {
+            while !thread_stop.load(Ordering::SeqCst) {
+                let mut slept = Duration::ZERO;
+                while slept < interval && !thread_stop.load(Ordering::SeqCst) {
+                    let step = (interval - slept).min(Duration::from_millis(20));
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                rec.tick();
+            }
+        })?;
+        Ok(FlightTicker { stop, handle })
+    }
+}
+
+/// Handle to the background tick thread from
+/// [`FlightRecorder::start_ticker`].
+pub struct FlightTicker {
+    stop: Arc<AtomicBool>,
+    handle: alem_par::supervised::Supervised<()>,
+}
+
+impl FlightTicker {
+    /// Signal the thread and join it; a panic comes back as data.
+    pub fn stop(self) -> Result<(), alem_par::supervised::Panicked> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle.join()
+    }
+}
+
+/// Render a [`Snapshot`] in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// `summary` families with `quantile`-labeled samples plus `_sum` and
+/// `_count`. Dotted metric names are sanitized to underscores. Counter
+/// families listed in `required_counters` are emitted with value 0 even
+/// if never incremented, so scrape-side presence checks (and
+/// `validate_metrics.py --require`) never depend on traffic having
+/// happened.
+pub fn render_prometheus(snap: &Snapshot, required_counters: &[&str]) -> String {
+    let mut out = String::new();
+    let mut counters: BTreeMap<String, u64> = snap
+        .counters
+        .iter()
+        .map(|(&k, &v)| (sanitize_metric_name(k), v))
+        .collect();
+    for name in required_counters {
+        counters.entry(sanitize_metric_name(name)).or_insert(0);
+    }
+    for (name, v) in &counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (name, h) in &snap.hists {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "{name}{{quantile=\"{label}\"}} {}\n",
+                h.quantile(q)
+            ));
+        }
+        out.push_str(&format!("{name}_sum {}\n", h.sum()));
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; everything else
+/// (notably the workspace's dots) becomes `_`.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counters_and_hists() {
+        let reg = Registry::enabled();
+        reg.counter_add("x.a", 3);
+        reg.span("x.lat").finish();
+        let first = reg.snapshot();
+        reg.counter_add("x.a", 4);
+        reg.counter_add("x.b", 1);
+        reg.span("x.lat").finish();
+        reg.gauge_set("x.g", 9);
+        let second = reg.snapshot();
+        let d = second.delta(&first);
+        assert_eq!(d.counters.get("x.a"), Some(&4));
+        assert_eq!(d.counters.get("x.b"), Some(&1));
+        assert_eq!(d.gauges.get("x.g"), Some(&9));
+        assert_eq!(d.hists.get("x.lat").unwrap().count(), 1);
+        assert!(d.at_us >= first.at_us);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_windowed_sums_add_up() {
+        let reg = Registry::enabled();
+        let fr = FlightRecorder::new(reg.clone(), 3);
+        for i in 0..5 {
+            reg.counter_add("t.n", 2);
+            if i >= 2 {
+                reg.span("t.lat").finish();
+            }
+            fr.tick();
+        }
+        assert_eq!(fr.intervals(), 3);
+        // Window covers the last 3 ticks: 3 × 2 counter increments.
+        assert_eq!(fr.window_counter("t.n"), 6);
+        assert_eq!(fr.window_hist("t.lat").count(), 3);
+    }
+
+    #[test]
+    fn disabled_registry_ticks_are_noops() {
+        let fr = FlightRecorder::new(Registry::disabled(), 4);
+        fr.tick();
+        assert_eq!(fr.intervals(), 0);
+        let mut buf = Vec::new();
+        fr.dump("test", &mut buf).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn dump_writes_one_line_per_interval() {
+        let reg = Registry::enabled();
+        let fr = FlightRecorder::new(reg.clone(), 8);
+        reg.counter_add("d.hits", 1);
+        fr.tick();
+        reg.counter_add("d.hits", 2);
+        fr.tick();
+        let mut buf = Vec::new();
+        fr.dump("postmortem", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"reason\":\"postmortem\""));
+        assert!(lines[0].contains("\"d.hits\":1"));
+        assert!(lines[1].contains("\"d.hits\":2"));
+    }
+
+    #[test]
+    fn dump_to_dir_caps_and_counts() {
+        let reg = Registry::enabled();
+        let dir = std::env::temp_dir().join(format!("alem-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(reg.clone(), 4).with_dump_dir(&dir);
+        reg.counter_add("c.x", 1);
+        fr.tick();
+        let p = fr.dump_to_dir("postmortem").unwrap().expect("first dump");
+        assert!(p.exists());
+        assert!(p
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("postmortem-"));
+        assert_eq!(reg.counter_value("obs.flight.dumps"), 1);
+        // No dump dir configured → None, no error.
+        let bare = FlightRecorder::new(reg.clone(), 4);
+        assert!(bare.dump_to_dir("x").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ticker_ticks_until_stopped() {
+        let reg = Registry::enabled();
+        let fr = FlightRecorder::new(reg.clone(), 16);
+        let ticker = fr.start_ticker(Duration::from_millis(5)).unwrap();
+        let t = std::time::Instant::now();
+        while fr.intervals() < 2 && t.elapsed() < Duration::from_secs(5) {
+            reg.counter_add("tick.work", 1);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        ticker.stop().unwrap();
+        assert!(fr.intervals() >= 2, "ticker never ticked");
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_all_families() {
+        let reg = Registry::enabled();
+        reg.counter_add("serve.requests", 2);
+        reg.gauge_set("serve.sessions_active", 5);
+        reg.span("serve.query_to_batch").finish();
+        let text = render_prometheus(&reg.snapshot(), &["serve.never_hit"]);
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 2\n"));
+        assert!(text.contains("# TYPE serve_never_hit counter\nserve_never_hit 0\n"));
+        assert!(text.contains("# TYPE serve_sessions_active gauge\nserve_sessions_active 5\n"));
+        assert!(text.contains("# TYPE serve_query_to_batch summary\n"));
+        assert!(text.contains("serve_query_to_batch{quantile=\"0.5\"}"));
+        assert!(text.contains("serve_query_to_batch_count 1\n"));
+    }
+}

@@ -127,6 +127,41 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Raw count of bucket `idx` (bucket identity is stable across
+    /// snapshots, which is what makes pointwise delta/merge sound).
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Interval histogram: pointwise `self - earlier`, where `earlier` is
+    /// a previous snapshot of the same accumulating histogram. Bucket
+    /// counts, `count`, and `sum` subtract exactly; the interval's true
+    /// min/max are not recoverable from cumulative state, so they are
+    /// re-derived from the bounds of the occupied delta buckets (still
+    /// within the bucket scheme's 12.5% quantile error bound). Merging
+    /// interval histograms back together reproduces the cumulative bucket
+    /// counts — the flight recorder's window quantiles rely on this.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        let mut lo_idx = None;
+        let mut hi_idx = None;
+        for idx in 0..BUCKETS {
+            let d = self.counts[idx].saturating_sub(earlier.counts[idx]);
+            out.counts[idx] = d;
+            if d > 0 {
+                lo_idx.get_or_insert(idx);
+                hi_idx = Some(idx);
+            }
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        if let (Some(lo), Some(hi)) = (lo_idx, hi_idx) {
+            out.min = bucket_bounds(lo).0.max(self.min.min(earlier.min));
+            out.max = (bucket_bounds(hi).1 - 1).min(self.max);
+        }
+        out
+    }
 }
 
 #[cfg(test)]

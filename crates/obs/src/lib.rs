@@ -27,16 +27,59 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
 mod hist;
 
+pub use flight::{render_prometheus, FlightRecorder, FlightTicker, Snapshot};
 pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKETS};
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Stack of trace frames for the current thread. A frame is `Some(id)`
+    /// inside [`trace_scope`] with an id, `None` inside a scope opened
+    /// without one — an explicit "no trace" frame masks any outer id, so a
+    /// request without a `trace_id` never inherits the previous request's.
+    static TRACE_STACK: RefCell<Vec<Option<Arc<str>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Enter a trace scope on the current thread. Every event recorded on
+/// this thread while the returned [`TraceGuard`] is alive carries
+/// `trace_id` (spans capture it at open). Passing `None` opens a masking
+/// scope: events inside it carry no trace id even if an outer scope has
+/// one. Scopes nest; the guard restores the previous frame on drop.
+pub fn trace_scope(trace_id: Option<&str>) -> TraceGuard {
+    let frame = trace_id.map(Arc::from);
+    TRACE_STACK.with(|s| s.borrow_mut().push(frame));
+    TraceGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// The trace id active on the current thread, if any.
+pub fn current_trace() -> Option<Arc<str>> {
+    TRACE_STACK.with(|s| s.borrow().last().cloned().flatten())
+}
+
+/// RAII guard for a [`trace_scope`]; pops the thread's trace frame on
+/// drop. Deliberately `!Send`: a trace scope belongs to one thread.
+pub struct TraceGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        TRACE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
 
 /// What a recorded [`Event`] describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +111,9 @@ pub struct Event {
     pub ts_us: u64,
     /// Dense per-registry thread index (for trace viewers).
     pub tid: u64,
+    /// Client-supplied trace id active when the event was recorded
+    /// (spans capture it at open), for cross-thread correlation.
+    pub trace: Option<Arc<str>>,
 }
 
 #[derive(Default)]
@@ -168,6 +214,7 @@ impl Registry {
             let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
             let ts_us = inner.epoch.elapsed().as_micros() as u64;
             let iter = inner.iter.load(Ordering::Relaxed);
+            let trace = current_trace();
             let mut state = inner.state.lock().unwrap();
             let (tid, parent) = Inner::thread_ctx(&mut state);
             state
@@ -182,6 +229,7 @@ impl Registry {
                 ts_us,
                 iter,
                 tid,
+                trace,
             }
         });
         Span {
@@ -197,6 +245,7 @@ impl Registry {
         if let Some(inner) = &self.inner {
             let ts_us = inner.epoch.elapsed().as_micros() as u64;
             let iter = inner.iter.load(Ordering::Relaxed);
+            let trace = current_trace();
             let mut state = inner.state.lock().unwrap();
             let (tid, parent) = Inner::thread_ctx(&mut state);
             *state.counters.entry(name).or_insert(0) += delta;
@@ -209,6 +258,7 @@ impl Registry {
                 parent,
                 ts_us,
                 tid,
+                trace,
             });
         }
     }
@@ -218,6 +268,7 @@ impl Registry {
         if let Some(inner) = &self.inner {
             let ts_us = inner.epoch.elapsed().as_micros() as u64;
             let iter = inner.iter.load(Ordering::Relaxed);
+            let trace = current_trace();
             let mut state = inner.state.lock().unwrap();
             let (tid, parent) = Inner::thread_ctx(&mut state);
             state.gauges.insert(name, value);
@@ -230,6 +281,7 @@ impl Registry {
                 parent,
                 ts_us,
                 tid,
+                trace,
             });
         }
     }
@@ -274,29 +326,64 @@ impl Registry {
             .unwrap_or_default()
     }
 
+    /// Microseconds since the registry epoch (0 when disabled).
+    pub fn uptime_us(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.epoch.elapsed().as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Point-in-time copy of every counter, gauge, and histogram. The
+    /// state lock is held only for the clone — sinks and renderers work
+    /// from the returned [`Snapshot`] without stalling recording threads.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let at_us = inner.epoch.elapsed().as_micros() as u64;
+        let state = inner.state.lock().unwrap();
+        Snapshot {
+            at_us,
+            interval_us: 0,
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+            hists: state.hists.clone(),
+        }
+    }
+
     /// Write one JSON object per event (spans, counters, gauges) followed by
     /// one per-span-name histogram summary line. Every line carries the
-    /// `span`, `dur_us`, and `iter` fields.
+    /// `span`, `dur_us`, and `iter` fields; events recorded inside a
+    /// [`trace_scope`] also carry `trace_id`. Events and histograms are
+    /// copied out under the lock and serialized outside it, so a slow sink
+    /// never stalls recording threads.
     pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
         let run = json_escape(&inner.run_id.lock().unwrap());
-        let state = inner.state.lock().unwrap();
-        for e in &state.events {
-            let (ty, dur, extra) = match e.kind {
+        let last_iter = inner.iter.load(Ordering::Relaxed);
+        let (events, hists) = {
+            let state = inner.state.lock().unwrap();
+            (state.events.clone(), state.hists.clone())
+        };
+        for e in &events {
+            let (ty, dur, mut extra) = match e.kind {
                 EventKind::Span => ("span", e.value, String::new()),
                 EventKind::Counter => ("counter", 0, format!(",\"value\":{}", e.value)),
                 EventKind::Gauge => ("gauge", 0, format!(",\"value\":{}", e.value)),
             };
+            if let Some(t) = &e.trace {
+                extra.push_str(&format!(",\"trace_id\":\"{}\"", json_escape(t)));
+            }
             writeln!(
                 w,
                 "{{\"type\":\"{ty}\",\"run\":\"{run}\",\"span\":\"{}\",\"id\":{},\"parent\":{},\"iter\":{},\"ts_us\":{},\"dur_us\":{dur},\"tid\":{}{extra}}}",
                 e.name, e.id, e.parent, e.iter, e.ts_us, e.tid
             )?;
         }
-        let last_iter = inner.iter.load(Ordering::Relaxed);
-        for (name, h) in &state.hists {
+        for (name, h) in &hists {
             writeln!(
                 w,
                 "{{\"type\":\"hist\",\"run\":\"{run}\",\"span\":\"{name}\",\"iter\":{last_iter},\"dur_us\":0,\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
@@ -313,23 +400,32 @@ impl Registry {
     /// Write the Chrome `trace_event` JSON format (an object with a
     /// `traceEvents` array) loadable in `chrome://tracing` or Perfetto.
     /// Spans become complete (`"ph":"X"`) events; counters and gauges become
-    /// counter (`"ph":"C"`) events.
+    /// counter (`"ph":"C"`) events. Spans opened inside a [`trace_scope`]
+    /// carry the trace id in `args.trace_id`, so one labeling interaction
+    /// can be followed across client thread, connection handler, and
+    /// session worker. Events are copied out under the lock and serialized
+    /// outside it.
     pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let Some(inner) = &self.inner else {
             writeln!(w, "{{\"traceEvents\":[]}}")?;
             return Ok(());
         };
-        let state = inner.state.lock().unwrap();
+        let events = inner.state.lock().unwrap().events.clone();
         write!(w, "{{\"traceEvents\":[")?;
         let mut running: BTreeMap<&'static str, u64> = BTreeMap::new();
-        for (i, e) in state.events.iter().enumerate() {
+        for (i, e) in events.iter().enumerate() {
             if i > 0 {
                 write!(w, ",")?;
             }
+            let trace_arg = e
+                .trace
+                .as_ref()
+                .map(|t| format!(",\"trace_id\":\"{}\"", json_escape(t)))
+                .unwrap_or_default();
             match e.kind {
                 EventKind::Span => write!(
                     w,
-                    "{{\"name\":\"{}\",\"cat\":\"alem\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"iter\":{}}}}}",
+                    "{{\"name\":\"{}\",\"cat\":\"alem\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"iter\":{}{trace_arg}}}}}",
                     e.name, e.ts_us, e.value, e.tid, e.iter
                 )?,
                 EventKind::Counter | EventKind::Gauge => {
@@ -342,7 +438,7 @@ impl Registry {
                     };
                     write!(
                         w,
-                        "{{\"name\":\"{}\",\"cat\":\"alem\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{level}}}}}",
+                        "{{\"name\":\"{}\",\"cat\":\"alem\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{level}{trace_arg}}}}}",
                         e.name, e.ts_us, e.tid
                     )?
                 }
@@ -418,6 +514,7 @@ struct SpanMeta {
     ts_us: u64,
     iter: u64,
     tid: u64,
+    trace: Option<Arc<str>>,
 }
 
 impl SpanMeta {
@@ -439,6 +536,7 @@ impl SpanMeta {
             parent: self.parent,
             ts_us: self.ts_us,
             tid: self.tid,
+            trace: self.trace.clone(),
         });
     }
 }
@@ -477,7 +575,7 @@ impl Drop for Span {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -603,5 +701,70 @@ mod tests {
     #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn trace_scope_stamps_events_and_restores_on_drop() {
+        let reg = Registry::enabled();
+        reg.span("before").finish();
+        {
+            let _g = trace_scope(Some("req-42"));
+            reg.span("inside").finish();
+            reg.counter_add("hits", 1);
+            {
+                // A scope without an id masks the outer trace.
+                let _inner = trace_scope(None);
+                reg.span("masked").finish();
+            }
+            reg.span("inside_again").finish();
+        }
+        reg.span("after").finish();
+        let by_name: HashMap<&str, Option<String>> = reg
+            .events()
+            .iter()
+            .map(|e| (e.name, e.trace.as_ref().map(|t| t.to_string())))
+            .collect();
+        assert_eq!(by_name["before"], None);
+        assert_eq!(by_name["inside"], Some("req-42".to_string()));
+        assert_eq!(by_name["hits"], Some("req-42".to_string()));
+        assert_eq!(by_name["masked"], None);
+        assert_eq!(by_name["inside_again"], Some("req-42".to_string()));
+        assert_eq!(by_name["after"], None);
+    }
+
+    #[test]
+    fn trace_id_reaches_jsonl_and_chrome_sinks() {
+        let reg = Registry::enabled();
+        {
+            let _g = trace_scope(Some("t-7"));
+            reg.span("traced").finish();
+        }
+        reg.span("plain").finish();
+        let mut buf = Vec::new();
+        reg.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let traced = text.lines().find(|l| l.contains("\"traced\"")).unwrap();
+        assert!(traced.contains("\"trace_id\":\"t-7\""), "{traced}");
+        let plain = text.lines().find(|l| l.contains("\"plain\"")).unwrap();
+        assert!(!plain.contains("trace_id"), "{plain}");
+        let mut buf = Vec::new();
+        reg.write_chrome_trace(&mut buf).unwrap();
+        let chrome = String::from_utf8(buf).unwrap();
+        assert!(chrome.contains("\"trace_id\":\"t-7\""));
+    }
+
+    #[test]
+    fn snapshot_is_a_cheap_aggregate_copy() {
+        let reg = Registry::enabled();
+        reg.counter_add("c", 2);
+        reg.gauge_set("g", 3);
+        reg.span("s").finish();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("c"), Some(&2));
+        assert_eq!(snap.gauges.get("g"), Some(&3));
+        assert_eq!(snap.hists.get("s").unwrap().count(), 1);
+        assert!(reg.uptime_us() >= snap.at_us);
+        // Disabled registries snapshot to the empty default.
+        assert_eq!(Registry::disabled().snapshot(), Snapshot::default());
     }
 }

@@ -67,6 +67,61 @@ proptest! {
         prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
     }
 
+    /// Quantiles are monotone in q: a higher quantile can never report a
+    /// smaller value, no matter how the samples bucket.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        vals in prop::collection::vec(any::<u64>(), 1..200),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let (qa, qb) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        prop_assert!(
+            h.quantile(qa) <= h.quantile(qb),
+            "q{}={} > q{}={}", qa, h.quantile(qa), qb, h.quantile(qb)
+        );
+    }
+
+    /// Snapshot-then-delta round-trip: recording a prefix, snapshotting,
+    /// then recording a suffix makes `delta_since(prefix)` equal the
+    /// histogram of the suffix alone — bucket counts, count, and sum all
+    /// match, which is what makes windowed quantiles trustworthy.
+    #[test]
+    fn snapshot_then_delta_round_trips(
+        prefix in prop::collection::vec(0u64..10_000_000, 0..100),
+        suffix in prop::collection::vec(0u64..10_000_000, 0..100),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &prefix {
+            h.record(v);
+        }
+        let snap = h.clone();
+        for &v in &suffix {
+            h.record(v);
+        }
+        let delta = h.delta_since(&snap);
+
+        let mut expect = Histogram::new();
+        for &v in &suffix {
+            expect.record(v);
+        }
+        prop_assert_eq!(delta.count(), expect.count());
+        prop_assert_eq!(delta.sum(), expect.sum());
+        for idx in 0..BUCKETS {
+            prop_assert_eq!(
+                delta.bucket_count(idx),
+                expect.bucket_count(idx),
+                "bucket {} diverged", idx
+            );
+        }
+        // (min/max are bucket-resolution approximations in the delta, so
+        // only the bucket counts, count, and sum are exact invariants.)
+    }
+
     /// Quantile estimates stay within the documented 12.5% relative error
     /// bound of the true empirical quantile (for values >= 4; below that
     /// buckets are exact).

@@ -13,6 +13,8 @@
 //! panic into a structured [`Panicked`] value instead of unwinding into
 //! the supervisor.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
 use std::thread;
 
 /// A thread died by panicking; the payload's message, if it was a string.
@@ -23,6 +25,43 @@ pub struct Panicked {
     /// Panic payload rendered to text (`"<non-string panic payload>"`
     /// when the payload was not a `String`/`&str`).
     pub message: String,
+}
+
+fn render_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+type PanicObserver = Box<dyn Fn(&Panicked) + Send + Sync>;
+
+fn observers() -> &'static Mutex<Vec<PanicObserver>> {
+    static OBSERVERS: OnceLock<Mutex<Vec<PanicObserver>>> = OnceLock::new();
+    OBSERVERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a process-wide observer called *inside* a supervised thread
+/// the moment its closure panics — before the thread finishes unwinding
+/// and before (or whether or not) anyone joins it. This is the hook a
+/// service uses to flush post-mortem telemetry for detached daemon
+/// threads, whose panics would otherwise only surface if something
+/// joined them. Observers must not panic; a panicking observer aborts
+/// via double-panic. Observers cannot be removed — registration is for
+/// process-lifetime concerns like black-box dumps.
+pub fn add_panic_observer(f: impl Fn(&Panicked) + Send + Sync + 'static) {
+    let mut obs = observers().lock().unwrap_or_else(|p| p.into_inner());
+    obs.push(Box::new(f));
+}
+
+fn notify_panic(info: &Panicked) {
+    let obs = observers().lock().unwrap_or_else(|p| p.into_inner());
+    for f in obs.iter() {
+        f(info);
+    }
 }
 
 impl std::fmt::Display for Panicked {
@@ -57,19 +96,10 @@ impl<T> Supervised<T> {
     pub fn join(self) -> Result<T, Panicked> {
         match self.handle.join() {
             Ok(v) => Ok(v),
-            Err(payload) => {
-                let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_owned()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "<non-string panic payload>".to_owned()
-                };
-                Err(Panicked {
-                    thread: self.name,
-                    message,
-                })
-            }
+            Err(payload) => Err(Panicked {
+                thread: self.name,
+                message: render_payload(payload.as_ref()),
+            }),
         }
     }
 }
@@ -77,13 +107,29 @@ impl<T> Supervised<T> {
 /// Spawn a named, supervised thread. The only sanctioned way to start a
 /// long-lived thread outside this crate; see the module docs.
 ///
+/// A panic in `f` first notifies every [`add_panic_observer`] hook (still
+/// on the dying thread), then resumes unwinding so [`Supervised::join`]
+/// reports it exactly as before.
+///
 /// Errors only if the OS refuses to create the thread.
 pub fn spawn<T, F>(name: &str, f: F) -> std::io::Result<Supervised<T>>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
-    let handle = thread::Builder::new().name(name.to_owned()).spawn(f)?;
+    let thread_name = name.to_owned();
+    let handle = thread::Builder::new()
+        .name(name.to_owned())
+        .spawn(move || match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => v,
+            Err(payload) => {
+                notify_panic(&Panicked {
+                    thread: thread_name,
+                    message: render_payload(payload.as_ref()),
+                });
+                resume_unwind(payload)
+            }
+        })?;
     Ok(Supervised {
         name: name.to_owned(),
         handle,
@@ -125,5 +171,29 @@ mod tests {
             std::thread::yield_now();
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn panic_observers_fire_before_join() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        static SEEN: AtomicU64 = AtomicU64::new(0);
+        let seen_name = Arc::new(Mutex::new(String::new()));
+        let capture = Arc::clone(&seen_name);
+        add_panic_observer(move |p| {
+            if p.thread == "observed" {
+                SEEN.fetch_add(1, Ordering::SeqCst);
+                *capture.lock().unwrap() = p.message.clone();
+            }
+        });
+        let t = spawn("observed", || -> () { panic!("watched boom") }).unwrap();
+        // The observer runs on the dying thread before join completes.
+        let err = t.join().unwrap_err();
+        assert_eq!(err.message, "watched boom");
+        assert_eq!(SEEN.load(Ordering::SeqCst), 1);
+        assert_eq!(&*seen_name.lock().unwrap(), "watched boom");
+        // Non-panicking threads never notify.
+        spawn("calm", || ()).unwrap().join().unwrap();
+        assert_eq!(SEEN.load(Ordering::SeqCst), 1);
     }
 }

@@ -1,0 +1,268 @@
+//! `alem-admin` — command-line operator console for a running
+//! `alem-serve` instance.
+//!
+//! ```text
+//! alem-admin --addr 127.0.0.1:7171 healthz
+//! alem-admin --addr /tmp/alem.sock metrics --text > metrics.prom
+//! alem-admin --addr /tmp/alem.sock status
+//! alem-admin --addr /tmp/alem.sock drive --session smoke --dataset toy --seed 7
+//! alem-admin --addr /tmp/alem.sock drain
+//! ```
+//!
+//! Every command exits 0 on success and 1 on any failure (connection
+//! refused, `ok:false` response, failed session), so the commands
+//! compose directly into CI smoke jobs and shell health checks. `drive`
+//! opens a session and answers its queries with the ground-truth oracle
+//! until it completes — a full labeling round-trip through the real wire
+//! protocol, which is the strongest liveness probe the service offers.
+
+use alem_core::oracle::{AnswerKey, OracleAnswer};
+use alem_serve::client::Client;
+use alem_serve::dataset;
+use alem_serve::proto::Request;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: alem-admin --addr ADDR [--trace-id ID] COMMAND
+commands:
+  healthz                 liveness: session counts, drain flag, uptime
+  status                  per-session states
+  metrics [--text]        fleet metrics (--text: Prometheus exposition only)
+  drain                   request a graceful drain
+  drive --session NAME --dataset SPEC --seed N [--strategy S]
+                          open a session and drive it to completion";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn fail(msg: impl std::fmt::Display) -> i32 {
+    eprintln!("alem-admin: {msg}");
+    1
+}
+
+fn run() -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut trace_id: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v),
+                None => return fail(format!("--addr needs a value\n{USAGE}")),
+            },
+            "--trace-id" => match it.next() {
+                Some(v) => trace_id = Some(v),
+                None => return fail(format!("--trace-id needs a value\n{USAGE}")),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            _ => {
+                rest.push(a);
+                rest.extend(it);
+                break;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        return fail(format!("--addr is required\n{USAGE}"));
+    };
+    let Some(command) = rest.first().cloned() else {
+        return fail(format!("missing command\n{USAGE}"));
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("connecting to {addr}: {e}")),
+    };
+    if let Err(e) = client.set_read_timeout(Some(Duration::from_secs(30))) {
+        return fail(format!("setting read timeout: {e}"));
+    }
+    client.set_trace_id(trace_id.as_deref());
+    match command.as_str() {
+        "healthz" => healthz(&mut client),
+        "status" => status(&mut client),
+        "metrics" => metrics(&mut client, rest.iter().any(|a| a == "--text")),
+        "drain" => drain(&mut client),
+        "drive" => drive(&mut client, &rest[1..]),
+        other => fail(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+fn call(client: &mut Client, req: &Request) -> Result<alem_serve::proto::Response, String> {
+    let r = client.call(req).map_err(|e| format!("{req:?}: {e}"))?;
+    if !r.ok {
+        return Err(format!(
+            "{} rejected: {} ({})",
+            req.op,
+            r.error.as_deref().unwrap_or("?"),
+            r.detail.as_deref().unwrap_or("no detail")
+        ));
+    }
+    Ok(r)
+}
+
+fn healthz(client: &mut Client) -> i32 {
+    match call(client, &Request::new("healthz")) {
+        Ok(r) => {
+            println!(
+                "ok active={} done={} failed={} draining={} uptime_us={}",
+                r.active.unwrap_or(0),
+                r.done.unwrap_or(0),
+                r.failed.unwrap_or(0),
+                r.draining.unwrap_or(false),
+                r.uptime_us.unwrap_or(0),
+            );
+            0
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn status(client: &mut Client) -> i32 {
+    match call(client, &Request::new("status")) {
+        Ok(r) => {
+            println!(
+                "active={} done={} failed={} draining={}",
+                r.active.unwrap_or(0),
+                r.done.unwrap_or(0),
+                r.failed.unwrap_or(0),
+                r.draining.unwrap_or(false),
+            );
+            for (name, state) in r.sessions.unwrap_or_default() {
+                println!("{name}\t{state}");
+            }
+            0
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn metrics(client: &mut Client, text_only: bool) -> i32 {
+    match call(client, &Request::new("metrics")) {
+        Ok(r) => {
+            if text_only {
+                match r.text {
+                    Some(text) => {
+                        print!("{text}");
+                        0
+                    }
+                    None => fail("metrics response carried no text exposition"),
+                }
+            } else {
+                for (name, value) in r.counters.unwrap_or_default() {
+                    println!("counter {name} {value}");
+                }
+                for (name, value) in r.gauges.unwrap_or_default() {
+                    println!("gauge {name} {value}");
+                }
+                if let Some(n) = r.q2b_count {
+                    println!(
+                        "summary serve.query_to_batch count={n} p50_us={} p90_us={} p99_us={}",
+                        r.q2b_p50_us.unwrap_or(0),
+                        r.q2b_p90_us.unwrap_or(0),
+                        r.q2b_p99_us.unwrap_or(0),
+                    );
+                }
+                if let Some(n) = r.q2b_win_count {
+                    println!(
+                        "summary serve.query_to_batch.window count={n} p50_us={} p90_us={} \
+                         p99_us={} window_us={}",
+                        r.q2b_win_p50_us.unwrap_or(0),
+                        r.q2b_win_p90_us.unwrap_or(0),
+                        r.q2b_win_p99_us.unwrap_or(0),
+                        r.window_us.unwrap_or(0),
+                    );
+                }
+                0
+            }
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn drain(client: &mut Client) -> i32 {
+    match call(client, &Request::new("drain")) {
+        Ok(_) => {
+            println!("drain requested");
+            0
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn drive(client: &mut Client, args: &[String]) -> i32 {
+    let mut session = None;
+    let mut spec = None;
+    let mut seed = None;
+    let mut strategy = "margin".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--session" => session = it.next().cloned(),
+            "--dataset" => spec = it.next().cloned(),
+            "--seed" => seed = it.next().and_then(|v| v.parse::<u64>().ok()),
+            "--strategy" => {
+                let Some(v) = it.next() else {
+                    return fail("--strategy needs a value");
+                };
+                strategy = v.clone();
+            }
+            other => return fail(format!("drive: unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let (Some(session), Some(spec), Some(seed)) = (session, spec, seed) else {
+        return fail(format!(
+            "drive needs --session, --dataset, and --seed\n{USAGE}"
+        ));
+    };
+    let corpus = match dataset::build(&spec) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("building dataset '{spec}': {e}")),
+    };
+    let key = AnswerKey::perfect(seed);
+    if let Err(e) = call(client, &Request::open(&session, &spec, seed, &strategy)) {
+        return fail(e);
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if Instant::now() > deadline {
+            return fail(format!("session '{session}' did not finish within 120s"));
+        }
+        let r = match call(client, &Request::poll(&session)) {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        };
+        match r.state.as_deref() {
+            Some("done") => {
+                println!(
+                    "done session={session} fingerprint={} labels_used={} best_f1={:.4}",
+                    r.fingerprint.as_deref().unwrap_or("?"),
+                    r.labels_used.unwrap_or(0),
+                    r.best_f1.unwrap_or(0.0),
+                );
+                return 0;
+            }
+            Some("failed") => {
+                return fail(format!(
+                    "session '{session}' failed: {}",
+                    r.detail.as_deref().unwrap_or("no detail")
+                ));
+            }
+            Some("awaiting_answers") => {
+                for example in r.pending.unwrap_or_default() {
+                    let req = match key.answer(example, corpus.truth(example)) {
+                        OracleAnswer::Label(l) => Request::answer(&session, example, l),
+                        OracleAnswer::Abstain => Request::abstain(&session, example),
+                    };
+                    if let Err(e) = call(client, &req) {
+                        return fail(e);
+                    }
+                }
+            }
+            other => return fail(format!("unexpected session state {other:?}")),
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! directory (cold restart), bind, print the resolved listen address on
 //! stdout (load harnesses wait for this line), serve until drained.
 
-use alem_obs::Registry;
+use alem_obs::{FlightRecorder, Registry};
 use alem_serve::fleet::{Fleet, FleetConfig};
 use alem_serve::server::{Bind, Server};
 use std::path::PathBuf;
@@ -23,12 +23,15 @@ struct Args {
     deadline_ms: u64,
     checkpoint_every: usize,
     metrics_out: Option<PathBuf>,
+    flight_window: usize,
+    flight_tick_ms: u64,
     chaos_die_at_checkpoint: Option<u64>,
 }
 
 const USAGE: &str = "usage: alem-serve [--tcp ADDR | --socket PATH] --state-dir DIR \
 [--max-sessions N] [--deadline-ms N] [--checkpoint-every N] \
-[--metrics-out FILE] [--chaos-die-at-checkpoint N]";
+[--metrics-out FILE] [--flight-window N] [--flight-tick-ms N] \
+[--chaos-die-at-checkpoint N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -38,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: 30_000,
         checkpoint_every: 3,
         metrics_out: None,
+        flight_window: 60,
+        flight_tick_ms: 1_000,
         chaos_die_at_checkpoint: None,
     };
     let mut it = std::env::args().skip(1);
@@ -72,6 +77,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--checkpoint-every: {e}"))?
             }
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--flight-window" => {
+                args.flight_window = value("--flight-window")?
+                    .parse()
+                    .map_err(|e| format!("--flight-window: {e}"))?
+            }
+            "--flight-tick-ms" => {
+                args.flight_tick_ms = value("--flight-tick-ms")?
+                    .parse()
+                    .map_err(|e| format!("--flight-tick-ms: {e}"))?
+            }
             "--chaos-die-at-checkpoint" => {
                 args.chaos_die_at_checkpoint = Some(
                     value("--chaos-die-at-checkpoint")?
@@ -101,12 +116,35 @@ fn run() -> i32 {
     sigshim::install();
     let obs = Registry::enabled();
     obs.set_run_id("alem-serve");
+    // Flight recorder: the service's black box. Dumps land next to the
+    // session checkpoints so one directory holds everything needed for a
+    // post-mortem. A panic on any supervised thread (connection handler,
+    // deadline sweeper, flight ticker) snapshots the last window before
+    // the thread dies.
+    let flight = FlightRecorder::new(obs.clone(), args.flight_window)
+        .with_dump_dir(args.state_dir.join("flight"));
+    {
+        let flight = flight.clone();
+        alem_par::supervised::add_panic_observer(move |p| {
+            flight.tick();
+            match flight.dump_to_dir("postmortem") {
+                Ok(Some(path)) => eprintln!(
+                    "alem-serve: thread '{}' panicked; flight dump at {}",
+                    p.thread,
+                    path.display()
+                ),
+                Ok(None) => {}
+                Err(e) => eprintln!("alem-serve: postmortem flight dump failed: {e}"),
+            }
+        });
+    }
     let fleet = match Fleet::new(FleetConfig {
         state_dir: args.state_dir.clone(),
         max_sessions: args.max_sessions,
         answer_deadline: Duration::from_millis(args.deadline_ms),
         checkpoint_every: args.checkpoint_every,
         obs: obs.clone(),
+        flight: Some(flight.clone()),
         chaos_die_at_checkpoint: args.chaos_die_at_checkpoint,
     }) {
         Ok(f) => Arc::new(f),
@@ -136,8 +174,27 @@ fn run() -> i32 {
     use std::io::Write;
     let _ = std::io::stdout().flush();
 
-    if let Err(e) = server.run() {
+    let ticker = match flight.start_ticker(Duration::from_millis(args.flight_tick_ms)) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("alem-serve: flight ticker failed to start: {e}");
+            None
+        }
+    };
+    let served = server.run();
+    if let Some(t) = ticker {
+        if let Err(p) = t.stop() {
+            eprintln!("alem-serve: flight ticker panicked: {p}");
+        }
+    }
+    if let Err(e) = served {
         eprintln!("alem-serve: serve loop failed: {e}");
+        // Abnormal exit from the serve loop: leave a black-box dump so the
+        // failure window is not lost with the process.
+        flight.tick();
+        if let Ok(Some(path)) = flight.dump_to_dir("abend") {
+            eprintln!("alem-serve: abend flight dump at {}", path.display());
+        }
         return 1;
     }
     if let Some(path) = &args.metrics_out {

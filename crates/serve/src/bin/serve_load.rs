@@ -176,6 +176,11 @@ fn drive(shared: &Shared, mut job: Job) -> Drove {
     let Some(mut client) = connect_retry(shared) else {
         return Drove::Requeue(job);
     };
+    // One trace id per job: every frame this client sends for the session
+    // is correlatable across client thread, connection handler, and
+    // session worker in the server's trace sinks.
+    let trace = format!("load-{}", job.session);
+    client.set_trace_id(Some(&trace));
     let Ok(corpus) = dataset::build(&job.dataset) else {
         eprintln!("serve-load: cannot build dataset '{}'", job.dataset);
         return Drove::Requeue(job);
@@ -278,7 +283,10 @@ fn drive(shared: &Shared, mut job: Job) -> Drove {
                         shared.stats.reconnects.fetch_add(1, Ordering::SeqCst);
                         drop(client);
                         match connect_retry(shared) {
-                            Some(c) => client = c,
+                            Some(c) => {
+                                client = c;
+                                client.set_trace_id(Some(&trace));
+                            }
                             None => return Drove::Requeue(job),
                         }
                     }
@@ -342,7 +350,11 @@ impl ServerProc {
             .arg("--deadline-ms")
             .arg(deadline_ms.to_string())
             .arg("--checkpoint-every")
-            .arg("3");
+            .arg("3")
+            // Fast flight ticks so the windowed metrics and post-mortem
+            // dumps have fresh intervals even in short harness runs.
+            .arg("--flight-tick-ms")
+            .arg("200");
         if let Some(n) = die_at_checkpoint {
             cmd.arg("--chaos-die-at-checkpoint").arg(n.to_string());
         }
@@ -422,6 +434,7 @@ struct Report {
     crash_ops_sent: u64,
     sessions_resumed_final_gen: u64,
     answers_timeout_observed: u64,
+    flight_postmortem_dumps: usize,
     counters: Vec<(String, u64)>,
 }
 
@@ -677,6 +690,11 @@ fn run() -> i32 {
         }
     }
 
+    // Black-box verdict: a `crash` op panics inside the server, and the
+    // flight recorder must leave a post-mortem dump for it. Counted
+    // before the scratch dir is removed.
+    let flight_postmortem_dumps = count_postmortems(&state_dir.join("flight"));
+
     let wall_ms = t0.elapsed().as_millis() as u64;
     let report = Report {
         sessions: args.sessions,
@@ -701,6 +719,7 @@ fn run() -> i32 {
         crash_ops_sent: shared.stats.crashes_sent.load(Ordering::SeqCst),
         sessions_resumed_final_gen: resumed_final,
         answers_timeout_observed,
+        flight_postmortem_dumps,
         counters,
     };
     match serde_json::to_string_pretty(&report) {
@@ -721,8 +740,28 @@ fn run() -> i32 {
         eprintln!("serve-load: FAILED (complete={completed}, identical={identical})");
         return 1;
     }
+    let crashes = shared.stats.crashes_sent.load(Ordering::SeqCst);
+    if crashes > 0 && flight_postmortem_dumps == 0 {
+        eprintln!("serve-load: FAILED ({crashes} crash op(s) sent but no flight post-mortem dump)");
+        return 1;
+    }
     eprintln!("serve-load: OK");
     0
+}
+
+/// Count `postmortem-*.jsonl` flight dumps left behind by induced panics.
+fn count_postmortems(flight_dir: &std::path::Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(flight_dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(Result::ok)
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("postmortem-") && name.ends_with(".jsonl")
+        })
+        .count()
 }
 
 /// Tiny-deadline scenario: open one session, answer nothing, and assert

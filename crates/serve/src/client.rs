@@ -72,6 +72,7 @@ impl Write for Stream {
 pub struct Client {
     reader: BufReader<Stream>,
     writer: Stream,
+    trace_id: Option<String>,
 }
 
 impl Client {
@@ -80,6 +81,7 @@ impl Client {
         Ok(Client {
             reader,
             writer: stream,
+            trace_id: None,
         })
     }
 
@@ -109,8 +111,25 @@ impl Client {
         self.writer.set_read_timeout(d).map_err(io_err)
     }
 
-    /// Send `req`, block for the response.
+    /// Attach a trace id stamped onto every subsequent [`Client::call`]
+    /// whose request does not already carry one; `None` clears it. The
+    /// server propagates the id through its spans and echoes it back, so
+    /// one labeling interaction is correlatable across the client thread,
+    /// connection handler, and session worker in the trace sinks.
+    pub fn set_trace_id(&mut self, id: Option<&str>) {
+        self.trace_id = id.map(str::to_string);
+    }
+
+    /// Send `req`, block for the response. A connection-level trace id
+    /// ([`Client::set_trace_id`]) is applied unless `req` carries its own.
     pub fn call(&mut self, req: &Request) -> Result<Response, AlemError> {
+        if req.trace_id.is_none() {
+            if let Some(t) = &self.trace_id {
+                let mut stamped = req.clone();
+                stamped.trace_id = Some(t.clone());
+                return self.send_raw(&proto::encode(&stamped));
+            }
+        }
         self.send_raw(&proto::encode(req))
     }
 

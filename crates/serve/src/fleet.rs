@@ -42,7 +42,7 @@ use alem_core::session::{MachineState, SessionConfig, SessionMachine};
 use alem_core::strategy::{
     MarginSvmStrategy, QbcStrategy, RandomStrategy, Strategy, TreeQbcStrategy,
 };
-use alem_obs::{Registry, Span};
+use alem_obs::{FlightRecorder, Registry, Span};
 use alem_par::Parallelism;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -52,8 +52,12 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Counter names exported by the `metrics` op (and validated by CI).
-pub const COUNTERS: &[&str] = &[
+/// Counter families exported by the `metrics` op — both the structured
+/// `counters` field and the Prometheus text exposition emit every family
+/// listed here (as 0 when untouched), so scrape-side presence checks and
+/// `validate_metrics.py --require` never depend on traffic having
+/// happened. CI validates exactly this list.
+pub const FLEET_COUNTERS: &[&str] = &[
     "serve.sessions_opened",
     "serve.sessions_completed",
     "serve.sessions_failed",
@@ -104,6 +108,9 @@ pub struct FleetConfig {
     pub checkpoint_every: usize,
     /// Telemetry registry shared with the server loop.
     pub obs: Registry,
+    /// Flight recorder over `obs`: feeds windowed admission hints and
+    /// the post-mortem dumps written on worker panics and drain.
+    pub flight: Option<FlightRecorder>,
     /// Abort mid-checkpoint-write on the N-th write (fault injection).
     pub chaos_die_at_checkpoint: Option<u64>,
 }
@@ -116,6 +123,7 @@ impl Default for FleetConfig {
             answer_deadline: Duration::from_secs(30),
             checkpoint_every: 3,
             obs: Registry::disabled(),
+            flight: None,
             chaos_die_at_checkpoint: None,
         }
     }
@@ -185,6 +193,11 @@ impl Fleet {
         &self.cfg.obs
     }
 
+    /// The flight recorder, when one is configured.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.cfg.flight.as_ref()
+    }
+
     /// Whether a drain has been requested.
     pub fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
@@ -240,13 +253,26 @@ impl Fleet {
     }
 
     /// Dispatch one parsed request. Never panics; never blocks beyond the
-    /// named session's own lock.
+    /// named session's own lock. A request carrying a `trace_id` runs
+    /// inside an [`alem_obs::trace_scope`], so every span and counter it
+    /// records — dispatch, session machine, checkpoint writes — is
+    /// stamped with the id; the response echoes it back.
     pub fn handle(&self, req: &Request) -> Response {
-        match req.op.as_str() {
+        if let Some(t) = req.trace_id.as_deref() {
+            if !proto::valid_trace_id(t) {
+                return Response::err(
+                    proto::ERR_INVALID,
+                    "bad trace_id (want 1..=128 printable ASCII bytes)",
+                );
+            }
+        }
+        let _trace = alem_obs::trace_scope(req.trace_id.as_deref());
+        let mut response = match req.op.as_str() {
             "open" => self.on_open(req),
             "answer" => self.on_answer(req),
             "poll" => self.on_poll(req),
             "status" => self.on_status(),
+            "healthz" => self.on_healthz(),
             "metrics" => self.on_metrics(),
             "crash" => self.on_crash(req),
             "drain" => {
@@ -254,7 +280,9 @@ impl Fleet {
                 Response::ok()
             }
             other => Response::err(proto::ERR_INVALID, format!("unknown op '{other}'")),
-        }
+        };
+        response.trace_id = req.trace_id.clone();
+        response
     }
 
     fn on_open(&self, req: &Request) -> Response {
@@ -284,7 +312,9 @@ impl Fleet {
         let (live, _, _) = self.counts();
         if live as usize >= self.cfg.max_sessions {
             self.cfg.obs.counter_add("serve.backpressure_rejects", 1);
-            let backoff = self.retry.delay_for(1).as_millis() as u64;
+            let backoff = self
+                .windowed_retry_ms()
+                .unwrap_or_else(|| self.retry.delay_for(1).as_millis() as u64);
             return Response::busy(
                 backoff.max(25),
                 format!("{live} live sessions (max {})", self.cfg.max_sessions),
@@ -429,6 +459,25 @@ impl Fleet {
         self.session_response(&s)
     }
 
+    /// `retry_after_ms` sized from actual recent throughput: the flight
+    /// window's µs-per-freed-slot (sessions completed or failed free an
+    /// admission slot). Falls back to the static [`RetryPolicy`] hint
+    /// when no flight recorder is running or the window saw no slot free
+    /// up — a constant is honest when there is no signal.
+    fn windowed_retry_ms(&self) -> Option<u64> {
+        let flight = self.cfg.flight.as_ref()?;
+        let window_us = flight.window_us();
+        if window_us == 0 {
+            return None;
+        }
+        let freed = flight.window_counter("serve.sessions_completed")
+            + flight.window_counter("serve.sessions_failed");
+        if freed == 0 {
+            return None;
+        }
+        Some((window_us / freed / 1000).clamp(25, 5_000))
+    }
+
     fn on_status(&self) -> Response {
         let (live, done, failed) = self.counts();
         let mut r = Response::ok();
@@ -436,23 +485,77 @@ impl Fleet {
         r.done = Some(done);
         r.failed = Some(failed);
         r.draining = Some(self.draining());
+        // Same collect-then-lock-individually pattern as the deadline
+        // sweeper: holding the sessions-map lock while taking session
+        // locks would deadlock against transition sites.
+        let sessions: Vec<Arc<Mutex<Session>>> =
+            self.sessions.lock().values().map(Arc::clone).collect();
+        let mut rows: Vec<(String, String)> = sessions
+            .iter()
+            .map(|sess| {
+                let s = sess.lock();
+                let state = match &s.state {
+                    SessState::Live(_) => "awaiting_answers",
+                    SessState::Done(_) => "done",
+                    SessState::Poisoned(_) => "failed",
+                };
+                (s.name.clone(), state.to_string())
+            })
+            .collect();
+        rows.sort();
+        r.sessions = Some(rows);
+        r
+    }
+
+    fn on_healthz(&self) -> Response {
+        let (live, done, failed) = self.counts();
+        let mut r = Response::ok();
+        r.active = Some(live);
+        r.done = Some(done);
+        r.failed = Some(failed);
+        r.draining = Some(self.draining());
+        r.uptime_us = Some(self.cfg.obs.uptime_us());
         r
     }
 
     fn on_metrics(&self) -> Response {
+        // One aggregate snapshot under the registry lock; everything
+        // below — quantiles, Prometheus rendering — happens outside it.
+        let mut snap = self.cfg.obs.snapshot();
         let mut r = Response::ok();
         r.counters = Some(
-            COUNTERS
+            FLEET_COUNTERS
                 .iter()
-                .map(|&name| (name.to_string(), self.cfg.obs.counter_value(name)))
+                .map(|&name| {
+                    (
+                        name.to_string(),
+                        snap.counters.get(name).copied().unwrap_or(0),
+                    )
+                })
                 .collect(),
         );
-        if let Some(h) = self.cfg.obs.histogram("serve.query_to_batch") {
+        r.gauges = Some(
+            snap.gauges
+                .iter()
+                .map(|(&name, &v)| (name.to_string(), v))
+                .collect(),
+        );
+        if let Some(h) = snap.hists.get("serve.query_to_batch") {
             r.q2b_count = Some(h.count());
             r.q2b_p50_us = Some(h.quantile(0.5));
             r.q2b_p90_us = Some(h.quantile(0.9));
             r.q2b_p99_us = Some(h.quantile(0.99));
         }
+        if let Some(flight) = &self.cfg.flight {
+            let win = flight.window_hist("serve.query_to_batch");
+            r.q2b_win_count = Some(win.count());
+            r.q2b_win_p50_us = Some(win.quantile(0.5));
+            r.q2b_win_p90_us = Some(win.quantile(0.9));
+            r.q2b_win_p99_us = Some(win.quantile(0.99));
+            r.window_us = Some(flight.window_us());
+            snap.hists.insert("serve.query_to_batch.window", win);
+        }
+        r.text = Some(alem_obs::render_prometheus(&snap, FLEET_COUNTERS));
         r
     }
 
@@ -492,6 +595,20 @@ impl Fleet {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                // Black-box the last window of telemetry before poisoning:
+                // a final tick folds everything up to the panic into the
+                // ring, so the dump answers "what was the fleet doing in
+                // the seconds before this worker died".
+                if let Some(flight) = &self.cfg.flight {
+                    flight.tick();
+                    match flight.dump_to_dir("postmortem") {
+                        Ok(Some(path)) => {
+                            eprintln!("alem-serve: post-mortem flight dump at {}", path.display())
+                        }
+                        Ok(None) => {}
+                        Err(e) => eprintln!("alem-serve: flight dump failed: {e}"),
+                    }
+                }
                 self.poison(s, format!("panic: {msg}"));
                 return;
             }
@@ -811,6 +928,7 @@ mod tests {
             answer_deadline: Duration::from_secs(60),
             checkpoint_every: 3,
             obs: Registry::enabled(),
+            flight: None,
             chaos_die_at_checkpoint: None,
         })
         .unwrap()
@@ -893,6 +1011,133 @@ mod tests {
     }
 
     #[test]
+    fn healthz_reports_uptime_and_counts() {
+        let fleet = fleet("hz", 8);
+        fleet.handle(&Request::open("h1", "toy", 2, "margin"));
+        let r = fleet.handle(&Request::new("healthz"));
+        assert!(r.ok);
+        assert_eq!(r.active, Some(1));
+        assert_eq!(r.draining, Some(false));
+        assert!(r.uptime_us.unwrap() > 0);
+    }
+
+    #[test]
+    fn status_lists_per_session_states() {
+        let fleet = fleet("st", 8);
+        fleet.handle(&Request::open("alpha", "toy", 2, "margin"));
+        fleet.handle(&Request::open("beta", "toy", 3, "margin"));
+        let mut crash = Request::new("crash");
+        crash.session = Some("beta".into());
+        fleet.handle(&crash);
+        let r = fleet.handle(&Request::new("status"));
+        assert_eq!(
+            r.sessions.unwrap(),
+            vec![
+                ("alpha".to_string(), "awaiting_answers".to_string()),
+                ("beta".to_string(), "failed".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn metrics_exposition_covers_every_fleet_counter() {
+        let fleet = fleet("prom", 8);
+        fleet.handle(&Request::open("m1", "toy", 7, "margin"));
+        // Complete at least one wave so `serve.query_to_batch` has closed
+        // spans to summarize.
+        drive_to_completion(&fleet, "m1", 7);
+        let r = fleet.handle(&Request::new("metrics"));
+        assert!(r.ok);
+        let counters = r.counters.unwrap();
+        assert_eq!(counters.len(), FLEET_COUNTERS.len());
+        let text = r.text.unwrap();
+        for name in FLEET_COUNTERS {
+            let sanitized = name.replace('.', "_");
+            assert!(
+                text.contains(&format!("# TYPE {sanitized} counter")),
+                "family {name} missing from exposition:\n{text}"
+            );
+        }
+        assert!(text.contains("serve_sessions_active"));
+        assert!(text.contains("serve_query_to_batch{quantile=\"0.9\"}"));
+        // No flight recorder configured → no windowed fields.
+        assert!(r.q2b_win_count.is_none());
+    }
+
+    #[test]
+    fn trace_id_is_validated_echoed_and_stamped_on_spans() {
+        let fleet = fleet("trace", 8);
+        let mut open = Request::open("t1", "toy", 4, "margin");
+        open.trace_id = Some("labeler-9/interaction-3".into());
+        let r = fleet.handle(&open);
+        assert!(r.ok);
+        assert_eq!(r.trace_id.as_deref(), Some("labeler-9/interaction-3"));
+        // The wave span opened by this request carries the trace id.
+        let traced: Vec<String> = fleet
+            .obs()
+            .events()
+            .iter()
+            .filter(|e| e.trace.as_deref() == Some("labeler-9/interaction-3"))
+            .map(|e| e.name.to_string())
+            .collect();
+        assert!(!traced.is_empty(), "no events carried the trace id");
+        let mut bad = Request::poll("t1");
+        bad.trace_id = Some("has\u{7f}control".into());
+        let r = fleet.handle(&bad);
+        assert!(!r.ok);
+        assert_eq!(r.error.as_deref(), Some(proto::ERR_INVALID));
+    }
+
+    #[test]
+    fn panic_leaves_a_flight_postmortem_and_windowed_retry_tracks_throughput() {
+        let dir = std::env::temp_dir().join(format!("alem-fleet-{}-fl", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = Registry::enabled();
+        let flight = FlightRecorder::new(obs.clone(), 16).with_dump_dir(dir.join("flight"));
+        let fleet = Fleet::new(FleetConfig {
+            state_dir: dir.clone(),
+            max_sessions: 1,
+            answer_deadline: Duration::from_secs(60),
+            checkpoint_every: 3,
+            obs: obs.clone(),
+            flight: Some(flight.clone()),
+            chaos_die_at_checkpoint: None,
+        })
+        .unwrap();
+        fleet.handle(&Request::open("victim", "toy", 11, "margin"));
+        // Complete a session so the window records freed capacity, then
+        // tick so the interval lands in the ring.
+        drive_to_completion(&fleet, "victim", 11);
+        flight.tick();
+        assert!(fleet.handle(&Request::open("next", "toy", 12, "margin")).ok);
+        let busy = fleet.handle(&Request::open("over", "toy", 13, "margin"));
+        assert_eq!(busy.error.as_deref(), Some(proto::ERR_BUSY));
+        // One completion in the window → retry hint is window/1 clamped
+        // to [25, 5000], i.e. the windowed path (not the static 25ms
+        // lower bound is possible, but it must be within the clamp).
+        let hint = busy.retry_after_ms.unwrap();
+        assert!((25..=5_000).contains(&hint), "hint {hint}");
+        // A worker panic writes a post-mortem dump.
+        let mut crash = Request::new("crash");
+        crash.session = Some("next".into());
+        fleet.handle(&crash);
+        let dumps: Vec<_> = std::fs::read_dir(dir.join("flight"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("postmortem-") && n.ends_with(".jsonl"))
+            .collect();
+        assert_eq!(dumps.len(), 1, "expected one post-mortem dump: {dumps:?}");
+        assert_eq!(obs.counter_value("obs.flight.dumps"), 1);
+        // The metrics op now reports windowed q2b quantiles.
+        let m = fleet.handle(&Request::new("metrics"));
+        assert!(m.q2b_win_count.unwrap() > 0);
+        assert!(m.window_us.unwrap() > 0);
+        assert!(m.text.unwrap().contains("serve_query_to_batch_window"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn admission_control_rejects_with_retry_hint() {
         let fleet = fleet("busy", 1);
         assert!(fleet.handle(&Request::open("a", "toy", 1, "margin")).ok);
@@ -934,6 +1179,7 @@ mod tests {
             answer_deadline: Duration::from_millis(0),
             checkpoint_every: 0,
             obs: Registry::enabled(),
+            flight: None,
             chaos_die_at_checkpoint: None,
         })
         .unwrap();

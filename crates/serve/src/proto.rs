@@ -14,10 +14,18 @@
 //! | `open`    | `session`, `dataset`, `seed`, `strategy`, params  | create a session; emits its first pending query |
 //! | `answer`  | `session`, `example`, `label` or `abstain`        | deliver one oracle answer |
 //! | `poll`    | `session`                                         | state + pending queries |
-//! | `status`  | —                                                 | fleet-wide counts |
-//! | `metrics` | —                                                 | counters + query-to-batch latency quantiles |
+//! | `status`  | —                                                 | fleet-wide counts + per-session states |
+//! | `healthz` | —                                                 | liveness: uptime, counts, draining flag |
+//! | `metrics` | —                                                 | counters, gauges, cumulative + windowed query-to-batch quantiles, and a Prometheus text exposition in `text` |
 //! | `crash`   | `session`                                         | testing hook: panic inside the session's supervised region |
 //! | `drain`   | —                                                 | graceful shutdown: checkpoint all, exit |
+//!
+//! Any request may carry a `trace_id` (`[ -~]{1,128}`, i.e. printable
+//! ASCII): the server enters an `alem_obs::trace_scope` for the request,
+//! so every span and counter the request touches — connection handler,
+//! fleet dispatch, session machine, checkpoint writes — is stamped with
+//! the id in the JSONL and Chrome-trace sinks, and the response echoes it
+//! back for client-side correlation.
 //!
 //! Fingerprints travel as 16-hex-digit strings (the shim renders `u64`
 //! through `i64`, which would turn high-bit fingerprints negative in the
@@ -67,6 +75,8 @@ pub struct Request {
     pub label: Option<bool>,
     /// Deliver an abstention instead of a label (`answer`).
     pub abstain: Option<bool>,
+    /// Client-supplied correlation id (any op); see the module docs.
+    pub trace_id: Option<String>,
 }
 
 impl Request {
@@ -85,6 +95,7 @@ impl Request {
             example: None,
             label: None,
             abstain: None,
+            trace_id: None,
         }
     }
 
@@ -170,6 +181,29 @@ pub struct Response {
     pub q2b_p90_us: Option<u64>,
     /// Metrics: query-to-batch latency p99 (µs).
     pub q2b_p99_us: Option<u64>,
+    /// Echo of the request's `trace_id`, for client-side correlation.
+    pub trace_id: Option<String>,
+    /// Metrics: gauge name/value pairs.
+    pub gauges: Option<Vec<(String, u64)>>,
+    /// Metrics: Prometheus text exposition (all counter families, gauges,
+    /// and summary quantiles), rendered from a registry snapshot taken
+    /// outside the lock.
+    pub text: Option<String>,
+    /// Metrics: `serve.query_to_batch` spans closed inside the flight
+    /// window (absent when no flight recorder is running).
+    pub q2b_win_count: Option<u64>,
+    /// Metrics: windowed query-to-batch p50 (µs).
+    pub q2b_win_p50_us: Option<u64>,
+    /// Metrics: windowed query-to-batch p90 (µs).
+    pub q2b_win_p90_us: Option<u64>,
+    /// Metrics: windowed query-to-batch p99 (µs).
+    pub q2b_win_p99_us: Option<u64>,
+    /// Metrics: µs covered by the flight window.
+    pub window_us: Option<u64>,
+    /// Status: per-session `(name, state)` pairs, sorted by name.
+    pub sessions: Option<Vec<(String, String)>>,
+    /// Healthz: µs since the server's telemetry epoch.
+    pub uptime_us: Option<u64>,
 }
 
 impl Response {
@@ -196,6 +230,16 @@ impl Response {
             q2b_p50_us: None,
             q2b_p90_us: None,
             q2b_p99_us: None,
+            trace_id: None,
+            gauges: None,
+            text: None,
+            q2b_win_count: None,
+            q2b_win_p50_us: None,
+            q2b_win_p90_us: None,
+            q2b_win_p99_us: None,
+            window_us: None,
+            sessions: None,
+            uptime_us: None,
         }
     }
 
@@ -240,6 +284,13 @@ pub fn valid_session_name(name: &str) -> bool {
         && name
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Whether `id` is acceptable as a client-supplied trace id: printable
+/// ASCII, at most 128 bytes (it travels into trace sinks verbatim, so no
+/// control characters).
+pub fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty() && id.len() <= 128 && id.bytes().all(|b| (0x20..=0x7e).contains(&b))
 }
 
 #[cfg(test)]
@@ -293,5 +344,40 @@ mod tests {
         assert!(!valid_session_name("a/b"));
         assert!(!valid_session_name("x".repeat(65).as_str()));
         assert!(!valid_session_name("dot.dot"));
+    }
+
+    #[test]
+    fn trace_id_round_trips_and_validates() {
+        let mut r = Request::poll("s1");
+        r.trace_id = Some("client-7/req-0042".into());
+        let back = decode_request(&encode(&r)).unwrap();
+        assert_eq!(back.trace_id.as_deref(), Some("client-7/req-0042"));
+        assert!(valid_trace_id("client-7/req-0042"));
+        assert!(!valid_trace_id(""));
+        assert!(!valid_trace_id("has\nnewline"));
+        assert!(!valid_trace_id(&"x".repeat(129)));
+    }
+
+    #[test]
+    fn metrics_response_round_trips_text_and_windowed_fields() {
+        let mut r = Response::ok();
+        r.text = Some("# TYPE serve_requests counter\nserve_requests 3\n".into());
+        r.gauges = Some(vec![("serve.sessions_active".into(), 4)]);
+        r.sessions = Some(vec![("s1".into(), "awaiting_answers".into())]);
+        r.q2b_win_count = Some(9);
+        r.window_us = Some(1_000_000);
+        r.uptime_us = Some(42);
+        let back = decode_response(&encode(&r)).unwrap();
+        assert!(back.text.unwrap().contains("serve_requests 3"));
+        assert_eq!(
+            back.gauges.unwrap()[0],
+            ("serve.sessions_active".to_string(), 4)
+        );
+        assert_eq!(
+            back.sessions.unwrap()[0],
+            ("s1".to_string(), "awaiting_answers".to_string())
+        );
+        assert_eq!(back.q2b_win_count, Some(9));
+        assert_eq!(back.uptime_us, Some(42));
     }
 }

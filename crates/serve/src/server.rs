@@ -221,6 +221,19 @@ impl Server {
         }
         let written = self.fleet.checkpoint_all();
         span.finish();
+        // The drain dump is the service's black box for the shutdown
+        // path: the final window of telemetry, written after the last
+        // checkpoint so it reflects the drain itself.
+        if let Some(flight) = self.fleet.flight() {
+            flight.tick();
+            match flight.dump_to_dir("drain") {
+                Ok(Some(path)) => {
+                    eprintln!("alem-serve: drain flight dump at {}", path.display())
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!("alem-serve: drain flight dump failed: {e}"),
+            }
+        }
         eprintln!("alem-serve: drained; {written} session checkpoint(s) written");
         Ok(())
     }
@@ -243,8 +256,19 @@ fn conn_loop(fleet: &Fleet, conn: Conn) -> Result<(), AlemError> {
                 if line.trim().is_empty() {
                     continue;
                 }
+                // Decode before opening the request span so the span (and
+                // everything under it) can be stamped with the client's
+                // trace id; a fresh scope per request means an id never
+                // leaks onto the next frame of the same connection.
+                let decoded = proto::decode_request(&line);
+                let trace_id = decoded
+                    .as_ref()
+                    .ok()
+                    .and_then(|req| req.trace_id.clone())
+                    .filter(|t| proto::valid_trace_id(t));
+                let _trace = alem_obs::trace_scope(trace_id.as_deref());
                 let span = fleet.obs().span("serve.request");
-                let response = match proto::decode_request(&line) {
+                let response = match decoded {
                     Ok(req) => fleet.handle(&req),
                     Err(detail) => {
                         fleet.obs().counter_add("serve.frames_rejected", 1);

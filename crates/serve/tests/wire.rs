@@ -120,5 +120,45 @@ fn metrics_op_reports_counters_and_latency_quantiles() {
         "query_to_batch spans recorded"
     );
     assert!(m.q2b_p99_us.unwrap_or(0) >= m.q2b_p50_us.unwrap_or(0));
+
+    // The Prometheus text exposition rides along and covers the full
+    // counter catalog (zero-filled where nothing incremented yet).
+    let text = m.text.expect("text exposition");
+    for family in alem_serve::fleet::FLEET_COUNTERS {
+        let sanitized = family.replace('.', "_");
+        assert!(
+            text.contains(&format!("# TYPE {sanitized} counter")),
+            "exposition missing {family}:\n{text}"
+        );
+    }
+    assert!(text.contains("serve_query_to_batch{quantile=\"0.99\"}"));
+    server.drain();
+}
+
+#[test]
+fn healthz_and_trace_ids_over_the_wire() {
+    let server = TestServer::spawn("wire-admin", &[], None);
+    let mut c = server.client();
+
+    let h = c.call(&Request::new("healthz")).unwrap();
+    assert!(h.ok);
+    assert_eq!(h.active, Some(0));
+    assert_eq!(h.draining, Some(false));
+    assert!(h.uptime_us.unwrap_or(0) > 0);
+
+    // A connection-level trace id is stamped onto every frame and echoed
+    // back by the server.
+    c.set_trace_id(Some("it-trace-1"));
+    let r = c.call(&Request::open("t1", "toy", 5, "margin")).unwrap();
+    assert!(r.ok, "{:?} {:?}", r.error, r.detail);
+    assert_eq!(r.trace_id.as_deref(), Some("it-trace-1"));
+    let fp = drive_to_done(&mut c, "t1", "toy", 5);
+    assert_eq!(fp, reference("toy", 5), "trace ids must not perturb runs");
+
+    // Invalid ids are rejected before dispatch.
+    let mut bad = Request::poll("t1");
+    bad.trace_id = Some("bad\u{7f}id".to_string());
+    let r = c.send_raw(&proto::encode(&bad)).unwrap();
+    assert_eq!(r.error.as_deref(), Some(proto::ERR_INVALID));
     server.drain();
 }

@@ -1,36 +1,41 @@
 #!/usr/bin/env python3
-"""Validate a telemetry JSONL file emitted by alem-obs.
+"""Validate telemetry emitted by alem-obs: JSONL events or Prometheus text.
 
-Usage: validate_metrics.py METRICS.jsonl [--require name1,name2,...]
+Usage: validate_metrics.py METRICS_FILE [--require name1,name2,...]
 
-Fails (exit 1) if the file is empty, any line is not valid JSON, or any
-line is missing one of the required keys: span, dur_us, iter. With
---require, additionally fails unless every listed name appears among the
-file's span/counter/gauge names (used by CI to pin the serve.* metric
-namespace).
+The format is autodetected from the first non-empty line: `{` means the
+alem-obs JSONL event stream, anything else is treated as the Prometheus
+text exposition produced by the serve fleet's `metrics` op
+(`alem-admin metrics --text`).
+
+JSONL mode fails (exit 1) if the file is empty, any line is not valid
+JSON, or any line is missing one of the required keys: span, dur_us,
+iter. Prometheus mode fails if the file has no samples, a sample line is
+malformed, a `# TYPE` names an unknown kind, or any summary's quantile
+values decrease as the quantile increases. With --require, both modes
+additionally fail unless every listed name appears among the emitted
+names (dots and underscores are interchangeable, so CI lists can use the
+dotted `serve.*` spelling against the sanitized exposition).
 """
 
 import json
+import re
 import sys
 
+# name, optional {labels}, value
+SAMPLE_RE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9][0-9eE+.\-]*)$"
+)
+QUANTILE_RE = re.compile(r'quantile="([^"]+)"')
+PROM_KINDS = {"counter", "gauge", "summary", "histogram", "untyped"}
 
-def main() -> int:
-    argv = sys.argv[1:]
-    require: set[str] = set()
-    if "--require" in argv:
-        i = argv.index("--require")
-        if i + 1 >= len(argv):
-            print("--require needs a comma-separated name list", file=sys.stderr)
-            return 2
-        require = {n for n in argv[i + 1].split(",") if n}
-        del argv[i : i + 2]
-    if len(argv) != 1:
-        print(
-            "usage: validate_metrics.py METRICS.jsonl [--require a,b,...]",
-            file=sys.stderr,
-        )
-        return 2
-    path = argv[0]
+
+def canon(name: str) -> str:
+    """Dots and underscores are interchangeable across the two formats."""
+    return name.replace(".", "_")
+
+
+def validate_jsonl(path: str, require: set[str]) -> int:
     required = {"span", "dur_us", "iter"}
     lines = 0
     spans = set()
@@ -59,7 +64,7 @@ def main() -> int:
     if lines == 0:
         print(f"{path}: no telemetry events emitted", file=sys.stderr)
         return 1
-    missing_names = require - names
+    missing_names = {n for n in require if canon(n) not in {canon(m) for m in names}}
     if missing_names:
         print(
             f"{path}: required metric names never emitted: {sorted(missing_names)}",
@@ -68,6 +73,106 @@ def main() -> int:
         return 1
     print(f"{path}: {lines} events OK, {len(spans)} distinct spans: {sorted(spans)}")
     return 0
+
+
+def validate_prometheus(path: str, require: set[str]) -> int:
+    samples = 0
+    families: set[str] = set()
+    # summary base name -> list of (quantile, value) in file order
+    quantiles: dict[str, list[tuple[float, float]]] = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            if raw.startswith("#"):
+                parts = raw.split()
+                if len(parts) >= 4 and parts[1] == "TYPE":
+                    families.add(parts[2])
+                    if parts[3] not in PROM_KINDS:
+                        print(
+                            f"{path}:{lineno}: unknown metric kind '{parts[3]}'",
+                            file=sys.stderr,
+                        )
+                        return 1
+                continue
+            m = SAMPLE_RE.match(raw)
+            if not m:
+                print(f"{path}:{lineno}: malformed sample line: {raw}", file=sys.stderr)
+                return 1
+            name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            samples += 1
+            families.add(name)
+            q = QUANTILE_RE.search(labels)
+            if q:
+                try:
+                    quantiles.setdefault(name, []).append(
+                        (float(q.group(1)), float(value))
+                    )
+                except ValueError:
+                    print(
+                        f"{path}:{lineno}: non-numeric quantile sample: {raw}",
+                        file=sys.stderr,
+                    )
+                    return 1
+    if samples == 0:
+        print(f"{path}: no Prometheus samples emitted", file=sys.stderr)
+        return 1
+    for name, pairs in quantiles.items():
+        ordered = sorted(pairs)
+        for (qa, va), (qb, vb) in zip(ordered, ordered[1:]):
+            if va > vb:
+                print(
+                    f"{path}: {name} quantiles not monotone: "
+                    f"q{qa}={va} > q{qb}={vb}",
+                    file=sys.stderr,
+                )
+                return 1
+    known = {canon(f) for f in families}
+    missing_names = {n for n in require if canon(n) not in known}
+    if missing_names:
+        print(
+            f"{path}: required metric families never emitted: {sorted(missing_names)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{path}: {samples} samples OK, {len(families)} families, "
+        f"{len(quantiles)} summaries monotone"
+    )
+    return 0
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    require: set[str] = set()
+    if "--require" in argv:
+        i = argv.index("--require")
+        if i + 1 >= len(argv):
+            print("--require needs a comma-separated name list", file=sys.stderr)
+            return 2
+        require = {n for n in argv[i + 1].split(",") if n}
+        del argv[i : i + 2]
+    if len(argv) != 1:
+        print(
+            "usage: validate_metrics.py METRICS_FILE [--require a,b,...]",
+            file=sys.stderr,
+        )
+        return 2
+    path = argv[0]
+    first = ""
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            raw = raw.strip()
+            if raw:
+                first = raw
+                break
+    if not first:
+        print(f"{path}: empty metrics file", file=sys.stderr)
+        return 1
+    if first.startswith("{"):
+        return validate_jsonl(path, require)
+    return validate_prometheus(path, require)
 
 
 if __name__ == "__main__":
