@@ -152,18 +152,80 @@ fn blocking_threshold(args: &Args) -> Result<f64, Box<dyn Error>> {
     }
 }
 
-fn build_strategy(name: &str) -> Result<Box<dyn Strategy + Send>, Box<dyn Error>> {
-    Ok(match name {
-        "trees20" => Box::new(TreeQbcStrategy::new(20)),
-        "trees10" => Box::new(TreeQbcStrategy::new(10)),
-        "margin" => Box::new(MarginSvmStrategy::new(SvmTrainer::default())),
+/// Hot-path tuning knobs shared by `alem match` and the benches:
+/// `--lazy-topk K` (two-phase lazy selection + warm-started Pegasos on
+/// the margin strategies) and `--refresh-frac F` (partial forest refresh
+/// on the tree strategies).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrategyTuning {
+    /// Phase-1 dimension count for lazy margin selection; also enables
+    /// warm-started SVM training.
+    pub lazy_topk: Option<usize>,
+    /// Fraction of forest members retrained per warm round.
+    pub refresh_frac: Option<f64>,
+}
+
+impl StrategyTuning {
+    fn parse(args: &Args) -> Result<Self, Box<dyn Error>> {
+        let lazy_topk = args
+            .get("lazy-topk")
+            .map(|s| s.parse::<usize>().map_err(|_| "bad --lazy-topk"))
+            .transpose()?;
+        if lazy_topk == Some(0) {
+            return Err("--lazy-topk must be at least 1".into());
+        }
+        let refresh_frac = args
+            .get("refresh-frac")
+            .map(|s| s.parse::<f64>().map_err(|_| "bad --refresh-frac"))
+            .transpose()?;
+        if let Some(f) = refresh_frac {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err("--refresh-frac must be in (0, 1]".into());
+            }
+        }
+        Ok(StrategyTuning {
+            lazy_topk,
+            refresh_frac,
+        })
+    }
+}
+
+fn build_strategy(
+    name: &str,
+    tuning: StrategyTuning,
+) -> Result<Box<dyn Strategy + Send>, Box<dyn Error>> {
+    let trees = |n: usize| -> Box<dyn Strategy + Send> {
+        let mut b = TreeQbcStrategy::builder().trees(n);
+        if let Some(f) = tuning.refresh_frac {
+            b = b.refresh_frac(f);
+        }
+        Box::new(b.build())
+    };
+    let margin = || -> Box<dyn Strategy + Send> {
+        let mut b = MarginSvmStrategy::builder().trainer(SvmTrainer::default());
+        if let Some(k) = tuning.lazy_topk {
+            b = b.lazy_topk(k).warm_start();
+        }
+        Box::new(b.build())
+    };
+    let s: Box<dyn Strategy + Send> = match name {
+        "trees20" => trees(20),
+        "trees10" => trees(10),
+        "margin" => margin(),
         "margin1dim" => Box::new(MarginSvmStrategy::builder().blocking_dims(1).build()),
         "qbc10" => Box::new(QbcStrategy::new(SvmTrainer::default(), 10)),
         "ensemble" => Box::new(EnsembleSvmStrategy::new(SvmTrainer::default(), 0.85)),
         "rules" => Box::new(LfpLfnStrategy::new(DnfTrainer::default(), 0.85)),
         "nn" => Box::new(MarginNnStrategy::new(NnTrainer::default())),
         other => return Err(format!("unknown strategy {other:?}").into()),
-    })
+    };
+    if tuning.lazy_topk.is_some() && !matches!(name, "margin") {
+        eprintln!("[alem] note: --lazy-topk only affects the 'margin' strategy (ignored)");
+    }
+    if tuning.refresh_frac.is_some() && !matches!(name, "trees10" | "trees20") {
+        eprintln!("[alem] note: --refresh-frac only affects the tree strategies (ignored)");
+    }
+    Ok(s)
 }
 
 /// `alem block`: report blocking statistics.
@@ -250,7 +312,7 @@ pub fn cmd_match(args: &Args) -> CliResult {
         .transpose()?
         .unwrap_or(42);
     let strategy_name = args.get("strategy").unwrap_or("trees20");
-    let strategy = build_strategy(strategy_name)?;
+    let strategy = build_strategy(strategy_name, StrategyTuning::parse(args)?)?;
     obs.set_run_id(&format!("alem-match-{strategy_name}-seed{seed}"));
 
     let oracle = if interactive {
@@ -569,9 +631,23 @@ mod tests {
             "rules",
             "nn",
         ] {
-            assert!(build_strategy(n).is_ok(), "{n}");
+            assert!(build_strategy(n, StrategyTuning::default()).is_ok(), "{n}");
         }
-        assert!(build_strategy("bogus").is_err());
+        assert!(build_strategy("bogus", StrategyTuning::default()).is_err());
+    }
+
+    #[test]
+    fn tuning_flags_apply_without_renaming_strategies() {
+        // Lazy/warm tuning must not change strategy names: fingerprints
+        // embed the name, and lazy-vs-eager runs must stay comparable.
+        let tuned = StrategyTuning {
+            lazy_topk: Some(6),
+            refresh_frac: Some(0.25),
+        };
+        let m = ok(build_strategy("margin", tuned));
+        assert_eq!(m.name(), "Linear-Margin");
+        let t = ok(build_strategy("trees20", tuned));
+        assert_eq!(t.name(), "Trees(20)");
     }
 
     #[test]

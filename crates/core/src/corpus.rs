@@ -1,71 +1,117 @@
 //! [`Corpus`]: the post-blocking pair universe an active-learning run
 //! operates on — feature vectors, optional Boolean predicate vectors, and
 //! the hidden ground truth consulted by the Oracle and the evaluator.
+//!
+//! Feature rows live in a [`FeatureStore`](crate::featurestore::FeatureStore)
+//! — flat and contiguous when built eagerly, memoized on-demand when built
+//! with [`Corpus::from_dataset_lazy_with`]. Boolean predicate rows are
+//! derived lazily from the continuous rows on first use, so runs that never
+//! touch the rule learner never pay for a second full matrix.
 
 use crate::blocking::BlockingConfig;
 use crate::features::FeatureExtractor;
+use crate::featurestore::FeatureStore;
 use crate::schema::{EmDataset, Pair};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::{Arc, OnceLock};
+
+/// Boolean predicate rows: absent, attached verbatim, or derived on
+/// demand from the continuous rows (and then memoized).
+#[derive(Debug, Clone)]
+enum BoolFeatures {
+    None,
+    // alem-lint: allow(flat-feature-store) -- verbatim caller-attached predicate rows, the rule-learner ingestion seam
+    Eager(Vec<Vec<f64>>),
+    Derived {
+        fx: Arc<FeatureExtractor>,
+        // alem-lint: allow(flat-feature-store) -- memo cell for rows derived via FeatureExtractor::booleanize
+        cell: OnceLock<Vec<Vec<f64>>>,
+    },
+}
 
 /// A fully featurized set of candidate pairs with hidden ground truth.
 #[derive(Debug, Clone)]
 pub struct Corpus {
     name: String,
     pairs: Vec<Pair>,
-    features: Vec<Vec<f64>>,
-    bool_features: Option<Vec<Vec<f64>>>,
+    store: FeatureStore,
+    bool_features: BoolFeatures,
     truth: Vec<bool>,
-    /// Non-finite feature values replaced with 0 at construction.
-    sanitized: usize,
-}
-
-/// Replace NaN/±∞ with 0.0 in place, returning how many values changed.
-/// Broken similarity functions (divide-by-zero on empty strings, overflow
-/// on pathological inputs) must not poison a whole training run.
-fn sanitize(features: &mut [Vec<f64>]) -> usize {
-    let mut fixed = 0;
-    for row in features.iter_mut() {
-        for v in row.iter_mut() {
-            if !v.is_finite() {
-                *v = 0.0;
-                fixed += 1;
-            }
-        }
-    }
-    fixed
+    /// True when every feature value is guaranteed to lie in `[0, 1]`
+    /// (extractor-built corpora: similarities clamp, sanitize maps
+    /// non-finite to 0). Interval-bound lazy selection requires this.
+    bounded01: bool,
 }
 
 impl Corpus {
     /// Build a corpus from an [`EmDataset`]: block, featurize, and attach
-    /// ground truth. Returns the corpus and the extractor (whose feature
-    /// descriptions the interpretability reports need).
-    pub fn from_dataset(ds: &EmDataset, blocking: &BlockingConfig) -> (Self, FeatureExtractor) {
+    /// ground truth. Returns the corpus and the (shared) extractor, whose
+    /// feature descriptions the interpretability reports need.
+    pub fn from_dataset(
+        ds: &EmDataset,
+        blocking: &BlockingConfig,
+    ) -> (Self, Arc<FeatureExtractor>) {
         Corpus::from_dataset_with(ds, blocking, &alem_par::Parallelism::default())
     }
 
     /// [`Corpus::from_dataset`] with an explicit thread-count policy for
     /// the feature-extraction fan-out. Output is byte-identical for any
     /// `par` (rows merge in pair order); only build wall-clock changes.
+    ///
+    /// Boolean predicate rows are *not* built here: they derive from the
+    /// continuous rows on the first [`Corpus::bool_features`] call, so
+    /// strategies that never use them never pay the second matrix.
     pub fn from_dataset_with(
         ds: &EmDataset,
         blocking: &BlockingConfig,
         par: &alem_par::Parallelism,
-    ) -> (Self, FeatureExtractor) {
+    ) -> (Self, Arc<FeatureExtractor>) {
         let pairs = blocking.block(ds);
-        let fx = FeatureExtractor::new(ds);
-        let mut features = fx.extract_all_with(&pairs, par);
-        let sanitized = sanitize(&mut features);
-        let bool_features = fx.booleanize_all(&features);
+        let fx = Arc::new(FeatureExtractor::new(ds));
+        let store = FeatureStore::from_rows(fx.extract_all_with(&pairs, par));
         let truth = pairs.iter().map(|&p| ds.is_match(p)).collect();
         (
             Corpus {
                 name: ds.name.clone(),
                 pairs,
-                features,
-                bool_features: Some(bool_features),
+                store,
+                bool_features: BoolFeatures::Derived {
+                    fx: Arc::clone(&fx),
+                    cell: OnceLock::new(),
+                },
                 truth,
-                sanitized,
+                bounded01: true,
+            },
+            fx,
+        )
+    }
+
+    /// Fully lazy corpus: blocking and ground truth are computed up front
+    /// but no feature row is extracted until a learner or selector first
+    /// reads it, after which the row is memoized for the corpus lifetime.
+    /// Rows are bit-identical to the eager build; see
+    /// [`Corpus::content_fingerprint`] for the one observable difference.
+    pub fn from_dataset_lazy_with(
+        ds: &EmDataset,
+        blocking: &BlockingConfig,
+        _par: &alem_par::Parallelism,
+    ) -> (Self, Arc<FeatureExtractor>) {
+        let pairs = blocking.block(ds);
+        let fx = Arc::new(FeatureExtractor::new(ds));
+        let store = FeatureStore::lazy(Arc::clone(&fx), pairs.clone());
+        let truth = pairs.iter().map(|&p| ds.is_match(p)).collect();
+        (
+            Corpus {
+                name: ds.name.clone(),
+                pairs,
+                store,
+                bool_features: BoolFeatures::Derived {
+                    fx: Arc::clone(&fx),
+                    cell: OnceLock::new(),
+                },
+                truth,
+                bounded01: true,
             },
             fx,
         )
@@ -73,24 +119,25 @@ impl Corpus {
 
     /// Build a corpus directly from feature vectors and labels (tests,
     /// docs, and workloads that skip the table layer).
-    pub fn from_features(mut features: Vec<Vec<f64>>, truth: Vec<bool>) -> Self {
+    // alem-lint: allow(flat-feature-store) -- caller-facing ingestion seam; rows are flattened into the store here
+    pub fn from_features(features: Vec<Vec<f64>>, truth: Vec<bool>) -> Self {
         assert_eq!(features.len(), truth.len(), "feature/label mismatch");
-        let sanitized = sanitize(&mut features);
         let pairs = (0..features.len() as u32).map(|i| (i, 0)).collect();
         Corpus {
             name: "anonymous".into(),
             pairs,
-            features,
-            bool_features: None,
+            store: FeatureStore::from_rows(features),
+            bool_features: BoolFeatures::None,
             truth,
-            sanitized,
+            bounded01: false,
         }
     }
 
     /// Attach Boolean predicate vectors (needed by the rule learner).
+    // alem-lint: allow(flat-feature-store) -- caller-facing ingestion seam for pre-built predicate rows
     pub fn with_bool_features(mut self, bool_features: Vec<Vec<f64>>) -> Self {
         assert_eq!(bool_features.len(), self.len(), "bool feature mismatch");
-        self.bool_features = Some(bool_features);
+        self.bool_features = BoolFeatures::Eager(bool_features);
         self
     }
 
@@ -107,17 +154,17 @@ impl Corpus {
 
     /// Number of post-blocking pairs.
     pub fn len(&self) -> usize {
-        self.features.len()
+        self.store.len()
     }
 
     /// True when the corpus has no pairs.
     pub fn is_empty(&self) -> bool {
-        self.features.is_empty()
+        self.store.is_empty()
     }
 
     /// Continuous feature dimensionality.
     pub fn dim(&self) -> usize {
-        self.features.first().map_or(0, Vec::len)
+        self.store.dim()
     }
 
     /// The record pair behind example `i`.
@@ -125,19 +172,58 @@ impl Corpus {
         self.pairs[i]
     }
 
-    /// Continuous feature row of example `i`.
+    /// Continuous feature row of example `i`. On a lazy corpus this
+    /// materializes (and memoizes) the row on first read.
     pub fn x(&self, i: usize) -> &[f64] {
-        &self.features[i]
+        self.store.row(i)
     }
 
-    /// All continuous feature rows.
-    pub fn features(&self) -> &[Vec<f64>] {
-        &self.features
+    /// The backing feature store (flat eager matrix or memoized lazy
+    /// rows). Selectors use this for partial, selected-dims reads.
+    pub fn store(&self) -> &FeatureStore {
+        &self.store
     }
 
-    /// Boolean predicate rows, if attached.
+    /// True when every feature value is guaranteed to lie in `[0, 1]`.
+    /// Extractor-built corpora always qualify (similarity functions clamp
+    /// their output and sanitization maps non-finite values to 0); a
+    /// [`Corpus::from_features`] corpus only after
+    /// [`Corpus::with_bounded_features`]. Two-phase lazy selection keys
+    /// off this: its pruning bounds are only sound for bounded features.
+    pub fn features_bounded_01(&self) -> bool {
+        self.bounded01
+    }
+
+    /// Declare that every feature value lies in `[0, 1]`, enabling
+    /// interval-bound lazy selection on hand-built corpora. Debug builds
+    /// verify the claim against already-materialized rows.
+    pub fn with_bounded_features(mut self) -> Self {
+        #[cfg(debug_assertions)]
+        if let Some(flat) = self.store.flat() {
+            debug_assert!(
+                flat.iter().all(|v| (0.0..=1.0).contains(v)),
+                "with_bounded_features: a feature value lies outside [0, 1]"
+            );
+        }
+        self.bounded01 = true;
+        self
+    }
+
+    /// Boolean predicate rows. Rows attached via
+    /// [`Corpus::with_bool_features`] are returned verbatim; corpora built
+    /// from datasets derive them from the continuous rows on first call
+    /// (memoized thereafter). Returns `None` only for
+    /// [`Corpus::from_features`] corpora with nothing attached.
     pub fn bool_features(&self) -> Option<&[Vec<f64>]> {
-        self.bool_features.as_deref()
+        match &self.bool_features {
+            BoolFeatures::None => None,
+            BoolFeatures::Eager(rows) => Some(rows),
+            BoolFeatures::Derived { fx, cell } => Some(cell.get_or_init(|| {
+                (0..self.store.len())
+                    .map(|i| fx.booleanize(self.store.row(i)))
+                    .collect()
+            })),
+        }
     }
 
     /// Ground-truth label of example `i` (hidden from learners; only the
@@ -151,10 +237,18 @@ impl Corpus {
         &self.truth
     }
 
-    /// Non-finite feature values (NaN/±∞) that were sanitized to 0 when
-    /// the corpus was built. The session layer logs this once per run.
+    /// Non-finite feature values (NaN/±∞) sanitized to 0 so far. Eager
+    /// corpora count at construction; lazy corpora count as rows
+    /// materialize. The session layer logs this once per run.
     pub fn sanitized_features(&self) -> usize {
-        self.sanitized
+        self.store.sanitized_count() as usize
+    }
+
+    /// Cumulative feature-cache traffic `(hits, misses)` of the backing
+    /// store. Always `(0, 0)` for eager corpora — eager row reads are
+    /// plain slices, not cache lookups.
+    pub fn feature_cache_stats(&self) -> (u64, u64) {
+        (self.store.cache_hits(), self.store.cache_misses())
     }
 
     /// Content fingerprint: FNV-1a over every feature bit pattern, truth
@@ -164,6 +258,13 @@ impl Corpus {
     /// data (same-length corpora previously slipped through silently).
     /// Pair ids and the dataset name are deliberately excluded: they don't
     /// affect learning, and the dataset name is checked separately.
+    ///
+    /// Lazy corpora hash pair identities (plus a lazy marker) instead of
+    /// feature bytes — hashing bytes would force full materialization and
+    /// defeat laziness. Derived-on-demand Boolean rows hash a marker for
+    /// the same reason (they are a pure function of the continuous rows).
+    /// Consequence: a checkpoint written against a lazy corpus must be
+    /// resumed against a lazy corpus, and likewise for eager.
     pub fn content_fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -177,21 +278,41 @@ impl Corpus {
                 eat(h, byte);
             }
         }
-        eat_u64(&mut h, self.features.len() as u64);
+        eat_u64(&mut h, self.store.len() as u64);
         eat_u64(&mut h, self.dim() as u64);
-        for row in &self.features {
-            for v in row {
-                eat_u64(&mut h, v.to_bits());
+        match self.store.flat() {
+            Some(flat) => {
+                for v in flat {
+                    eat_u64(&mut h, v.to_bits());
+                }
+            }
+            None => {
+                // Lazy marker, then pair identities: content is defined by
+                // what would be extracted, not what has been.
+                eat_u64(&mut h, 0x4c41_5a59); // "LAZY"
+                for &(l, r) in self.store.lazy_pairs().unwrap_or(&[]) {
+                    eat_u64(&mut h, u64::from(l));
+                    eat_u64(&mut h, u64::from(r));
+                }
             }
         }
         for &t in &self.truth {
             eat(&mut h, u8::from(t));
         }
-        if let Some(rows) = &self.bool_features {
-            for row in rows {
-                for v in row {
-                    eat_u64(&mut h, v.to_bits());
+        match &self.bool_features {
+            BoolFeatures::None => {}
+            BoolFeatures::Eager(rows) => {
+                for row in rows {
+                    for v in row {
+                        eat_u64(&mut h, v.to_bits());
+                    }
                 }
+            }
+            BoolFeatures::Derived { .. } => {
+                // Derived rows add no information over the continuous rows
+                // already hashed; a marker keeps the stream deterministic
+                // regardless of whether derivation has happened yet.
+                eat_u64(&mut h, 0x4445_5249); // "DERI"
             }
         }
         h
@@ -321,7 +442,7 @@ mod tests {
             vec![true, false, true],
         );
         assert_eq!(c.sanitized_features(), 3);
-        assert!(c.features().iter().flatten().all(|v| v.is_finite()));
+        assert!((0..c.len()).all(|i| c.x(i).iter().all(|v| v.is_finite())));
         assert_eq!(c.x(0), &[0.5, 0.0]);
         assert_eq!(c.x(1), &[0.0, 1.0]);
     }

@@ -74,6 +74,16 @@ pub struct FeatureExtractor {
     right: Vec<Vec<Prepared>>, // [record][attr]
 }
 
+impl fmt::Debug for FeatureExtractor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FeatureExtractor")
+            .field("attrs", &self.attr_names)
+            .field("left_records", &self.left.len())
+            .field("right_records", &self.right.len())
+            .finish()
+    }
+}
+
 fn prepare_table(table: &Table) -> Vec<Vec<Prepared>> {
     (0..table.len())
         .map(|i| {
@@ -139,6 +149,7 @@ impl FeatureExtractor {
     }
 
     /// Continuous feature matrix for a pair list.
+    // alem-lint: allow(flat-feature-store) -- extraction seam; rows are flattened into FeatureStore by the corpus builders
     pub fn extract_all(&self, pairs: &[Pair]) -> Vec<Vec<f64>> {
         pairs.iter().map(|&p| self.extract_pair(p)).collect()
     }
@@ -147,6 +158,7 @@ impl FeatureExtractor {
     /// Rows come back in pair order regardless of thread count, so the
     /// resulting corpus (and every fingerprint downstream of it) is
     /// identical to the sequential build.
+    // alem-lint: allow(flat-feature-store) -- extraction seam; rows are flattened into FeatureStore by the corpus builders
     pub fn extract_all_with(&self, pairs: &[Pair], par: &alem_par::Parallelism) -> Vec<Vec<f64>> {
         par.map(pairs, |&p| self.extract_pair(p))
     }
@@ -164,6 +176,62 @@ impl FeatureExtractor {
         let l = &self.left[pair.0 as usize][attr];
         let r = &self.right[pair.1 as usize][attr];
         sim.compute_prepared(l, r)
+    }
+
+    /// Partial extraction: compute only the selected dimensions, in the
+    /// given order. Each entry matches [`FeatureExtractor::compute_dim`]
+    /// (and therefore the full row) bit-for-bit.
+    pub fn extract_dims(&self, pair: Pair, dims: &[usize]) -> Vec<f64> {
+        dims.iter().map(|&d| self.compute_dim(pair, d)).collect()
+    }
+
+    /// [`FeatureExtractor::compute_dim`] batched: compute `dims` for one
+    /// pair, emitting `(dim, value)` through `sink` in `dims` order. The
+    /// per-attribute `Prepared` lookups are hoisted out of the similarity
+    /// loop, so runs of dims sharing an attribute (the common case —
+    /// dims are attr-major) pay for the record indexing once, matching
+    /// [`FeatureExtractor::extract_pair`]'s per-similarity cost instead
+    /// of `compute_dim`'s. Values are bit-identical to `compute_dim`.
+    ///
+    /// This is the lazy feature store's batch fill path: sorted dim runs
+    /// from phase-1 partial reads and row materialization land here.
+    pub fn compute_dims_with(&self, pair: Pair, dims: &[usize], mut sink: impl FnMut(usize, f64)) {
+        let n_sims = SimilarityFunction::ALL.len();
+        let l = &self.left[pair.0 as usize];
+        let r = &self.right[pair.1 as usize];
+        let mut k = 0;
+        while k < dims.len() {
+            let attr = dims[k] / n_sims;
+            let (la, ra) = (&l[attr], &r[attr]);
+            while k < dims.len() && dims[k] / n_sims == attr {
+                let d = dims[k];
+                sink(
+                    d,
+                    SimilarityFunction::ALL[d % n_sims].compute_prepared(la, ra),
+                );
+                k += 1;
+            }
+        }
+    }
+
+    /// Phase 1 of two-phase lazy extraction: compute the `k`
+    /// highest-`|weight|` dimensions only, returning `(dim, value)` pairs
+    /// in descending `|weight|` order (ties broken by dimension index,
+    /// matching `LinearSvm::top_weight_dims`). The caller decides from
+    /// these partial sums whether the pair survives into phase 2 — full
+    /// materialization via [`FeatureExtractor::extract_pair`].
+    pub fn extract_topk(&self, pair: Pair, weights: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut dims: Vec<usize> = (0..weights.len().min(self.dim())).collect();
+        dims.sort_by(|&a, &b| {
+            weights[b]
+                .abs()
+                .partial_cmp(&weights[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        dims.truncate(k);
+        dims.into_iter()
+            .map(|d| (d, self.compute_dim(pair, d)))
+            .collect()
     }
 
     /// Number of Boolean rule-predicate dimensions
@@ -214,6 +282,7 @@ impl FeatureExtractor {
     }
 
     /// Boolean predicate matrix for a whole continuous feature matrix.
+    // alem-lint: allow(flat-feature-store) -- predicate rows feed Corpus::bool_features' memo cell, not the hot scoring path
     pub fn booleanize_all(&self, continuous: &[Vec<f64>]) -> Vec<Vec<f64>> {
         continuous.iter().map(|row| self.booleanize(row)).collect()
     }
@@ -283,6 +352,34 @@ mod tests {
         let full = fx.extract_pair((0, 0));
         for (d, &v) in full.iter().enumerate() {
             assert_eq!(fx.compute_dim((0, 0), d), v, "dim {d}");
+        }
+    }
+
+    #[test]
+    fn extract_dims_matches_full_extraction() {
+        let fx = FeatureExtractor::new(&toy());
+        let full = fx.extract_pair((0, 0));
+        let dims = [7, 0, 33, 21];
+        let partial = fx.extract_dims((0, 0), &dims);
+        for (j, &d) in dims.iter().enumerate() {
+            assert_eq!(partial[j].to_bits(), full[d].to_bits(), "dim {d}");
+        }
+    }
+
+    #[test]
+    fn extract_topk_orders_by_weight_magnitude() {
+        let fx = FeatureExtractor::new(&toy());
+        let mut weights = vec![0.0; fx.dim()];
+        weights[5] = -3.0;
+        weights[30] = 2.0;
+        weights[11] = 0.5;
+        let full = fx.extract_pair((0, 0));
+        let top = fx.extract_topk((0, 0), &weights, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 5);
+        assert_eq!(top[1].0, 30);
+        for &(d, v) in &top {
+            assert_eq!(v.to_bits(), full[d].to_bits());
         }
     }
 

@@ -67,6 +67,7 @@ pub mod ensemble;
 pub mod error;
 pub mod evaluator;
 pub mod features;
+pub mod featurestore;
 pub mod interpret;
 pub mod learner;
 pub mod loop_;

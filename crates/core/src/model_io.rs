@@ -9,7 +9,7 @@
 use mlcore::forest::RandomForest;
 use mlcore::nn::NeuralNet;
 use mlcore::rules::Dnf;
-use mlcore::svm::LinearSvm;
+use mlcore::svm::{LinearSvm, SvmWarmState};
 use mlcore::Classifier;
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +56,45 @@ impl SavedModel {
             SavedModel::Forest(_) => "forest",
             SavedModel::NeuralNet(_) => "neural-net",
             SavedModel::Rules(_) => "rules",
+        }
+    }
+}
+
+/// Serializable warm-training state a strategy carries across AL rounds
+/// (and across checkpoint/resume — see
+/// [`crate::session::Checkpoint::warm`]). Unlike [`SavedModel`], this is
+/// *optimizer* state, not just a predictor: it is what lets round `k+1`
+/// continue training where round `k` stopped instead of refitting from
+/// scratch on the whole labeled pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "family", content = "warm")]
+pub enum WarmState {
+    /// Pegasos SVM continuation: the optimizer state plus how much of the
+    /// labeled pool has already been consumed by warm updates.
+    Svm {
+        /// Resumable Pegasos state (weights, bias, step count).
+        state: SvmWarmState,
+        /// Labeled examples already absorbed into `state`; the next warm
+        /// fit trains on `labeled[seen..]` plus a small replay sample.
+        seen: usize,
+        /// Warm rounds completed since the last cold fit.
+        rounds: u64,
+    },
+    /// Forest partial refresh: the full current forest plus the rotation
+    /// counter driving deterministic member selection.
+    Forest {
+        /// The current committee, including non-refreshed trees.
+        model: RandomForest,
+        /// Warm (partial-refresh) rounds completed since the cold fit.
+        rounds: u64,
+    },
+}
+
+impl WarmState {
+    /// Warm rounds completed since the last cold fit, whichever family.
+    pub fn rounds(&self) -> u64 {
+        match self {
+            WarmState::Svm { rounds, .. } | WarmState::Forest { rounds, .. } => *rounds,
         }
     }
 }
@@ -126,6 +165,36 @@ mod tests {
         assert!(loaded.predict(&[1.0, 0.0]));
         assert!(loaded.predict(&[0.0, 1.0]));
         assert!(!loaded.predict(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn warm_state_roundtrips_and_reports_rounds() {
+        let s = WarmState::Svm {
+            state: SvmWarmState {
+                weights: vec![0.25, -1.5],
+                bias: 0.75,
+                t: 4200,
+            },
+            seen: 60,
+            rounds: 7,
+        };
+        let js = serde_json::to_string(&s).expect("serialize");
+        assert!(js.contains("\"family\":\"Svm\""), "{js}");
+        let back: WarmState = serde_json::from_str(&js).expect("deserialize");
+        assert_eq!(back, s);
+        assert_eq!(back.rounds(), 7);
+
+        let (xs, ys) = data();
+        let set = TrainSet::new(&xs, &ys);
+        let f = ForestConfig::with_trees(3).train(&set, &mut StdRng::seed_from_u64(1));
+        let w = WarmState::Forest {
+            model: f,
+            rounds: 2,
+        };
+        let back: WarmState =
+            serde_json::from_str(&serde_json::to_string(&w).unwrap()).expect("deserialize");
+        assert_eq!(back, w);
+        assert_eq!(back.rounds(), 2);
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Two-phase lazy margin selection — the §5.1 idea generalized from "skip
+//! pairs whose blocking dim is zero" to "bound every pair's margin from a
+//! partial feature read, and only materialize the full vector inside the
+//! uncertain band".
+//!
+//! **Phase 1** reads only the `topk` highest-`|weight|` dimensions of each
+//! unlabeled pair through the store's sparse
+//! [`DimsView`](crate::featurestore::DimsView) — on a lazy corpus this
+//! computes `topk` similarities instead of all `21 × #attrs`, and never
+//! materializes a row. Because every feature lies in `[0, 1]`
+//! ([`Corpus::features_bounded_01`]), the unread remainder contributes at
+//! most `[Σ min(0, w_d), Σ max(0, w_d)]`, giving each pair a sound
+//! interval for its decision value and hence for its ambiguity score
+//! `-|decision|`.
+//!
+//! **Phase 2** materializes full rows only for pairs whose score interval
+//! reaches the selection threshold (the `batch`-th best worst-case bound,
+//! minus a configurable safety `band`) and scores them exactly.
+//!
+//! The chosen batch is **bit-identical to eager selection**: at least
+//! `batch` pairs have true score ≥ the phase-1 threshold `W`, every
+//! non-survivor's true score is strictly below `W` (its upper bound is),
+//! and the final ranking shuffles the *full* pool with the caller's RNG
+//! before a stable sort — the same permutation the eager path draws — so
+//! tie-breaking among survivors matches exactly. Float-rounding between
+//! the partial and full summation orders is absorbed by widening both
+//! interval ends with an epsilon proportional to `|b| + Σ|w_d|`.
+
+use super::{scored_pool, top_k_desc, Selection};
+use crate::corpus::Corpus;
+use alem_obs::Registry;
+use alem_par::Parallelism;
+use mlcore::svm::LinearSvm;
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+/// Tuning for two-phase lazy selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LazyParams {
+    /// Dimensions read in phase 1 (the K highest-`|weight|` dims).
+    pub topk: usize,
+    /// Extra slack below the phase-1 threshold: pairs whose upper bound
+    /// falls within `band` of it still go to phase 2. Zero is already
+    /// exact; a positive band only trades speed for more phase-2 work.
+    pub band: f64,
+}
+
+impl LazyParams {
+    /// Read `topk` dims in phase 1 with no extra band.
+    pub fn new(topk: usize) -> Self {
+        LazyParams { topk, band: 0.0 }
+    }
+}
+
+/// Outcome of one lazy selection round.
+#[derive(Debug, Clone)]
+pub struct LazySelection {
+    /// The chosen batch plus timing, as the eager selectors report it.
+    pub selection: Selection,
+    /// Pairs resolved by phase 1 alone (pruned without materializing the
+    /// full feature vector).
+    pub phase1_only: usize,
+}
+
+/// One two-phase margin-selection round, bit-identical in its chosen
+/// batch to [`super::margin::select`] with the same SVM and RNG. Phase 1
+/// reads the current model's `topk` highest-`|weight|` dims.
+///
+/// Soundness requires [`Corpus::features_bounded_01`]; callers gate on it
+/// and fall back to the eager path otherwise.
+#[allow(clippy::too_many_arguments)] // mirrors the eager selector's natural inputs
+pub fn select(
+    svm: &LinearSvm,
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    batch: usize,
+    params: &LazyParams,
+    rng: &mut StdRng,
+    obs: &Registry,
+    par: &Parallelism,
+) -> LazySelection {
+    let topk = params.topk.min(svm.weights().len());
+    let dims = svm.top_weight_dims(topk);
+    select_with_dims(
+        svm,
+        corpus,
+        unlabeled,
+        batch,
+        &dims,
+        params.band,
+        rng,
+        obs,
+        par,
+    )
+}
+
+/// [`select`] with a caller-chosen phase-1 dim set.
+///
+/// The bounds are valid for *any* set of distinct in-range dims — the
+/// unread remainder is always the complement under the current weights —
+/// so the chosen batch is bit-identical to eager selection no matter
+/// which dims phase 1 reads; the choice only moves the speed/pruning
+/// trade-off. This is what lets [`crate::strategy::MarginSvmStrategy`]
+/// freeze the dim set after the first fit: on a lazy corpus the
+/// partial-cell memo then stays at `pool × topk` cells instead of growing
+/// every round as the top-weight ranking churns, turning recurring
+/// phase-1 scans into pure cache reads.
+#[allow(clippy::too_many_arguments)] // mirrors the eager selector's natural inputs
+pub fn select_with_dims(
+    svm: &LinearSvm,
+    corpus: &Corpus,
+    unlabeled: &[usize],
+    batch: usize,
+    dims: &[usize],
+    band: f64,
+    rng: &mut StdRng,
+    obs: &Registry,
+    par: &Parallelism,
+) -> LazySelection {
+    debug_assert!(
+        corpus.features_bounded_01(),
+        "lazy bounds need [0,1] features"
+    );
+    let score_span = obs.span("select.score");
+    let weights = svm.weights();
+    let bias = svm.bias();
+    let n = unlabeled.len();
+    let k = batch.min(n);
+
+    if n == 0 || k == 0 {
+        return LazySelection {
+            selection: Selection {
+                chosen: Vec::new(),
+                committee_creation: Duration::ZERO,
+                scoring: score_span.finish(),
+            },
+            phase1_only: 0,
+        };
+    }
+
+    // Phase 1: bound every pair's score from the selected dims only —
+    // read in *stages* of descending |weight| so most pruned pairs never
+    // touch more than a short prefix. After each stage the threshold
+    // (the k-th best worst-case bound so far) is recomputed and pairs
+    // whose upper bound already falls below it stop reading; their
+    // bounds freeze. Every stage's threshold is sound on its own — a
+    // worst-case bound from any read prefix is still a lower bound on
+    // the true score, so at least k pairs truly score ≥ it — which is
+    // why staged pruning cannot change the chosen batch. Within a stage
+    // dims are scanned in ascending order (attr-major, matching the
+    // extractor's layout) for cache locality; the summation-order
+    // difference against the eager dot product is absorbed by the
+    // epsilon below, and the exact phase-2 scores never depend on
+    // phase-1 order.
+    let mut dims: Vec<usize> = dims.to_vec();
+    dims.sort_unstable_by(|&a, &b| {
+        weights[b]
+            .abs()
+            .partial_cmp(&weights[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut read = vec![false; weights.len()];
+    for &d in &dims {
+        debug_assert!(!read[d], "phase-1 dims must be distinct");
+        read[d] = true;
+    }
+    // Before any stage runs, *every* dim is unread — the rest-mass
+    // interval starts over the whole weight vector and each stage
+    // subtracts the dims it reads (dims outside the phase-1 set simply
+    // stay in the rest forever).
+    let (mut lo_rest, mut hi_rest) = (0.0f64, 0.0f64);
+    let mut wsum_abs = bias.abs();
+    for &w in weights {
+        wsum_abs += w.abs();
+        lo_rest += w.min(0.0);
+        hi_rest += w.max(0.0);
+    }
+    // Absorbs summation-order rounding between the phase-1 partial sum
+    // and the eager full-dim dot product.
+    let eps = 1e-9 * (1.0 + wsum_abs);
+
+    // Running per-pair state: partial decision sum (bias plus the dims
+    // read so far), (worst, best) score bounds, and whether the pair is
+    // still reading. Bounds start from the empty read set — everything
+    // unread contributes its weight-mass interval.
+    let mut partial = vec![bias; n];
+    let mut worst = vec![0.0f64; n];
+    let mut best = vec![0.0f64; n];
+    let mut alive = vec![true; n];
+    let bound_of = |p: f64, lo: f64, hi: f64| -> (f64, f64) {
+        let (d_lo, d_hi) = (p + lo, p + hi);
+        let w = -d_lo.abs().max(d_hi.abs()) - eps;
+        let b = if d_lo <= 0.0 && d_hi >= 0.0 {
+            eps
+        } else {
+            -d_lo.abs().min(d_hi.abs()) + eps
+        };
+        (w, b)
+    };
+    let mut threshold = f64::NEG_INFINITY;
+    let reprune = |partial: &[f64],
+                   worst: &mut [f64],
+                   best: &mut [f64],
+                   alive: &mut [bool],
+                   lo_rest: f64,
+                   hi_rest: f64|
+     -> f64 {
+        for j in 0..n {
+            if alive[j] {
+                let (w, b) = bound_of(partial[j], lo_rest, hi_rest);
+                worst[j] = w;
+                best[j] = b;
+            }
+        }
+        let mut worsts: Vec<f64> = worst.to_vec();
+        worsts.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let t = worsts[k - 1] - band;
+        for j in 0..n {
+            if alive[j] && best[j] < t {
+                alive[j] = false;
+            }
+        }
+        t
+    };
+    threshold = threshold.max(reprune(
+        &partial, &mut worst, &mut best, &mut alive, lo_rest, hi_rest,
+    ));
+
+    // Stage sizes double from a short prefix: a pair pruned by the first
+    // 8 highest-|weight| dims never pays for the rest.
+    let mut start = 0usize;
+    let mut stage_len = 8usize.min(dims.len().max(1));
+    while start < dims.len() {
+        let end = (start + stage_len).min(dims.len());
+        let mut stage: Vec<usize> = dims[start..end].to_vec();
+        stage.sort_unstable();
+        let wstage: Vec<f64> = stage.iter().map(|&d| weights[d]).collect();
+        for &d in &stage {
+            lo_rest -= weights[d].min(0.0);
+            hi_rest -= weights[d].max(0.0);
+        }
+        let view = corpus.store().select_dims(stage);
+        let reading: Vec<usize> = (0..n).filter(|&j| alive[j]).collect();
+        let sums: Vec<f64> = par.map(&reading, |&j| view.weighted_sum(unlabeled[j], &wstage));
+        for (&j, &s) in reading.iter().zip(&sums) {
+            partial[j] += s;
+        }
+        threshold = threshold.max(reprune(
+            &partial, &mut worst, &mut best, &mut alive, lo_rest, hi_rest,
+        ));
+        start = end;
+        stage_len *= 2;
+    }
+    // A frozen pair's bounds stay valid (they only ever widen relative
+    // to a fuller read), so the final threshold — never lower than any
+    // stage's, and the stage that froze the pair already had its upper
+    // bound strictly below — still separates it from the batch.
+
+    // Phase 2: exact scores for survivors only, via full (memoized) rows.
+    let survivors: Vec<usize> = (0..n)
+        .filter(|&j| alive[j] && best[j] >= threshold)
+        .collect();
+    let exact: Vec<f64> = par.map(&survivors, |&j| -svm.margin(corpus.x(unlabeled[j])));
+
+    // Hybrid score vector: exact where it matters, upper bound (provably
+    // below the threshold, hence below every chosen score) elsewhere.
+    let mut scores: Vec<f64> = best;
+    for (&j, &s) in survivors.iter().zip(&exact) {
+        scores[j] = s;
+    }
+
+    let phase1_only = n - survivors.len();
+    obs.counter_add("select.pairs_scored", survivors.len() as u64);
+    obs.counter_add("feat.phase1_only", phase1_only as u64);
+
+    let chosen = top_k_desc(scored_pool(unlabeled, &scores), batch, rng);
+    LazySelection {
+        selection: Selection {
+            chosen,
+            committee_creation: Duration::ZERO,
+            scoring: score_span.finish(),
+        },
+        phase1_only,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n: usize, dim: usize, seed: u64) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let feats: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let truth: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        Corpus::from_features(feats, truth).with_bounded_features()
+    }
+
+    fn svm(dim: usize, seed: u64) -> LinearSvm {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        LinearSvm::from_parts(w, rng.gen::<f64>() - 0.5)
+    }
+
+    #[test]
+    fn chosen_batch_matches_eager_bit_for_bit() {
+        for seed in 0..8u64 {
+            let c = corpus(300, 12, seed);
+            let m = svm(12, seed + 100);
+            let unlabeled: Vec<usize> = (0..300).collect();
+            let params = LazyParams::new(4);
+            let lazy = select(
+                &m,
+                &c,
+                &unlabeled,
+                10,
+                &params,
+                &mut StdRng::seed_from_u64(seed),
+                &Registry::disabled(),
+                &Parallelism::sequential(),
+            );
+            let eager = super::super::margin::select(
+                |x| m.margin(x),
+                &c,
+                &unlabeled,
+                10,
+                &mut StdRng::seed_from_u64(seed),
+                &Registry::disabled(),
+                &Parallelism::sequential(),
+            );
+            assert_eq!(lazy.selection.chosen, eager.chosen, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_dim_sets_stay_exact() {
+        // The chosen batch is invariant to WHICH dims phase 1 reads — the
+        // property that makes freezing the dim set across rounds sound.
+        for seed in 0..6u64 {
+            let c = corpus(200, 10, seed);
+            let m = svm(10, seed + 50);
+            let unlabeled: Vec<usize> = (0..200).collect();
+            let eager = super::super::margin::select(
+                |x| m.margin(x),
+                &c,
+                &unlabeled,
+                8,
+                &mut StdRng::seed_from_u64(seed),
+                &Registry::disabled(),
+                &Parallelism::sequential(),
+            );
+            for dims in [
+                vec![],
+                vec![9, 1],
+                vec![0, 2, 4, 6, 8],
+                (0..10).collect::<Vec<_>>(),
+            ] {
+                let lazy = select_with_dims(
+                    &m,
+                    &c,
+                    &unlabeled,
+                    8,
+                    &dims,
+                    0.0,
+                    &mut StdRng::seed_from_u64(seed),
+                    &Registry::disabled(),
+                    &Parallelism::sequential(),
+                );
+                assert_eq!(
+                    lazy.selection.chosen, eager.chosen,
+                    "seed {seed} dims {dims:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_most_of_the_pool() {
+        let c = corpus(500, 16, 3);
+        // Weight mass concentrated on a few dims — the regime lazy-topk
+        // targets (trained SVMs put most mass on a handful of features).
+        let mut w = vec![0.001; 16];
+        w[2] = 4.0;
+        w[7] = -3.0;
+        w[11] = 2.5;
+        let m = LinearSvm::from_parts(w, -1.5);
+        let unlabeled: Vec<usize> = (0..500).collect();
+        let out = select(
+            &m,
+            &c,
+            &unlabeled,
+            10,
+            &LazyParams::new(6),
+            &mut StdRng::seed_from_u64(1),
+            &Registry::disabled(),
+            &Parallelism::sequential(),
+        );
+        assert!(
+            out.phase1_only > 0,
+            "phase 1 should prune some of a 500-pair pool"
+        );
+        assert_eq!(out.selection.chosen.len(), 10);
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let c = corpus(250, 10, 9);
+        let m = svm(10, 77);
+        let unlabeled: Vec<usize> = (0..250).collect();
+        let pick = |par: Parallelism| {
+            select(
+                &m,
+                &c,
+                &unlabeled,
+                10,
+                &LazyParams::new(3),
+                &mut StdRng::seed_from_u64(5),
+                &Registry::disabled(),
+                &par,
+            )
+            .selection
+            .chosen
+        };
+        let seq = pick(Parallelism::sequential());
+        for t in [2, 4, 8] {
+            assert_eq!(seq, pick(Parallelism::fixed(t)), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_pool_is_fine() {
+        let c = corpus(10, 4, 1);
+        let m = svm(4, 2);
+        let out = select(
+            &m,
+            &c,
+            &[],
+            10,
+            &LazyParams::new(2),
+            &mut StdRng::seed_from_u64(1),
+            &Registry::disabled(),
+            &Parallelism::sequential(),
+        );
+        assert!(out.selection.chosen.is_empty());
+    }
+}

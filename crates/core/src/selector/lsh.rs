@@ -27,6 +27,7 @@ pub const MAX_BITS: usize = 64;
 
 /// A random-hyperplane LSH index over a corpus's feature vectors.
 pub struct HyperplaneLsh {
+    // alem-lint: allow(flat-feature-store) -- `bits` random hyperplanes, not a per-pair feature matrix
     planes: Vec<Vec<f64>>,
     signatures: Vec<u64>,
     bits: usize,
@@ -57,6 +58,7 @@ impl HyperplaneLsh {
         assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..=64");
         let build_span = obs.span("select.index_build");
         let dim = corpus.dim();
+        // alem-lint: allow(flat-feature-store) -- `bits` random hyperplanes, not a per-pair feature matrix
         let planes: Vec<Vec<f64>> = (0..bits)
             .map(|_| (0..dim).map(|_| gaussian(rng)).collect())
             .collect();

@@ -10,6 +10,7 @@
 
 pub mod blocking_dim;
 pub mod iwal;
+pub mod lazy_margin;
 pub mod lfp_lfn;
 pub mod lsh;
 pub mod margin;

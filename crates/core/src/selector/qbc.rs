@@ -55,6 +55,7 @@ pub fn train_committee<T: Trainer>(
     par.map(&seeds, |&seed| {
         let mut mrng = StdRng::seed_from_u64(seed);
         let idx = bootstrap_indices(labeled.len(), &mut mrng);
+        // alem-lint: allow(flat-feature-store) -- O(labeled) bootstrap sample per committee member, not the pool matrix
         let xs: Vec<Vec<f64>> = idx.iter().map(|&j| rows(labeled[j].0)).collect();
         let ys: Vec<bool> = idx.iter().map(|&j| labeled[j].1).collect();
         trainer.train(&xs, &ys, &mut mrng)

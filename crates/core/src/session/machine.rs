@@ -150,6 +150,10 @@ pub struct SessionMachine<S: Strategy> {
     pending: Vec<QueryRequest>,
     ignored_answers: u64,
     warned_empty_selection: bool,
+    /// Feature-cache counter values at the last emission, so the obs
+    /// counters `feat.cache_hits`/`feat.cache_misses` carry per-iteration
+    /// deltas rather than re-counting the corpus lifetime totals.
+    feat_base: (u64, u64),
     result: Option<RunResult>,
 }
 
@@ -175,6 +179,7 @@ impl<S: Strategy> SessionMachine<S> {
             pending: Vec::new(),
             ignored_answers: 0,
             warned_empty_selection: false,
+            feat_base: (0, 0),
             result: None,
         }
     }
@@ -355,10 +360,25 @@ impl<S: Strategy> SessionMachine<S> {
         self.dataset = corpus.name().to_owned();
         self.corpus_len = corpus.len();
         self.corpus_fp = corpus.content_fingerprint();
+        self.feat_base = corpus.feature_cache_stats();
         self.strategy.set_parallelism(self.config.parallelism);
         self.config
             .obs
             .gauge_set("par.threads", self.config.parallelism.threads() as u64);
+    }
+
+    /// Emit the feature-cache hit/miss deltas accumulated since the last
+    /// emission as `feat.cache_hits` / `feat.cache_misses`.
+    fn emit_feat_cache(&mut self, corpus: &Corpus) {
+        let (hits, misses) = corpus.feature_cache_stats();
+        let (h0, m0) = self.feat_base;
+        self.config
+            .obs
+            .counter_add("feat.cache_hits", hits.saturating_sub(h0));
+        self.config
+            .obs
+            .counter_add("feat.cache_misses", misses.saturating_sub(m0));
+        self.feat_base = (hits, misses);
     }
 
     fn resume_inner(&mut self, corpus: &Corpus, ckpt: Checkpoint) -> Result<(), AlemError> {
@@ -398,6 +418,12 @@ impl<S: Strategy> SessionMachine<S> {
         self.params = ckpt.params.clone();
         self.bind_corpus(corpus, ckpt.master_seed);
         self.answers_applied = ckpt.oracle_queries;
+        // Restore incremental-training state before the first fit, so a
+        // resumed warm session continues bit-identically instead of
+        // falling back to a cold refit.
+        if let Some(warm) = ckpt.warm.clone() {
+            self.strategy.restore_warm_state(warm);
+        }
         self.st = LiveState {
             master_seed: ckpt.master_seed,
             iter_no: ckpt.iter_no,
@@ -566,6 +592,7 @@ impl<S: Strategy> SessionMachine<S> {
             dataset: self.dataset.clone(),
             corpus_len: self.corpus_len,
             corpus_fingerprint: self.corpus_fp,
+            warm: self.strategy.warm_state(),
         }
     }
 
@@ -594,6 +621,9 @@ impl<S: Strategy> SessionMachine<S> {
         let train_span = obs.span("train");
         self.strategy.fit(corpus, &self.st.labeled, &mut rng)?;
         let train_time = train_span.finish();
+        if let Some(warm) = self.strategy.warm_state() {
+            obs.gauge_set("train.warm_rounds", warm.rounds());
+        }
 
         // Evaluate against ground truth.
         let eval_span = obs.span("eval");
@@ -640,6 +670,7 @@ impl<S: Strategy> SessionMachine<S> {
             &obs,
         );
         select_span.finish();
+        self.emit_feat_cache(corpus);
         stats.committee_secs = selection.committee_creation.as_secs_f64();
         stats.scoring_secs = selection.scoring.as_secs_f64();
         self.st.iterations.push(stats);

@@ -130,6 +130,13 @@ pub struct Checkpoint {
     /// [`Corpus::content_fingerprint`] of the corpus the session ran on —
     /// resuming on same-length-but-different contents is rejected.
     pub corpus_fingerprint: u64,
+    /// Warm-training continuation state of the strategy at the snapshot
+    /// boundary, when the strategy trains incrementally (see
+    /// [`crate::model_io::WarmState`]). Absent in older checkpoints and
+    /// for cold-only strategies — both deserialize to `None` and resume
+    /// with an ordinary cold refit.
+    #[serde(default)]
+    pub warm: Option<crate::model_io::WarmState>,
 }
 
 impl Checkpoint {
@@ -408,6 +415,7 @@ mod tests {
             dataset: "toy".into(),
             corpus_len: 6,
             corpus_fingerprint: 0xdead_beef_0123_4567,
+            warm: None,
         };
         let path = tmp_path("roundtrip");
         ckpt.save(&path).unwrap();
@@ -480,6 +488,54 @@ mod tests {
     }
 
     #[test]
+    fn warm_lazy_halt_and_resume_matches_uninterrupted_run() {
+        // Warm-started Pegasos + lazy two-phase selection: the checkpoint
+        // carries the optimizer continuation, so a halt/resume run must
+        // fingerprint-match the uninterrupted one bit for bit.
+        let c = corpus(300).with_bounded_features();
+        let fresh = || {
+            MarginSvmStrategy::builder()
+                .warm_start()
+                .lazy_topk(1)
+                .build()
+        };
+
+        let full = {
+            let oracle = Oracle::perfect(c.truths().to_vec());
+            let mut al = ActiveLearner::new(fresh(), params());
+            al.run(&c, &oracle, 17).unwrap()
+        };
+
+        let path = tmp_path("warm-halt-resume");
+        let halted_cfg = SessionConfig {
+            checkpoint_path: Some(path.clone()),
+            halt_after: Some(3),
+            ..SessionConfig::default()
+        };
+        let oracle = Oracle::perfect(c.truths().to_vec());
+        let mut al = ActiveLearner::new(fresh(), params());
+        assert!(matches!(
+            al.run_session(&c, &oracle, 17, &halted_cfg).unwrap(),
+            SessionOutcome::Halted { .. }
+        ));
+
+        let ckpt = Checkpoint::load(&path).unwrap();
+        assert!(ckpt.warm.is_some(), "warm strategy must checkpoint state");
+        let oracle2 = Oracle::perfect(c.truths().to_vec());
+        let mut al2 = ActiveLearner::new(fresh(), params());
+        let resumed = al2
+            .resume_session(&c, &oracle2, ckpt, &SessionConfig::default())
+            .unwrap()
+            .run_result()
+            .unwrap();
+        assert_eq!(
+            resumed.deterministic_fingerprint(),
+            full.deterministic_fingerprint()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn resume_rejects_mismatched_corpus_and_strategy() {
         let c = corpus(100);
         let ckpt = Checkpoint {
@@ -497,6 +553,7 @@ mod tests {
             dataset: "toy".into(),
             corpus_len: 999, // wrong
             corpus_fingerprint: c.content_fingerprint(),
+            warm: None,
         };
         let oracle = Oracle::perfect(c.truths().to_vec());
         let mut al = ActiveLearner::new(MarginSvmStrategy::new(SvmTrainer::default()), params());
@@ -820,6 +877,7 @@ mod tests {
             dataset: "toy".into(),
             corpus_len: 2,
             corpus_fingerprint: 9,
+            warm: None,
         };
         let path = tmp_path("stale-tmp");
         ckpt.save(&path).unwrap();

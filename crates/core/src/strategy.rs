@@ -30,6 +30,7 @@ use mlcore::svm::LinearSvm;
 use mlcore::Classifier;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 /// Optional per-iteration extras a strategy can report.
 #[derive(Debug, Clone, Copy, Default)]
@@ -142,6 +143,19 @@ pub trait Strategy {
     fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
         None
     }
+
+    /// Snapshot the warm-training state (optimizer continuation, rotation
+    /// counters) for checkpointing, if this strategy trains incrementally
+    /// (see [`crate::model_io::WarmState`]). `None` for cold-only
+    /// strategies or before the first fit.
+    fn warm_state(&self) -> Option<crate::model_io::WarmState> {
+        None
+    }
+
+    /// Restore warm-training state captured by [`Strategy::warm_state`],
+    /// so a resumed session's next fit continues bit-identically. The
+    /// default (cold-only strategies) ignores it.
+    fn restore_warm_state(&mut self, _warm: crate::model_io::WarmState) {}
 }
 
 /// Mutable references delegate, so a [`crate::session::SessionMachine`]
@@ -208,6 +222,14 @@ impl<S: Strategy + ?Sized> Strategy for &mut S {
     fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
         (**self).saved_model()
     }
+
+    fn warm_state(&self) -> Option<crate::model_io::WarmState> {
+        (**self).warm_state()
+    }
+
+    fn restore_warm_state(&mut self, warm: crate::model_io::WarmState) {
+        (**self).restore_warm_state(warm);
+    }
 }
 
 impl Strategy for Box<dyn Strategy + Send> {
@@ -271,6 +293,14 @@ impl Strategy for Box<dyn Strategy + Send> {
     fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
         (**self).saved_model()
     }
+
+    fn warm_state(&self) -> Option<crate::model_io::WarmState> {
+        (**self).warm_state()
+    }
+
+    fn restore_warm_state(&mut self, warm: crate::model_io::WarmState) {
+        (**self).restore_warm_state(warm);
+    }
 }
 
 /// Gather labeled feature rows for training. Errors when `use_bool` is
@@ -280,6 +310,7 @@ pub(crate) fn labeled_rows(
     corpus: &Corpus,
     labeled: &[(usize, bool)],
     use_bool: bool,
+    // alem-lint: allow(flat-feature-store) -- O(labeled) training rows gathered per fit, not the pool-sized matrix
 ) -> Result<(Vec<Vec<f64>>, Vec<bool>), AlemError> {
     let xs = if use_bool {
         let bools = corpus.bool_features().ok_or_else(|| {
@@ -462,11 +493,22 @@ impl<T: Trainer> Strategy for QbcStrategy<T> {
 // Learner-aware QBC for tree ensembles
 // ---------------------------------------------------------------------------
 
+/// Trees retrained per warm round are bootstrap-capped at this many
+/// resampled examples, which is what keeps per-round train cost flat as
+/// the labeled pool grows.
+const REFRESH_BOOTSTRAP_CAP: usize = 256;
+
 /// Random forest with learner-aware QBC over its own trees (§4.1.1) — the
 /// paper's best-performing combination, labeled `Trees(n)` in the figures.
 pub struct TreeQbcStrategy {
     trainer: ForestTrainer,
+    /// When set, warm rounds retrain only this fraction of the committee
+    /// (rotating deterministically) instead of the whole forest.
+    refresh_frac: Option<f64>,
     model: Option<RandomForest>,
+    /// Warm (partial-refresh) rounds since the last cold fit; drives the
+    /// member rotation.
+    warm_rounds: u64,
     par: Parallelism,
 }
 
@@ -474,6 +516,7 @@ pub struct TreeQbcStrategy {
 #[derive(Debug, Clone)]
 pub struct TreeQbcStrategyBuilder {
     trainer: ForestTrainer,
+    refresh_frac: Option<f64>,
 }
 
 impl TreeQbcStrategyBuilder {
@@ -489,11 +532,25 @@ impl TreeQbcStrategyBuilder {
         self
     }
 
+    /// Warm-start retraining: after the first (cold) fit, each round
+    /// retrains only `ceil(frac × n_trees)` committee members, chosen by
+    /// deterministic rotation, on a bootstrap capped at
+    /// [`REFRESH_BOOTSTRAP_CAP`] examples — so per-round train cost stops
+    /// scaling with the labeled-pool size. `frac` is clamped to
+    /// `(0, 1]`-sensible membership (at least one tree, at most all).
+    pub fn refresh_frac(mut self, frac: f64) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0, "refresh_frac must be in (0, 1]");
+        self.refresh_frac = Some(frac);
+        self
+    }
+
     /// Finish building the strategy.
     pub fn build(self) -> TreeQbcStrategy {
         TreeQbcStrategy {
             trainer: self.trainer,
+            refresh_frac: self.refresh_frac,
             model: None,
+            warm_rounds: 0,
             par: Parallelism::sequential(),
         }
     }
@@ -510,6 +567,7 @@ impl TreeQbcStrategy {
     pub fn builder() -> TreeQbcStrategyBuilder {
         TreeQbcStrategyBuilder {
             trainer: ForestTrainer::default(),
+            refresh_frac: None,
         }
     }
 
@@ -538,7 +596,30 @@ impl Strategy for TreeQbcStrategy {
     ) -> Result<(), AlemError> {
         let (xs, ys) = labeled_rows(corpus, labeled, false)?;
         let set = mlcore::data::TrainSet::new(&xs, &ys);
-        self.model = Some(self.trainer.0.train_with(&set, rng, &self.par));
+        match (self.refresh_frac, self.model.take()) {
+            (Some(frac), Some(forest)) if !set.is_empty() => {
+                let n = self.trainer.0.n_trees;
+                let m = ((frac * n as f64).ceil() as usize).clamp(1, n);
+                // Rotate through the committee so every tree is eventually
+                // refreshed; consecutive integers mod n are distinct while
+                // m ≤ n, so members never collide within a round.
+                let start = (self.warm_rounds as usize).wrapping_mul(m);
+                let members: Vec<usize> = (0..m).map(|j| (start + j) % n).collect();
+                self.model = Some(self.trainer.0.refresh_with(
+                    &forest,
+                    &members,
+                    &set,
+                    Some(REFRESH_BOOTSTRAP_CAP),
+                    rng,
+                    &self.par,
+                ));
+                self.warm_rounds += 1;
+            }
+            _ => {
+                self.model = Some(self.trainer.0.train_with(&set, rng, &self.par));
+                self.warm_rounds = 0;
+            }
+        }
         Ok(())
     }
 
@@ -588,17 +669,64 @@ impl Strategy for TreeQbcStrategy {
     fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
         self.model.clone().map(crate::model_io::SavedModel::Forest)
     }
+
+    fn warm_state(&self) -> Option<crate::model_io::WarmState> {
+        match (self.refresh_frac, &self.model) {
+            (Some(_), Some(model)) => Some(crate::model_io::WarmState::Forest {
+                model: model.clone(),
+                rounds: self.warm_rounds,
+            }),
+            _ => None,
+        }
+    }
+
+    fn restore_warm_state(&mut self, warm: crate::model_io::WarmState) {
+        if let crate::model_io::WarmState::Forest { model, rounds } = warm {
+            self.model = Some(model);
+            self.warm_rounds = rounds;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Margin for linear SVMs (with optional blocking dimensions)
 // ---------------------------------------------------------------------------
 
+/// Replay sample size mixed into each warm SVM round alongside the new
+/// labels, so old decision boundaries are not forgotten while per-round
+/// train cost stays flat as the labeled pool grows.
+const WARM_REPLAY_CAP: usize = 32;
+
+/// Fraction of the fresh top-`k` weight mass the sticky phase-1 dim set
+/// must retain to be kept for another round (see
+/// [`MarginSvmStrategy`]'s `lazy_dims`). Below it the set is refreshed
+/// from the current weights.
+const LAZY_DIMS_STICKINESS: f64 = 0.9;
+
 /// Linear SVM with margin-based selection (§4.2.1); `blocking_k` enables
 /// the §5.1 blocking-dimension pruning.
 pub struct MarginSvmStrategy {
     trainer: SvmTrainer,
     blocking_k: Option<usize>,
+    lazy: Option<selector::lazy_margin::LazyParams>,
+    /// Sticky phase-1 dim set: kept across rounds while it retains
+    /// [`LAZY_DIMS_STICKINESS`] of the fresh top-`k` weight mass,
+    /// refreshed otherwise. Selection is bit-identical for any dim set
+    /// (see [`selector::lazy_margin::select_with_dims`]), so stickiness
+    /// only moves the speed/pruning trade-off: a stable set keeps the
+    /// lazy store's partial-cell memo near `pool × topk` instead of
+    /// growing every round as the top-weight ranking churns, while the
+    /// mass test still tracks real weight drift. Derived state: not
+    /// checkpointed, re-derived from the restored model on resume.
+    lazy_dims: Option<Vec<usize>>,
+    /// Warm-start Pegasos across rounds instead of refitting from scratch.
+    warm: bool,
+    /// Resumable optimizer state when `warm` and at least one fit ran.
+    warm_state: Option<mlcore::svm::SvmWarmState>,
+    /// Labeled examples already absorbed into `warm_state`.
+    seen: usize,
+    /// Warm rounds since the last cold fit.
+    warm_rounds: u64,
     model: Option<LinearSvm>,
     last_pruned: Option<usize>,
     par: Parallelism,
@@ -610,6 +738,8 @@ pub struct MarginSvmStrategy {
 pub struct MarginSvmStrategyBuilder {
     trainer: SvmTrainer,
     blocking_k: Option<usize>,
+    lazy: Option<selector::lazy_margin::LazyParams>,
+    warm: bool,
 }
 
 impl MarginSvmStrategyBuilder {
@@ -625,11 +755,52 @@ impl MarginSvmStrategyBuilder {
         self
     }
 
+    /// Select with two-phase lazy extraction: phase 1 reads only the `k`
+    /// highest-`|weight|` dims and interval-bounds each pair's margin;
+    /// only pairs inside the uncertain band get their full vector
+    /// materialized. The chosen batches are bit-identical to eager
+    /// selection (see [`selector::lazy_margin`]); engaged only on corpora
+    /// with `[0, 1]`-bounded features, eager fallback otherwise. Ignored
+    /// when blocking dims are configured (that path already prunes).
+    pub fn lazy_topk(mut self, k: usize) -> Self {
+        self.lazy = Some(selector::lazy_margin::LazyParams::new(k));
+        self
+    }
+
+    /// Widen the phase-2 band of [`MarginSvmStrategyBuilder::lazy_topk`]:
+    /// pairs whose score upper bound lands within `band` of the phase-1
+    /// threshold are also materialized. Zero (the default) is already
+    /// exact; implies `lazy_topk`'s default if not set.
+    pub fn lazy_band(mut self, band: f64) -> Self {
+        let params = self
+            .lazy
+            .take()
+            .unwrap_or_else(|| selector::lazy_margin::LazyParams::new(8));
+        self.lazy = Some(selector::lazy_margin::LazyParams { band, ..params });
+        self
+    }
+
+    /// Warm-start training: the first fit is an ordinary cold Pegasos
+    /// solve; every later round *continues* that optimization — a few
+    /// passes over the newly labeled examples plus a replay sample of at
+    /// most [`WARM_REPLAY_CAP`] older ones — so per-round train cost
+    /// stops scaling with the labeled-pool size.
+    pub fn warm_start(mut self) -> Self {
+        self.warm = true;
+        self
+    }
+
     /// Finish building the strategy.
     pub fn build(self) -> MarginSvmStrategy {
         MarginSvmStrategy {
             trainer: self.trainer,
             blocking_k: self.blocking_k,
+            lazy: self.lazy,
+            lazy_dims: None,
+            warm: self.warm,
+            warm_state: None,
+            seen: 0,
+            warm_rounds: 0,
             model: None,
             last_pruned: None,
             par: Parallelism::sequential(),
@@ -678,8 +849,58 @@ impl Strategy for MarginSvmStrategy {
         labeled: &[(usize, bool)],
         rng: &mut StdRng,
     ) -> Result<(), AlemError> {
-        let (xs, ys) = labeled_rows(corpus, labeled, false)?;
-        self.model = Some(self.trainer.train(&xs, &ys, rng));
+        if !self.warm {
+            let (xs, ys) = labeled_rows(corpus, labeled, false)?;
+            self.model = Some(self.trainer.train(&xs, &ys, rng));
+            return Ok(());
+        }
+        match self.warm_state.take() {
+            None => {
+                // First fit is the ordinary cold solve; it seeds the
+                // optimizer state the warm rounds continue from.
+                let (xs, ys) = labeled_rows(corpus, labeled, false)?;
+                let model = self.trainer.train(&xs, &ys, rng);
+                self.warm_state = Some(mlcore::svm::SvmWarmState::after_cold_fit(
+                    &model,
+                    &self.trainer.0,
+                    labeled.len(),
+                ));
+                self.seen = labeled.len();
+                self.warm_rounds = 0;
+                self.model = Some(model);
+            }
+            Some(state) => {
+                let seen = self.seen.min(labeled.len());
+                let mut round: Vec<(usize, bool)> = labeled[seen..].to_vec();
+                // Replay a small sample of older labels so the boundary
+                // keeps honoring them without a full-pool pass.
+                let replay_n = WARM_REPLAY_CAP.min(seen);
+                round.extend((0..replay_n).map(|_| labeled[rng.gen_range(0..seen)]));
+                let (xs, ys) = labeled_rows(corpus, &round, false)?;
+                let set = mlcore::data::TrainSet::new(&xs, &ys);
+                if !set.is_empty() && set.dim() != state.weights.len() {
+                    // Dimensionality changed under us (different corpus);
+                    // the continuation is meaningless, fall back to cold.
+                    let (xs, ys) = labeled_rows(corpus, labeled, false)?;
+                    let model = self.trainer.train(&xs, &ys, rng);
+                    self.warm_state = Some(mlcore::svm::SvmWarmState::after_cold_fit(
+                        &model,
+                        &self.trainer.0,
+                        labeled.len(),
+                    ));
+                    self.seen = labeled.len();
+                    self.warm_rounds = 0;
+                    self.model = Some(model);
+                    return Ok(());
+                }
+                let epochs = (self.trainer.0.epochs / 5).max(2);
+                let (model, next) = self.trainer.0.train_warm(&set, state, epochs, rng);
+                self.warm_state = Some(next);
+                self.seen = labeled.len();
+                self.warm_rounds += 1;
+                self.model = Some(model);
+            }
+        }
         Ok(())
     }
 
@@ -695,15 +916,50 @@ impl Strategy for MarginSvmStrategy {
         let Some(svm) = self.model.as_ref() else {
             return Selection::default();
         };
-        match self.blocking_k {
-            Some(k) => {
+        match (self.blocking_k, &self.lazy) {
+            (Some(k), _) => {
                 let out = selector::blocking_dim::select(
                     svm, k, corpus, unlabeled, batch, rng, obs, &self.par,
                 );
                 self.last_pruned = Some(out.pruned);
                 out.selection
             }
-            None => selector::margin::select(
+            (None, Some(params)) if corpus.features_bounded_01() => {
+                // Drop a stale set if the dimensionality changed under us
+                // (different corpus mid-run).
+                if self
+                    .lazy_dims
+                    .as_ref()
+                    .is_some_and(|d| d.iter().any(|&x| x >= svm.weights().len()))
+                {
+                    self.lazy_dims = None;
+                }
+                let topk = params.topk.min(svm.weights().len());
+                let fresh = svm.top_weight_dims(topk);
+                let mass =
+                    |dims: &[usize]| dims.iter().map(|&d| svm.weights()[d].abs()).sum::<f64>();
+                let keep = self.lazy_dims.as_ref().is_some_and(|cur| {
+                    cur.len() == fresh.len() && mass(cur) >= LAZY_DIMS_STICKINESS * mass(&fresh)
+                });
+                let dims: &[usize] = if keep {
+                    self.lazy_dims.as_deref().unwrap_or(&[])
+                } else {
+                    self.lazy_dims.insert(fresh)
+                };
+                let out = selector::lazy_margin::select_with_dims(
+                    svm,
+                    corpus,
+                    unlabeled,
+                    batch,
+                    dims,
+                    params.band,
+                    rng,
+                    obs,
+                    &self.par,
+                );
+                out.selection
+            }
+            (None, _) => selector::margin::select(
                 |x| svm.margin(x),
                 corpus,
                 unlabeled,
@@ -744,6 +1000,33 @@ impl Strategy for MarginSvmStrategy {
 
     fn saved_model(&self) -> Option<crate::model_io::SavedModel> {
         self.model.clone().map(crate::model_io::SavedModel::Svm)
+    }
+
+    fn warm_state(&self) -> Option<crate::model_io::WarmState> {
+        if !self.warm {
+            return None;
+        }
+        self.warm_state
+            .clone()
+            .map(|state| crate::model_io::WarmState::Svm {
+                state,
+                seen: self.seen,
+                rounds: self.warm_rounds,
+            })
+    }
+
+    fn restore_warm_state(&mut self, warm: crate::model_io::WarmState) {
+        if let crate::model_io::WarmState::Svm {
+            state,
+            seen,
+            rounds,
+        } = warm
+        {
+            self.model = Some(LinearSvm::from_parts(state.weights.clone(), state.bias));
+            self.warm_state = Some(state);
+            self.seen = seen;
+            self.warm_rounds = rounds;
+        }
     }
 }
 
@@ -1446,6 +1729,65 @@ mod tests {
         let r = RandomStrategy::new(SvmTrainer::default(), "Random");
         let uniform = r.score_pool(&c, &unlabeled).unwrap();
         assert!(uniform.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn warm_svm_rounds_continue_and_checkpoint_roundtrips() {
+        let c = corpus();
+        let mut labeled = seed_labeled(&c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = MarginSvmStrategy::builder().warm_start().build();
+        s.fit(&c, &labeled, &mut rng).unwrap();
+        assert_eq!(s.warm_state().unwrap().rounds(), 0);
+        // New labels arrive; the next fits continue the optimization.
+        for &i in &[2, 12, 22, 32, 42, 52] {
+            labeled.push((i, c.truth(i)));
+            s.fit(&c, &labeled, &mut rng).unwrap();
+        }
+        assert_eq!(s.warm_state().unwrap().rounds(), 6);
+        assert!(s.predict(&c, 79));
+        assert!(!s.predict(&c, 0));
+
+        // Checkpoint roundtrip restores identical continuation state.
+        let warm = s.warm_state().unwrap();
+        let js = serde_json::to_string(&warm).unwrap();
+        let back: crate::model_io::WarmState = serde_json::from_str(&js).unwrap();
+        let mut restored = MarginSvmStrategy::builder().warm_start().build();
+        restored.restore_warm_state(back);
+        assert_eq!(restored.warm_state().unwrap(), warm);
+        labeled.push((62, c.truth(62)));
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        s.fit(&c, &labeled, &mut rng_a).unwrap();
+        restored.fit(&c, &labeled, &mut rng_b).unwrap();
+        assert_eq!(s.model().unwrap(), restored.model().unwrap());
+    }
+
+    #[test]
+    fn warm_forest_refreshes_a_rotating_subset() {
+        let c = corpus();
+        let labeled = seed_labeled(&c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = TreeQbcStrategy::builder()
+            .trees(10)
+            .refresh_frac(0.3)
+            .build();
+        s.fit(&c, &labeled, &mut rng).unwrap();
+        let cold = s.model().unwrap().clone();
+        s.fit(&c, &labeled, &mut rng).unwrap();
+        let warm = s.model().unwrap();
+        // ceil(0.3 × 10) = 3 members refresh per round; the other 7 trees
+        // must be carried over untouched.
+        let unchanged = cold
+            .trees()
+            .iter()
+            .zip(warm.trees())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert_eq!(unchanged, 7);
+        assert_eq!(s.warm_state().unwrap().rounds(), 1);
+        // Name (and hence run fingerprints' strategy label) is unaffected.
+        assert_eq!(s.name(), "Trees(10)");
     }
 
     #[test]

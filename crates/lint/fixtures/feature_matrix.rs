@@ -1,0 +1,33 @@
+//! Fixture: nested feature-matrix allocations in core library code.
+
+pub fn dense_matrix(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| vec![i as f64]).collect()
+}
+
+pub fn split_across_lines(n: usize) -> Vec<
+    Vec<f64>
+> {
+    dense_matrix(n)
+}
+
+pub fn flat_row(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+pub fn borrowed(rows: &[Vec<f64>]) -> usize {
+    rows.len()
+}
+
+// alem-lint: allow(flat-feature-store) -- fixture: mirrors a sanctioned ingestion seam
+pub fn annotated(rows: Vec<Vec<f64>>) -> usize {
+    rows.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nested_rows_are_fine_in_tests() {
+        let m: Vec<Vec<f64>> = vec![vec![1.0]];
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -12,7 +12,8 @@
 //! | `par-only-threads` | threads are created only inside `crates/par`: compute fan-outs via `alem_par::Parallelism` (thread-count-invariant chunking), long-lived service threads via `alem_par::supervised::spawn` (named, panic-containing); `thread::spawn`/`thread::scope`/`crossbeam::scope`/`thread::Builder` are flagged everywhere else |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
 //! | `vendor-path-deps` | every `[workspace.dependencies]` entry is an offline `vendor/` or `crates/` path dependency (PR 1's offline-registry invariant) |
-//! | `obs-naming` | instrumented subsystems keep telemetry inside their registered family prefixes (selectors: `select.*` plus mandatory `select.pairs_scored`; serve: `serve.*`/`checkpoint.*`; flight recorder: `obs.*`) and never hard-code trace ids — ids arrive from the client on the wire |
+//! | `obs-naming` | instrumented subsystems keep telemetry inside their registered family prefixes (selectors: `select.*`/`feat.*` plus mandatory `select.pairs_scored`; serve: `serve.*`/`checkpoint.*`; flight recorder: `obs.*`) and never hard-code trace ids — ids arrive from the client on the wire |
+//! | `flat-feature-store` | `crates/core` library code never allocates a `Vec<Vec<f64>>` feature matrix outside `core::featurestore` — the flat SoA [`FeatureStore`](../../core/src/featurestore.rs) is the one feature-matrix representation (row-per-`Vec` defeats its cache layout and lazy memoization) |
 //! | `bad-allow` | an `// alem-lint: allow(...)` annotation must state a non-empty reason |
 //!
 //! Escape hatch: `// alem-lint: allow(<rule>) -- <reason>` suppresses the
@@ -54,8 +55,11 @@ struct ObsNamingPolicy {
 /// uses throwaway names on purpose).
 fn obs_naming_policy(rel: &str) -> Option<ObsNamingPolicy> {
     if rel.starts_with("crates/core/src/selector/") && !rel.ends_with("/mod.rs") {
+        // Selectors own `select.*`; the two-phase lazy selector also
+        // reports feature-extraction telemetry under `feat.*`
+        // (`feat.phase1_only`), the family the feature store shares.
         return Some(ObsNamingPolicy {
-            families: &[SELECTOR_OBS_PREFIX],
+            families: &[SELECTOR_OBS_PREFIX, "feat"],
             required_counter: Some(SELECTOR_REQUIRED_COUNTER),
             subsystem: "selector",
         });
@@ -311,6 +315,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
         }
         if krate == "core" {
             rule_hash_iter(&mut ctx);
+            if rel != "crates/core/src/featurestore.rs" {
+                rule_flat_feature_store(&mut ctx);
+            }
         }
         if NO_PANIC_CRATES.contains(&krate.as_str()) {
             rule_no_panic(&mut ctx);
@@ -416,6 +423,44 @@ fn rule_hash_iter(ctx: &mut Ctx<'_>) {
                 ),
             );
         }
+    }
+}
+
+/// Does `code[off..]` (which starts with the identifier `Vec`) spell a
+/// nested `Vec<Vec<f64>>`, tolerating arbitrary whitespace between
+/// tokens (rustfmt may split the type across lines)?
+fn is_nested_vec_f64(code: &str, off: usize) -> bool {
+    let mut rest = code[off + "Vec".len()..].trim_start();
+    for tok in ["<", "Vec", "<", "f64", ">"] {
+        match rest.strip_prefix(tok) {
+            Some(r) => rest = r.trim_start(),
+            None => return false,
+        }
+    }
+    rest.starts_with('>')
+}
+
+/// `Vec<Vec<f64>>` in `crates/core` library code outside
+/// `core::featurestore`. The flat SoA [`FeatureStore`] is the one
+/// feature-matrix representation: a row-per-`Vec` matrix defeats its
+/// cache-friendly layout and the per-pair lazy memoization built on it.
+fn rule_flat_feature_store(ctx: &mut Ctx<'_>) {
+    for off in ident_occurrences(&ctx.lexed.code, "Vec") {
+        if !is_nested_vec_f64(&ctx.lexed.code, off) {
+            continue;
+        }
+        let (line, _) = ctx.lexed.position(off);
+        if ctx.lexed.is_test_line(line) {
+            continue;
+        }
+        ctx.report(
+            "flat-feature-store",
+            off,
+            "`Vec<Vec<f64>>` feature matrix outside core::featurestore: use the \
+             flat SoA `FeatureStore` (or borrow rows as `&[Vec<f64>]` from it) so \
+             feature storage stays contiguous and lazily memoized"
+                .to_string(),
+        );
     }
 }
 
@@ -671,6 +716,38 @@ mod tests {
         assert_eq!(out[0].rule, "par-only-threads");
         let sanctioned = "pub fn f() { alem_par::supervised::spawn(\"w\", || ()).unwrap(); }\n";
         assert!(lint_source("crates/serve/src/lib.rs", sanctioned).is_empty());
+    }
+
+    #[test]
+    fn nested_feature_matrix_flagged_in_core_outside_featurestore() {
+        let src = "pub fn f(n: usize) -> Vec<Vec<f64>> { Vec::new() }\n";
+        let out = lint_source("crates/core/src/strategy.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "flat-feature-store");
+        // Whitespace between tokens (rustfmt line breaks) still matches.
+        let split = "pub fn f() -> Vec<\n    Vec<f64>\n> { Vec::new() }\n";
+        assert_eq!(lint_source("crates/core/src/strategy.rs", split).len(), 1);
+        // The flat store itself, other crates, and test targets are exempt.
+        assert!(lint_source("crates/core/src/featurestore.rs", src).is_empty());
+        assert!(lint_source("crates/mlcore/src/forest.rs", src).is_empty());
+        assert!(lint_source("crates/core/tests/t.rs", src).is_empty());
+        // Flat rows and borrowed nested slices are not allocations.
+        let flat = "pub fn f(rows: &[Vec<f64>]) -> Vec<f64> { rows[0].clone() }\n";
+        assert!(lint_source("crates/core/src/strategy.rs", flat).is_empty());
+        // An allow annotation with a reason suppresses the finding.
+        let allowed = "// alem-lint: allow(flat-feature-store) -- ingestion seam\n\
+                       pub fn f() -> Vec<Vec<f64>> { Vec::new() }\n";
+        assert!(lint_source("crates/core/src/strategy.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn selector_obs_policy_admits_feat_family() {
+        let src = r#"pub fn select(obs: &Registry) {
+    obs.counter_add("select.pairs_scored", 1);
+    obs.counter_add("feat.phase1_only", 1);
+}
+"#;
+        assert!(lint_source("crates/core/src/selector/lazy_margin.rs", src).is_empty());
     }
 
     #[test]

@@ -78,6 +78,33 @@ fn hash_iter_fixture_flags_core_lib_only() {
 }
 
 #[test]
+fn feature_matrix_fixture_flags_nested_rows_in_core_lib_only() {
+    let out = lint_source(
+        "crates/core/src/feature_matrix.rs",
+        &fixture("feature_matrix.rs"),
+    );
+    assert_eq!(
+        rule_lines(&out),
+        vec![
+            ("flat-feature-store", 3), // dense Vec<Vec<f64>> return type
+            ("flat-feature-store", 7), // the same type split across lines
+        ],
+        "{out:#?}"
+    );
+    // Flat rows, borrowed `&[Vec<f64>]`, the annotated seam, and the
+    // #[cfg(test)] matrix are all absent above. The flat store itself is
+    // the sanctioned home for the nested form, and the rule is scoped to
+    // crates/core library code.
+    assert!(lint_source(
+        "crates/core/src/featurestore.rs",
+        &fixture("feature_matrix.rs")
+    )
+    .is_empty());
+    assert!(lint_source("crates/mlcore/src/data.rs", &fixture("feature_matrix.rs")).is_empty());
+    assert!(lint_source("crates/core/tests/fm.rs", &fixture("feature_matrix.rs")).is_empty());
+}
+
+#[test]
 fn crate_root_fixture_requires_uncommented_forbid() {
     let out = lint_crate_root(
         "crates/x/src/lib.rs",

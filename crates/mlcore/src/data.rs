@@ -80,6 +80,13 @@ pub fn bootstrap_indices<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
     (0..n).map(|_| rng.gen_range(0..n)).collect()
 }
 
+/// Draw `min(cap, n)` indices with replacement from `0..n` — a bounded
+/// bootstrap resample. Partial forest refresh uses this so per-round tree
+/// training cost stops scaling with the labeled-pool size.
+pub fn bootstrap_indices_capped<R: Rng>(n: usize, cap: usize, rng: &mut R) -> Vec<usize> {
+    (0..cap.min(n)).map(|_| rng.gen_range(0..n)).collect()
+}
+
 /// Materialize a resampled training set from indices.
 pub fn resample(set: &TrainSet<'_>, idx: &[usize]) -> (Vec<Vec<f64>>, Vec<bool>) {
     let xs = idx.iter().map(|&i| set.x(i).to_vec()).collect();

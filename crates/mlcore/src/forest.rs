@@ -5,7 +5,7 @@
 //! Corleone configuration (§4.1.1). The trees double as the QBC committee
 //! for learner-aware example selection, so per-tree votes are exposed.
 
-use crate::data::{bootstrap_indices, resample, TrainSet};
+use crate::data::{bootstrap_indices, bootstrap_indices_capped, resample, TrainSet};
 use crate::tree::{DecisionTree, FeatureSubset, TreeConfig};
 use crate::Classifier;
 use alem_par::Parallelism;
@@ -91,6 +91,55 @@ impl ForestConfig {
                 self.tree.train(set, &mut trng)
             }
         });
+        RandomForest { trees }
+    }
+
+    /// Partial refresh: retrain only the trees at `members` (caller picks
+    /// them deterministically, e.g. by round-robin rotation) on `set`,
+    /// leaving every other tree of `forest` untouched. Per-member seeds
+    /// are pre-drawn on the caller's thread in member order, so the
+    /// result is byte-identical for any thread count.
+    ///
+    /// `bootstrap_cap` bounds each member's bootstrap resample, which is
+    /// what keeps per-round train cost flat as the labeled pool grows
+    /// (`None` = full-size resample, the classic bootstrap).
+    pub fn refresh_with<R: Rng>(
+        &self,
+        forest: &RandomForest,
+        members: &[usize],
+        set: &TrainSet<'_>,
+        bootstrap_cap: Option<usize>,
+        rng: &mut R,
+        par: &Parallelism,
+    ) -> RandomForest {
+        assert_eq!(
+            forest.trees.len(),
+            self.n_trees,
+            "forest size does not match this config"
+        );
+        for &m in members {
+            assert!(m < self.n_trees, "refresh member {m} out of range");
+        }
+        let seeds: Vec<u64> = members.iter().map(|_| rng.gen()).collect();
+        let jobs: Vec<(usize, u64)> = members.iter().copied().zip(seeds).collect();
+        let retrained = par.map(&jobs, |&(_, seed)| {
+            let mut trng = StdRng::seed_from_u64(seed);
+            if self.bootstrap && !set.is_empty() {
+                let idx = match bootstrap_cap {
+                    Some(cap) => bootstrap_indices_capped(set.len(), cap, &mut trng),
+                    None => bootstrap_indices(set.len(), &mut trng),
+                };
+                let (xs, ys) = resample(set, &idx);
+                let sub = TrainSet::new(&xs, &ys);
+                self.tree.train(&sub, &mut trng)
+            } else {
+                self.tree.train(set, &mut trng)
+            }
+        });
+        let mut trees = forest.trees.clone();
+        for (&(m, _), tree) in jobs.iter().zip(retrained) {
+            trees[m] = tree;
+        }
         RandomForest { trees }
     }
 }
@@ -217,6 +266,59 @@ mod tests {
         for t in [2, 3, 8] {
             let par = cfg.train_with(&set, &mut StdRng::seed_from_u64(3), &Parallelism::fixed(t));
             assert_eq!(seq, par, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn partial_refresh_replaces_only_members() {
+        let (xs, ys) = banded();
+        let set = TrainSet::new(&xs, &ys);
+        let cfg = ForestConfig::with_trees(8);
+        let base = cfg.train_with(
+            &set,
+            &mut StdRng::seed_from_u64(5),
+            &Parallelism::sequential(),
+        );
+        let refreshed = cfg.refresh_with(
+            &base,
+            &[1, 4],
+            &set,
+            Some(64),
+            &mut StdRng::seed_from_u64(6),
+            &Parallelism::sequential(),
+        );
+        assert_eq!(refreshed.trees().len(), 8);
+        for (i, (old, new)) in base.trees().iter().zip(refreshed.trees()).enumerate() {
+            if i == 1 || i == 4 {
+                continue; // retrained members may (and usually do) change
+            }
+            assert_eq!(old, new, "non-member tree {i} changed");
+        }
+    }
+
+    #[test]
+    fn partial_refresh_is_thread_count_invariant() {
+        let (xs, ys) = banded();
+        let set = TrainSet::new(&xs, &ys);
+        let cfg = ForestConfig::with_trees(6);
+        let base = cfg.train_with(
+            &set,
+            &mut StdRng::seed_from_u64(7),
+            &Parallelism::sequential(),
+        );
+        let run = |par: Parallelism| {
+            cfg.refresh_with(
+                &base,
+                &[0, 3, 5],
+                &set,
+                Some(32),
+                &mut StdRng::seed_from_u64(8),
+                &par,
+            )
+        };
+        let seq = run(Parallelism::sequential());
+        for t in [2, 4, 8] {
+            assert_eq!(seq, run(Parallelism::fixed(t)), "threads={t}");
         }
     }
 

@@ -52,22 +52,73 @@ impl SvmConfig {
         weights: Option<&[f64]>,
         rng: &mut R,
     ) -> LinearSvm {
+        let dim = set.dim();
+        let state = SvmWarmState::zero(dim);
+        if set.is_empty() || dim == 0 {
+            return LinearSvm {
+                weights: state.weights,
+                bias: state.bias,
+            };
+        }
+        let out = self.run_epochs(set, weights, state, self.epochs, rng);
+        LinearSvm {
+            weights: out.weights,
+            bias: out.bias,
+        }
+    }
+
+    /// Continue Pegasos from a previous round's optimizer state: `epochs`
+    /// more passes over `set`, with the step-size schedule `η = 1/(λt)`
+    /// resuming at `state.t` instead of restarting — the warm rounds are
+    /// a continuation of one long optimization, not a fresh solve.
+    ///
+    /// Returns the refined model and the state to carry into the next
+    /// round. `state.weights.len()` must equal `set.dim()` (or the set
+    /// must be empty, which returns the state unchanged).
+    pub fn train_warm<R: Rng>(
+        &self,
+        set: &TrainSet<'_>,
+        state: SvmWarmState,
+        epochs: usize,
+        rng: &mut R,
+    ) -> (LinearSvm, SvmWarmState) {
+        if set.is_empty() || set.dim() == 0 {
+            let model = LinearSvm {
+                weights: state.weights.clone(),
+                bias: state.bias,
+            };
+            return (model, state);
+        }
+        assert_eq!(state.weights.len(), set.dim(), "warm state/dim mismatch");
+        let out = self.run_epochs(set, None, state, epochs, rng);
+        let model = LinearSvm {
+            weights: out.weights.clone(),
+            bias: out.bias,
+        };
+        (model, out)
+    }
+
+    /// The Pegasos inner loop, shared by cold and warm training: `epochs`
+    /// shuffled passes over `set` continuing from `state`.
+    fn run_epochs<R: Rng>(
+        &self,
+        set: &TrainSet<'_>,
+        weights: Option<&[f64]>,
+        state: SvmWarmState,
+        epochs: usize,
+        rng: &mut R,
+    ) -> SvmWarmState {
         if let Some(ws) = weights {
             assert_eq!(ws.len(), set.len(), "weight/example mismatch");
         }
-        let dim = set.dim();
-        let mut w = vec![0.0; dim];
-        let mut b = 0.0;
-        if set.is_empty() || dim == 0 {
-            return LinearSvm {
-                weights: w,
-                bias: b,
-            };
-        }
+        let SvmWarmState {
+            weights: mut w,
+            bias: mut b,
+            mut t,
+        } = state;
         let n = set.len();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut t = 0usize;
-        for _ in 0..self.epochs {
+        for _ in 0..epochs {
             order.shuffle(rng);
             for &i in &order {
                 t += 1;
@@ -88,9 +139,46 @@ impl SvmConfig {
                 }
             }
         }
-        LinearSvm {
+        SvmWarmState {
             weights: w,
             bias: b,
+            t,
+        }
+    }
+}
+
+/// Resumable Pegasos optimizer state: the weight vector, bias, and the
+/// global step counter `t` that drives the `η = 1/(λt)` schedule. Carried
+/// across AL rounds by warm-started strategies and serialized into
+/// session checkpoints so a resumed run continues bit-identically.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SvmWarmState {
+    /// Current weight vector.
+    pub weights: Vec<f64>,
+    /// Current bias.
+    pub bias: f64,
+    /// Global Pegasos step count so far.
+    pub t: u64,
+}
+
+impl SvmWarmState {
+    /// Cold-start state: zero model, schedule at the beginning.
+    pub fn zero(dim: usize) -> Self {
+        SvmWarmState {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            t: 0,
+        }
+    }
+
+    /// State equivalent to having cold-trained `model` with `cfg` on `n`
+    /// examples: the schedule advances by `epochs × n` steps. Lets a
+    /// warm-started strategy seed its state from an ordinary first fit.
+    pub fn after_cold_fit(model: &LinearSvm, cfg: &SvmConfig, n: usize) -> Self {
+        SvmWarmState {
+            weights: model.weights().to_vec(),
+            bias: model.bias(),
+            t: (cfg.epochs * n) as u64,
         }
     }
 }
@@ -195,6 +283,57 @@ mod tests {
         let a = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(9));
         let b = SvmConfig::default().train(&set, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_training_continues_deterministically() {
+        let (xs, ys) = separable();
+        let set = TrainSet::new(&xs, &ys);
+        let cfg = SvmConfig::default();
+        let cold = cfg.train(&set, &mut StdRng::seed_from_u64(2));
+        let state = SvmWarmState::after_cold_fit(&cold, &cfg, set.len());
+        let (a, sa) = cfg.train_warm(&set, state.clone(), 5, &mut StdRng::seed_from_u64(3));
+        let (b, sb) = cfg.train_warm(&set, state.clone(), 5, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        // The schedule advanced by 5 passes over the set.
+        assert_eq!(sa.t, state.t + 5 * set.len() as u64);
+        // Warm refinement keeps the model accurate.
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| a.predict(x) == y)
+            .count();
+        assert!(correct >= 57, "only {correct}/60 correct after warm rounds");
+    }
+
+    #[test]
+    fn warm_training_with_zero_epochs_is_identity() {
+        let (xs, ys) = separable();
+        let set = TrainSet::new(&xs, &ys);
+        let cfg = SvmConfig::default();
+        let cold = cfg.train(&set, &mut StdRng::seed_from_u64(2));
+        let state = SvmWarmState::after_cold_fit(&cold, &cfg, set.len());
+        let (m, s) = cfg.train_warm(&set, state.clone(), 0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(m.weights(), cold.weights());
+        assert_eq!(m.bias(), cold.bias());
+        assert_eq!(s, state);
+    }
+
+    #[test]
+    fn warm_training_on_empty_set_returns_state_unchanged() {
+        let xs: Vec<Vec<f64>> = vec![];
+        let ys: Vec<bool> = vec![];
+        let set = TrainSet::new(&xs, &ys);
+        let state = SvmWarmState {
+            weights: vec![1.0, -2.0],
+            bias: 0.5,
+            t: 77,
+        };
+        let (m, s) =
+            SvmConfig::default().train_warm(&set, state.clone(), 3, &mut StdRng::seed_from_u64(1));
+        assert_eq!(m.weights(), &[1.0, -2.0]);
+        assert_eq!(s, state);
     }
 
     #[test]

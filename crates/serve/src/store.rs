@@ -238,6 +238,7 @@ mod tests {
             dataset: "toy".into(),
             corpus_len: 3,
             corpus_fingerprint: 0xabcd,
+            warm: None,
         };
         assert!(!store.has_checkpoint("s"));
         store.save_checkpoint("s", &ckpt).unwrap();
