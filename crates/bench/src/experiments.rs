@@ -755,6 +755,7 @@ pub fn rules_listing(cfg: ExpConfig) -> String {
     let mut al = ActiveLearner::new(LfpLfnStrategy::new(DnfTrainer::default(), TAU), params);
     let run = al
         .run(&p.corpus, &oracle, RUN_SEED)
+        // alem-lint: allow(panic-reach) -- experiment harness aborts on run failure; fatal by contract
         .unwrap_or_else(|e| panic!("rules listing run failed: {e}"));
     let strategy = al.into_strategy();
     let dnf = strategy.effective_dnf();
@@ -786,6 +787,7 @@ struct SocialOutcome {
 /// stand-in for the paper's human expert. Returns (valid rules, coverage).
 #[allow(clippy::needless_range_loop)] // parallel bools/covered indexing
 fn expert_validate(dnf: &Dnf, corpus: &Corpus) -> (usize, usize) {
+    // alem-lint: allow(panic-reach) -- bool features exist for every paper dataset config used here
     let bools = corpus.bool_features().expect("bool features");
     let mut valid = 0usize;
     let mut covered = vec![false; corpus.len()];
@@ -837,6 +839,7 @@ pub fn fig19(cfg: ExpConfig) -> TableReport {
         let mut al = ActiveLearner::new(LfpLfnStrategy::new(DnfTrainer::default(), TAU), params);
         let run = al
             .run(corpus, &oracle, RUN_SEED)
+            // alem-lint: allow(panic-reach) -- experiment harness aborts on run failure; fatal by contract
             .unwrap_or_else(|e| panic!("LFP/LFN run failed: {e}"));
         let dnf = al.into_strategy().effective_dnf();
         let (valid, coverage) = expert_validate(&dnf, corpus);
@@ -865,6 +868,7 @@ pub fn fig19(cfg: ExpConfig) -> TableReport {
         );
         let run = al
             .run(corpus, &oracle, RUN_SEED)
+            // alem-lint: allow(panic-reach) -- experiment harness aborts on run failure; fatal by contract
             .unwrap_or_else(|e| panic!("QBC({b}) run failed: {e}"));
         let strategy = al.into_strategy();
         let dnf = strategy.model().cloned().unwrap_or_default();
@@ -1008,6 +1012,7 @@ pub fn ext_voting(cfg: ExpConfig) -> Figure {
             move || {
                 let oracle =
                     Oracle::noisy_with_voting(corpus.truths().to_vec(), 0.3, v, RUN_SEED ^ 0xbeef)
+                        // alem-lint: allow(panic-reach) -- experiment harness aborts on invalid oracle config; fatal by contract
                         .unwrap_or_else(|e| panic!("invalid voting oracle: {e}"));
                 let params = LoopParams {
                     stop_at_f1: None,
@@ -1015,6 +1020,7 @@ pub fn ext_voting(cfg: ExpConfig) -> Figure {
                 };
                 ActiveLearner::new(Spec::TreeQbc(20).build(), params)
                     .run(corpus, &oracle, RUN_SEED)
+                    // alem-lint: allow(panic-reach) -- experiment harness aborts on run failure; fatal by contract
                     .unwrap_or_else(|e| panic!("voting run failed: {e}"))
             }
         })
@@ -1067,9 +1073,11 @@ pub fn fault_sweep(cfg: ExpConfig) -> TableReport {
                     Oracle::perfect(corpus.truths().to_vec())
                 } else {
                     Oracle::noisy(corpus.truths().to_vec(), noise, RUN_SEED ^ 0x5eed)
+                        // alem-lint: allow(panic-reach) -- experiment harness aborts on invalid oracle config; fatal by contract
                         .unwrap_or_else(|e| panic!("invalid oracle configuration: {e}"))
                 };
                 let oracle = TransientOracle::new(base, rate, RUN_SEED ^ 0xfa17)
+                    // alem-lint: allow(panic-reach) -- experiment harness aborts on invalid failure rate; fatal by contract
                     .unwrap_or_else(|e| panic!("invalid failure rate: {e}"));
                 let params = LoopParams {
                     stop_at_f1: None,
@@ -1091,9 +1099,11 @@ pub fn fault_sweep(cfg: ExpConfig) -> TableReport {
                 };
                 let outcome = al
                     .run_session(corpus, &oracle, RUN_SEED, &config)
+                    // alem-lint: allow(panic-reach) -- experiment harness aborts on run failure; fatal by contract
                     .unwrap_or_else(|e| panic!("fault-sweep run failed: {e}"));
                 let run = outcome
                     .run_result()
+                    // alem-lint: allow(panic-reach) -- fault-sweep asserts the session survived; halt is a harness bug
                     .unwrap_or_else(|| panic!("fault-sweep session halted unexpectedly"));
                 (run, oracle.failures())
             }
@@ -1164,8 +1174,10 @@ pub fn latency_breakdown(cfg: ExpConfig) -> TableReport {
                 let mut al = ActiveLearner::new(spec.build(), params);
                 let run = al
                     .run_session(corpus, &oracle, RUN_SEED, &config)
+                    // alem-lint: allow(panic-reach) -- experiment harness aborts on run failure; fatal by contract
                     .unwrap_or_else(|e| panic!("latency-breakdown run failed: {e}"))
                     .run_result()
+                    // alem-lint: allow(panic-reach) -- latency harness asserts the session survived; halt is a harness bug
                     .unwrap_or_else(|| panic!("latency-breakdown session halted unexpectedly"));
                 (run.strategy.clone(), obs.events())
             }

@@ -33,6 +33,7 @@ pub fn run_perfect<S: Strategy>(
     let oracle = Oracle::perfect(corpus.truths().to_vec());
     ActiveLearner::new(strategy, params)
         .run(corpus, &oracle, seed)
+        // alem-lint: allow(panic-reach) -- experiment harness aborts on run failure; specs are validated by the caller
         .unwrap_or_else(|e| panic!("benchmark run failed: {e}"))
 }
 
@@ -45,9 +46,11 @@ pub fn run_noisy<S: Strategy>(
     seed: u64,
 ) -> RunResult {
     let oracle = Oracle::noisy(corpus.truths().to_vec(), noise, seed ^ 0x9e37_79b9)
+        // alem-lint: allow(panic-reach) -- experiment harness aborts on invalid oracle config; fatal by contract
         .unwrap_or_else(|e| panic!("invalid oracle configuration: {e}"));
     ActiveLearner::new(strategy, params)
         .run(corpus, &oracle, seed)
+        // alem-lint: allow(panic-reach) -- experiment harness aborts on run failure; specs are validated by the caller
         .unwrap_or_else(|e| panic!("benchmark run failed: {e}"))
 }
 

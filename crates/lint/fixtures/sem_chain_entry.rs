@@ -1,0 +1,6 @@
+//! Panic-reach seeded bug: a pub entry point two hops from an `unwrap()`.
+
+/// Doubles the payload; panics if absent (via the private chain below).
+pub fn entry(x: &Option<u32>) -> u32 {
+    crate::chain_mid::mid(x) * 2
+}

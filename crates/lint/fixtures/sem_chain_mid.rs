@@ -1,0 +1,9 @@
+//! Private relay for the panic-reach fixture.
+
+pub(crate) fn mid(x: &Option<u32>) -> u32 {
+    deep(x)
+}
+
+fn deep(x: &Option<u32>) -> u32 {
+    x.unwrap()
+}

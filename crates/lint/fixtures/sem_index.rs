@@ -1,0 +1,6 @@
+//! Index-reach seeded bug: raw slice indexing on a pub orchestration API.
+
+/// Reads pool slot `i` without a bounds check.
+pub fn slot(pool: &[f64], i: usize) -> f64 {
+    pool[i]
+}

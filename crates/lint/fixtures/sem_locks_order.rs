@@ -1,0 +1,28 @@
+//! Lock-order-cycle seeded bug: `corpora` → `fleets` on one path,
+//! `fleets` → `corpora` on the other.
+
+use std::sync::Mutex;
+
+/// Two-lock holder.
+pub struct LockOrder {
+    /// First lock.
+    corpora: Mutex<u32>,
+    /// Second lock.
+    fleets: Mutex<u32>,
+}
+
+impl LockOrder {
+    /// Acquires `corpora` then `fleets`.
+    pub fn forward(&self) -> u32 {
+        let a = self.corpora.lock().unwrap();
+        let b = self.fleets.lock().unwrap();
+        *a + *b
+    }
+
+    /// Acquires `fleets` then `corpora` — the opposite order.
+    pub fn backward(&self) -> u32 {
+        let b = self.fleets.lock().unwrap();
+        let a = self.corpora.lock().unwrap();
+        *a + *b
+    }
+}

@@ -1,0 +1,24 @@
+//! Lock-discipline seeded bug: serialization while the registry lock is
+//! held — the PR 6 regression class.
+
+use std::sync::Mutex;
+
+/// Session-registry double.
+pub struct RegistryDump {
+    /// Live sessions by name.
+    sessions: Mutex<Vec<String>>,
+}
+
+impl RegistryDump {
+    /// Renders the session table while still holding the lock.
+    pub fn dump(&self) -> String {
+        // alem-lint: allow(no-panic) -- fixture: poisoning is fatal by design
+        let guard = self.sessions.lock().unwrap();
+        render_rows(&guard)
+    }
+}
+
+/// Joins rows into one line.
+fn render_rows(rows: &[String]) -> String {
+    rows.join("|")
+}

@@ -1,0 +1,12 @@
+//! Determinism-taint seeded bug: a SessionMachine transition that pulls
+//! ambient wall-clock jitter out of `alem_datagen`.
+
+/// State-machine double (the real one lives in `session::machine`).
+pub struct SessionMachine;
+
+impl SessionMachine {
+    /// Advances the machine by one step, seeded by ambient jitter.
+    pub fn step(&mut self) -> u64 {
+        alem_datagen::noise::jitter()
+    }
+}

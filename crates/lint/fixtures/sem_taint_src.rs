@@ -1,0 +1,7 @@
+//! Ambient-jitter source for the determinism-taint fixture.
+
+/// Milliseconds of ambient wall-clock state.
+pub fn jitter() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.elapsed().map(|d| d.as_millis() as u64).unwrap_or(0)
+}

@@ -1,0 +1,745 @@
+//! Lock discipline: what happens while a `Mutex`/`RwLock` guard is live.
+//!
+//! PR 6 fixed a real regression — Prometheus rendering serialized the
+//! whole metrics registry *inside* the registry lock — by hand. This pass
+//! mechanizes that review. Per function it reconstructs guard lifetimes
+//! from the token stream:
+//!
+//! - `let g = x.lock()…;` → guard lives to the end of the enclosing
+//!   block (or an explicit `drop(g)`);
+//! - a mid-expression temporary (`f(&x.lock().unwrap())`) → guard lives
+//!   to the end of the statement (Rust temporary-scope rules);
+//! - `if let`/`while let`/`match` bindings → the guarded block.
+//!
+//! While a guard over a *declared lock field* (fleet `sessions`/
+//! `corpora`, obs registry, session stores — any struct field typed
+//! `Mutex<…>`/`RwLock<…>`) is live, the pass flags:
+//!
+//! 1. direct or transitive **I/O** (fs/net calls, `println!`-family) —
+//!    via call-graph summaries with the full chain printed;
+//! 2. direct or transitive **serialization** (`*json*`, `*serialize*`,
+//!    `encode`, `render*`) — the PR 6 class;
+//! 3. **same-class re-acquisition** (std/vendored `parking_lot` locks
+//!    are non-reentrant: self-deadlock);
+//! 4. **lock-order cycles**: nesting pairs `(outer, inner)` are
+//!    collected workspace-wide and any pair on a directed cycle is
+//!    flagged at its acquisition site.
+//!
+//! Consistently ordered nesting is recorded but not flagged — ordering,
+//! not nesting, is the invariant. `fmt::Write`-style `write!` into
+//! strings is deliberately not treated as I/O (indistinguishable from
+//! `io::Write` without types); fs/net entry points are what block.
+
+use super::{route_to, walk_route, Semantic};
+use crate::rules::{Finding, Frame};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Path segments that mark a call as filesystem/network I/O.
+const IO_PATH_HEADS: &[&str] = &[
+    "File",
+    "OpenOptions",
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "UnixListener",
+    "UnixStream",
+];
+
+/// Method names that mark a call as I/O on a reader/writer.
+const IO_METHODS: &[&str] = &[
+    "accept",
+    "connect",
+    "flush",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "recv_from",
+    "send_to",
+    "set_len",
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "write_fmt",
+];
+
+/// Macros that write to stdio.
+const IO_MACROS: &[&str] = &["print", "println", "eprint", "eprintln"];
+
+/// A live guard region inside one symbol's body.
+struct Guard {
+    /// Lock class (receiver field/binding name).
+    class: String,
+    /// Byte offset of the `.lock()`/`.read()`/`.write()` call.
+    offset: usize,
+    /// Scan window `[start, end)` in which the guard is live.
+    start: usize,
+    end: usize,
+    /// Receiver is a declared lock field (registry/fleet/session class).
+    interesting: bool,
+}
+
+/// Run the lock-discipline analysis over the workspace graph.
+pub fn run(sem: &Semantic) -> Vec<Finding> {
+    let ws = &sem.ws;
+    let passable = |s: usize| {
+        let sym = &ws.symbols[s];
+        sym.is_lib && !sym.is_test && sym.krate != "lint"
+    };
+
+    // Direct I/O and serialization sites per symbol (for summaries).
+    let mut direct_io: BTreeMap<usize, (usize, String)> = BTreeMap::new();
+    let mut direct_ser: BTreeMap<usize, (usize, String)> = BTreeMap::new();
+    for sym in 0..ws.symbols.len() {
+        if !passable(sym) {
+            continue;
+        }
+        let file = ws.symbols[sym].file;
+        for call in &ws.calls[sym] {
+            let (line, _) = ws.files[file].lexed.position(call.offset);
+            if sem.allowed(file, &["lock-discipline"], line) {
+                continue;
+            }
+            if let Some(kind) = io_kind(call) {
+                direct_io.entry(sym).or_insert((call.offset, kind));
+            }
+            if let Some(kind) = ser_kind(call) {
+                direct_ser.entry(sym).or_insert((call.offset, kind));
+            }
+        }
+    }
+    let io_targets: Vec<usize> = direct_io.keys().copied().collect();
+    let ser_targets: Vec<usize> = direct_ser.keys().copied().collect();
+    let io_route = route_to(ws, &io_targets, &passable);
+    let ser_route = route_to(ws, &ser_targets, &passable);
+
+    // Transitive lock classes acquired by each symbol (fixed point).
+    let direct_classes: Vec<BTreeSet<String>> = (0..ws.symbols.len())
+        .map(|sym| {
+            if !passable(sym) {
+                return BTreeSet::new();
+            }
+            guard_scopes(sem, sym)
+                .into_iter()
+                .filter(|g| g.interesting)
+                .map(|g| g.class)
+                .collect()
+        })
+        .collect();
+    let mut all_classes = direct_classes.clone();
+    loop {
+        let mut changed = false;
+        for sym in 0..ws.symbols.len() {
+            if !passable(sym) {
+                continue;
+            }
+            for &(callee, _) in &ws.edges[sym] {
+                if !passable(callee) {
+                    continue;
+                }
+                let add: Vec<String> = all_classes[callee]
+                    .difference(&all_classes[sym])
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    all_classes[sym].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    // Nesting pairs: (outer, inner) -> first acquisition site.
+    let mut pairs: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+
+    for sym in 0..ws.symbols.len() {
+        if !passable(sym) {
+            continue;
+        }
+        let file = ws.symbols[sym].file;
+        let lexed = &ws.files[file].lexed;
+        let guards = guard_scopes(sem, sym);
+        for g in &guards {
+            // 3. Same-class re-acquisition + 4. pair collection.
+            for g2 in &guards {
+                if g2.offset <= g.offset || g2.offset < g.start || g2.offset >= g.end {
+                    continue;
+                }
+                if g2.class == g.class {
+                    let (line, col) = lexed.position(g2.offset);
+                    if !sem.allowed(file, &["lock-discipline"], line) {
+                        findings.push(relock_finding(sem, sym, &g.class, line, col));
+                    }
+                } else if g.interesting && g2.interesting {
+                    pairs
+                        .entry((g.class.clone(), g2.class.clone()))
+                        .or_insert((sym, g2.offset));
+                }
+            }
+            if !g.interesting {
+                continue;
+            }
+            // 1./2. Direct and transitive I/O or serialization under guard.
+            for call in &ws.calls[sym] {
+                if call.offset < g.start || call.offset >= g.end || call.offset == g.offset {
+                    continue;
+                }
+                let (line, col) = lexed.position(call.offset);
+                if sem.allowed(file, &["lock-discipline"], line) {
+                    continue;
+                }
+                if let Some(kind) = io_kind(call) {
+                    findings.push(under_lock_finding(
+                        sem, sym, g, line, col, "I/O", None, &kind,
+                    ));
+                } else if let Some(kind) = ser_kind(call) {
+                    findings.push(under_lock_finding(
+                        sem,
+                        sym,
+                        g,
+                        line,
+                        col,
+                        "serialization",
+                        None,
+                        &kind,
+                    ));
+                }
+            }
+            for &(callee, offset) in &ws.edges[sym] {
+                if offset < g.start || offset >= g.end || offset == g.offset {
+                    continue;
+                }
+                let (line, col) = lexed.position(offset);
+                if sem.allowed(file, &["lock-discipline"], line) {
+                    continue;
+                }
+                if io_route[callee].is_some() {
+                    let path = walk_route(&io_route, callee);
+                    let terminal = *path.last().expect("non-empty route");
+                    let (t_off, kind) = direct_io[&terminal].clone();
+                    findings.push(under_lock_finding(
+                        sem,
+                        sym,
+                        g,
+                        line,
+                        col,
+                        "I/O",
+                        Some((&path, t_off)),
+                        &kind,
+                    ));
+                }
+                if ser_route[callee].is_some() {
+                    let path = walk_route(&ser_route, callee);
+                    let terminal = *path.last().expect("non-empty route");
+                    let (t_off, kind) = direct_ser[&terminal].clone();
+                    findings.push(under_lock_finding(
+                        sem,
+                        sym,
+                        g,
+                        line,
+                        col,
+                        "serialization",
+                        Some((&path, t_off)),
+                        &kind,
+                    ));
+                }
+                // Transitive same-class re-acquisition: self-deadlock.
+                if all_classes[callee].contains(&g.class) {
+                    findings.push(under_lock_finding(
+                        sem,
+                        sym,
+                        g,
+                        line,
+                        col,
+                        "re-acquisition of",
+                        None,
+                        &format!("callee acquires `{}`", g.class),
+                    ));
+                }
+            }
+        }
+    }
+
+    // 4. Lock-order cycles over the collected pair digraph.
+    let classes: BTreeSet<&String> = pairs.keys().flat_map(|(a, b)| [a, b]).collect();
+    for ((outer, inner), &(sym, offset)) in &pairs {
+        if !reaches(&pairs, inner, outer, classes.len()) {
+            continue;
+        }
+        let file = ws.symbols[sym].file;
+        let (line, col) = ws.files[file].lexed.position(offset);
+        if sem.allowed(file, &["lock-discipline"], line) {
+            continue;
+        }
+        let message = format!(
+            "lock-order cycle: `{inner}` acquired while `{outer}` is held in `{}`, \
+             but the opposite order exists elsewhere in the workspace",
+            ws.symbols[sym].display
+        );
+        let mut frame = sem.frame(sym, &format!("{outer} -> {inner}"));
+        frame.line = line;
+        findings.push(
+            Finding::new(
+                "lock-discipline",
+                ws.file_of(sym).rel.clone(),
+                line,
+                col,
+                message,
+            )
+            .with_chain(vec![frame]),
+        );
+    }
+
+    findings
+}
+
+/// `inner` can reach `outer` through recorded nesting pairs.
+fn reaches(
+    pairs: &BTreeMap<(String, String), (usize, usize)>,
+    from: &str,
+    to: &str,
+    bound: usize,
+) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(cur) = stack.pop() {
+        if cur == to {
+            return true;
+        }
+        if !seen.insert(cur) || seen.len() > bound + 1 {
+            continue;
+        }
+        for (a, b) in pairs.keys() {
+            if a == cur {
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+fn relock_finding(sem: &Semantic, sym: usize, class: &str, line: usize, col: usize) -> Finding {
+    let ws = &sem.ws;
+    let message = format!(
+        "lock `{class}` re-acquired in `{}` while already held (non-reentrant: self-deadlock)",
+        ws.symbols[sym].display
+    );
+    let mut frame = sem.frame(sym, &format!("re-lock `{class}`"));
+    frame.line = line;
+    Finding::new(
+        "lock-discipline",
+        ws.file_of(sym).rel.clone(),
+        line,
+        col,
+        message,
+    )
+    .with_chain(vec![frame])
+}
+
+/// Build an "X under lock" finding, with the transitive chain if any.
+#[allow(clippy::too_many_arguments)]
+fn under_lock_finding(
+    sem: &Semantic,
+    sym: usize,
+    g: &Guard,
+    line: usize,
+    col: usize,
+    what: &str,
+    via: Option<(&[usize], usize)>,
+    kind: &str,
+) -> Finding {
+    let ws = &sem.ws;
+    let mut chain: Vec<Frame> = Vec::new();
+    let mut holder = sem.frame(sym, &format!("holds `{}`", g.class));
+    holder.line = line;
+    chain.push(holder);
+    if let Some((path, t_off)) = via {
+        for &s in path {
+            chain.push(sem.frame(s, ""));
+        }
+        let last = chain.last_mut().expect("non-empty chain");
+        let terminal = *path.last().expect("non-empty route");
+        let (t_line, _) = ws.file_of(terminal).lexed.position(t_off);
+        last.line = t_line;
+        last.note = kind.to_string();
+    } else {
+        chain[0].note = format!("holds `{}`; {kind}", g.class);
+    }
+    let chain_text = chain
+        .iter()
+        .map(|f| f.symbol.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    let message = format!(
+        "{what} `{kind}` while `{}` lock is held: {chain_text}",
+        g.class
+    );
+    Finding::new(
+        "lock-discipline",
+        ws.file_of(sym).rel.clone(),
+        line,
+        col,
+        message,
+    )
+    .with_chain(chain)
+}
+
+/// Classify a call site as I/O.
+fn io_kind(call: &crate::graph::CallSite) -> Option<String> {
+    let last = call.segs.last()?.as_str();
+    if call.is_macro {
+        return IO_MACROS
+            .contains(&last)
+            .then(|| format!("{last}! to stdio"));
+    }
+    if call.method {
+        return IO_METHODS.contains(&last).then(|| last.to_string());
+    }
+    if call.segs.iter().any(|s| s == "fs") {
+        return Some(format!("fs::{last}"));
+    }
+    if call
+        .segs
+        .first()
+        .is_some_and(|s| IO_PATH_HEADS.contains(&s.as_str()))
+        || (call.segs.len() >= 2
+            && IO_PATH_HEADS.contains(&call.segs[call.segs.len() - 2].as_str()))
+    {
+        return Some(call.segs.join("::"));
+    }
+    None
+}
+
+/// Classify a call site as serialization work.
+fn ser_kind(call: &crate::graph::CallSite) -> Option<String> {
+    if call.is_macro {
+        return None;
+    }
+    let last = call.segs.last()?.as_str();
+    let is_ser = last.contains("json")
+        || last.contains("serialize")
+        || last == "encode"
+        || last.starts_with("render");
+    is_ser.then(|| last.to_string())
+}
+
+/// Reconstruct guard regions for one symbol.
+fn guard_scopes(sem: &Semantic, sym: usize) -> Vec<Guard> {
+    let ws = &sem.ws;
+    let file = ws.symbols[sym].file;
+    let code = &ws.files[file].lexed.code;
+    let bytes = code.as_bytes();
+    let Some((_, body_end)) = ws.item_of(sym).body else {
+        return Vec::new();
+    };
+    let mut guards = Vec::new();
+    for call in &ws.calls[sym] {
+        if !call.method || call.segs.len() != 1 {
+            continue;
+        }
+        let name = call.segs[0].as_str();
+        if name != "lock" && name != "read" && name != "write" {
+            continue;
+        }
+        // Empty-arg call: `.lock()` / `.read()` / `.write()`; `write(buf)`
+        // is io::Write, not a lock.
+        let Some(open) = code[call.offset..].find('(').map(|i| call.offset + i) else {
+            continue;
+        };
+        let after_open = next_nonspace(bytes, open + 1);
+        if after_open.map(|(b, _)| b) != Some(b')') {
+            continue;
+        }
+        let Some(class) = receiver_class(code, call.offset) else {
+            continue;
+        };
+        let interesting = ws.lock_fields.contains(&class);
+        // `.read()`/`.write()` only count on declared lock fields; `.lock()`
+        // always counts (no std collision).
+        if name != "lock" && !interesting {
+            continue;
+        }
+        let eoc = chain_end(bytes, open, body_end);
+        let (start, end) = guard_window(bytes, call.offset, eoc, body_end);
+        guards.push(Guard {
+            class,
+            offset: call.offset,
+            start,
+            end,
+            interesting,
+        });
+    }
+    guards
+}
+
+/// Last identifier of the receiver chain before `.lock`.
+fn receiver_class(code: &str, method_offset: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let (dot, di) = prev_nonspace(bytes, method_offset)?;
+    if dot != b'.' {
+        return None;
+    }
+    let (mut b, mut i) = prev_nonspace(bytes, di)?;
+    if b == b')' || b == b']' {
+        // Balance back over a call/index, then name the thing before it.
+        let close = if b == b')' { b')' } else { b']' };
+        let open = if b == b')' { b'(' } else { b'[' };
+        let mut depth = 0i32;
+        loop {
+            if bytes[i] == close {
+                depth += 1;
+            } else if bytes[i] == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+        }
+        (b, i) = prev_nonspace(bytes, i)?;
+    }
+    if !(b.is_ascii_alphanumeric() || b == b'_') {
+        return None;
+    }
+    let start = bytes[..=i]
+        .iter()
+        .rposition(|c| !(c.is_ascii_alphanumeric() || *c == b'_'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let word = &code[start..=i];
+    if word.is_empty() || word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(word.to_string())
+}
+
+/// End of the guard-producing expression: past the `.lock()` call and any
+/// `.unwrap()`/`.expect(…)`/`?` tail.
+fn chain_end(bytes: &[u8], open: usize, bound: usize) -> usize {
+    let mut i = match_paren(bytes, open, bound);
+    loop {
+        let Some((b, p)) = next_nonspace(bytes, i) else {
+            return i;
+        };
+        if b == b'?' {
+            i = p + 1;
+            continue;
+        }
+        if b != b'.' {
+            return i;
+        }
+        let Some((w, ws_)) = next_nonspace(bytes, p + 1) else {
+            return i;
+        };
+        if !(w.is_ascii_alphabetic() || w == b'_') {
+            return i;
+        }
+        let mut j = ws_;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        let name = &bytes[ws_..j];
+        if name != b"unwrap" && name != b"expect" {
+            return i;
+        }
+        let Some((op, oi)) = next_nonspace(bytes, j) else {
+            return i;
+        };
+        if op != b'(' {
+            return i;
+        }
+        i = match_paren(bytes, oi, bound);
+    }
+}
+
+/// Offset just past the `)` matching the `(` at `open`.
+fn match_paren(bytes: &[u8], open: usize, bound: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < bound.min(bytes.len()) {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Compute the `[start, end)` window in which the guard is live.
+fn guard_window(bytes: &[u8], lock_offset: usize, eoc: usize, body_end: usize) -> (usize, usize) {
+    let stmt_start = bytes[..lock_offset]
+        .iter()
+        .rposition(|b| matches!(b, b';' | b'{' | b'}'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let head: Vec<&[u8]> = split_words(&bytes[stmt_start..lock_offset]);
+    let first = head.first().copied().unwrap_or(b"");
+    let is_let = first == b"let";
+    let is_cond = first == b"if" || first == b"while" || first == b"match";
+    let next = next_nonspace(bytes, eoc).map(|(b, _)| b);
+
+    if is_cond {
+        // Guard lives for the guarded block.
+        let Some(open) = (eoc..body_end.min(bytes.len())).find(|&i| bytes[i] == b'{') else {
+            return (stmt_start, stmt_end(bytes, eoc, body_end));
+        };
+        return (eoc, match_brace_fwd(bytes, open, body_end));
+    }
+    if is_let && next == Some(b';') {
+        // Bound guard: block scope, cut short by `drop(binding)`.
+        let end = block_end(bytes, eoc, body_end);
+        let binding = let_binding(&head);
+        if let Some(name) = binding {
+            if let Some(d) = find_drop(bytes, eoc, end, name) {
+                return (eoc, d);
+            }
+        }
+        return (eoc, end);
+    }
+    // Temporary: live for the whole enclosing statement, including the
+    // expression text before the lock call (`f(&x.lock())`).
+    (stmt_start, stmt_end(bytes, eoc, body_end))
+}
+
+/// The binding identifier of `let [mut] name = …`, if simple.
+fn let_binding<'a>(head: &[&'a [u8]]) -> Option<&'a [u8]> {
+    let mut it = head.iter().skip(1);
+    let mut w = *it.next()?;
+    if w == b"mut" {
+        w = *it.next()?;
+    }
+    let simple = !w.is_empty()
+        && w.iter().all(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        && !w[0].is_ascii_digit();
+    simple.then_some(w)
+}
+
+/// First `drop(name)` at or after `from`, before `to`.
+fn find_drop(bytes: &[u8], from: usize, to: usize, name: &[u8]) -> Option<usize> {
+    let hay = &bytes[from..to.min(bytes.len())];
+    let mut i = 0;
+    while i + 5 < hay.len() {
+        if &hay[i..i + 5] == b"drop("
+            && (i == 0 || !(hay[i - 1].is_ascii_alphanumeric() || hay[i - 1] == b'_'))
+        {
+            let mut j = i + 5;
+            while j < hay.len() && hay[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if hay[j..].starts_with(name) {
+                let k = j + name.len();
+                let mut k2 = k;
+                while k2 < hay.len() && hay[k2].is_ascii_whitespace() {
+                    k2 += 1;
+                }
+                if hay.get(k2) == Some(&b')')
+                    && !hay
+                        .get(k)
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                {
+                    return Some(from + i);
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whitespace-split words of a byte slice.
+fn split_words(bytes: &[u8]) -> Vec<&[u8]> {
+    bytes
+        .split(|b| b.is_ascii_whitespace())
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+/// End of the enclosing block: first `}` taking brace depth negative.
+fn block_end(bytes: &[u8], from: usize, bound: usize) -> usize {
+    let mut depth = 0i32;
+    let end = bound.min(bytes.len());
+    for (i, b) in bytes[..end].iter().enumerate().skip(from) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    bound.min(bytes.len())
+}
+
+/// Offset past the `}` matching the `{` at `open`.
+fn match_brace_fwd(bytes: &[u8], open: usize, bound: usize) -> usize {
+    let mut depth = 0i32;
+    let end = bound.min(bytes.len());
+    for (i, b) in bytes[..end].iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    bound.min(bytes.len())
+}
+
+/// End of the enclosing statement: first `;` at non-positive depth, or
+/// the end of the enclosing block.
+fn stmt_end(bytes: &[u8], from: usize, bound: usize) -> usize {
+    let mut paren = 0i32;
+    let mut brace = 0i32;
+    let end = bound.min(bytes.len());
+    for (i, b) in bytes[..end].iter().enumerate().skip(from) {
+        match b {
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren -= 1,
+            b'{' => brace += 1,
+            b'}' => {
+                brace -= 1;
+                if brace < 0 {
+                    return i;
+                }
+            }
+            b';' if paren <= 0 && brace <= 0 => return i + 1,
+            _ => {}
+        }
+    }
+    bound.min(bytes.len())
+}
+
+/// First non-whitespace byte at or after `i`.
+fn next_nonspace(bytes: &[u8], i: usize) -> Option<(u8, usize)> {
+    (i..bytes.len())
+        .find(|&j| !bytes[j].is_ascii_whitespace())
+        .map(|j| (bytes[j], j))
+}
+
+/// Last non-whitespace byte before `i`.
+fn prev_nonspace(bytes: &[u8], i: usize) -> Option<(u8, usize)> {
+    bytes[..i]
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map(|j| (bytes[j], j))
+}

@@ -1,0 +1,203 @@
+//! Panic-reachability: every `pub` item in library crates is checked for
+//! a transitive path to a panicking construct, with the offending call
+//! chain printed in the diagnostic.
+//!
+//! Two rules share the machinery:
+//!
+//! - `panic-reach` — explicit panics: `.unwrap()`, `.expect(…)`,
+//!   `panic!`, `unreachable!`, `todo!`, `unimplemented!`. Source and
+//!   root scope is every library crate except the exempt ones
+//!   (`obs`, `lint`) — this widens the lexical `no-panic` crate list to
+//!   `par`, `serve`, and `bench`, whose panics are reachable from the
+//!   serve fleet and the benchmark harness.
+//! - `index-reach` — unchecked slice/array indexing `expr[i]`. Indexing
+//!   is the *sanctioned* bounds idiom inside the numeric kernels
+//!   (`linalg`, `mlcore`, `textsim`, and the flat feature store's inner
+//!   loops), so sources are only counted in the orchestration crates
+//!   `core`, `datagen`, `par`, `serve`, where an out-of-bounds access
+//!   means a logic bug rather than a vetted hot loop.
+//!
+//! A site annotated `// alem-lint: allow(panic-reach) -- reason` (or the
+//! lexical `no-panic`, which vets the same construct) stops being a
+//! source for every path through it.
+
+use super::{route_to, walk_route, Semantic};
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Crates whose `pub` items must not reach an explicit panic.
+const PANIC_CRATES: &[&str] = &[
+    "bench", "core", "datagen", "linalg", "mlcore", "par", "serve", "textsim",
+];
+
+/// Crates where raw slice indexing counts as a panic source.
+const INDEX_CRATES: &[&str] = &["core", "datagen", "par", "serve"];
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keyword-adjacent `[` is an array literal/type, not indexing.
+const NONINDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while",
+];
+
+/// A direct panic source inside one symbol's body.
+struct Source {
+    /// Byte offset of the construct.
+    offset: usize,
+    /// Human label: `unwrap`, `panic!`, `slice index […]`.
+    kind: String,
+}
+
+/// Run both reachability rules over the workspace graph.
+pub fn run(sem: &Semantic) -> Vec<Finding> {
+    let ws = &sem.ws;
+    let mut findings = Vec::new();
+
+    // Direct sources per symbol, for each rule.
+    let mut panic_sources: BTreeMap<usize, Source> = BTreeMap::new();
+    let mut index_sources: BTreeMap<usize, Source> = BTreeMap::new();
+    for sym in 0..ws.symbols.len() {
+        if !sem.traversable(sym) {
+            continue;
+        }
+        let krate = ws.symbols[sym].krate.clone();
+        let file = ws.symbols[sym].file;
+        let lexed = &ws.files[file].lexed;
+        if PANIC_CRATES.contains(&krate.as_str()) {
+            for call in &ws.calls[sym] {
+                let kind = if call.is_macro && PANIC_MACROS.contains(&call.segs[0].as_str()) {
+                    format!("{}!", call.segs[0])
+                } else if call.method && (call.segs[0] == "unwrap" || call.segs[0] == "expect") {
+                    call.segs[0].clone()
+                } else {
+                    continue;
+                };
+                let (line, _) = lexed.position(call.offset);
+                if sem.allowed(file, &["panic-reach", "no-panic"], line) {
+                    continue;
+                }
+                panic_sources.entry(sym).or_insert(Source {
+                    offset: call.offset,
+                    kind,
+                });
+                break;
+            }
+        }
+        if INDEX_CRATES.contains(&krate.as_str()) {
+            if let Some(offset) = first_index_site(sem, sym) {
+                index_sources.insert(
+                    sym,
+                    Source {
+                        offset,
+                        kind: "slice index".to_string(),
+                    },
+                );
+            }
+        }
+    }
+
+    findings.extend(report(sem, "panic-reach", PANIC_CRATES, &panic_sources));
+    findings.extend(report(sem, "index-reach", INDEX_CRATES, &index_sources));
+    findings
+}
+
+/// BFS from every in-scope `pub` root toward the source set; one finding
+/// per root, carrying the shortest chain.
+fn report(
+    sem: &Semantic,
+    rule: &'static str,
+    root_crates: &[&str],
+    sources: &BTreeMap<usize, Source>,
+) -> Vec<Finding> {
+    let ws = &sem.ws;
+    let targets: Vec<usize> = sources.keys().copied().collect();
+    let route = route_to(ws, &targets, &|s| sem.traversable(s));
+    let mut findings = Vec::new();
+    for root in 0..ws.symbols.len() {
+        let s = &ws.symbols[root];
+        if !s.is_pub || !sem.traversable(root) || !root_crates.contains(&s.krate.as_str()) {
+            continue;
+        }
+        if route[root].is_none() {
+            continue;
+        }
+        let path = walk_route(&route, root);
+        let terminal = *path.last().expect("path starts at root");
+        let src = &sources[&terminal];
+        let (line, col) = ws.position_of(root);
+        let file = s.file;
+        if sem.allowed(file, &[rule], line) {
+            continue;
+        }
+        let mut chain: Vec<_> = path.iter().map(|&sym| sem.frame(sym, "")).collect();
+        let last = chain.last_mut().expect("non-empty chain");
+        let (src_line, _) = ws.file_of(terminal).lexed.position(src.offset);
+        last.line = src_line;
+        last.note = src.kind.clone();
+        let chain_text = chain
+            .iter()
+            .map(|f| f.symbol.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let what = if rule == "panic-reach" {
+            "a panic"
+        } else {
+            "an unchecked slice index"
+        };
+        let message = format!(
+            "pub API `{}` can reach {what}: {chain_text}: {}",
+            s.display, src.kind
+        );
+        findings.push(
+            Finding::new(rule, ws.file_of(root).rel.clone(), line, col, message).with_chain(chain),
+        );
+    }
+    findings
+}
+
+/// First raw-indexing site in a symbol's body, if any (allow-annotated
+/// lines excluded).
+fn first_index_site(sem: &Semantic, sym: usize) -> Option<usize> {
+    let ws = &sem.ws;
+    let file_idx = ws.symbols[sym].file;
+    let lexed = &ws.files[file_idx].lexed;
+    let bytes = lexed.code.as_bytes();
+    for (start, end) in ws.body_regions(sym) {
+        for i in start..end.min(bytes.len()) {
+            if bytes[i] != b'[' {
+                continue;
+            }
+            let Some(p) = bytes[..i].iter().rposition(|b| !b.is_ascii_whitespace()) else {
+                continue;
+            };
+            let prev = bytes[p];
+            let indexable =
+                prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']';
+            if !indexable {
+                continue;
+            }
+            // `return […]`, `in [...]` etc. are literals, not indexing.
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                let ws_start = bytes[..=p]
+                    .iter()
+                    .rposition(|b| !(b.is_ascii_alphanumeric() || *b == b'_'))
+                    .map(|q| q + 1)
+                    .unwrap_or(0);
+                let word = &lexed.code[ws_start..=p];
+                if NONINDEX_KEYWORDS.contains(&word) {
+                    continue;
+                }
+            }
+            let (line, _) = lexed.position(i);
+            if sem.allowed(file_idx, &["index-reach"], line) {
+                continue;
+            }
+            return Some(i);
+        }
+    }
+    None
+}

@@ -1,0 +1,161 @@
+//! Committed finding baseline.
+//!
+//! The semantic analyses surface pre-existing findings the moment they
+//! land; fixing every one in the same change as the analyzer would bury
+//! the analyzer diff. The baseline separates the two: findings whose
+//! *key* appears in the committed `lint-baseline.json` are counted but
+//! not reported, so CI gates on **new** findings only while the baseline
+//! is burned down in follow-up changes.
+//!
+//! Keys are built from the rule plus the chain's endpoint symbols and
+//! note — never line numbers — so unrelated edits (or moving a function
+//! within a file) do not invalidate the baseline; renaming or genuinely
+//! changing a flagged path does, which is exactly when re-review is due.
+
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// Baseline file name, resolved relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Schema version of the baseline file format.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The stable identity of a finding, independent of source positions.
+pub fn key(f: &Finding) -> String {
+    let anchor = f
+        .chain
+        .first()
+        .map(|fr| fr.symbol.as_str())
+        .unwrap_or(f.path.as_str());
+    let terminal = f.chain.last().map(|fr| fr.symbol.as_str()).unwrap_or("");
+    let note = f.chain.last().map(|fr| fr.note.as_str()).unwrap_or("");
+    format!("{}|{anchor}|{terminal}|{note}", f.rule)
+}
+
+/// Parse a baseline file into its key set. Tolerant by construction: the
+/// format is a JSON object whose `"findings"` array holds key strings,
+/// and anything unparseable yields the empty set (reported upstream as
+/// "no baseline").
+pub fn parse(src: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    let Some(arr_start) = src
+        .find("\"findings\"")
+        .and_then(|i| src[i..].find('[').map(|j| i + j + 1))
+    else {
+        return keys;
+    };
+    let bytes = src.as_bytes();
+    let mut i = arr_start;
+    while i < bytes.len() && bytes[i] != b']' {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let mut s = String::new();
+        i += 1;
+        while i < bytes.len() && bytes[i] != b'"' {
+            if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                let esc = bytes[i + 1];
+                s.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    other => other as char,
+                });
+                i += 2;
+            } else {
+                s.push(bytes[i] as char);
+                i += 1;
+            }
+        }
+        i += 1;
+        keys.insert(s);
+    }
+    keys
+}
+
+/// Render a key set as the committed baseline file.
+pub fn render(keys: &BTreeSet<String>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str("  \"findings\": [\n");
+    for (i, k) in keys.iter().enumerate() {
+        let sep = if i + 1 == keys.len() { "" } else { "," };
+        out.push_str(&format!("    \"{}\"{sep}\n", crate::json_escape(k)));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Split findings into `(new, baselined_count)`.
+pub fn apply(findings: Vec<Finding>, baseline: &BTreeSet<String>) -> (Vec<Finding>, usize) {
+    let mut fresh = Vec::new();
+    let mut matched = 0usize;
+    for f in findings {
+        if baseline.contains(&key(&f)) {
+            matched += 1;
+        } else {
+            fresh.push(f);
+        }
+    }
+    (fresh, matched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Frame};
+
+    fn finding(rule: &'static str, chain: Vec<(&str, &str)>) -> Finding {
+        Finding::new(rule, "crates/core/src/a.rs".into(), 3, 7, "m".into()).with_chain(
+            chain
+                .into_iter()
+                .map(|(sym, note)| Frame {
+                    symbol: sym.into(),
+                    path: "crates/core/src/a.rs".into(),
+                    line: 1,
+                    note: note.into(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn keys_use_chain_endpoints_not_lines() {
+        let f = finding(
+            "panic-reach",
+            vec![("core::a::f", ""), ("core::b::g", "unwrap")],
+        );
+        assert_eq!(key(&f), "panic-reach|core::a::f|core::b::g|unwrap");
+        let mut moved = f.clone();
+        moved.line = 99;
+        assert_eq!(key(&moved), key(&f));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let keys: BTreeSet<String> = ["a|b|c|d", "panic-reach|x::y|z::w|unwrap"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse(&render(&keys)), keys);
+        assert!(parse("not json").is_empty());
+    }
+
+    #[test]
+    fn apply_splits_new_from_baselined() {
+        let old = finding(
+            "panic-reach",
+            vec![("core::a::f", ""), ("core::b::g", "unwrap")],
+        );
+        let new = finding(
+            "panic-reach",
+            vec![("core::a::h", ""), ("core::b::g", "unwrap")],
+        );
+        let baseline: BTreeSet<String> = [key(&old)].into_iter().collect();
+        let (fresh, matched) = apply(vec![old, new.clone()], &baseline);
+        assert_eq!(matched, 1);
+        assert_eq!(fresh, vec![new]);
+    }
+}

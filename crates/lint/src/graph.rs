@@ -1,0 +1,700 @@
+//! Symbol table and cross-crate call graph.
+//!
+//! Built on [`crate::parse`]'s items, this module gives every function a
+//! workspace-unique symbol (`core::selector::margin::score_pool`,
+//! `serve::fleet::Fleet::dispatch`) and resolves the call sites inside
+//! each body to edges between symbols.
+//!
+//! Resolution is name-based and deliberately **over-approximate** — the
+//! analyses built on top are reachability checks, where a spurious edge
+//! costs a reviewable false positive (vetted by annotation or baseline)
+//! but a missing edge silently hides a real panic path:
+//!
+//! - qualified calls (`a::b::f(…)`, `Type::new(…)`) match any symbol
+//!   whose qualified path ends with the written segments, with
+//!   `alem_<k>` crate aliases mapped to crate dirs and `Self` mapped to
+//!   the caller's impl type;
+//! - bare calls (`helper(…)`) prefer the caller's module, then its
+//!   crate, then any free function of that name;
+//! - method calls (`.score_pool(…)`) match every impl/trait method of
+//!   that name anywhere in the workspace — dynamic dispatch without
+//!   type inference — except for a stoplist of ubiquitous std method
+//!   names (`map`, `get`, `len`, …) that would otherwise glue the graph
+//!   together through `Iterator`/`Vec` calls. Workspace methods that
+//!   share a stoplisted name lose incoming edges only; they are still
+//!   analyzed directly as roots, so nothing escapes enforcement.
+//!
+//! Test functions never receive edges from non-test code, and library
+//! symbols never call into bin/bench/test targets.
+
+use crate::parse::{FnItem, ParsedFile};
+use crate::rules::FileClass;
+use std::collections::BTreeMap;
+
+/// Ubiquitous std method names that are never linked as workspace edges.
+const METHOD_STOPLIST: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "binary_search_by",
+    "bytes",
+    "ceil",
+    "chain",
+    "chars",
+    "checked_add",
+    "checked_sub",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "extend",
+    "exp",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fmt",
+    "fold",
+    "for_each",
+    "from_bits",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "ln",
+    "lock",
+    "map",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "ne",
+    "next",
+    "nth",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "peekable",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "read",
+    "read_line",
+    "recv",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "rfind",
+    "round",
+    "saturating_add",
+    "saturating_sub",
+    "send",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "split_at",
+    "splitn",
+    "split_whitespace",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "sum",
+    "swap",
+    "take",
+    "to_bits",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "trim_end",
+    "trim_start",
+    "truncate",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// Keywords that look like bare calls (`if (…)`, `match (…)`).
+const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// One function symbol in the workspace.
+#[derive(Debug)]
+pub struct Symbol {
+    /// Index of the file in [`Workspace::files`].
+    pub file: usize,
+    /// Index of the item in that file's `fns`.
+    pub fn_idx: usize,
+    /// Fully qualified display path (`core::featurestore::FeatureStore::fill`).
+    pub display: String,
+    /// Qualified path as segments, for suffix matching.
+    pub qual: Vec<String>,
+    /// Bare function name.
+    pub name: String,
+    /// Crate directory name (`core`, `serve`); empty for root `tests/`
+    /// and `examples/` files.
+    pub krate: String,
+    /// Plain-`pub` visibility (reachability root candidate).
+    pub is_pub: bool,
+    /// Inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// Part of a library target (vs bin/bench/test).
+    pub is_lib: bool,
+}
+
+/// A call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments as written (single segment for bare/method calls).
+    pub segs: Vec<String>,
+    /// `.name(…)` method-call syntax.
+    pub method: bool,
+    /// `name!(…)` macro invocation.
+    pub is_macro: bool,
+    /// Byte offset of the first path segment.
+    pub offset: usize,
+}
+
+/// The parsed workspace: files, symbols, call sites, resolved edges.
+pub struct Workspace {
+    /// All parsed files, in input order.
+    pub files: Vec<ParsedFile>,
+    /// All function symbols.
+    pub symbols: Vec<Symbol>,
+    /// Per-symbol call sites (macro and function calls, unresolved).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Per-symbol resolved edges: `(callee symbol, call-site offset)`.
+    pub edges: Vec<Vec<(usize, usize)>>,
+    /// Lock-field names declared anywhere in the workspace.
+    pub lock_fields: Vec<String>,
+}
+
+impl Workspace {
+    /// The file a symbol lives in.
+    pub fn file_of(&self, sym: usize) -> &ParsedFile {
+        &self.files[self.symbols[sym].file]
+    }
+
+    /// The `FnItem` behind a symbol.
+    pub fn item_of(&self, sym: usize) -> &FnItem {
+        let s = &self.symbols[sym];
+        &self.files[s.file].fns[s.fn_idx]
+    }
+
+    /// `(line, col)` of a symbol's name identifier.
+    pub fn position_of(&self, sym: usize) -> (usize, usize) {
+        let s = &self.symbols[sym];
+        self.files[s.file]
+            .lexed
+            .position(self.item_of(sym).name_offset)
+    }
+
+    /// Body byte ranges of `sym` excluding nested function bodies, so
+    /// token scans attribute nested items to their own symbols.
+    pub fn body_regions(&self, sym: usize) -> Vec<(usize, usize)> {
+        let s = &self.symbols[sym];
+        let file = &self.files[s.file];
+        let Some((start, end)) = file.fns[s.fn_idx].body else {
+            return Vec::new();
+        };
+        let mut holes: Vec<(usize, usize)> = file
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| {
+                *i != s.fn_idx && f.body.is_some_and(|(bs, be)| bs > start && be <= end)
+            })
+            .filter_map(|(_, f)| f.body)
+            .collect();
+        holes.sort();
+        let mut regions = Vec::new();
+        let mut cur = start;
+        for (hs, he) in holes {
+            if hs > cur {
+                regions.push((cur, hs));
+            }
+            cur = cur.max(he);
+        }
+        if cur < end {
+            regions.push((cur, end));
+        }
+        regions
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Last non-whitespace byte before `off`, if any.
+fn prev_nonspace(code: &[u8], off: usize) -> Option<(u8, usize)> {
+    code[..off]
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map(|i| (code[i], i))
+}
+
+/// Extract all call sites in the given byte regions of `code`.
+pub fn extract_calls(code: &str, regions: &[(usize, usize)]) -> Vec<CallSite> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for &(start, end) in regions {
+        let mut i = start;
+        while i < end.min(bytes.len()) {
+            let b = bytes[i];
+            if !(b.is_ascii_alphabetic() || b == b'_') || (i > 0 && is_ident_byte(bytes[i - 1])) {
+                i += 1;
+                continue;
+            }
+            // Read the whole path: ident (:: ident)*.
+            let path_start = i;
+            let mut segs = Vec::new();
+            let mut j = i;
+            loop {
+                let seg_start = j;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                segs.push(code[seg_start..j].to_string());
+                // Continue through `::ident`; stop at `::<` (turbofish).
+                if j + 1 < bytes.len() && bytes[j] == b':' && bytes[j + 1] == b':' {
+                    let k = j + 2;
+                    if k < bytes.len() && (bytes[k].is_ascii_alphabetic() || bytes[k] == b'_') {
+                        j = k;
+                        continue;
+                    }
+                }
+                break;
+            }
+            // Skip a turbofish `::<…>` between path and `(`.
+            let mut k = j;
+            if k + 2 < bytes.len()
+                && bytes[k] == b':'
+                && bytes[k + 1] == b':'
+                && bytes[k + 2] == b'<'
+            {
+                let mut depth = 0usize;
+                k += 2;
+                while k < bytes.len() {
+                    match bytes[k] {
+                        b'<' => depth += 1,
+                        b'>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            let after = bytes.get(k).copied();
+            let first = segs[0].as_str();
+            if segs.len() == 1 && KEYWORDS.contains(&first) {
+                i = j;
+                continue;
+            }
+            let prev = prev_nonspace(bytes, path_start);
+            let method = prev.map(|(b, _)| b) == Some(b'.');
+            // `fn name(` is a declaration, not a call.
+            let declared = prev.is_some_and(|(_, pi)| {
+                let upto = &code[..pi + 1];
+                upto.ends_with("fn") && (pi < 2 || !is_ident_byte(bytes[pi - 2]))
+            });
+            match after {
+                Some(b'(') if !declared => out.push(CallSite {
+                    segs,
+                    method,
+                    is_macro: false,
+                    offset: path_start,
+                }),
+                // Macro call (skip `!=` comparisons).
+                Some(b'!')
+                    if segs.len() == 1 && !method && bytes.get(k + 1).copied() != Some(b'=') =>
+                {
+                    out.push(CallSite {
+                        segs,
+                        method,
+                        is_macro: true,
+                        offset: path_start,
+                    });
+                }
+                _ => {}
+            }
+            i = j.max(i + 1);
+        }
+    }
+    out
+}
+
+/// Build the workspace graph from parsed files.
+pub fn build(files: Vec<ParsedFile>) -> Workspace {
+    let mut symbols = Vec::new();
+    let mut lock_fields = Vec::new();
+    // Crate lib-name aliases: `alem_core` → `core`.
+    let mut aliases: BTreeMap<String, String> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        let krate = file.krate().unwrap_or("").to_string();
+        if !krate.is_empty() {
+            aliases.insert(format!("alem_{krate}"), krate.clone());
+        }
+        for lf in &file.lock_fields {
+            if !lock_fields.contains(lf) {
+                lock_fields.push(lf.clone());
+            }
+        }
+        let file_mods = file.file_modules();
+        let is_lib = matches!(file.class, FileClass::Lib { .. });
+        for (xi, f) in file.fns.iter().enumerate() {
+            let mut qual: Vec<String> = Vec::new();
+            if !krate.is_empty() {
+                qual.push(krate.clone());
+            }
+            qual.extend(file_mods.iter().cloned());
+            qual.extend(f.modules.iter().cloned());
+            if let Some(t) = &f.impl_type {
+                qual.push(t.clone());
+            }
+            qual.push(f.name.clone());
+            symbols.push(Symbol {
+                file: fi,
+                fn_idx: xi,
+                display: qual.join("::"),
+                qual,
+                name: f.name.clone(),
+                krate: krate.clone(),
+                is_pub: f.is_pub,
+                is_test: f.is_test,
+                is_lib,
+            });
+        }
+    }
+    lock_fields.sort();
+
+    let mut ws = Workspace {
+        files,
+        symbols,
+        calls: Vec::new(),
+        edges: Vec::new(),
+        lock_fields,
+    };
+
+    // Name index for resolution.
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, s) in ws.symbols.iter().enumerate() {
+        by_name.entry(s.name.clone()).or_default().push(i);
+    }
+
+    for sym in 0..ws.symbols.len() {
+        let regions = ws.body_regions(sym);
+        let code = &ws.file_of(sym).lexed.code;
+        let calls = extract_calls(code, &regions);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for call in &calls {
+            for callee in resolve(&ws, &by_name, &aliases, sym, call) {
+                edges.push((callee, call.offset));
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        ws.calls.push(calls);
+        ws.edges.push(edges);
+    }
+    ws
+}
+
+/// Resolve one call site to candidate callee symbols.
+fn resolve(
+    ws: &Workspace,
+    by_name: &BTreeMap<String, Vec<usize>>,
+    aliases: &BTreeMap<String, String>,
+    caller: usize,
+    call: &CallSite,
+) -> Vec<usize> {
+    if call.is_macro {
+        return Vec::new();
+    }
+    let from = &ws.symbols[caller];
+    let viable = |id: &&usize| -> bool {
+        let to = &ws.symbols[**id];
+        **id != caller
+            && (from.is_test || !to.is_test)
+            && (!from.is_lib || to.is_lib)
+            && ws.item_of(**id).body.is_some()
+    };
+
+    if call.method {
+        let name = call.segs[0].as_str();
+        if METHOD_STOPLIST.contains(&name) {
+            return Vec::new();
+        }
+        return by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .filter(viable)
+                    .filter(|id| ws.item_of(**id).impl_type.is_some())
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
+    }
+
+    // Normalize the written path.
+    let mut segs: Vec<String> = Vec::new();
+    for (i, s) in call.segs.iter().enumerate() {
+        match s.as_str() {
+            "crate" | "self" | "super" if i == 0 => {}
+            "Self" => {
+                if let Some(t) = &ws.item_of(caller).impl_type {
+                    segs.push(t.clone());
+                }
+            }
+            other => segs.push(
+                aliases
+                    .get(other)
+                    .cloned()
+                    .unwrap_or_else(|| other.to_string()),
+            ),
+        }
+    }
+    if segs.is_empty() {
+        return Vec::new();
+    }
+    let name = segs.last().cloned().unwrap_or_default();
+    let Some(ids) = by_name.get(name.as_str()) else {
+        return Vec::new();
+    };
+
+    if segs.len() == 1 {
+        // Bare call: same-module free fns, then same-crate, then anywhere.
+        let caller_file = from.file;
+        let caller_mods = &ws.item_of(caller).modules;
+        let free: Vec<usize> = ids
+            .iter()
+            .filter(viable)
+            .filter(|id| ws.item_of(**id).impl_type.is_none())
+            .copied()
+            .collect();
+        let same_module: Vec<usize> = free
+            .iter()
+            .filter(|id| {
+                ws.symbols[**id].file == caller_file && &ws.item_of(**id).modules == caller_mods
+            })
+            .copied()
+            .collect();
+        if !same_module.is_empty() {
+            return same_module;
+        }
+        let same_crate: Vec<usize> = free
+            .iter()
+            .filter(|id| ws.symbols[**id].krate == from.krate)
+            .copied()
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        return free;
+    }
+
+    // Qualified call: suffix match against the symbol's qualified path.
+    ids.iter()
+        .filter(viable)
+        .filter(|id| {
+            let q = &ws.symbols[**id].qual;
+            q.len() >= segs.len() && q[q.len() - segs.len()..] == segs[..]
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        build(
+            files
+                .iter()
+                .map(|(rel, src)| parse_file(rel, src))
+                .collect(),
+        )
+    }
+
+    fn sym(ws: &Workspace, display: &str) -> usize {
+        ws.symbols
+            .iter()
+            .position(|s| s.display == display)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no symbol {display}; have {:?}",
+                    ws.symbols.iter().map(|s| &s.display).collect::<Vec<_>>()
+                )
+            })
+    }
+
+    fn callees(ws: &Workspace, from: &str) -> Vec<String> {
+        let id = sym(ws, from);
+        ws.edges[id]
+            .iter()
+            .map(|(c, _)| ws.symbols[*c].display.clone())
+            .collect()
+    }
+
+    #[test]
+    fn bare_calls_prefer_module_then_crate() {
+        let w = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn f() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/core/src/b.rs", "fn helper() {}\n"),
+        ]);
+        assert_eq!(callees(&w, "core::a::f"), vec!["core::a::helper"]);
+    }
+
+    #[test]
+    fn qualified_calls_suffix_match_across_crates() {
+        let w = ws(&[
+            (
+                "crates/serve/src/fleet.rs",
+                "pub fn run() { alem_core::session::derive_rng(1); dataset::build(\"t\"); }\n",
+            ),
+            (
+                "crates/core/src/session/mod.rs",
+                "pub fn derive_rng(seed: u64) -> u64 { seed }\n",
+            ),
+            (
+                "crates/serve/src/dataset.rs",
+                "pub fn build(name: &str) -> usize { name.len() }\n",
+            ),
+        ]);
+        assert_eq!(
+            callees(&w, "serve::fleet::run"),
+            vec!["core::session::derive_rng", "serve::dataset::build"]
+        );
+    }
+
+    #[test]
+    fn method_calls_link_all_impls_but_not_stoplisted_names() {
+        let w = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn f(s: &dyn Strategy) { s.score_pool(); s.map(); }\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "impl Margin { pub fn score_pool(&self) {} }\n\
+                 impl Qbc { pub fn score_pool(&self) {} }\n\
+                 impl Par { pub fn map(&self) {} }\n",
+            ),
+        ]);
+        assert_eq!(
+            callees(&w, "core::a::f"),
+            vec!["core::b::Margin::score_pool", "core::b::Qbc::score_pool"]
+        );
+    }
+
+    #[test]
+    fn self_calls_resolve_to_impl_type() {
+        let w = ws(&[(
+            "crates/core/src/a.rs",
+            "impl Widget {\n    pub fn make() -> Self { Self::helper() }\n    fn helper() -> Self { Widget }\n}\n",
+        )]);
+        assert_eq!(
+            callees(&w, "core::a::Widget::make"),
+            vec!["core::a::Widget::helper"]
+        );
+    }
+
+    #[test]
+    fn lib_code_never_links_into_tests_or_bins() {
+        let w = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn f() { helper(); }\n#[cfg(test)]\nmod tests { pub fn helper() {} }\n",
+            ),
+            ("crates/core/src/bin/tool.rs", "pub fn helper() {}\n"),
+        ]);
+        assert!(callees(&w, "core::a::f").is_empty());
+    }
+
+    #[test]
+    fn macros_are_recorded_but_not_edges() {
+        let w = ws(&[(
+            "crates/core/src/a.rs",
+            "pub fn f() { panic!(\"x\"); g(); }\npub fn g() {}\n",
+        )]);
+        let id = sym(&w, "core::a::f");
+        assert!(w.calls[id]
+            .iter()
+            .any(|c| c.is_macro && c.segs == ["panic"]));
+        assert_eq!(callees(&w, "core::a::f"), vec!["core::a::g"]);
+    }
+}

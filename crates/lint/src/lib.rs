@@ -14,6 +14,16 @@
 //!   `vendor/` path dependencies only, and `select.*` telemetry naming in
 //!   selector modules.
 //!
+//! Two layers share one diagnostic surface:
+//!
+//! 1. **lexical** ([`rules`]) — per-file token-stream checks over the
+//!    comment/string-blanked code view;
+//! 2. **semantic** ([`analyses`]) — a lightweight item parser ([`parse`])
+//!    and cross-crate call graph ([`graph`]) drive interprocedural
+//!    passes: panic-reachability, determinism taint, and lock
+//!    discipline, each printing the full call chain / taint path and
+//!    gated against the committed [`baseline`].
+//!
 //! See [`rules`] for the full catalog and DESIGN.md §8 for the rationale,
 //! the allow-annotation grammar, and how to add a rule. The binary
 //! (`cargo run -p alem-lint`) prints rustc-style diagnostics, or machine
@@ -22,24 +32,35 @@
 //! Zero-dependency by design: a lint tool must not drag dependencies into
 //! the workspace it polices, and the build environment has no registry
 //! access (the same constraint that produced the `vendor/` shims and
-//! `alem-obs`).
+//! `alem-obs`). The parser and call graph are hand-rolled for the same
+//! reason — no `syn`, no rustc internals.
 //!
 //! [`RunResult::deterministic_fingerprint`]: ../alem_core/evaluator/struct.RunResult.html
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyses;
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod workspace;
 
 pub use rules::{
-    classify, lint_crate_root, lint_source, lint_workspace_manifest, FileClass, Finding,
+    classify, lint_crate_root, lint_source, lint_workspace_manifest, FileClass, Finding, Frame,
+    RuleMeta, Severity, RULES,
 };
-pub use workspace::{find_workspace_root, lint_workspace, Report};
+pub use workspace::{find_workspace_root, lint_workspace, lint_workspace_with, Options, Report};
+
+/// `--json` report schema version. Version 2 added the top-level report
+/// object (`schema_version`, `files_scanned`, `baselined`) and the
+/// per-finding `chain` array of `{symbol, path, line, note}` frames.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
 
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -55,22 +76,55 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render findings as a JSON array (machine output for CI).
+fn finding_to_json(f: &Finding) -> String {
+    let mut row = format!(
+        "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"",
+        json_escape(f.rule),
+        match rules::severity_of(f.rule) {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        },
+        json_escape(&f.path),
+        f.line,
+        f.col,
+        json_escape(&f.message)
+    );
+    if !f.chain.is_empty() {
+        let frames: Vec<String> = f
+            .chain
+            .iter()
+            .map(|fr| {
+                format!(
+                    "{{\"symbol\":\"{}\",\"path\":\"{}\",\"line\":{},\"note\":\"{}\"}}",
+                    json_escape(&fr.symbol),
+                    json_escape(&fr.path),
+                    fr.line,
+                    json_escape(&fr.note)
+                )
+            })
+            .collect();
+        row.push_str(&format!(",\"chain\":[{}]", frames.join(",")));
+    }
+    row.push('}');
+    row
+}
+
+/// Render findings as a JSON array (legacy shape, kept for tooling that
+/// predates the versioned report object).
 pub fn findings_to_json(findings: &[Finding]) -> String {
-    let rows: Vec<String> = findings
-        .iter()
-        .map(|f| {
-            format!(
-                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
-                json_escape(f.rule),
-                json_escape(&f.path),
-                f.line,
-                f.col,
-                json_escape(&f.message)
-            )
-        })
-        .collect();
+    let rows: Vec<String> = findings.iter().map(finding_to_json).collect();
     format!("[{}]", rows.join(",\n "))
+}
+
+/// Render a whole report as the versioned JSON object CI consumes.
+pub fn report_to_json(report: &Report) -> String {
+    format!(
+        "{{\"schema_version\":{},\"files_scanned\":{},\"baselined\":{},\"findings\":{}}}",
+        JSON_SCHEMA_VERSION,
+        report.files_scanned,
+        report.baselined,
+        findings_to_json(&report.findings)
+    )
 }
 
 #[cfg(test)]
@@ -79,22 +133,69 @@ mod tests {
 
     #[test]
     fn json_output_is_escaped_and_parseable_shape() {
-        let findings = vec![Finding {
-            rule: "no-panic",
-            path: "crates/core/src/a \"b\".rs".into(),
-            line: 3,
-            col: 7,
-            message: "line1\nline2".into(),
-        }];
+        let findings = vec![Finding::new(
+            "no-panic",
+            "crates/core/src/a \"b\".rs".into(),
+            3,
+            7,
+            "line1\nline2".into(),
+        )];
         let json = findings_to_json(&findings);
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\\\"b\\\""));
         assert!(json.contains("\\n"));
+        assert!(json.contains("\"severity\":\"error\""));
         assert!(!json.contains('\n') || json.contains("\\n"));
     }
 
     #[test]
     fn empty_findings_render_empty_array() {
         assert_eq!(findings_to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn chained_findings_serialize_frames() {
+        let finding = Finding::new(
+            "panic-reach",
+            "crates/core/src/a.rs".into(),
+            1,
+            8,
+            "pub API can reach a panic".into(),
+        )
+        .with_chain(vec![
+            Frame {
+                symbol: "core::a::f".into(),
+                path: "crates/core/src/a.rs".into(),
+                line: 1,
+                note: String::new(),
+            },
+            Frame {
+                symbol: "core::b::g".into(),
+                path: "crates/core/src/b.rs".into(),
+                line: 9,
+                note: "unwrap".into(),
+            },
+        ]);
+        let json = findings_to_json(std::slice::from_ref(&finding));
+        assert!(json.contains("\"chain\":["), "{json}");
+        assert!(json.contains("\"symbol\":\"core::b::g\""), "{json}");
+        assert!(json.contains("\"note\":\"unwrap\""), "{json}");
+        let rendered = finding.to_string();
+        assert!(rendered.contains("core::a::f"), "{rendered}");
+        assert!(rendered.contains("— unwrap"), "{rendered}");
+    }
+
+    #[test]
+    fn report_object_is_versioned() {
+        let report = Report {
+            findings: Vec::new(),
+            files_scanned: 12,
+            baselined: 3,
+        };
+        let json = report_to_json(&report);
+        assert!(json.contains("\"schema_version\":2"), "{json}");
+        assert!(json.contains("\"files_scanned\":12"), "{json}");
+        assert!(json.contains("\"baselined\":3"), "{json}");
+        assert!(json.ends_with("\"findings\":[]}"), "{json}");
     }
 }

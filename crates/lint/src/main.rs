@@ -1,23 +1,42 @@
 //! `alem-lint` binary: scan the workspace and report invariant violations.
 //!
 //! ```text
-//! alem-lint [--root DIR] [--json]
+//! alem-lint [--root DIR] [--json] [--no-semantic] [--no-baseline]
+//!           [--baseline FILE] [--write-baseline]
 //! ```
+//!
+//! The default run executes both layers — per-file lexical rules and the
+//! interprocedural analyses — and subtracts the committed
+//! `lint-baseline.json`, so the exit code reflects **new** findings only.
+//! `--write-baseline` regenerates that file from the current tree.
 //!
 //! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 
+use alem_lint::{baseline, Options};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut opts = Options::default();
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--no-semantic" => opts.semantic = false,
+            "--no-baseline" => opts.apply_baseline = false,
+            "--write-baseline" => write_baseline = true,
+            "--baseline" => match args.next() {
+                Some(file) => opts.baseline_path = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("alem-lint: --baseline needs a file");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -26,9 +45,12 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: alem-lint [--root DIR] [--json]");
-                println!("Enforces the workspace's determinism, no-panic, and hygiene rules.");
-                println!("See DESIGN.md §8 for the rule catalog and the allow-annotation grammar.");
+                println!("usage: alem-lint [--root DIR] [--json] [--no-semantic] [--no-baseline]");
+                println!("                 [--baseline FILE] [--write-baseline]");
+                println!("Enforces the workspace's determinism, no-panic, and hygiene rules,");
+                println!("plus the interprocedural panic-reach / determinism-taint /");
+                println!("lock-discipline analyses. See DESIGN.md §8 for the rule catalog,");
+                println!("the allow-annotation grammar, and the baseline workflow.");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -50,7 +72,34 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match alem_lint::lint_workspace(&root) {
+    if write_baseline {
+        // Regenerate the committed baseline from the full finding set.
+        opts.apply_baseline = false;
+        let report = match alem_lint::lint_workspace_with(&root, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("alem-lint: scanning {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let keys = report.findings.iter().map(baseline::key).collect();
+        let path = opts
+            .baseline_path
+            .clone()
+            .unwrap_or_else(|| root.join(baseline::BASELINE_FILE));
+        if let Err(e) = std::fs::write(&path, baseline::render(&keys)) {
+            eprintln!("alem-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "alem-lint: wrote {} baseline key(s) to {}",
+            keys.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match alem_lint::lint_workspace_with(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("alem-lint: scanning {}: {e}", root.display());
@@ -59,15 +108,16 @@ fn main() -> ExitCode {
     };
 
     if json {
-        println!("{}", alem_lint::findings_to_json(&report.findings));
+        println!("{}", alem_lint::report_to_json(&report));
     } else {
         for f in &report.findings {
             println!("{f}\n");
         }
     }
     eprintln!(
-        "alem-lint: {} finding(s) in {} file(s) scanned",
+        "alem-lint: {} finding(s) ({} baselined) in {} file(s) scanned",
         report.findings.len(),
+        report.baselined,
         report.files_scanned
     );
     if report.findings.is_empty() {

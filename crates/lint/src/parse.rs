@@ -1,0 +1,521 @@
+//! A lightweight item parser for the semantic pass.
+//!
+//! The lexer (PR 3) answers "what kind of byte is this"; this module
+//! answers "what *item* does this byte belong to". It is deliberately not
+//! a Rust parser — no `syn`, no rustc, the same zero-dependency
+//! discipline as the lexer — just a single forward scan over the blanked
+//! code view that tracks brace nesting and recognizes the four item
+//! shapes the analyses need:
+//!
+//! - `mod name { … }` — inline module nesting (file-level module paths
+//!   come from the workspace-relative path);
+//! - `impl [Trait for] Type { … }` — the self type that qualifies
+//!   method symbols (`FeatureStore::fill`);
+//! - `trait Name { … }` — default-bodied trait methods become
+//!   `Name::method` symbols so dynamic dispatch resolves somewhere;
+//! - `fn name(…) { … }` — the function items themselves, with their
+//!   visibility, body span, and `#[cfg(test)]` status.
+//!
+//! Everything subtler than that (generics, where clauses, closures,
+//! nested items) is *skipped correctly* rather than understood: generic
+//! argument lists are balanced with `->`-aware angle matching, bodies are
+//! balanced with brace matching (safe because the code view has no
+//! comment or string contents), and nested functions are attributed to
+//! their own symbols, not their parent's.
+
+use crate::lexer::{lex, Lexed};
+use crate::rules::{classify, FileClass};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name (`fill`, `score_pool`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type, if any (`FeatureStore`).
+    pub impl_type: Option<String>,
+    /// Inline `mod` nesting inside the file (outermost first).
+    pub modules: Vec<String>,
+    /// True only for plain `pub` (not `pub(crate)`/`pub(super)`) — the
+    /// externally reachable API surface the reachability analyses root at.
+    pub is_pub: bool,
+    /// Byte offset of the function's name identifier (diagnostic anchor).
+    pub name_offset: usize,
+    /// Byte range of the body including braces; `None` for bodyless trait
+    /// method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the definition line sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// Parse result for one source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path (unix separators).
+    pub rel: String,
+    /// How the file participates in the build (reuses the lexical
+    /// classifier so the two layers can never disagree on scope).
+    pub class: FileClass,
+    /// All functions, in file order.
+    pub fns: Vec<FnItem>,
+    /// Names of struct/static fields declared as `Mutex<…>`/`RwLock<…>`
+    /// (`sessions: Mutex<…>` → `"sessions"`) — the lock classes the
+    /// discipline analysis tracks by name.
+    pub lock_fields: Vec<String>,
+    /// The lex result (blanked code, positions, test lines, comments).
+    pub lexed: Lexed,
+}
+
+impl ParsedFile {
+    /// The crate directory name for `crates/<k>/…` paths.
+    pub fn krate(&self) -> Option<&str> {
+        self.rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+    }
+
+    /// File-level module path derived from the workspace-relative path:
+    /// `crates/core/src/selector/margin.rs` → `["selector", "margin"]`,
+    /// `crates/core/src/session/mod.rs` → `["session"]`, `src/lib.rs` → `[]`.
+    pub fn file_modules(&self) -> Vec<String> {
+        let Some(rest) = self.rel.strip_prefix("crates/") else {
+            return Vec::new();
+        };
+        let mut parts: Vec<&str> = rest.split('/').collect();
+        // crates/<k>/src/<…>/<file>.rs
+        if parts.len() < 3 || parts[1] != "src" {
+            return Vec::new();
+        }
+        parts.drain(..2);
+        let file = parts.pop().unwrap_or_default();
+        let mut mods: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        let stem = file.strip_suffix(".rs").unwrap_or(file);
+        if !matches!(stem, "lib" | "mod" | "main") {
+            mods.push(stem.to_string());
+        }
+        mods
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Read the identifier starting at `i`, if any.
+fn ident_at(code: &[u8], i: usize) -> Option<(String, usize)> {
+    if i >= code.len() || !(code[i].is_ascii_alphabetic() || code[i] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    while j < code.len() && is_ident_byte(code[j]) {
+        j += 1;
+    }
+    Some((String::from_utf8_lossy(&code[i..j]).into_owned(), j))
+}
+
+fn skip_ws(code: &[u8], mut i: usize) -> usize {
+    while i < code.len() && code[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Skip a balanced `<…>` generic list starting at `i` (which must point
+/// at `<`). `->` arrows inside (`F: Fn() -> u32`) do not close the list.
+fn skip_generics(code: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < code.len() {
+        match code[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && code[i - 1] == b'-' => {} // `->` arrow
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip a balanced `(…)` list starting at `i` (which must point at `(`).
+fn skip_parens(code: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < code.len() {
+        match code[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Find the matching `}` for the `{` at `i`.
+fn match_brace(code: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < code.len() {
+        match code[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Extract the self-type name from an `impl` header (the text between
+/// `impl` and `{`): the last path segment of the implemented-on type.
+fn impl_self_type(header: &str) -> Option<String> {
+    let mut rest = header.trim();
+    // Strip `impl`'s generic parameters: `<T: Foo>` directly after impl.
+    if rest.starts_with('<') {
+        let bytes = rest.as_bytes();
+        let end = skip_generics(bytes, 0);
+        rest = rest[end.min(rest.len())..].trim();
+    }
+    // `Trait for Type` → keep the Type side.
+    if let Some(pos) = rest.find(" for ") {
+        rest = rest[pos + 5..].trim();
+    }
+    // `&mut Type` / `dyn Type` → the type itself.
+    rest = rest.trim_start_matches('&').trim_start();
+    for prefix in ["mut ", "dyn "] {
+        rest = rest.strip_prefix(prefix).unwrap_or(rest).trim_start();
+    }
+    // Drop trailing generics/where and take the last path segment.
+    let cut = rest.find(['<', '{']).unwrap_or(rest.len());
+    let path = rest[..cut].trim().trim_end_matches("::");
+    let seg = path.rsplit("::").next().unwrap_or(path).trim();
+    let name: String = seg
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// What kind of scope a `{` opened.
+#[derive(Debug, Clone, PartialEq)]
+enum Scope {
+    Mod(String),
+    Impl(Option<String>),
+    Trait(String),
+    Fn,
+    Block,
+}
+
+/// Parse one source file into its items. `rel` must use unix separators.
+pub fn parse_file(rel: &str, source: &str) -> ParsedFile {
+    let lexed = lex(source);
+    let class = classify(rel);
+    let code = lexed.code.as_bytes().to_vec();
+    let mut fns = Vec::new();
+    let mut lock_fields = Vec::new();
+
+    // Scope stack: (scope, mods-so-far snapshot not needed — recompute on
+    // the fly from the stack itself).
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut pending: Option<Scope> = None;
+    // Statement-prelude start: offset just after the last `;`/`{`/`}` at
+    // the current level, used to look up visibility for `fn` items.
+    let mut prelude_start = 0usize;
+
+    let mut i = 0usize;
+    while i < code.len() {
+        let b = code[i];
+        match b {
+            b'{' => {
+                stack.push(pending.take().unwrap_or(Scope::Block));
+                prelude_start = i + 1;
+                i += 1;
+            }
+            b'}' => {
+                stack.pop();
+                pending = None;
+                prelude_start = i + 1;
+                i += 1;
+            }
+            b';' => {
+                pending = None;
+                prelude_start = i + 1;
+                i += 1;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let at_word_start = i == 0 || !is_ident_byte(code[i - 1]);
+                if !at_word_start {
+                    i += 1;
+                    continue;
+                }
+                let Some((word, after)) = ident_at(&code, i) else {
+                    i += 1;
+                    continue;
+                };
+                match word.as_str() {
+                    "mod" => {
+                        let j = skip_ws(&code, after);
+                        if let Some((name, _)) = ident_at(&code, j) {
+                            pending = Some(Scope::Mod(name));
+                        }
+                        i = after;
+                    }
+                    "trait" => {
+                        let j = skip_ws(&code, after);
+                        if let Some((name, _)) = ident_at(&code, j) {
+                            pending = Some(Scope::Trait(name));
+                        }
+                        i = after;
+                    }
+                    "impl" => {
+                        // Header runs to the opening `{` (angle-aware so
+                        // `impl Foo<Bar<Baz>>` survives) or a `;`.
+                        let mut j = after;
+                        while j < code.len() && code[j] != b'{' && code[j] != b';' {
+                            if code[j] == b'<' {
+                                j = skip_generics(&code, j);
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        let header = String::from_utf8_lossy(&code[after..j.min(code.len())]);
+                        pending = Some(Scope::Impl(impl_self_type(&header)));
+                        i = j;
+                    }
+                    "fn" => {
+                        let j = skip_ws(&code, after);
+                        let Some((name, name_end)) = ident_at(&code, j) else {
+                            // `fn(...)` pointer type — not an item.
+                            i = after;
+                            continue;
+                        };
+                        let name_offset = j;
+                        // Visibility: the statement prelude (attributes,
+                        // qualifiers) before `fn` — `pub` as a whole word,
+                        // not `pub(crate)`.
+                        let prelude =
+                            String::from_utf8_lossy(&code[prelude_start.min(i)..i]).into_owned();
+                        let is_pub = prelude
+                            .split_whitespace()
+                            .any(|w| w == "pub" || w.starts_with("pub<"));
+                        // Skip generics then params then scan to `{`/`;`.
+                        let mut k = skip_ws(&code, name_end);
+                        if k < code.len() && code[k] == b'<' {
+                            k = skip_generics(&code, k);
+                        }
+                        k = skip_ws(&code, k);
+                        if k < code.len() && code[k] == b'(' {
+                            k = skip_parens(&code, k);
+                        }
+                        // Return type / where clause: parens balanced,
+                        // braces absent until the body opens.
+                        while k < code.len() && code[k] != b'{' && code[k] != b';' {
+                            if code[k] == b'(' {
+                                k = skip_parens(&code, k);
+                            } else if code[k] == b'<' {
+                                k = skip_generics(&code, k);
+                            } else {
+                                k += 1;
+                            }
+                        }
+                        let (def_line, _) = lexed.position(name_offset);
+                        let modules: Vec<String> = stack
+                            .iter()
+                            .filter_map(|s| match s {
+                                Scope::Mod(m) => Some(m.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        let impl_type = stack.iter().rev().find_map(|s| match s {
+                            Scope::Impl(t) => t.clone(),
+                            Scope::Trait(t) => Some(t.clone()),
+                            _ => None,
+                        });
+                        let body = if k < code.len() && code[k] == b'{' {
+                            Some((k, match_brace(&code, k) + 1))
+                        } else {
+                            None
+                        };
+                        fns.push(FnItem {
+                            name,
+                            impl_type,
+                            modules,
+                            is_pub,
+                            name_offset,
+                            body,
+                            is_test: lexed.is_test_line(def_line),
+                        });
+                        if body.is_some() {
+                            pending = Some(Scope::Fn);
+                        }
+                        i = k;
+                    }
+                    "Mutex" | "RwLock" => {
+                        // Field declaration `name: Mutex<…>` (not
+                        // `Arc<Mutex<…>>`, whose Mutex follows `<`).
+                        let before = lexed.code[..i].trim_end();
+                        let before = before.strip_suffix("sync::").unwrap_or(before);
+                        let before = before.strip_suffix("std::").unwrap_or(before).trim_end();
+                        if let Some(prefix) = before.strip_suffix(':') {
+                            let prefix = prefix.trim_end();
+                            if !prefix.ends_with(':') {
+                                let field: String = prefix
+                                    .chars()
+                                    .rev()
+                                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                                    .collect::<String>()
+                                    .chars()
+                                    .rev()
+                                    .collect();
+                                if !field.is_empty() && !lock_fields.contains(&field) {
+                                    lock_fields.push(field);
+                                }
+                            }
+                        }
+                        i = after;
+                    }
+                    _ => {
+                        i = after;
+                    }
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    lock_fields.sort();
+    ParsedFile {
+        rel: rel.to_string(),
+        class,
+        fns,
+        lock_fields,
+        lexed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_with_modules_impls_and_visibility() {
+        let src = r#"
+pub fn top(x: u32) -> u32 { x }
+pub(crate) fn crate_only() {}
+mod inner {
+    pub fn nested() {}
+}
+impl Widget {
+    pub fn method(&self) -> usize { self.n }
+    fn private_method(&self) {}
+}
+impl fmt::Display for Widget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+}
+trait Scorer {
+    fn decl(&self) -> f64;
+    fn with_default(&self) -> f64 { 0.0 }
+}
+"#;
+        let p = parse_file("crates/core/src/widget.rs", src);
+        let by_name = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("top").is_pub);
+        assert!(!by_name("crate_only").is_pub);
+        assert_eq!(by_name("nested").modules, vec!["inner"]);
+        assert_eq!(by_name("method").impl_type.as_deref(), Some("Widget"));
+        assert!(by_name("method").is_pub);
+        assert!(!by_name("private_method").is_pub);
+        assert_eq!(by_name("fmt").impl_type.as_deref(), Some("Widget"));
+        assert!(by_name("decl").body.is_none());
+        assert!(by_name("with_default").body.is_some());
+        assert_eq!(by_name("with_default").impl_type.as_deref(), Some("Scorer"));
+    }
+
+    #[test]
+    fn generic_signatures_and_where_clauses_parse() {
+        let src = "pub fn fan_out<F: Fn(usize) -> f64>(n: usize, f: F) -> Vec<f64>\n\
+                   where F: Sync {\n    (0..n).map(|i| f(i)).collect()\n}\n\
+                   pub fn after() {}\n";
+        let p = parse_file("crates/core/src/g.rs", src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "fan_out");
+        assert!(p.fns[0].body.is_some());
+        assert_eq!(p.fns[1].name, "after");
+    }
+
+    #[test]
+    fn nested_fns_get_their_own_bodies() {
+        let src = "pub fn outer() {\n    fn helper() { inner_call(); }\n    helper();\n}\n";
+        let p = parse_file("crates/core/src/n.rs", src);
+        assert_eq!(p.fns.len(), 2);
+        let outer = &p.fns[0];
+        let helper = &p.fns[1];
+        let (os, oe) = outer.body.unwrap();
+        let (hs, he) = helper.body.unwrap();
+        assert!(os < hs && he < oe, "helper nests inside outer");
+    }
+
+    #[test]
+    fn test_region_functions_are_marked() {
+        let src = "pub fn lib_fn() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let p = parse_file("crates/core/src/t.rs", src);
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+    }
+
+    #[test]
+    fn lock_fields_are_collected_top_level_only() {
+        let src = "struct Fleet {\n    corpora: Mutex<BTreeMap<String, u32>>,\n    \
+                   sessions: Mutex<BTreeMap<String, Arc<Mutex<Session>>>>,\n    \
+                   stats: std::sync::RwLock<Stats>,\n    plain: u32,\n}\n\
+                   static GLOBAL: Mutex<Vec<u8>> = Mutex::new(Vec::new());\n";
+        let p = parse_file("crates/serve/src/f.rs", src);
+        assert_eq!(
+            p.lock_fields,
+            vec!["GLOBAL", "corpora", "sessions", "stats"]
+        );
+    }
+
+    #[test]
+    fn file_module_paths_derive_from_rel() {
+        let p = parse_file("crates/core/src/selector/margin.rs", "");
+        assert_eq!(p.file_modules(), vec!["selector", "margin"]);
+        let p = parse_file("crates/core/src/session/mod.rs", "");
+        assert_eq!(p.file_modules(), vec!["session"]);
+        let p = parse_file("crates/core/src/lib.rs", "");
+        assert!(p.file_modules().is_empty());
+        assert_eq!(p.krate(), Some("core"));
+    }
+
+    #[test]
+    fn impl_headers_resolve_self_types() {
+        assert_eq!(impl_self_type(" Widget "), Some("Widget".into()));
+        assert_eq!(impl_self_type("<T: Foo> Holder<T> "), Some("Holder".into()));
+        assert_eq!(
+            impl_self_type(" Strategy for MarginSvm<'_> "),
+            Some("MarginSvm".into())
+        );
+        assert_eq!(
+            impl_self_type(" fmt::Display for error::AlemError "),
+            Some("AlemError".into())
+        );
+    }
+}

@@ -137,6 +137,110 @@ pub fn classify(rel: &str) -> FileClass {
     FileClass::Skip
 }
 
+/// Default severity of a rule, rendered in diagnostics. Severity is
+/// presentational: the exit code and the CI gate count every
+/// non-baselined finding regardless of severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Violates a hard invariant.
+    Error,
+    /// Worth a look; over-approximation is expected.
+    Warning,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// Registry entry for one rule: identifier, default severity, one-line
+/// rationale.
+pub struct RuleMeta {
+    /// Rule identifier (`no-panic`, `panic-reach`, …).
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description of the guarded invariant.
+    pub doc: &'static str,
+}
+
+/// Register the rule catalog in one table: identifier, severity, doc,
+/// and — for per-file lexical rules — the dispatch function `lint_source`
+/// drives. Semantic (interprocedural) and structural (crate-root,
+/// manifest, walker-level) rules register metadata only; their drivers
+/// live in [`crate::analyses`] and the dedicated entry points.
+macro_rules! rules {
+    ($($id:literal { severity: $sev:ident $(, dispatch: $run:expr)? $(,)? }: $doc:literal),+ $(,)?) => {
+        /// Every rule the linter can emit.
+        pub const RULES: &[RuleMeta] = &[
+            $(RuleMeta { id: $id, severity: Severity::$sev, doc: $doc }),+
+        ];
+        /// Lexical rules dispatched per file, in registration order.
+        const LEXICAL_RULES: &[fn(&mut Ctx<'_>, &FileClass)] = &[
+            $($($run,)?)+
+        ];
+    };
+}
+
+rules! {
+    "determinism-rng" { severity: Error, dispatch: rule_determinism_rng }:
+        "ambient RNG/time sources would silently break deterministic fingerprints",
+    "determinism-time" { severity: Error, dispatch: rule_determinism_time }:
+        "library timing flows through alem_obs::Span::finish(), not Instant::now()",
+    "determinism-hash-iter" { severity: Error, dispatch: rule_hash_iter }:
+        "core library code orders its maps (BTree or sorted); hash iteration varies per process",
+    "no-panic" { severity: Error, dispatch: rule_no_panic }:
+        "no-panic crates route failures through AlemError, never unwrap/expect/panic!",
+    "par-only-threads" { severity: Error, dispatch: rule_par_only_threads }:
+        "threads are created only inside crates/par (Parallelism / supervised::spawn)",
+    "flat-feature-store" { severity: Error, dispatch: rule_flat_feature_store }:
+        "core allocates no Vec<Vec<f64>> feature matrix outside core::featurestore",
+    "obs-naming" { severity: Error, dispatch: rule_obs_naming_dispatch }:
+        "telemetry names stay inside registered families; trace ids arrive on the wire",
+    "bad-allow" { severity: Error }:
+        "an alem-lint allow annotation must state a non-empty reason",
+    "forbid-unsafe" { severity: Error }:
+        "every crate root carries #![forbid(unsafe_code)]",
+    "vendor-path-deps" { severity: Error }:
+        "workspace dependencies resolve to offline vendor/ or crates/ paths",
+    "panic-reach" { severity: Error }:
+        "no pub library API has a transitive call path to unwrap/expect/panic!",
+    "index-reach" { severity: Warning }:
+        "no pub orchestration API reaches unchecked slice indexing (kernels exempt)",
+    "determinism-taint" { severity: Error }:
+        "no nondeterminism source reaches a fingerprint-relevant sink along the call graph",
+    "lock-discipline" { severity: Error }:
+        "no IO/serialization/cyclic lock acquisition while a registry/fleet/session guard is live",
+}
+
+/// Default severity of a rule id (unknown ids default to error).
+pub fn severity_of(rule: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|r| r.id == rule)
+        .map(|r| r.severity)
+        .unwrap_or(Severity::Error)
+}
+
+/// One hop of a call chain or taint path attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Fully qualified symbol (`core::session::Session::step`).
+    pub symbol: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line (the symbol's definition, or the offending site for
+    /// the terminal frame).
+    pub line: usize,
+    /// Terminal annotation (`unwrap`, `ambient rng`, …); empty for
+    /// intermediate hops.
+    pub note: String,
+}
+
 /// One diagnostic produced by the linter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -150,17 +254,52 @@ pub struct Finding {
     pub col: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Interprocedural call chain / taint path (empty for lexical rules).
+    pub chain: Vec<Frame>,
+}
+
+impl Finding {
+    /// Construct a chainless finding.
+    pub fn new(rule: &'static str, path: String, line: usize, col: usize, message: String) -> Self {
+        Finding {
+            rule,
+            path,
+            line,
+            col,
+            message,
+            chain: Vec::new(),
+        }
+    }
+
+    /// Attach an interprocedural chain.
+    pub fn with_chain(mut self, chain: Vec<Frame>) -> Self {
+        self.chain = chain;
+        self
+    }
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
-        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+        writeln!(
+            f,
+            "{}[{}]: {}",
+            severity_of(self.rule).label(),
+            self.rule,
+            self.message
+        )?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
+        for fr in &self.chain {
+            write!(f, "\n  = {} ({}:{})", fr.symbol, fr.path, fr.line)?;
+            if !fr.note.is_empty() {
+                write!(f, " — {}", fr.note)?;
+            }
+        }
+        Ok(())
     }
 }
 
 /// Per-file allow annotations: rule → lines where it is suppressed.
-struct Allows {
+pub(crate) struct Allows {
     by_rule: BTreeMap<String, Vec<usize>>,
     bad: Vec<(usize, String)>,
 }
@@ -168,7 +307,7 @@ struct Allows {
 /// Parse `// alem-lint: allow(<rule>) -- <reason>` annotations. The
 /// suppression covers the comment's own line and the next line (so the
 /// annotation can sit inline or on the line above the flagged code).
-fn parse_allows(lexed: &Lexed) -> Allows {
+pub(crate) fn parse_allows(lexed: &Lexed) -> Allows {
     let mut by_rule: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     let mut bad = Vec::new();
     for c in &lexed.comments {
@@ -206,7 +345,7 @@ fn parse_allows(lexed: &Lexed) -> Allows {
 }
 
 impl Allows {
-    fn covers(&self, rule: &str, line: usize) -> bool {
+    pub(crate) fn covers(&self, rule: &str, line: usize) -> bool {
         self.by_rule.get(rule).is_some_and(|ls| ls.contains(&line))
     }
 }
@@ -261,26 +400,16 @@ impl Ctx<'_> {
         if self.allows.covers(rule, line) {
             return;
         }
-        self.findings.push(Finding {
-            rule,
-            path: self.rel.to_string(),
-            line,
-            col,
-            message,
-        });
+        self.findings
+            .push(Finding::new(rule, self.rel.to_string(), line, col, message));
     }
 
     fn report_at_line(&mut self, rule: &'static str, line: usize, message: String) {
         if self.allows.covers(rule, line) {
             return;
         }
-        self.findings.push(Finding {
-            rule,
-            path: self.rel.to_string(),
-            line,
-            col: 1,
-            message,
-        });
+        self.findings
+            .push(Finding::new(rule, self.rel.to_string(), line, 1, message));
     }
 }
 
@@ -305,26 +434,8 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
         ctx.report_at_line("bad-allow", *line, msg.clone());
     }
 
-    rule_determinism_rng(&mut ctx);
-    if !rel.starts_with("crates/par/") {
-        rule_par_only_threads(&mut ctx);
-    }
-    if let FileClass::Lib { krate } = &class {
-        if krate != "obs" {
-            rule_determinism_time(&mut ctx);
-        }
-        if krate == "core" {
-            rule_hash_iter(&mut ctx);
-            if rel != "crates/core/src/featurestore.rs" {
-                rule_flat_feature_store(&mut ctx);
-            }
-        }
-        if NO_PANIC_CRATES.contains(&krate.as_str()) {
-            rule_no_panic(&mut ctx);
-        }
-    }
-    if let Some(policy) = obs_naming_policy(rel) {
-        rule_obs_naming(&mut ctx, &policy);
+    for rule in LEXICAL_RULES {
+        rule(&mut ctx, &class);
     }
 
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -334,7 +445,7 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
 /// `thread_rng` / `from_entropy` / `SystemTime` anywhere in the workspace
 /// (including tests and benches — a nondeterministic test is a flaky
 /// test).
-fn rule_determinism_rng(ctx: &mut Ctx<'_>) {
+fn rule_determinism_rng(ctx: &mut Ctx<'_>, _class: &FileClass) {
     for word in ["thread_rng", "from_entropy", "SystemTime"] {
         for off in ident_occurrences(&ctx.lexed.code, word) {
             ctx.report(
@@ -358,7 +469,10 @@ fn rule_determinism_rng(ctx: &mut Ctx<'_>) {
 /// (accept loops, per-connection workers) must go through
 /// `alem_par::supervised::spawn`, which names the thread and contains its
 /// panics as data instead of silently unwinding a detached worker.
-fn rule_par_only_threads(ctx: &mut Ctx<'_>) {
+fn rule_par_only_threads(ctx: &mut Ctx<'_>, _class: &FileClass) {
+    if ctx.rel.starts_with("crates/par/") {
+        return;
+    }
     for word in ["spawn", "scope", "Builder"] {
         for off in ident_occurrences(&ctx.lexed.code, word) {
             let before = preceding_code(&ctx.lexed.code, off);
@@ -384,7 +498,13 @@ fn rule_par_only_threads(ctx: &mut Ctx<'_>) {
 
 /// `Instant::now()` in library code — timing must come from
 /// `Span::finish()` so enabling/disabling telemetry cannot skew results.
-fn rule_determinism_time(ctx: &mut Ctx<'_>) {
+fn rule_determinism_time(ctx: &mut Ctx<'_>, class: &FileClass) {
+    let FileClass::Lib { krate } = class else {
+        return;
+    };
+    if krate == "obs" {
+        return;
+    }
     for off in ident_occurrences(&ctx.lexed.code, "Instant") {
         let after = off + "Instant".len();
         let rest = &ctx.lexed.code[after..];
@@ -407,7 +527,14 @@ fn rule_determinism_time(ctx: &mut Ctx<'_>) {
 /// order varies per process, which is exactly the kind of drift
 /// `deterministic_fingerprint` exists to catch; membership-only uses that
 /// provably never iterate may carry an allow annotation.
-fn rule_hash_iter(ctx: &mut Ctx<'_>) {
+fn rule_hash_iter(ctx: &mut Ctx<'_>, class: &FileClass) {
+    if *class
+        != (FileClass::Lib {
+            krate: "core".to_string(),
+        })
+    {
+        return;
+    }
     for word in ["HashMap", "HashSet"] {
         for off in ident_occurrences(&ctx.lexed.code, word) {
             let (line, _) = ctx.lexed.position(off);
@@ -444,7 +571,15 @@ fn is_nested_vec_f64(code: &str, off: usize) -> bool {
 /// `core::featurestore`. The flat SoA [`FeatureStore`] is the one
 /// feature-matrix representation: a row-per-`Vec` matrix defeats its
 /// cache-friendly layout and the per-pair lazy memoization built on it.
-fn rule_flat_feature_store(ctx: &mut Ctx<'_>) {
+fn rule_flat_feature_store(ctx: &mut Ctx<'_>, class: &FileClass) {
+    if *class
+        != (FileClass::Lib {
+            krate: "core".to_string(),
+        })
+        || ctx.rel == "crates/core/src/featurestore.rs"
+    {
+        return;
+    }
     for off in ident_occurrences(&ctx.lexed.code, "Vec") {
         if !is_nested_vec_f64(&ctx.lexed.code, off) {
             continue;
@@ -465,7 +600,13 @@ fn rule_flat_feature_store(ctx: &mut Ctx<'_>) {
 }
 
 /// Panicking constructs in library targets of the no-panic crates.
-fn rule_no_panic(ctx: &mut Ctx<'_>) {
+fn rule_no_panic(ctx: &mut Ctx<'_>, class: &FileClass) {
+    let FileClass::Lib { krate } = class else {
+        return;
+    };
+    if !NO_PANIC_CRATES.contains(&krate.as_str()) {
+        return;
+    }
     for method in ["unwrap", "expect"] {
         for off in ident_occurrences(&ctx.lexed.code, method) {
             let (line, _) = ctx.lexed.position(off);
@@ -513,6 +654,12 @@ fn rule_no_panic(ctx: &mut Ctx<'_>) {
 /// register the policy's required counter (if any). Hard-coded trace ids
 /// (`trace_scope(Some("..."))` outside tests) are flagged too: trace ids
 /// belong to the caller, not the instrumented code.
+fn rule_obs_naming_dispatch(ctx: &mut Ctx<'_>, _class: &FileClass) {
+    if let Some(policy) = obs_naming_policy(ctx.rel) {
+        rule_obs_naming(ctx, &policy);
+    }
+}
+
 fn rule_obs_naming(ctx: &mut Ctx<'_>, policy: &ObsNamingPolicy) {
     const CALLS: &[&str] = &["span(", "counter_add(", "gauge_set("];
     let mut registers_required = policy.required_counter.is_none();
@@ -582,14 +729,13 @@ pub fn lint_crate_root(rel: &str, source: &str) -> Vec<Finding> {
     if lexed.code.contains("#![forbid(unsafe_code)]") {
         return Vec::new();
     }
-    vec![Finding {
-        rule: "forbid-unsafe",
-        path: rel.to_string(),
-        line: 1,
-        col: 1,
-        message: "crate root is missing `#![forbid(unsafe_code)]` (workspace hygiene rule)"
-            .to_string(),
-    }]
+    vec![Finding::new(
+        "forbid-unsafe",
+        rel.to_string(),
+        1,
+        1,
+        "crate root is missing `#![forbid(unsafe_code)]` (workspace hygiene rule)".to_string(),
+    )]
 }
 
 /// Manifest hygiene: every `[workspace.dependencies]` entry must resolve
@@ -611,16 +757,16 @@ pub fn lint_workspace_manifest(rel: &str, source: &str) -> Vec<Finding> {
             continue;
         }
         let name = line.split('=').next().unwrap_or("").trim();
-        findings.push(Finding {
-            rule: "vendor-path-deps",
-            path: rel.to_string(),
-            line: i + 1,
-            col: 1,
-            message: format!(
+        findings.push(Finding::new(
+            "vendor-path-deps",
+            rel.to_string(),
+            i + 1,
+            1,
+            format!(
                 "workspace dependency `{name}` is not a `vendor/`/`crates/` path dep; \
                  the build environment has no registry access (see vendor/README.md)"
             ),
-        });
+        ));
     }
     findings
 }

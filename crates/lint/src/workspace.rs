@@ -1,16 +1,33 @@
 //! Workspace discovery and whole-tree linting.
+//!
+//! The walker is the one place file discovery happens: it skips build
+//! output, vendored shims, fixtures, and results wholesale, refuses to
+//! follow directory symlinks (a cycle or an out-of-tree link must not
+//! grow the scan set), and de-duplicates files reachable through more
+//! than one path — with multiple `path = "…"` dependencies onto the same
+//! crate, naive walking would lint (and count) a file once per route.
 
+use crate::analyses;
+use crate::baseline;
 use crate::rules::{self, Finding};
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Directories never descended into.
+/// Directories never descended into, at any depth.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "results"];
 
 /// Recursively collect `.rs` files under `dir`, returning paths relative
 /// to `root` with unix separators, in sorted (deterministic) order.
-fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+/// `seen` holds canonical paths of files already collected, so a file
+/// reachable through several routes (path deps, links) is scanned once.
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    seen: &mut BTreeSet<PathBuf>,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
@@ -20,19 +37,26 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> 
             .file_name()
             .and_then(|n| n.to_str())
             .unwrap_or_default();
+        let is_symlink = path.symlink_metadata().is_ok_and(|m| m.is_symlink());
         if path.is_dir() {
-            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') || is_symlink {
                 continue;
             }
-            collect_rs(root, &path, out)?;
+            collect_rs(root, &path, seen, out)?;
         } else if name.ends_with(".rs") {
+            let canonical = fs::canonicalize(&path).unwrap_or_else(|_| path.clone());
+            if !seen.insert(canonical) {
+                continue;
+            }
             if let Ok(rel) = path.strip_prefix(root) {
                 let rel = rel
                     .components()
                     .map(|c| c.as_os_str().to_string_lossy())
                     .collect::<Vec<_>>()
                     .join("/");
-                out.push(rel);
+                if !out.contains(&rel) {
+                    out.push(rel);
+                }
             }
         }
     }
@@ -42,25 +66,60 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> 
 /// Summary of a whole-workspace lint pass.
 #[derive(Debug)]
 pub struct Report {
-    /// All findings, sorted by path then line.
+    /// All non-baselined findings, sorted by path then line.
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Findings suppressed by the committed baseline.
+    pub baselined: usize,
 }
 
-/// Lint the workspace rooted at `root`: every non-vendored `.rs` source,
-/// every crate root (for `forbid-unsafe`), and the root manifest (for
-/// `vendor-path-deps`).
+/// Knobs for [`lint_workspace_with`].
+pub struct Options {
+    /// Run the interprocedural analyses (call graph, panic-reach, taint,
+    /// lock discipline) in addition to the per-file lexical rules.
+    pub semantic: bool,
+    /// Subtract the committed baseline from the findings. Disabled when
+    /// regenerating the baseline itself.
+    pub apply_baseline: bool,
+    /// Baseline file; `None` means `<root>/lint-baseline.json`.
+    pub baseline_path: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            semantic: true,
+            apply_baseline: true,
+            baseline_path: None,
+        }
+    }
+}
+
+/// Lint the workspace rooted at `root` with default options.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
-    collect_rs(root, root, &mut files)?;
+    lint_workspace_with(root, &Options::default())
+}
+
+/// Lint the workspace rooted at `root`: every non-vendored `.rs` source
+/// (lexical rules, then the semantic analyses over the whole set), every
+/// crate root (for `forbid-unsafe`), and the root manifest (for
+/// `vendor-path-deps`).
+pub fn lint_workspace_with(root: &Path, opts: &Options) -> io::Result<Report> {
+    let mut rels = Vec::new();
+    collect_rs(root, root, &mut BTreeSet::new(), &mut rels)?;
 
     let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for rel in &files {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for rel in &rels {
         let source = fs::read_to_string(root.join(rel))?;
-        files_scanned += 1;
         findings.extend(rules::lint_source(rel, &source));
+        sources.push((rel.clone(), source));
+    }
+    let files_scanned = sources.len();
+
+    if opts.semantic {
+        findings.extend(analyses::analyze_files(&sources));
     }
 
     // Crate roots: lib.rs when present, else main.rs.
@@ -99,11 +158,26 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         findings.extend(rules::lint_workspace_manifest("Cargo.toml", &source));
     }
 
+    let mut baselined = 0usize;
+    if opts.apply_baseline {
+        let path = opts
+            .baseline_path
+            .clone()
+            .unwrap_or_else(|| root.join(baseline::BASELINE_FILE));
+        if let Ok(text) = fs::read_to_string(&path) {
+            let keys = baseline::parse(&text);
+            let (fresh, matched) = baseline::apply(findings, &keys);
+            findings = fresh;
+            baselined = matched;
+        }
+    }
+
     findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(Report {
         findings,
         files_scanned,
+        baselined,
     })
 }
 

@@ -31,6 +31,41 @@ fn workspace_has_zero_findings() {
     );
 }
 
+/// The baseline is a warning parking lot, not an error amnesty: with the
+/// baseline ignored, everything the semantic pass reports on the real
+/// workspace must be an `index-reach` warning (the vetted hot-path
+/// indexing inventory). A single error-severity finding here means a real
+/// panic path, taint path, or lock-discipline breach slipped in.
+#[test]
+fn baseline_holds_only_index_reach_warnings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace two levels up");
+    let opts = alem_lint::Options {
+        semantic: true,
+        apply_baseline: false,
+        baseline_path: None,
+    };
+    let report = alem_lint::lint_workspace_with(root, &opts).expect("workspace scan succeeds");
+    let errors: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule != "index-reach")
+        .map(ToString::to_string)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "non-baselineable finding(s) on the real workspace:\n{}",
+        errors.join("\n")
+    );
+    // And the baseline actually earns its keep: the warning inventory is
+    // non-empty, and the default run suppresses exactly those findings.
+    assert!(!report.findings.is_empty(), "baseline should not be empty");
+    let gated = alem_lint::lint_workspace(root).expect("workspace scan succeeds");
+    assert_eq!(gated.baselined, report.findings.len());
+}
+
 #[test]
 fn workspace_root_is_discoverable() {
     let here = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");

@@ -362,7 +362,8 @@ impl Registry {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        let run = json_escape(&inner.run_id.lock().unwrap());
+        let run = inner.run_id.lock().unwrap().clone();
+        let run = json_escape(&run);
         let last_iter = inner.iter.load(Ordering::Relaxed);
         let (events, hists) = {
             let state = inner.state.lock().unwrap();

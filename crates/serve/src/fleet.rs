@@ -572,6 +572,7 @@ impl Fleet {
         let mut s = sess.lock();
         if matches!(s.state, SessState::Live(_)) {
             let call = catch_unwind(AssertUnwindSafe(|| -> Result<(), AlemError> {
+                // alem-lint: allow(panic-reach) -- deliberate crash-injection op; the panic is caught by catch_unwind and settled as session state
                 panic!("crash op requested for session '{name}'");
             }));
             self.settle(&mut s, call);
