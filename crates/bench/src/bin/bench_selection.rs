@@ -221,10 +221,11 @@ fn run_mode(
     let t0 = Instant::now();
     let par = Parallelism::fixed(threads);
     let (corpus, _fx) = if lazy_corpus {
-        Corpus::from_dataset_lazy_with(ds, blocking, &par)
+        Corpus::from_candidates_lazy_with(ds, blocking, &par)
     } else {
-        Corpus::from_dataset_with(ds, blocking, &par)
-    };
+        Corpus::from_candidates_with(ds, blocking, &par)
+    }
+    .expect("blocking config streams valid candidates");
     let build_secs = t0.elapsed().as_secs_f64();
     let oracle = Oracle::perfect(corpus.truths().to_vec());
     let config = SessionConfig {
@@ -472,7 +473,8 @@ fn main() {
         let blocking = BlockingConfig {
             jaccard_threshold: cfg.blocking_threshold,
         };
-        let (corpus, _fx) = Corpus::from_dataset_with(&ds, &blocking, &Parallelism::default());
+        let (corpus, _fx) = Corpus::from_candidates_with(&ds, &blocking, &Parallelism::default())
+            .expect("blocking config streams valid candidates");
         println!("{}: pairs={} dim={}", d.name(), corpus.len(), corpus.dim());
         let mut runs = Vec::new();
         let mut identical = true;

@@ -69,13 +69,14 @@ fn main() {
         let cfg = d.config(scale);
         let t0 = Instant::now();
         let ds = datagen::generate(&cfg, 42);
-        let (corpus, _fx) = Corpus::from_dataset_with(
+        let (corpus, _fx) = Corpus::from_candidates_with(
             &ds,
             &BlockingConfig {
                 jaccard_threshold: cfg.blocking_threshold,
             },
             &parallelism,
-        );
+        )
+        .expect("blocking config streams valid candidates");
         println!(
             "{}: pairs={} skew={:.3} dim={} prep={:?}",
             d.name(),

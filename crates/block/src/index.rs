@@ -1,0 +1,181 @@
+//! Shared inverted-index machinery behind [`TokenIndex`](crate::TokenIndex)
+//! and [`QGramIndex`](crate::QGramIndex): a parallel index build over the
+//! right table and a blocked, parallel probe over the left table that
+//! emits candidate pairs in strictly increasing `(left, right)` order.
+//!
+//! Determinism: the index is an ordered `BTreeMap` whose posting lists
+//! are ascending by construction (chunks are merged in chunk order, and
+//! chunk ranges ascend); the probe visits left records in order and sorts
+//! each record's candidates before the accept test. Thread count only
+//! moves chunk boundaries, never the emitted sequence.
+
+use alem_core::error::AlemError;
+use alem_core::schema::{Pair, Table};
+use alem_obs::Registry;
+use alem_par::{chunks, Parallelism};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Record-key extractor: the sorted, deduplicated index keys of one
+/// record (tokens for [`TokenIndex`](crate::TokenIndex), q-grams for
+/// [`QGramIndex`](crate::QGramIndex)).
+pub(crate) type KeyFn<'a> = &'a (dyn Fn(&Table, usize) -> Vec<String> + Sync);
+
+/// Accept test: `(overlap, left_key_count, right_key_count)` → keep pair.
+/// `right_key_count` is the record's *full* distinct-key count, including
+/// keys whose posting lists were skipped by the frequency cap — so
+/// Jaccard denominators stay exact and capping can only lose candidates,
+/// never invent them.
+pub(crate) type AcceptFn<'a> = &'a (dyn Fn(u32, usize, u32) -> bool + Sync);
+
+/// One worker's slice of the index build: its postings plus the
+/// per-record distinct-key counts for its range.
+type IndexPartial = (BTreeMap<String, Vec<u32>>, Vec<u32>);
+
+/// Inverted index over the right table's record keys.
+pub(crate) struct InvertedIndex {
+    /// Key → ascending right-record ids.
+    postings: BTreeMap<String, Vec<u32>>,
+    /// Full distinct-key count per right record (union denominator).
+    key_count: Vec<u32>,
+    /// Posting lists dropped by the frequency cap.
+    skipped: u64,
+}
+
+impl InvertedIndex {
+    /// Build the index in parallel. Posting lists longer than
+    /// `max_postings` (stop-tokens, ultra-frequent q-grams) are dropped
+    /// deterministically — length is a pure function of the data.
+    pub(crate) fn build(
+        right: &Table,
+        keys: KeyFn<'_>,
+        par: &Parallelism,
+        max_postings: usize,
+    ) -> Self {
+        let ranges = chunks(right.len(), par.threads());
+        let partials: Vec<IndexPartial> = par.map(&ranges, |range| {
+            let mut postings: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+            let mut key_count = Vec::with_capacity(range.len());
+            for r in range.clone() {
+                let ks = keys(right, r);
+                key_count.push(ks.len() as u32);
+                for k in ks {
+                    postings.entry(k).or_default().push(r as u32);
+                }
+            }
+            (postings, key_count)
+        });
+        let mut postings: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        let mut key_count: Vec<u32> = Vec::with_capacity(right.len());
+        for (part, counts) in partials {
+            for (k, mut ids) in part {
+                postings.entry(k).or_default().append(&mut ids);
+            }
+            key_count.extend(counts);
+        }
+        let mut skipped = 0u64;
+        if max_postings < usize::MAX {
+            postings.retain(|_, ids| {
+                if ids.len() > max_postings {
+                    skipped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        InvertedIndex {
+            postings,
+            key_count,
+            skipped,
+        }
+    }
+
+    /// Number of distinct keys indexed (after capping).
+    pub(crate) fn keys_indexed(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Posting lists dropped by the frequency cap.
+    pub(crate) fn keys_skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Probe every left record against the index in blocks of
+    /// `probe_block` records, fanning each block out over `par` and
+    /// emitting one sink chunk per block. The pair sequence is strictly
+    /// increasing in `(left, right)` for any thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_stream(
+        &self,
+        left: &Table,
+        keys: KeyFn<'_>,
+        accept: AcceptFn<'_>,
+        par: &Parallelism,
+        probe_block: usize,
+        obs: &Registry,
+        sink: &mut dyn FnMut(&[Pair]) -> Result<(), AlemError>,
+    ) -> Result<(), AlemError> {
+        let n_left = left.len();
+        let n_right = self.key_count.len();
+        let block = probe_block.max(1);
+        let mut start = 0usize;
+        let mut block_pairs: Vec<Pair> = Vec::new();
+        while start < n_left {
+            let end = (start + block).min(n_left);
+            let span = obs.span("block.probe");
+            let sub: Vec<Range<usize>> = chunks(end - start, par.threads())
+                .into_iter()
+                .map(|r| r.start + start..r.end + start)
+                .collect();
+            let parts: Vec<Vec<Pair>> = par.map(&sub, |range| {
+                // Per-worker dense overlap counts, reset via the
+                // `touched` list: O(|right|) once per chunk, no hashing
+                // in the hot loop.
+                let mut out = Vec::new();
+                let mut overlap = vec![0u32; n_right];
+                let mut touched: Vec<u32> = Vec::new();
+                for l in range.clone() {
+                    let lkeys = keys(left, l);
+                    if lkeys.is_empty() {
+                        continue;
+                    }
+                    for k in &lkeys {
+                        if let Some(rs) = self.postings.get(k.as_str()) {
+                            for &r in rs {
+                                if overlap[r as usize] == 0 {
+                                    touched.push(r);
+                                }
+                                overlap[r as usize] += 1;
+                            }
+                        }
+                    }
+                    // Ascending right ids keep the whole stream sorted
+                    // without a global sort.
+                    touched.sort_unstable();
+                    for &r in &touched {
+                        let inter = overlap[r as usize];
+                        overlap[r as usize] = 0;
+                        if accept(inter, lkeys.len(), self.key_count[r as usize]) {
+                            out.push((l as u32, r));
+                        }
+                    }
+                    touched.clear();
+                }
+                out
+            });
+            span.finish();
+            block_pairs.clear();
+            for part in parts {
+                block_pairs.extend(part);
+            }
+            obs.counter_add("block.records_probed", (end - start) as u64);
+            obs.counter_add("block.pairs_emitted", block_pairs.len() as u64);
+            if !block_pairs.is_empty() {
+                sink(&block_pairs)?;
+            }
+            start = end;
+        }
+        Ok(())
+    }
+}

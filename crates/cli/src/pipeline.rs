@@ -298,7 +298,7 @@ pub fn cmd_match(args: &Args) -> CliResult {
     }
     eprintln!("[alem] {} candidate pairs after blocking", pairs.len());
     let featurize_span = obs.span("featurize");
-    let (corpus, _fx) = Corpus::from_dataset_with(&ds, &blocking, &parallelism);
+    let (corpus, _fx) = Corpus::from_candidates_with(&ds, &blocking, &parallelism)?;
     featurize_span.finish();
 
     let budget: usize = args
@@ -463,7 +463,7 @@ pub fn cmd_predict(args: &Args) -> CliResult {
         model.kind(),
         pairs.len()
     );
-    let (corpus, _fx) = Corpus::from_dataset(&ds, &blocking);
+    let (corpus, _fx) = Corpus::from_candidates(&ds, &blocking)?;
 
     let mut out_rows = vec![vec!["left_row".to_owned(), "right_row".to_owned()]];
     for i in 0..corpus.len() {

@@ -6,9 +6,18 @@
 //! 0.1875 on Abt-Buy/DBLP-ACM/DBLP-Scholar, 0.12 on Amazon-GoogleProducts
 //! and 0.16 on Cora/Walmart-Amazon. An inverted index over tokens avoids
 //! materializing the Cartesian product (DBLP-Scholar's is 168M pairs).
+//!
+//! [`BlockingConfig`] is *one* implementation of the
+//! [`CandidateSource`](crate::candidates::CandidateSource) seam — the
+//! paper-faithful baseline. The scale-out strategies (parallel token
+//! index, q-gram index, sorted-neighborhood, minhash-LSH) live in the
+//! `alem-block` crate, which re-exports this type for convenience.
 
+use crate::candidates::{CandidateSource, DEFAULT_CHUNK};
+use crate::error::AlemError;
 use crate::schema::{EmDataset, Pair, Table};
 use std::collections::BTreeMap;
+use std::convert::Infallible;
 
 /// Configuration of the offline blocking step.
 #[derive(Debug, Clone, Copy)]
@@ -44,40 +53,78 @@ fn record_tokens(table: &Table, idx: usize) -> Vec<String> {
     toks
 }
 
+/// Inverted index over right-table tokens plus per-record token counts —
+/// everything a Jaccard probe needs to score a left record without the
+/// right side's token vectors staying resident.
+struct RightIndex {
+    /// Token → sorted right-record ids. Ordered map: candidate generation
+    /// iterates it indirectly, and hash-ordered iteration anywhere on
+    /// this path would make the pair list (and with it every downstream
+    /// fingerprint) depend on hasher state.
+    postings: BTreeMap<String, Vec<u32>>,
+    /// Distinct-token count per right record (the union denominator).
+    token_count: Vec<u32>,
+}
+
+impl RightIndex {
+    fn build(right: &Table) -> Self {
+        let mut postings: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        let mut token_count = Vec::with_capacity(right.len());
+        for r in 0..right.len() {
+            let toks = record_tokens(right, r);
+            token_count.push(toks.len() as u32);
+            for t in toks {
+                postings.entry(t).or_default().push(r as u32);
+            }
+        }
+        RightIndex {
+            postings,
+            token_count,
+        }
+    }
+}
+
 impl BlockingConfig {
     /// Compute the post-blocking candidate pairs of `ds`.
     ///
-    /// Returns pairs sorted by `(left, right)` for reproducibility.
+    /// Returns pairs sorted by `(left, right)` for reproducibility. The
+    /// left table is tokenized one record at a time during the probe —
+    /// peak memory is the right-side index, never both sides' token
+    /// vectors (see [`BlockingConfig::stream`] for the chunked form).
     pub fn block(&self, ds: &EmDataset) -> Vec<Pair> {
-        let left_tokens: Vec<Vec<String>> = (0..ds.left.len())
-            .map(|i| record_tokens(&ds.left, i))
-            .collect();
-        let right_tokens: Vec<Vec<String>> = (0..ds.right.len())
-            .map(|i| record_tokens(&ds.right, i))
-            .collect();
-
-        // Inverted index over right-table tokens. Ordered map: candidate
-        // generation below iterates it indirectly, and hash-ordered
-        // iteration anywhere on this path would make the pair list (and
-        // with it every downstream fingerprint) depend on hasher state.
-        let mut index: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
-        for (r, toks) in right_tokens.iter().enumerate() {
-            for t in toks {
-                index.entry(t.as_str()).or_default().push(r as u32);
-            }
-        }
-
         let mut pairs: Vec<Pair> = Vec::new();
+        match self.probe_each::<Infallible>(ds, &mut |p| {
+            pairs.push(p);
+            Ok(())
+        }) {
+            Ok(()) => pairs,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Probe every left record against the right-side inverted index,
+    /// emitting surviving pairs in strictly increasing `(left, right)`
+    /// order. Generic over the emitter's error so the infallible
+    /// [`BlockingConfig::block`] pays no error-handling tax.
+    fn probe_each<E>(
+        &self,
+        ds: &EmDataset,
+        emit: &mut dyn FnMut(Pair) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let index = RightIndex::build(&ds.right);
         // Dense per-left-record overlap counts, reset via the `touched`
         // list: O(|right|) memory once, no hashing in the hot loop.
         let mut overlap: Vec<u32> = vec![0; ds.right.len()];
         let mut touched: Vec<u32> = Vec::new();
-        for (l, ltoks) in left_tokens.iter().enumerate() {
+        for l in 0..ds.left.len() {
+            // Left-side tokenization is streamed per record: tokens live
+            // only for the duration of this probe.
+            let ltoks = record_tokens(&ds.left, l);
             if ltoks.is_empty() {
                 continue;
             }
-            for t in ltoks {
-                if let Some(rs) = index.get(t.as_str()) {
+            for t in &ltoks {
+                if let Some(rs) = index.postings.get(t.as_str()) {
                     for &r in rs {
                         if overlap[r as usize] == 0 {
                             touched.push(r);
@@ -86,18 +133,55 @@ impl BlockingConfig {
                     }
                 }
             }
+            // Candidates are emitted in ascending right-id order so the
+            // overall stream is sorted without a global sort at the end.
+            touched.sort_unstable();
             for &r in &touched {
                 let inter = overlap[r as usize];
                 overlap[r as usize] = 0;
-                let union = ltoks.len() + right_tokens[r as usize].len() - inter as usize;
+                let union = ltoks.len() + index.token_count[r as usize] as usize - inter as usize;
                 if union > 0 && f64::from(inter) / union as f64 >= self.jaccard_threshold {
-                    pairs.push((l as u32, r));
+                    emit((l as u32, r))?;
                 }
             }
             touched.clear();
         }
-        pairs.sort_unstable();
-        pairs
+        Ok(())
+    }
+}
+
+impl CandidateSource for BlockingConfig {
+    fn describe(&self) -> String {
+        format!("token-jaccard(t={})", self.jaccard_threshold)
+    }
+
+    fn size_hint(&self, ds: &EmDataset) -> (usize, Option<usize>) {
+        // No candidate count is known without probing; the Cartesian
+        // product bounds it from above when it fits in a usize.
+        (0, usize::try_from(ds.total_pairs()).ok())
+    }
+
+    fn stream(
+        &self,
+        ds: &EmDataset,
+        sink: &mut dyn FnMut(&[Pair]) -> Result<(), AlemError>,
+    ) -> Result<(), AlemError> {
+        let mut buf: Vec<Pair> = Vec::with_capacity(DEFAULT_CHUNK);
+        self.probe_each::<AlemError>(ds, &mut |p| {
+            buf.push(p);
+            if buf.len() == DEFAULT_CHUNK {
+                let out = sink(&buf);
+                buf.clear();
+                out
+            } else {
+                Ok(())
+            }
+        })?;
+        if buf.is_empty() {
+            Ok(())
+        } else {
+            sink(&buf)
+        }
     }
 }
 
@@ -206,6 +290,42 @@ mod tests {
         assert_eq!(s.matches_retained, 2);
         assert!(s.class_skew > 0.0);
         assert_eq!(s.post_blocking_pairs, pairs.len());
+    }
+
+    #[test]
+    fn stream_concatenates_to_block() {
+        let ds = dataset();
+        let cfg = BlockingConfig {
+            jaccard_threshold: 0.1,
+        };
+        let mut streamed: Vec<Pair> = Vec::new();
+        let mut chunks = 0usize;
+        cfg.stream(&ds, &mut |chunk| {
+            assert!(!chunk.is_empty());
+            streamed.extend_from_slice(chunk);
+            chunks += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert!(chunks >= 1);
+        assert_eq!(streamed, cfg.block(&ds));
+        assert_eq!(
+            CandidateSource::collect_pairs(&cfg, &ds).unwrap(),
+            cfg.block(&ds)
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_threshold() {
+        let ds = dataset();
+        let lo = BlockingConfig {
+            jaccard_threshold: 0.1,
+        };
+        let hi = BlockingConfig {
+            jaccard_threshold: 0.9,
+        };
+        assert_ne!(lo.fingerprint(&ds).unwrap(), hi.fingerprint(&ds).unwrap());
+        assert_eq!(lo.fingerprint(&ds).unwrap(), lo.fingerprint(&ds).unwrap());
     }
 
     #[test]

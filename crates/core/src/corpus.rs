@@ -4,11 +4,13 @@
 //!
 //! Feature rows live in a [`FeatureStore`](crate::featurestore::FeatureStore)
 //! — flat and contiguous when built eagerly, memoized on-demand when built
-//! with [`Corpus::from_dataset_lazy_with`]. Boolean predicate rows are
+//! with [`Corpus::from_candidates_lazy_with`]. Boolean predicate rows are
 //! derived lazily from the continuous rows on first use, so runs that never
 //! touch the rule learner never pay for a second full matrix.
 
 use crate::blocking::BlockingConfig;
+use crate::candidates::CandidateSource;
+use crate::error::AlemError;
 use crate::features::FeatureExtractor;
 use crate::featurestore::FeatureStore;
 use crate::schema::{EmDataset, Pair};
@@ -45,29 +47,96 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Build a corpus from an [`EmDataset`]: block, featurize, and attach
-    /// ground truth. Returns the corpus and the (shared) extractor, whose
-    /// feature descriptions the interpretability reports need.
-    pub fn from_dataset(
+    /// Build a corpus from any [`CandidateSource`] — the paper's Jaccard
+    /// filter ([`BlockingConfig`]), an `alem-block` index strategy, or
+    /// anything else that streams deterministic sorted pairs — featurize
+    /// eagerly, and attach ground truth. Returns the corpus and the
+    /// (shared) extractor, whose feature descriptions the
+    /// interpretability reports need.
+    pub fn from_candidates(
         ds: &EmDataset,
-        blocking: &BlockingConfig,
-    ) -> (Self, Arc<FeatureExtractor>) {
-        Corpus::from_dataset_with(ds, blocking, &alem_par::Parallelism::default())
+        source: &dyn CandidateSource,
+    ) -> Result<(Self, Arc<FeatureExtractor>), AlemError> {
+        Corpus::from_candidates_with(ds, source, &alem_par::Parallelism::default())
     }
 
-    /// [`Corpus::from_dataset`] with an explicit thread-count policy for
-    /// the feature-extraction fan-out. Output is byte-identical for any
-    /// `par` (rows merge in pair order); only build wall-clock changes.
+    /// [`Corpus::from_candidates`] with an explicit thread-count policy
+    /// for the feature-extraction fan-out. Output is byte-identical for
+    /// any `par` (rows merge in pair order); only build wall-clock
+    /// changes.
     ///
     /// Boolean predicate rows are *not* built here: they derive from the
     /// continuous rows on the first [`Corpus::bool_features`] call, so
     /// strategies that never use them never pay the second matrix.
+    pub fn from_candidates_with(
+        ds: &EmDataset,
+        source: &dyn CandidateSource,
+        par: &alem_par::Parallelism,
+    ) -> Result<(Self, Arc<FeatureExtractor>), AlemError> {
+        let pairs = source.collect_pairs(ds)?;
+        Ok(Corpus::from_pairs_eager(ds, pairs, par))
+    }
+
+    /// Fully lazy corpus from any [`CandidateSource`]: candidate pairs
+    /// and ground truth are computed up front but no feature row is
+    /// extracted until a learner or selector first reads it, after which
+    /// the row is memoized for the corpus lifetime. Rows are
+    /// bit-identical to the eager build; see
+    /// [`Corpus::content_fingerprint`] for the one observable difference.
+    pub fn from_candidates_lazy_with(
+        ds: &EmDataset,
+        source: &dyn CandidateSource,
+        _par: &alem_par::Parallelism,
+    ) -> Result<(Self, Arc<FeatureExtractor>), AlemError> {
+        let pairs = source.collect_pairs(ds)?;
+        Ok(Corpus::from_pairs_lazy(ds, pairs))
+    }
+
+    /// Build a corpus from an [`EmDataset`]: block, featurize, and attach
+    /// ground truth.
+    #[deprecated(
+        note = "use Corpus::from_candidates(ds, &blocking) — any CandidateSource \
+                (see the alem-block strategies) can feed a corpus now"
+    )]
+    pub fn from_dataset(
+        ds: &EmDataset,
+        blocking: &BlockingConfig,
+    ) -> (Self, Arc<FeatureExtractor>) {
+        Corpus::from_pairs_eager(ds, blocking.block(ds), &alem_par::Parallelism::default())
+    }
+
+    /// Blocking-config corpus with an explicit thread-count policy.
+    #[deprecated(
+        note = "use Corpus::from_candidates_with(ds, &blocking, par) — any CandidateSource \
+                (see the alem-block strategies) can feed a corpus now"
+    )]
     pub fn from_dataset_with(
         ds: &EmDataset,
         blocking: &BlockingConfig,
         par: &alem_par::Parallelism,
     ) -> (Self, Arc<FeatureExtractor>) {
-        let pairs = blocking.block(ds);
+        Corpus::from_pairs_eager(ds, blocking.block(ds), par)
+    }
+
+    /// Lazy blocking-config corpus.
+    #[deprecated(
+        note = "use Corpus::from_candidates_lazy_with(ds, &blocking, par) — any CandidateSource \
+                (see the alem-block strategies) can feed a corpus now"
+    )]
+    pub fn from_dataset_lazy_with(
+        ds: &EmDataset,
+        blocking: &BlockingConfig,
+        _par: &alem_par::Parallelism,
+    ) -> (Self, Arc<FeatureExtractor>) {
+        Corpus::from_pairs_lazy(ds, blocking.block(ds))
+    }
+
+    /// Eagerly featurized corpus over an already-materialized pair list.
+    fn from_pairs_eager(
+        ds: &EmDataset,
+        pairs: Vec<Pair>,
+        par: &alem_par::Parallelism,
+    ) -> (Self, Arc<FeatureExtractor>) {
         let fx = Arc::new(FeatureExtractor::new(ds));
         let store = FeatureStore::from_rows(fx.extract_all_with(&pairs, par));
         let truth = pairs.iter().map(|&p| ds.is_match(p)).collect();
@@ -87,17 +156,8 @@ impl Corpus {
         )
     }
 
-    /// Fully lazy corpus: blocking and ground truth are computed up front
-    /// but no feature row is extracted until a learner or selector first
-    /// reads it, after which the row is memoized for the corpus lifetime.
-    /// Rows are bit-identical to the eager build; see
-    /// [`Corpus::content_fingerprint`] for the one observable difference.
-    pub fn from_dataset_lazy_with(
-        ds: &EmDataset,
-        blocking: &BlockingConfig,
-        _par: &alem_par::Parallelism,
-    ) -> (Self, Arc<FeatureExtractor>) {
-        let pairs = blocking.block(ds);
+    /// Lazily featurized corpus over an already-materialized pair list.
+    fn from_pairs_lazy(ds: &EmDataset, pairs: Vec<Pair>) -> (Self, Arc<FeatureExtractor>) {
         let fx = Arc::new(FeatureExtractor::new(ds));
         let store = FeatureStore::lazy(Arc::clone(&fx), pairs.clone());
         let truth = pairs.iter().map(|&p| ds.is_match(p)).collect();

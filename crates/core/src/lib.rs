@@ -14,9 +14,11 @@
 //!
 //! # Pipeline
 //!
-//! 1. [`schema`] describes the two tables to match; [`blocking`] prunes the
-//!    Cartesian product of record pairs down to candidate pairs with an
-//!    offline Jaccard token filter.
+//! 1. [`schema`] describes the two tables to match; a
+//!    [`candidates::CandidateSource`] streams candidate pairs out of the
+//!    Cartesian product — [`blocking`] is the paper's offline Jaccard token
+//!    filter, and the `alem-block` crate adds scale-out index strategies
+//!    with recall/reduction-ratio reporting ([`candidates::BlockingReport`]).
 //! 2. [`features`] turns each candidate pair into a dense feature vector (21
 //!    similarity functions × aligned attributes) and, for the rule learner,
 //!    a Boolean predicate vector; [`corpus::Corpus`] bundles the pair
@@ -62,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod blocking;
+pub mod candidates;
 pub mod corpus;
 pub mod ensemble;
 pub mod error;

@@ -10,6 +10,7 @@
 //! decision.
 
 pub use crate::blocking::BlockingConfig;
+pub use crate::candidates::{BlockingReport, CandidateSource};
 pub use crate::corpus::Corpus;
 pub use crate::ensemble::EnsembleSvmStrategy;
 pub use crate::error::AlemError;

@@ -316,7 +316,7 @@ pub(crate) fn labeled_rows(
         let bools = corpus.bool_features().ok_or_else(|| {
             AlemError::InvalidConfig(format!(
                 "corpus '{}' has no Boolean predicate features; build it with \
-                 Corpus::from_dataset or Corpus::with_bool_features",
+                 Corpus::from_candidates or Corpus::with_bool_features",
                 corpus.name()
             ))
         })?;

@@ -107,8 +107,8 @@ fn end_to_end_fingerprint_is_stable_across_identical_runs() {
     };
     // Rebuild the corpus from scratch both times so the whole path —
     // blocking, featurization, session — is exercised twice.
-    let (corpus_a, _) = Corpus::from_dataset(&ds, &cfg);
-    let (corpus_b, _) = Corpus::from_dataset(&ds, &cfg);
+    let (corpus_a, _) = Corpus::from_candidates(&ds, &cfg).unwrap();
+    let (corpus_b, _) = Corpus::from_candidates(&ds, &cfg).unwrap();
     assert!(corpus_a.len() > 40, "need a non-trivial pair pool");
     let a = fingerprint_of_run(&corpus_a, 42);
     let b = fingerprint_of_run(&corpus_b, 42);
@@ -121,7 +121,7 @@ fn end_to_end_fingerprint_is_stable_across_identical_runs() {
 #[test]
 fn tree_strategy_fingerprint_is_stable_across_identical_runs() {
     let ds = synthetic_dataset(120);
-    let (corpus, _) = Corpus::from_dataset(&ds, &BlockingConfig::default());
+    let (corpus, _) = Corpus::from_candidates(&ds, &BlockingConfig::default()).unwrap();
     let oracle = Oracle::perfect(corpus.truths().to_vec());
     let params = LoopParams {
         seed_size: 16,

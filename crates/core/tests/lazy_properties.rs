@@ -168,7 +168,8 @@ fn warm_lazy_fingerprints_thread_invariant_and_match_eager_golden() {
     let blocking = BlockingConfig {
         jaccard_threshold: 0.2,
     };
-    let (eager, _) = Corpus::from_dataset_with(&ds, &blocking, &Parallelism::sequential());
+    let (eager, _) =
+        Corpus::from_candidates_with(&ds, &blocking, &Parallelism::sequential()).unwrap();
     assert!(eager.len() > 60, "need a non-trivial pair pool");
     for seed in [7u64, 23] {
         let golden = run_fingerprint(&eager, 1, seed);
@@ -176,7 +177,8 @@ fn warm_lazy_fingerprints_thread_invariant_and_match_eager_golden() {
             // A fresh lazy corpus per run: the memo state must never
             // leak into results, only into timings.
             let (lazy, _) =
-                Corpus::from_dataset_lazy_with(&ds, &blocking, &Parallelism::fixed(threads));
+                Corpus::from_candidates_lazy_with(&ds, &blocking, &Parallelism::fixed(threads))
+                    .unwrap();
             assert_eq!(
                 run_fingerprint(&lazy, threads, seed),
                 golden,
@@ -208,7 +210,7 @@ fn feat_cache_counters_are_exact_across_halt_resume() {
 
     // Uninterrupted run on a fresh lazy corpus.
     let (full_corpus, _) =
-        Corpus::from_dataset_lazy_with(&ds, &blocking, &Parallelism::sequential());
+        Corpus::from_candidates_lazy_with(&ds, &blocking, &Parallelism::sequential()).unwrap();
     let full_obs = Registry::enabled();
     let full = {
         let oracle = Oracle::perfect(full_corpus.truths().to_vec());
@@ -225,7 +227,8 @@ fn feat_cache_counters_are_exact_across_halt_resume() {
 
     // Same run halted after 2 iterations, then resumed on the same
     // (already partly materialized) corpus.
-    let (corpus, _) = Corpus::from_dataset_lazy_with(&ds, &blocking, &Parallelism::sequential());
+    let (corpus, _) =
+        Corpus::from_candidates_lazy_with(&ds, &blocking, &Parallelism::sequential()).unwrap();
     let path = std::env::temp_dir().join(format!("alem-lazy-props-{}.ckpt", std::process::id()));
     let first_obs = Registry::enabled();
     {

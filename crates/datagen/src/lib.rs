@@ -37,3 +37,4 @@ pub mod vocab;
 
 pub use configs::{GenConfig, PaperDataset};
 pub use generate::generate;
+pub use social::{generate_social, SocialConfig};

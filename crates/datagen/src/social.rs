@@ -39,6 +39,23 @@ impl Default for SocialConfig {
     }
 }
 
+impl SocialConfig {
+    /// The default corpus scaled by `factor`: row counts multiply (and
+    /// round), coverage is unchanged. `scaled(1.0)` equals
+    /// [`SocialConfig::default`]; `scaled(25.0)` is the 10k × 100k corpus
+    /// of the blocking benchmark; `scaled(125.0)` reaches 500k profiles.
+    /// Factors below `1/400` clamp to one employee / one profile.
+    pub fn scaled(factor: f64) -> Self {
+        let d = SocialConfig::default();
+        let scale = |n: usize| ((n as f64 * factor).round() as usize).max(1);
+        SocialConfig {
+            n_employees: scale(d.n_employees),
+            n_profiles: scale(d.n_profiles).max(scale(d.n_employees)),
+            coverage: d.coverage,
+        }
+    }
+}
+
 /// The aligned schema: the attributes listed in §6.3.1.
 pub fn social_schema() -> Schema {
     use AttrKind::Text;
@@ -240,6 +257,23 @@ mod tests {
             names.len() < total,
             "no name collisions in {total} employees"
         );
+    }
+
+    #[test]
+    fn scaled_multiplies_rows_and_preserves_defaults() {
+        let unit = SocialConfig::scaled(1.0);
+        let d = SocialConfig::default();
+        assert_eq!(unit.n_employees, d.n_employees);
+        assert_eq!(unit.n_profiles, d.n_profiles);
+        assert!((unit.coverage - d.coverage).abs() < 1e-12);
+
+        let big = SocialConfig::scaled(25.0);
+        assert_eq!(big.n_employees, 10_000);
+        assert_eq!(big.n_profiles, 100_000);
+
+        let tiny = SocialConfig::scaled(0.0);
+        assert_eq!(tiny.n_employees, 1);
+        assert!(tiny.n_profiles >= tiny.n_employees);
     }
 
     #[test]

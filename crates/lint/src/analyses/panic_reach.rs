@@ -27,11 +27,11 @@ use std::collections::BTreeMap;
 
 /// Crates whose `pub` items must not reach an explicit panic.
 const PANIC_CRATES: &[&str] = &[
-    "bench", "core", "datagen", "linalg", "mlcore", "par", "serve", "textsim",
+    "bench", "block", "core", "datagen", "linalg", "mlcore", "par", "serve", "textsim",
 ];
 
 /// Crates where raw slice indexing counts as a panic source.
-const INDEX_CRATES: &[&str] = &["core", "datagen", "par", "serve"];
+const INDEX_CRATES: &[&str] = &["block", "core", "datagen", "par", "serve"];
 
 /// Macros that unconditionally panic when reached.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

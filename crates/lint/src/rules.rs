@@ -28,7 +28,7 @@ use std::fmt;
 /// Crates whose **library targets** must be panic-free (tests, benches,
 /// and binaries are exempt; `obs` is exempt because `std::sync::Mutex`
 /// poisoning makes `lock().unwrap()` the idiomatic non-poisoned read).
-const NO_PANIC_CRATES: &[&str] = &["core", "mlcore", "linalg", "textsim", "datagen"];
+const NO_PANIC_CRATES: &[&str] = &["block", "core", "mlcore", "linalg", "textsim", "datagen"];
 
 /// Obs-name prefix selector modules must use, per DESIGN.md §7.
 const SELECTOR_OBS_PREFIX: &str = "select";
@@ -72,6 +72,15 @@ fn obs_naming_policy(rel: &str) -> Option<ObsNamingPolicy> {
             families: &["serve", "checkpoint"],
             required_counter: None,
             subsystem: "serve",
+        });
+    }
+    if rel.starts_with("crates/block/src/") {
+        // Candidate generation owns `block.*`: index build/probe spans
+        // and the pairs-emitted counters of DESIGN.md §13.
+        return Some(ObsNamingPolicy {
+            families: &["block"],
+            required_counter: None,
+            subsystem: "blocking",
         });
     }
     if rel == "crates/obs/src/flight.rs" {

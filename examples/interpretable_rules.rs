@@ -28,7 +28,8 @@ fn main() {
     let blocking = BlockingConfig {
         jaccard_threshold: 0.2,
     };
-    let (corpus, extractor) = Corpus::from_dataset(&dataset, &blocking);
+    let (corpus, extractor) =
+        Corpus::from_candidates(&dataset, &blocking).expect("valid blocking config");
     println!(
         "{} employees x {} profiles -> {} candidate pairs (skew {:.3})\n",
         dataset.left.len(),

@@ -41,7 +41,8 @@ fn main() {
     let blocking = BlockingConfig {
         jaccard_threshold: gen_cfg.blocking_threshold,
     };
-    let (corpus, _fx) = Corpus::from_dataset(&dataset, &blocking);
+    let (corpus, _fx) =
+        Corpus::from_candidates(&dataset, &blocking).expect("valid blocking config");
     println!(
         "Abt-Buy-like catalog: {} candidate pairs, skew {:.3}\n",
         corpus.len(),

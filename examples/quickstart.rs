@@ -27,7 +27,8 @@ fn main() {
     let blocking = BlockingConfig {
         jaccard_threshold: gen_cfg.blocking_threshold,
     };
-    let (corpus, _extractor) = Corpus::from_dataset(&dataset, &blocking);
+    let (corpus, _extractor) =
+        Corpus::from_candidates(&dataset, &blocking).expect("valid blocking config");
     println!(
         "post-blocking pairs: {} (skew {:.3}, {} feature dims)",
         corpus.len(),

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_blocking.json report produced by bench_blocking.
+
+Usage: validate_bench_blocking.py REPORT [--min-candidates N] [--smoke]
+
+Fails (exit 1) when the report is structurally wrong or violates the
+sweep's contracts:
+
+- top-level fields (bench, dataset, strategies, threads_list) present
+  and well-typed, at least two strategies swept;
+- every strategy carries recall / reduction_ratio in [0, 1], a
+  consistent candidates-vs-reduction-ratio relationship, group-wise
+  recall rows whose retained counts never exceed totals, and one run row
+  per thread count;
+- per strategy, every run's fingerprint matches (thread invariance) and
+  `fingerprints_identical` / `all_fingerprints_thread_invariant` agree
+  with the rows they summarize;
+- unless --smoke, the best strategy streamed at least --min-candidates
+  pairs (default 100,000) and the report's own scale_floor_met agrees.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_bench_blocking: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def in01(x) -> bool:
+    return isinstance(x, (int, float)) and -1e-9 <= x <= 1.0 + 1e-9
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = args[0]
+    min_candidates = 100_000
+    smoke = "--smoke" in args
+    if "--min-candidates" in args:
+        min_candidates = int(args[args.index("--min-candidates") + 1])
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    if report.get("bench") != "blocking":
+        fail(f"bench field is {report.get('bench')!r}, want 'blocking'")
+    ds = report.get("dataset")
+    if not isinstance(ds, dict) or not all(
+        k in ds for k in ("left_rows", "right_rows", "matches", "total_pairs")
+    ):
+        fail("dataset block missing or incomplete")
+    if ds["total_pairs"] != ds["left_rows"] * ds["right_rows"]:
+        fail("total_pairs != left_rows * right_rows")
+
+    threads = report.get("threads_list")
+    if not isinstance(threads, list) or not threads:
+        fail("threads_list missing or empty")
+
+    strategies = report.get("strategies")
+    if not isinstance(strategies, list) or len(strategies) < 2:
+        fail("need at least two swept strategies")
+
+    all_invariant = True
+    max_candidates = 0
+    for s in strategies:
+        name = s.get("strategy", "<unnamed>")
+        if not in01(s.get("recall")):
+            fail(f"{name}: recall {s.get('recall')!r} outside [0, 1]")
+        if not in01(s.get("reduction_ratio")):
+            fail(f"{name}: reduction_ratio {s.get('reduction_ratio')!r} outside [0, 1]")
+        cand = s.get("candidates")
+        if not isinstance(cand, int) or cand < 0:
+            fail(f"{name}: bad candidates {cand!r}")
+        max_candidates = max(max_candidates, cand)
+        expected_rr = 1.0 - cand / ds["total_pairs"]
+        if abs(s["reduction_ratio"] - expected_rr) > 1e-9:
+            fail(f"{name}: reduction_ratio inconsistent with candidates")
+        if s.get("matches_retained", 0) > s.get("matches_total", 0):
+            fail(f"{name}: matches_retained exceeds matches_total")
+        for g in s.get("group_recall", []):
+            if g.get("matches_retained", 0) > g.get("matches_total", 0):
+                fail(f"{name}: group {g.get('group')!r} retained > total")
+            if not in01(g.get("recall")):
+                fail(f"{name}: group {g.get('group')!r} recall outside [0, 1]")
+        runs = s.get("runs", [])
+        if [r.get("threads") for r in runs] != threads:
+            fail(f"{name}: run rows do not cover threads_list {threads}")
+        fps = {r.get("fingerprint") for r in runs}
+        identical = len(fps) == 1
+        if identical != s.get("fingerprints_identical"):
+            fail(f"{name}: fingerprints_identical flag disagrees with run rows")
+        if s.get("fingerprint") not in fps:
+            fail(f"{name}: summary fingerprint not among run fingerprints")
+        all_invariant &= identical
+        for r in runs:
+            if not isinstance(r.get("wall_secs"), (int, float)) or r["wall_secs"] < 0:
+                fail(f"{name}: bad wall_secs in run row")
+
+    if not all_invariant:
+        fail("fingerprints diverge across thread counts")
+    if report.get("all_fingerprints_thread_invariant") is not True:
+        fail("all_fingerprints_thread_invariant flag is not true")
+    if not smoke:
+        if max_candidates < min_candidates:
+            fail(
+                f"scale floor not met: max {max_candidates} < {min_candidates} candidates"
+            )
+        if report.get("scale_floor_met") is not True:
+            fail("scale_floor_met flag is not true")
+
+    print(
+        f"validate_bench_blocking: OK ({len(strategies)} strategies, "
+        f"max {max_candidates} candidates, threads {threads})"
+    )
+
+
+if __name__ == "__main__":
+    main()

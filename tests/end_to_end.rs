@@ -16,12 +16,13 @@ fn easy_corpus() -> Corpus {
     // DBLP-ACM is the easiest dataset: every learner should do well.
     let cfg = PaperDataset::DblpAcm.config(0.05);
     let ds = datagen::generate(&cfg, 42);
-    let (corpus, _) = Corpus::from_dataset(
+    let (corpus, _) = Corpus::from_candidates(
         &ds,
         &BlockingConfig {
             jaccard_threshold: cfg.blocking_threshold,
         },
-    );
+    )
+    .unwrap();
     corpus
 }
 
@@ -149,12 +150,13 @@ fn social_corpus_pipeline() {
         coverage: 0.8,
     };
     let ds = datagen::social::generate_social(&cfg, 3);
-    let (corpus, _) = Corpus::from_dataset(
+    let (corpus, _) = Corpus::from_candidates(
         &ds,
         &BlockingConfig {
             jaccard_threshold: 0.2,
         },
-    );
+    )
+    .unwrap();
     assert!(
         corpus.len() > 100,
         "social corpus too small: {}",

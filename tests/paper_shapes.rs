@@ -20,12 +20,13 @@ use datagen::PaperDataset;
 fn corpus(d: PaperDataset, scale: f64) -> Corpus {
     let cfg = d.config(scale);
     let ds = datagen::generate(&cfg, 42);
-    let (corpus, _) = Corpus::from_dataset(
+    let (corpus, _) = Corpus::from_candidates(
         &ds,
         &BlockingConfig {
             jaccard_threshold: cfg.blocking_threshold,
         },
-    );
+    )
+    .unwrap();
     corpus
 }
 
